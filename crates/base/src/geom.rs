@@ -1,0 +1,102 @@
+//! Two-dimensional grid geometry used by the mesh-family topologies.
+
+use std::fmt;
+
+/// A position on a 2D grid of routers: `x` grows eastward, `y` grows
+/// southward (row-major).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Coord {
+    /// Column (0-based, grows eastward).
+    pub x: u16,
+    /// Row (0-based, grows southward).
+    pub y: u16,
+}
+
+impl Coord {
+    /// Creates a coordinate.
+    ///
+    /// ```
+    /// # use noc_base::Coord;
+    /// let c = Coord::new(2, 3);
+    /// assert_eq!((c.x, c.y), (2, 3));
+    /// ```
+    #[inline]
+    pub const fn new(x: u16, y: u16) -> Self {
+        Self { x, y }
+    }
+
+    /// Manhattan distance between two coordinates — the hop count of any
+    /// minimal dimension-order route between them on a mesh.
+    ///
+    /// ```
+    /// # use noc_base::Coord;
+    /// assert_eq!(Coord::new(0, 0).manhattan(Coord::new(3, 2)), 5);
+    /// ```
+    #[inline]
+    pub fn manhattan(self, other: Coord) -> u32 {
+        let dx = (self.x as i32 - other.x as i32).unsigned_abs();
+        let dy = (self.y as i32 - other.y as i32).unsigned_abs();
+        dx + dy
+    }
+
+    /// Converts a router index into a coordinate on a `width`-column grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    #[inline]
+    pub fn from_index(index: usize, width: u16) -> Self {
+        assert!(width > 0, "grid width must be nonzero");
+        Self {
+            x: (index % width as usize) as u16,
+            y: (index / width as usize) as u16,
+        }
+    }
+
+    /// Converts a coordinate back to a router index on a `width`-column grid.
+    #[inline]
+    pub fn to_index(self, width: u16) -> usize {
+        self.y as usize * width as usize + self.x as usize
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for width in [1u16, 4, 8, 13] {
+            for idx in 0..(width as usize * 5) {
+                let c = Coord::from_index(idx, width);
+                assert_eq!(c.to_index(width), idx, "width={width} idx={idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn manhattan_is_symmetric_and_zero_on_self() {
+        let a = Coord::new(1, 7);
+        let b = Coord::new(4, 2);
+        assert_eq!(a.manhattan(b), b.manhattan(a));
+        assert_eq!(a.manhattan(a), 0);
+        assert_eq!(a.manhattan(b), 3 + 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_width_panics() {
+        let _ = Coord::from_index(0, 0);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Coord::new(3, 4).to_string(), "(3,4)");
+    }
+}

@@ -1,0 +1,145 @@
+//! Strongly-typed identifiers.
+//!
+//! Every entity in the simulated network is addressed by a newtype index so the
+//! compiler rules out mixing, say, a router index with a node index
+//! (C-NEWTYPE). All identifiers are cheap `Copy` types backed by small
+//! integers.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $repr:ty, $short:literal) => {
+        $(#[$meta])*
+        #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+        pub struct $name($repr);
+
+        impl $name {
+            /// Creates an identifier from its raw index.
+            ///
+            /// ```
+            /// # use noc_base::ids::*;
+            #[doc = concat!("let id = ", stringify!($name), "::new(7);")]
+            /// assert_eq!(id.index(), 7);
+            /// ```
+            #[inline]
+            pub const fn new(index: usize) -> Self {
+                Self(index as $repr)
+            }
+
+            /// Returns the raw index as a `usize`, suitable for slice indexing.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($short, "{}"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(index: usize) -> Self {
+                Self::new(index)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// An endpoint of the network: a processor core, an L2 cache bank, or any
+    /// other entity with a network interface attached.
+    NodeId,
+    u32,
+    "n"
+);
+
+id_type!(
+    /// A router in the interconnection network.
+    RouterId,
+    u32,
+    "r"
+);
+
+id_type!(
+    /// A port index local to one router. Input ports and output ports are
+    /// numbered independently; whether a `PortIndex` names an input or an
+    /// output port is determined by context.
+    PortIndex,
+    u16,
+    "p"
+);
+
+id_type!(
+    /// A virtual-channel index local to one port.
+    VcIndex,
+    u8,
+    "v"
+);
+
+/// A unique packet identifier, assigned at injection time and carried by every
+/// flit of the packet so the destination network interface can reassemble it.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct PacketId(u64);
+
+impl PacketId {
+    /// Creates a packet identifier from its raw value.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Returns the raw identifier value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for PacketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pkt{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_indices() {
+        assert_eq!(NodeId::new(12).index(), 12);
+        assert_eq!(RouterId::new(0).index(), 0);
+        assert_eq!(PortIndex::new(65_535).index(), 65_535);
+        assert_eq!(VcIndex::new(255).index(), 255);
+        assert_eq!(PacketId::new(u64::MAX).raw(), u64::MAX);
+    }
+
+    #[test]
+    fn display_is_short_and_nonempty() {
+        assert_eq!(NodeId::new(3).to_string(), "n3");
+        assert_eq!(RouterId::new(4).to_string(), "r4");
+        assert_eq!(PortIndex::new(5).to_string(), "p5");
+        assert_eq!(VcIndex::new(6).to_string(), "v6");
+        assert_eq!(PacketId::new(7).to_string(), "pkt7");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert!(VcIndex::new(0) < VcIndex::new(3));
+    }
+
+    #[test]
+    fn from_usize_conversions() {
+        let id: NodeId = 9usize.into();
+        assert_eq!(id, NodeId::new(9));
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(NodeId::default().index(), 0);
+        assert_eq!(PacketId::default().raw(), 0);
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! Fundamental types shared by every crate in the pseudo-circuit workspace.
+//!
+//! This crate deliberately has no dependencies. It defines:
+//!
+//! - strongly-typed identifiers for nodes, routers, ports, virtual channels and
+//!   packets ([`NodeId`], [`RouterId`], [`PortIndex`], [`VcIndex`], [`PacketId`]);
+//! - the wire-level data units of the simulated network ([`Flit`], [`Credit`],
+//!   [`PacketDescriptor`]);
+//! - routing and virtual-channel allocation policy enums shared between the
+//!   network interfaces and the routers ([`RouteMode`], [`RoutingPolicy`],
+//!   [`VaPolicy`], [`VcPartition`]);
+//! - a small deterministic PRNG ([`rng::Pcg32`]) so that every experiment in the
+//!   reproduction is bit-for-bit repeatable regardless of external crate
+//!   versions.
+//!
+//! # Example
+//!
+//! ```
+//! use noc_base::{NodeId, RouteMode, rng::Pcg32};
+//!
+//! let src = NodeId::new(3);
+//! let mut rng = Pcg32::seed_from_u64(42);
+//! let mode = if rng.next_bool(0.5) { RouteMode::Xy } else { RouteMode::Yx };
+//! assert!(matches!(mode, RouteMode::Xy | RouteMode::Yx));
+//! assert_eq!(src.index(), 3);
+//! ```
+
+pub mod flit;
+pub mod geom;
+pub mod ids;
+pub mod policy;
+pub mod rng;
+
+pub use flit::{Credit, Flit, FlitKind, PacketClass, PacketDescriptor, RouteInfo};
+pub use geom::Coord;
+pub use ids::{NodeId, PacketId, PortIndex, RouterId, VcIndex};
+pub use policy::{RouteMode, RoutingPolicy, VaPolicy, VcPartition};

@@ -1,0 +1,253 @@
+//! Routing and virtual-channel allocation policies (§V of the paper).
+//!
+//! The paper evaluates three routing algorithms — XY, YX, and O1TURN (a
+//! per-packet random choice between XY and YX, Seo et al. ISCA 2005) — and two
+//! VC allocation policies: *dynamic* (pick the free downstream VC with the
+//! most credits) and *static* (VC keyed by destination identifier, which
+//! maximizes pseudo-circuit reusability).
+
+use crate::ids::{NodeId, VcIndex};
+use crate::rng::Pcg32;
+use std::fmt;
+
+/// The dimension-order variant a given packet follows.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub enum RouteMode {
+    /// Route fully in X first, then Y.
+    #[default]
+    Xy,
+    /// Route fully in Y first, then X.
+    Yx,
+}
+
+/// The routing algorithm configured for an experiment.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub enum RoutingPolicy {
+    /// Dimension-order, X first.
+    #[default]
+    Xy,
+    /// Dimension-order, Y first.
+    Yx,
+    /// O1TURN: each packet randomly picks XY or YX; the two variants use
+    /// disjoint VC classes for deadlock freedom.
+    O1Turn,
+}
+
+impl RoutingPolicy {
+    /// Picks the route mode for a new packet.
+    pub fn pick_mode(self, rng: &mut Pcg32) -> RouteMode {
+        match self {
+            RoutingPolicy::Xy => RouteMode::Xy,
+            RoutingPolicy::Yx => RouteMode::Yx,
+            RoutingPolicy::O1Turn => {
+                if rng.next_bool(0.5) {
+                    RouteMode::Xy
+                } else {
+                    RouteMode::Yx
+                }
+            }
+        }
+    }
+
+    /// Number of VC classes this policy needs for deadlock freedom.
+    pub fn num_classes(self) -> u8 {
+        match self {
+            RoutingPolicy::Xy | RoutingPolicy::Yx => 1,
+            RoutingPolicy::O1Turn => 2,
+        }
+    }
+
+    /// The VC class a packet with the given mode travels in.
+    pub fn class_of(self, mode: RouteMode) -> u8 {
+        match self {
+            RoutingPolicy::Xy | RoutingPolicy::Yx => 0,
+            RoutingPolicy::O1Turn => match mode {
+                RouteMode::Xy => 0,
+                RouteMode::Yx => 1,
+            },
+        }
+    }
+}
+
+impl fmt::Display for RoutingPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoutingPolicy::Xy => write!(f, "XY"),
+            RoutingPolicy::Yx => write!(f, "YX"),
+            RoutingPolicy::O1Turn => write!(f, "O1TURN"),
+        }
+    }
+}
+
+/// The virtual-channel allocation policy.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub enum VaPolicy {
+    /// Choose the free VC with the most downstream credits.
+    #[default]
+    Dynamic,
+    /// VC keyed by destination ID so flows to the same destination share the
+    /// same VC at every input port (maximizes pseudo-circuit reuse).
+    Static,
+}
+
+impl fmt::Display for VaPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VaPolicy::Dynamic => write!(f, "Dynamic VA"),
+            VaPolicy::Static => write!(f, "Static VA"),
+        }
+    }
+}
+
+/// Partition of a port's VCs into deadlock classes.
+///
+/// Class `c` owns the contiguous VC range
+/// `[c * vcs_per_class, (c + 1) * vcs_per_class)`.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct VcPartition {
+    num_classes: u8,
+    vcs_per_class: u8,
+}
+
+impl VcPartition {
+    /// Splits `total_vcs` into `num_classes` equal classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_classes` is zero or does not divide `total_vcs`.
+    pub fn new(total_vcs: u8, num_classes: u8) -> Self {
+        assert!(num_classes > 0, "need at least one VC class");
+        assert!(
+            total_vcs.is_multiple_of(num_classes) && total_vcs > 0,
+            "{total_vcs} VCs cannot be split into {num_classes} equal classes"
+        );
+        Self {
+            num_classes,
+            vcs_per_class: total_vcs / num_classes,
+        }
+    }
+
+    /// Total number of VCs across all classes.
+    #[inline]
+    pub fn total_vcs(&self) -> u8 {
+        self.num_classes * self.vcs_per_class
+    }
+
+    /// Number of classes.
+    #[inline]
+    pub fn num_classes(&self) -> u8 {
+        self.num_classes
+    }
+
+    /// Number of VCs per class.
+    #[inline]
+    pub fn vcs_per_class(&self) -> u8 {
+        self.vcs_per_class
+    }
+
+    /// The VC range `[start, end)` owned by `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    #[inline]
+    pub fn class_range(&self, class: u8) -> std::ops::Range<u8> {
+        assert!(class < self.num_classes, "class {class} out of range");
+        let start = class * self.vcs_per_class;
+        start..start + self.vcs_per_class
+    }
+
+    /// The class that owns `vc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vc` is out of range.
+    #[inline]
+    pub fn class_of_vc(&self, vc: VcIndex) -> u8 {
+        let c = vc.index() as u8 / self.vcs_per_class;
+        assert!(c < self.num_classes, "vc {vc} out of range");
+        c
+    }
+
+    /// The statically-allocated VC for a packet of `class` headed to `dst`
+    /// (destination-keyed static VA, §V of the paper).
+    #[inline]
+    pub fn static_vc(&self, class: u8, dst: NodeId) -> VcIndex {
+        let range = self.class_range(class);
+        let offset = (dst.index() % self.vcs_per_class as usize) as u8;
+        VcIndex::new((range.start + offset) as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn o1turn_picks_both_modes() {
+        let mut rng = Pcg32::seed_from_u64(11);
+        let mut xy = 0;
+        let mut yx = 0;
+        for _ in 0..1000 {
+            match RoutingPolicy::O1Turn.pick_mode(&mut rng) {
+                RouteMode::Xy => xy += 1,
+                RouteMode::Yx => yx += 1,
+            }
+        }
+        assert!(xy > 400 && yx > 400, "xy={xy} yx={yx}");
+    }
+
+    #[test]
+    fn fixed_policies_pick_fixed_modes() {
+        let mut rng = Pcg32::seed_from_u64(0);
+        assert_eq!(RoutingPolicy::Xy.pick_mode(&mut rng), RouteMode::Xy);
+        assert_eq!(RoutingPolicy::Yx.pick_mode(&mut rng), RouteMode::Yx);
+    }
+
+    #[test]
+    fn class_assignment_matches_policy() {
+        assert_eq!(RoutingPolicy::Xy.num_classes(), 1);
+        assert_eq!(RoutingPolicy::O1Turn.num_classes(), 2);
+        assert_eq!(RoutingPolicy::O1Turn.class_of(RouteMode::Xy), 0);
+        assert_eq!(RoutingPolicy::O1Turn.class_of(RouteMode::Yx), 1);
+        assert_eq!(RoutingPolicy::Yx.class_of(RouteMode::Yx), 0);
+    }
+
+    #[test]
+    fn partition_ranges_are_disjoint_and_cover() {
+        let p = VcPartition::new(4, 2);
+        assert_eq!(p.class_range(0), 0..2);
+        assert_eq!(p.class_range(1), 2..4);
+        assert_eq!(p.total_vcs(), 4);
+        assert_eq!(p.class_of_vc(VcIndex::new(0)), 0);
+        assert_eq!(p.class_of_vc(VcIndex::new(3)), 1);
+    }
+
+    #[test]
+    fn static_vc_is_destination_keyed_and_in_class() {
+        let p = VcPartition::new(4, 2);
+        for dst in 0..64 {
+            for class in 0..2 {
+                let vc = p.static_vc(class, NodeId::new(dst));
+                assert!(p.class_range(class).contains(&(vc.index() as u8)));
+            }
+        }
+        // Same destination -> same VC (the property static VA relies on).
+        assert_eq!(
+            p.static_vc(0, NodeId::new(10)),
+            p.static_vc(0, NodeId::new(10))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "equal classes")]
+    fn uneven_partition_panics() {
+        let _ = VcPartition::new(5, 2);
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(RoutingPolicy::O1Turn.to_string(), "O1TURN");
+        assert_eq!(VaPolicy::Static.to_string(), "Static VA");
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the base types.
+
+use noc_base::rng::Pcg32;
+use noc_base::{FlitKind, NodeId, PacketClass, PacketDescriptor, PacketId, VcPartition};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn next_below_always_in_range(seed in any::<u64>(), bound in 1u32..10_000) {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        for _ in 0..64 {
+            prop_assert!(rng.next_below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn next_f64_unit_interval(seed in any::<u64>()) {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        for _ in 0..64 {
+            let v = rng.next_f64();
+            prop_assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset(seed in any::<u64>(), mut v in prop::collection::vec(0u32..100, 0..64)) {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let mut sorted_before = v.clone();
+        sorted_before.sort_unstable();
+        rng.shuffle(&mut v);
+        v.sort_unstable();
+        prop_assert_eq!(v, sorted_before);
+    }
+
+    #[test]
+    fn weighted_only_picks_positive(seed in any::<u64>(), weights in prop::collection::vec(0.0f64..10.0, 1..32)) {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        if let Some(i) = rng.next_weighted(&weights) {
+            prop_assert!(weights[i] > 0.0);
+        } else {
+            prop_assert!(weights.iter().all(|&w| w <= 0.0));
+        }
+    }
+
+    #[test]
+    fn streams_are_independent_of_each_other(seed in any::<u64>(), s1 in 0u64..1000, s2 in 0u64..1000) {
+        prop_assume!(s1 != s2);
+        let mut a = Pcg32::seed_with_stream(seed, s1);
+        let mut b = Pcg32::seed_with_stream(seed, s2);
+        let va: Vec<u32> = (0..32).map(|_| a.next_u32()).collect();
+        let vb: Vec<u32> = (0..32).map(|_| b.next_u32()).collect();
+        prop_assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn flit_kinds_partition_every_packet(len in 1u16..64) {
+        let desc = PacketDescriptor {
+            id: PacketId::new(1),
+            src: NodeId::new(0),
+            dst: NodeId::new(1),
+            len,
+            class: PacketClass::Data,
+            created_at: 0,
+        };
+        let mut heads = 0;
+        let mut tails = 0;
+        for seq in 0..len {
+            let f = desc.flit(seq);
+            if f.kind.is_head() {
+                heads += 1;
+                prop_assert_eq!(seq, 0);
+            }
+            if f.kind.is_tail() {
+                tails += 1;
+                prop_assert_eq!(seq, len - 1);
+            }
+            if len == 1 {
+                prop_assert_eq!(f.kind, FlitKind::Single);
+            }
+        }
+        prop_assert_eq!((heads, tails), (1, 1));
+    }
+
+    #[test]
+    fn static_vc_stays_in_class(vcs_pow in 1u32..4, classes_pow in 0u32..2, dst in 0usize..4096) {
+        let classes = 1u8 << classes_pow;
+        let total = classes * (1u8 << vcs_pow);
+        let p = VcPartition::new(total, classes);
+        for class in 0..classes {
+            let vc = p.static_vc(class, NodeId::new(dst));
+            let range = p.class_range(class);
+            prop_assert!(range.contains(&(vc.index() as u8)));
+            prop_assert_eq!(p.class_of_vc(vc), class);
+        }
+    }
+}

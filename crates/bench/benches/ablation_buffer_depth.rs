@@ -1,0 +1,62 @@
+//! Ablation — input-buffer depth sensitivity (DESIGN.md §7.4).
+//!
+//! Sweeps the per-VC buffer depth for the baseline and the full scheme on
+//! fma3d CMP traffic. Expectation: deeper buffers reduce credit stalls for
+//! both routers; the pseudo-circuit advantage persists at every depth, and
+//! shallower buffers trigger more credit-exhaustion terminations.
+
+use noc_base::{RoutingPolicy, VaPolicy};
+use noc_bench::{banner, cmp_phases, parallel_map, pct, Table};
+use noc_topology::{Mesh, SharedTopology};
+use noc_traffic::BenchmarkProfile;
+use pseudo_circuit::experiment::cmp_traffic_for;
+use pseudo_circuit::{ExperimentBuilder, Scheme};
+use std::sync::Arc;
+
+fn main() {
+    banner("Ablation", "buffer depth sweep (fma3d, XY + static VA)");
+    let topo: SharedTopology = Arc::new(Mesh::new(4, 4, 4));
+    let (warmup, measure, drain) = cmp_phases();
+    let bench = *BenchmarkProfile::by_name("fma3d").expect("profile exists");
+    let depths = [2u32, 4, 8, 16];
+
+    let mut points = Vec::new();
+    for &depth in &depths {
+        for scheme in [Scheme::baseline(), Scheme::pseudo_ps_bb()] {
+            points.push((depth, scheme));
+        }
+    }
+    let reports = parallel_map(points, |(depth, scheme)| {
+        let traffic = cmp_traffic_for(topo.as_ref(), bench, 3);
+        ExperimentBuilder::new(topo.clone())
+            .routing(RoutingPolicy::Xy)
+            .va_policy(VaPolicy::Static)
+            .buffer_depth(*depth)
+            .scheme(*scheme)
+            .seed(77)
+            .phases(warmup, measure, drain)
+            .run(Box::new(traffic))
+    });
+
+    let mut table = Table::new([
+        "depth",
+        "baseline lat",
+        "pseudo lat",
+        "reduction",
+        "reuse",
+        "credit terms",
+    ]);
+    for (i, &depth) in depths.iter().enumerate() {
+        let base = &reports[i * 2];
+        let full = &reports[i * 2 + 1];
+        table.row([
+            format!("{depth} flits"),
+            format!("{:.2}", base.avg_latency),
+            format!("{:.2}", full.avg_latency),
+            pct(full.latency_reduction_vs(base)),
+            pct(full.reusability()),
+            full.router_stats.pc_terminations_credit.to_string(),
+        ]);
+    }
+    table.print();
+}

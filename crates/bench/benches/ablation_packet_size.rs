@@ -1,0 +1,61 @@
+//! Ablation — packet-size sensitivity (DESIGN.md §7.4).
+//!
+//! Uniform-random traffic at fixed flit load with 1-, 5- and 9-flit packets.
+//! Expectation: single-flit packets benefit most (every flit is a header, so
+//! the header hit rate equals the flit reuse rate and buffer bypassing can
+//! fire on every packet); long packets amortize the pipeline over the
+//! serialization tail, shrinking the relative gain.
+
+use noc_base::{RoutingPolicy, VaPolicy};
+use noc_bench::{banner, parallel_map, pct, synth_phases, Table};
+use noc_topology::Mesh;
+use noc_traffic::{SyntheticPattern, SyntheticTraffic};
+use pseudo_circuit::{ExperimentBuilder, Scheme};
+use std::sync::Arc;
+
+fn main() {
+    banner("Ablation", "packet size sweep (UR @ 0.15 flits/node/cycle)");
+    let topo = Arc::new(Mesh::new(8, 8, 1));
+    let (warmup, measure, drain) = synth_phases();
+    let sizes = [1u16, 5, 9];
+
+    let mut points = Vec::new();
+    for &len in &sizes {
+        for scheme in [Scheme::baseline(), Scheme::pseudo_ps_bb()] {
+            points.push((len, scheme));
+        }
+    }
+    let reports = parallel_map(points, |(len, scheme)| {
+        let traffic =
+            SyntheticTraffic::new(SyntheticPattern::UniformRandom, 8, 8, *len, 0.15, 91);
+        ExperimentBuilder::new(topo.clone())
+            .routing(RoutingPolicy::Xy)
+            .va_policy(VaPolicy::Static)
+            .scheme(*scheme)
+            .seed(79)
+            .phases(warmup, measure, drain)
+            .run(Box::new(traffic))
+    });
+
+    let mut table = Table::new([
+        "packet",
+        "baseline lat",
+        "pseudo lat",
+        "reduction",
+        "reuse",
+        "bypass",
+    ]);
+    for (i, &len) in sizes.iter().enumerate() {
+        let base = &reports[i * 2];
+        let full = &reports[i * 2 + 1];
+        table.row([
+            format!("{len} flits"),
+            format!("{:.2}", base.avg_latency),
+            format!("{:.2}", full.avg_latency),
+            pct(full.latency_reduction_vs(base)),
+            pct(full.reusability()),
+            pct(full.bypass_rate()),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,53 @@
+//! Ablation — static-VA keying (DESIGN.md §7.3).
+//!
+//! The paper keys static VC allocation by destination ID "to increase
+//! reusability" (§V), citing flow-keyed static allocation [25] as the
+//! alternative. This ablation compares destination-keyed static VA against
+//! dynamic VA for every scheme, isolating how much of the pseudo-circuit win
+//! comes from the allocation policy concentrating same-destination flows
+//! onto one VC.
+
+use noc_base::{RoutingPolicy, VaPolicy};
+use noc_bench::{banner, cmp_phases, parallel_map, pct, Table};
+use noc_topology::{Mesh, SharedTopology};
+use noc_traffic::BenchmarkProfile;
+use pseudo_circuit::experiment::cmp_traffic_for;
+use pseudo_circuit::{ExperimentBuilder, Scheme};
+use std::sync::Arc;
+
+fn main() {
+    banner("Ablation", "VA keying: destination-keyed static vs dynamic (fma3d, XY)");
+    let topo: SharedTopology = Arc::new(Mesh::new(4, 4, 4));
+    let (warmup, measure, drain) = cmp_phases();
+    let bench = *BenchmarkProfile::by_name("fma3d").expect("profile exists");
+
+    let mut points = Vec::new();
+    for va in [VaPolicy::Static, VaPolicy::Dynamic] {
+        for scheme in Scheme::paper_lineup() {
+            points.push((va, scheme));
+        }
+    }
+    let reports = parallel_map(points.clone(), |(va, scheme)| {
+        let traffic = cmp_traffic_for(topo.as_ref(), bench, 3);
+        ExperimentBuilder::new(topo.clone())
+            .routing(RoutingPolicy::Xy)
+            .va_policy(*va)
+            .scheme(*scheme)
+            .seed(80)
+            .phases(warmup, measure, drain)
+            .run(Box::new(traffic))
+    });
+
+    let mut table = Table::new(["VA policy", "scheme", "latency", "reuse", "header hits"]);
+    for ((va, scheme), report) in points.iter().zip(&reports) {
+        table.row([
+            va.to_string(),
+            scheme.to_string(),
+            format!("{:.2}", report.avg_latency),
+            pct(report.reusability()),
+            pct(report.router_stats.header_hit_rate()),
+        ]);
+    }
+    table.print();
+    println!("\nexpected: static VA roughly doubles reuse and header hits vs dynamic");
+}

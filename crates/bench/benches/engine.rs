@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks of the simulation engine itself: cycles per
+//! second for the baseline router, the full pseudo-circuit router, and the
+//! EVC router on a loaded 8×8 mesh — regression guard for simulator
+//! performance, not a paper figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_base::{RoutingPolicy, VaPolicy};
+use noc_evc::EvcRouterFactory;
+use noc_sim::{NetworkConfig, RouterFactory, Simulation};
+use noc_topology::Mesh;
+use noc_traffic::{SyntheticPattern, SyntheticTraffic};
+use pseudo_circuit::{PcRouterFactory, Scheme};
+use std::sync::Arc;
+
+fn build(factory: &dyn RouterFactory) -> Simulation {
+    let topo = Arc::new(Mesh::new(8, 8, 1));
+    let traffic = SyntheticTraffic::new(SyntheticPattern::UniformRandom, 8, 8, 5, 0.15, 5);
+    let config = NetworkConfig {
+        routing: RoutingPolicy::Xy,
+        va_policy: VaPolicy::Static,
+        ..NetworkConfig::paper()
+    };
+    Simulation::new(topo, config, Box::new(traffic), factory, 9)
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+
+    group.bench_function("baseline_router_1k_cycles", |b| {
+        let mut sim = build(&PcRouterFactory::new(Scheme::baseline()));
+        b.iter(|| {
+            for _ in 0..1_000 {
+                sim.step();
+            }
+        });
+    });
+    group.bench_function("pseudo_router_1k_cycles", |b| {
+        let mut sim = build(&PcRouterFactory::new(Scheme::pseudo_ps_bb()));
+        b.iter(|| {
+            for _ in 0..1_000 {
+                sim.step();
+            }
+        });
+    });
+    group.bench_function("evc_router_1k_cycles", |b| {
+        let mut sim = build(&EvcRouterFactory::default());
+        b.iter(|| {
+            for _ in 0..1_000 {
+                sim.step();
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

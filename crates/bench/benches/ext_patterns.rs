@@ -1,0 +1,81 @@
+//! Extension — scheme robustness across additional synthetic patterns.
+//!
+//! Beyond the paper's UR/BC/BP, this sweeps tornado, nearest-neighbor and
+//! hotspot traffic at low and medium load. Expectation: the neighbor pattern
+//! (perfectly repetitive single-hop flows) approaches the reuse ceiling;
+//! hotspot traffic concentrates circuits on the hot ports; tornado behaves
+//! like UR on a mesh.
+
+use noc_base::{NodeId, RoutingPolicy, VaPolicy};
+use noc_bench::{banner, parallel_map, pct, synth_phases, Table};
+use noc_topology::Mesh;
+use noc_traffic::{SyntheticPattern, SyntheticTraffic};
+use pseudo_circuit::{ExperimentBuilder, Scheme};
+use std::sync::Arc;
+
+fn main() {
+    banner(
+        "Extension (patterns)",
+        "tornado / neighbor / hotspot traffic on an 8x8 mesh (XY + static VA)",
+    );
+    let topo = Arc::new(Mesh::new(8, 8, 1));
+    let (warmup, measure, drain) = synth_phases();
+    let patterns: Vec<(&str, SyntheticPattern)> = vec![
+        ("TOR", SyntheticPattern::Tornado),
+        ("NBR", SyntheticPattern::Neighbor),
+        (
+            "HOT(4@20%)",
+            SyntheticPattern::Hotspot {
+                fraction: 0.2,
+                spots: vec![
+                    NodeId::new(18),
+                    NodeId::new(21),
+                    NodeId::new(42),
+                    NodeId::new(45),
+                ],
+            },
+        ),
+    ];
+
+    let mut points = Vec::new();
+    for (name, pattern) in &patterns {
+        for load in [0.08, 0.20] {
+            for scheme in [Scheme::baseline(), Scheme::pseudo_ps_bb()] {
+                points.push((*name, pattern.clone(), load, scheme));
+            }
+        }
+    }
+    let reports = parallel_map(points.clone(), |(_, pattern, load, scheme)| {
+        let traffic = SyntheticTraffic::new(pattern.clone(), 8, 8, 5, *load, 77);
+        ExperimentBuilder::new(topo.clone())
+            .routing(RoutingPolicy::Xy)
+            .va_policy(VaPolicy::Static)
+            .scheme(*scheme)
+            .seed(31)
+            .phases(warmup, measure, drain)
+            .run(Box::new(traffic))
+    });
+
+    let mut table = Table::new([
+        "pattern",
+        "load",
+        "baseline lat",
+        "pseudo lat",
+        "reduction",
+        "reuse",
+    ]);
+    for chunk in 0..points.len() / 2 {
+        let (name, _, load, _) = &points[chunk * 2];
+        let base = &reports[chunk * 2];
+        let full = &reports[chunk * 2 + 1];
+        table.row([
+            name.to_string(),
+            format!("{:.0}%", load * 100.0),
+            format!("{:.1}", base.avg_latency),
+            format!("{:.1}", full.avg_latency),
+            pct(full.latency_reduction_vs(base)),
+            pct(full.reusability()),
+        ]);
+    }
+    table.print();
+}

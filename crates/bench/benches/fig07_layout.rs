@@ -1,0 +1,52 @@
+//! Fig. 7 — Layout of the on-chip network.
+//!
+//! Renders the CMP floorplan actually used by the simulator: a 4×4
+//! concentrated mesh where every router attaches two processor cores and two
+//! L2 cache banks (32 + 32 endpoints), as in the paper's Fig. 7.
+
+use noc_base::NodeId;
+use noc_bench::banner;
+use noc_topology::{average_min_hops, Mesh, Topology};
+use noc_traffic::{CmpLayout, NodeRole};
+
+fn main() {
+    banner("Fig. 7", "layout of the CMP on-chip network (4x4 CMesh)");
+    let topo = Mesh::new(4, 4, 4);
+    let layout = CmpLayout::paper_cmesh(topo.num_routers());
+
+    println!();
+    for row in 0..4 {
+        let mut labels: Vec<Vec<String>> = vec![Vec::new(); 4];
+        for (col, slot) in labels.iter_mut().enumerate() {
+            let router = row * 4 + col;
+            for port in 0..4 {
+                let node = NodeId::new(router * 4 + port);
+                slot.push(match layout.role(node) {
+                    NodeRole::Core(n) => format!("C{n:02}"),
+                    NodeRole::Bank(n) => format!("B{n:02}"),
+                });
+            }
+        }
+        let line: Vec<String> = labels
+            .iter()
+            .enumerate()
+            .map(|(col, l)| format!("[R{:02}: {} {} {} {}]", row * 4 + col, l[0], l[1], l[2], l[3]))
+            .collect();
+        println!("  {}", line.join("--"));
+        if row < 3 {
+            println!(
+                "  {:^24}{:^24}{:^24}{:^24}",
+                "|", "|", "|", "|"
+            );
+        }
+    }
+    println!(
+        "\n  {} routers, {} endpoints ({} cores + {} L2 banks), avg min hops {:.2}",
+        topo.num_routers(),
+        topo.num_nodes(),
+        layout.num_cores(),
+        layout.num_banks(),
+        average_min_hops(&topo)
+    );
+    println!("  (C = out-of-order core, B = address-interleaved shared L2 bank)");
+}

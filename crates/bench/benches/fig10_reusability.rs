@@ -1,0 +1,84 @@
+//! Fig. 10 — Pseudo-circuit reusability by routing algorithm and VA policy.
+//!
+//! Same sweep as Fig. 9, reporting the fraction of flits that traversed via
+//! a pseudo-circuit. The paper's findings to reproduce: DOR + static VA
+//! maximizes reusability (same output port and VC for same-destination
+//! flows); routing/VA policy matters more than application locality; YX +
+//! static shows slightly higher reusability than XY + static through traffic
+//! concentration.
+
+use noc_base::{RoutingPolicy, VaPolicy};
+use noc_bench::{banner, benchmarks, parallel_map, pct, run_cmp, CmpPoint, Table};
+use noc_topology::{Mesh, SharedTopology};
+use pseudo_circuit::Scheme;
+use std::sync::Arc;
+
+const COMBOS: [(VaPolicy, RoutingPolicy); 6] = [
+    (VaPolicy::Static, RoutingPolicy::Xy),
+    (VaPolicy::Static, RoutingPolicy::Yx),
+    (VaPolicy::Static, RoutingPolicy::O1Turn),
+    (VaPolicy::Dynamic, RoutingPolicy::Xy),
+    (VaPolicy::Dynamic, RoutingPolicy::Yx),
+    (VaPolicy::Dynamic, RoutingPolicy::O1Turn),
+];
+
+fn combo_label(va: VaPolicy, routing: RoutingPolicy) -> String {
+    let va = match va {
+        VaPolicy::Static => "St",
+        VaPolicy::Dynamic => "Dy",
+    };
+    format!("{va}-{routing}")
+}
+
+fn main() {
+    banner(
+        "Fig. 10",
+        "pseudo-circuit reusability per scheme x benchmark x (VA policy, routing)",
+    );
+    let topo: SharedTopology = Arc::new(Mesh::new(4, 4, 4));
+    let benches = benchmarks();
+    let schemes = [
+        ("(a) Pseudo", Scheme::pseudo()),
+        ("(b) Pseudo+PS", Scheme::pseudo_ps()),
+        ("(c) Pseudo+BB", Scheme::pseudo_bb()),
+        ("(d) Pseudo+PS+BB", Scheme::pseudo_ps_bb()),
+    ];
+    for (title, scheme) in schemes {
+        let mut points = Vec::new();
+        for bench in &benches {
+            for (va, routing) in COMBOS {
+                points.push(CmpPoint {
+                    bench: *bench,
+                    routing,
+                    va,
+                    scheme,
+                });
+            }
+        }
+        let reports = parallel_map(points, |p| run_cmp(&topo, p, 88));
+        let mut table = Table::new(
+            std::iter::once("benchmark".to_string())
+                .chain(COMBOS.iter().map(|&(va, r)| combo_label(va, r)))
+                .collect::<Vec<_>>(),
+        );
+        let mut sums = [0.0f64; 6];
+        for (i, bench) in benches.iter().enumerate() {
+            let mut row = vec![bench.name.to_string()];
+            for k in 0..6 {
+                let r = reports[i * 6 + k].reusability();
+                sums[k] += r;
+                row.push(pct(r));
+            }
+            table.row(row);
+        }
+        let n = benches.len() as f64;
+        table.row(
+            std::iter::once("AVG".to_string())
+                .chain(sums.iter().map(|s| pct(s / n)))
+                .collect::<Vec<_>>(),
+        );
+        println!("\n{title}:");
+        table.print();
+    }
+    println!("\npaper shape: static VA + DOR maximizes reusability (40-65%)");
+}

@@ -1,0 +1,93 @@
+//! Fig. 14 — Comparison with Express Virtual Channels.
+//!
+//! Two panels: an 8×8 mesh and a 4×4 concentrated mesh, per benchmark,
+//! showing EVC (dynamic, l_max = 2, 2 EVCs + 2 NVCs) and Pseudo+PS+BB
+//! normalized to the baseline router on the same topology (XY + dynamic VA,
+//! matching EVC's requirements). Paper shape: EVC helps on the mesh but not
+//! on the CMesh (short dimensions starve the express channels and halve the
+//! usable VCs), while the pseudo-circuit scheme is topology-independent.
+
+use noc_base::{RoutingPolicy, VaPolicy};
+use noc_bench::{banner, benchmarks, cmp_phases, parallel_map, Table};
+use noc_evc::EvcRouterFactory;
+use noc_sim::SimReport;
+use noc_topology::{Mesh, SharedTopology};
+use noc_traffic::BenchmarkProfile;
+use pseudo_circuit::experiment::cmp_traffic_for;
+use pseudo_circuit::{ExperimentBuilder, Scheme};
+use std::sync::Arc;
+
+#[derive(Clone, Copy)]
+enum Router {
+    Baseline,
+    Evc,
+    PseudoFull,
+}
+
+fn run(topo: &SharedTopology, bench: BenchmarkProfile, router: Router) -> SimReport {
+    let (warmup, measure, drain) = cmp_phases();
+    let traffic = cmp_traffic_for(topo.as_ref(), bench, 14);
+    let builder = ExperimentBuilder::new(topo.clone())
+        .routing(RoutingPolicy::Xy)
+        .va_policy(VaPolicy::Dynamic)
+        .seed(41)
+        .phases(warmup, measure, drain);
+    match router {
+        Router::Baseline => builder.scheme(Scheme::baseline()).run(Box::new(traffic)),
+        Router::PseudoFull => builder
+            .scheme(Scheme::pseudo_ps_bb())
+            .run(Box::new(traffic)),
+        Router::Evc => builder.run_with_factory(Box::new(traffic), &EvcRouterFactory::default()),
+    }
+}
+
+fn main() {
+    banner(
+        "Fig. 14",
+        "EVC vs Pseudo+PS+BB on mesh and concentrated mesh (XY + dynamic VA)",
+    );
+    let benches = benchmarks();
+    for (panel, topo) in [
+        (
+            "(a) 8x8 Mesh",
+            Arc::new(Mesh::new(8, 8, 1)) as SharedTopology,
+        ),
+        (
+            "(b) 4x4 Concentrated Mesh",
+            Arc::new(Mesh::new(4, 4, 4)) as SharedTopology,
+        ),
+    ] {
+        let mut points = Vec::new();
+        for bench in &benches {
+            for router in [Router::Baseline, Router::Evc, Router::PseudoFull] {
+                points.push((*bench, router));
+            }
+        }
+        let reports = parallel_map(points, |(bench, router)| run(&topo, *bench, *router));
+        let mut table = Table::new(["benchmark", "Baseline", "EVC", "Pseudo+PS+BB"]);
+        let (mut evc_sum, mut pc_sum) = (0.0, 0.0);
+        for (i, bench) in benches.iter().enumerate() {
+            let base = reports[i * 3].avg_latency;
+            let evc = reports[i * 3 + 1].avg_latency / base;
+            let pc = reports[i * 3 + 2].avg_latency / base;
+            evc_sum += evc;
+            pc_sum += pc;
+            table.row([
+                bench.name.to_string(),
+                "1.00".to_string(),
+                format!("{evc:.2}"),
+                format!("{pc:.2}"),
+            ]);
+        }
+        let n = benches.len() as f64;
+        table.row([
+            "AVG".to_string(),
+            "1.00".to_string(),
+            format!("{:.2}", evc_sum / n),
+            format!("{:.2}", pc_sum / n),
+        ]);
+        println!("\n{panel} (latency normalized to the baseline router):");
+        table.print();
+    }
+    println!("\npaper shape: EVC < 1 on the mesh, ~>= 1 on the CMesh; Pseudo < 1 on both");
+}

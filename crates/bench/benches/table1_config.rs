@@ -1,0 +1,42 @@
+//! Table I — CMP configuration parameters.
+//!
+//! Regenerates the configuration table from the constants actually used by
+//! the simulator (so the table cannot drift from the code). Latency values
+//! the OCR of the paper lost are documented substitutions (DESIGN.md §5).
+
+use noc_bench::{banner, Table};
+use noc_sim::NetworkConfig;
+use noc_topology::{average_min_hops, Mesh, Topology};
+use noc_traffic::{CmpConfig, CmpLayout};
+
+fn main() {
+    banner("Table I", "CMP configuration parameters");
+    let cmp = CmpConfig::paper();
+    let net = NetworkConfig::paper();
+    let layout = CmpLayout::paper_cmesh(16);
+    let topo = Mesh::new(4, 4, 4);
+
+    let mut table = Table::new(["parameter", "value"]);
+    table.row(["# cores", &format!("{} out-of-order", layout.num_cores())]);
+    table.row(["# L2 banks", &layout.num_banks().to_string()]);
+    table.row(["MSHRs per core", &cmp.mshrs_per_core.to_string()]);
+    table.row(["L2 bank latency", &format!("{} cycles", cmp.l2_latency)]);
+    table.row(["memory latency", &format!("{} cycles", cmp.mem_latency)]);
+    table.row(["L2 miss rate", &format!("{:.0}%", cmp.l2_miss_rate * 100.0)]);
+    table.row(["cache block size", "64 B"]);
+    table.row(["address packet", &format!("{} flit", cmp.addr_flits)]);
+    table.row(["data packet", &format!("{} flits", cmp.data_flits)]);
+    table.row(["link bandwidth", "128 bits/cycle (1 flit)"]);
+    table.row(["topology", topo.name()]);
+    table.row([
+        "avg min hops",
+        &format!("{:.2}", average_min_hops(&topo)),
+    ]);
+    table.row(["VCs per port", &net.vcs_per_port.to_string()]);
+    table.row([
+        "buffer per VC",
+        &format!("{} flits", net.buffer_depth),
+    ]);
+    table.row(["coherence", "directory, write-through / write-invalidate"]);
+    table.print();
+}

@@ -1,0 +1,40 @@
+//! Table II — Energy consumption characteristics of router components.
+//!
+//! Regenerates the per-component energy table from the model constants and
+//! verifies the component shares against the paper's percentages
+//! (23.4% / 76.22% / 0.24% for buffer / crossbar / arbiter at 45 nm).
+
+use noc_bench::{banner, Table};
+use noc_energy::EnergyModel;
+
+fn main() {
+    banner("Table II", "router component energy (Orion-style model, 45 nm)");
+    let model = EnergyModel::paper_45nm();
+    let shares = model.reference_shares();
+    let (buffer, crossbar, arbiter) = shares.shares();
+
+    let mut table = Table::new(["component", "energy/flit", "share", "paper share"]);
+    table.row([
+        "buffer (write+read)".to_string(),
+        format!("{:.2} pJ", model.buffer_write_pj + model.buffer_read_pj),
+        format!("{:.2}%", buffer * 100.0),
+        "23.4%".to_string(),
+    ]);
+    table.row([
+        "crossbar".to_string(),
+        format!("{:.2} pJ", model.crossbar_pj),
+        format!("{:.2}%", crossbar * 100.0),
+        "76.22%".to_string(),
+    ]);
+    table.row([
+        "arbiter".to_string(),
+        format!("{:.2} pJ", model.arbiter_pj),
+        format!("{:.2}%", arbiter * 100.0),
+        "0.24%".to_string(),
+    ]);
+    table.print();
+    println!("\nper-hop flit energy: {:.2} pJ", shares.total());
+    assert!((buffer - 0.234).abs() < 0.005, "buffer share drifted");
+    assert!((crossbar - 0.7622).abs() < 0.005, "crossbar share drifted");
+    println!("shares verified against the paper within 0.5%");
+}

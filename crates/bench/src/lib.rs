@@ -1,0 +1,273 @@
+//! Shared utilities for the figure/table harnesses.
+//!
+//! Every bench target in `benches/` regenerates one table or figure of the
+//! paper (see DESIGN.md §6 for the index) by running the cycle-accurate
+//! simulator and printing the same rows/series the paper plots. Absolute
+//! numbers come from our substrate, not the authors' testbed; the *shape*
+//! (who wins, by roughly what factor) is the reproduction target —
+//! EXPERIMENTS.md records the comparison.
+//!
+//! Environment knobs:
+//!
+//! - `NOC_SCALE` — multiplies the measurement-window length (default 1.0;
+//!   use 4 or more for tighter confidence);
+//! - `NOC_BENCHMARKS` — comma-separated benchmark subset (default: all 12);
+//! - `NOC_THREADS` — worker threads for parameter sweeps (default: all
+//!   cores).
+
+use noc_base::{RoutingPolicy, VaPolicy};
+use noc_sim::SimReport;
+use noc_topology::SharedTopology;
+use noc_traffic::BenchmarkProfile;
+use pseudo_circuit::experiment::cmp_traffic_for;
+use pseudo_circuit::{ExperimentBuilder, Scheme};
+use std::fmt::Write as _;
+
+/// Measurement-window scale factor from `NOC_SCALE`.
+pub fn scale() -> f64 {
+    std::env::var("NOC_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|s: &f64| *s > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// Warmup / measure / drain cycles for closed-loop CMP runs.
+pub fn cmp_phases() -> (u64, u64, u64) {
+    let measure = (10_000.0 * scale()) as u64;
+    (1_000, measure, 20 * measure)
+}
+
+/// Warmup / measure / drain cycles for open-loop synthetic runs.
+pub fn synth_phases() -> (u64, u64, u64) {
+    let measure = (8_000.0 * scale()) as u64;
+    (1_000, measure, 10 * measure)
+}
+
+/// The benchmark suite, filtered by `NOC_BENCHMARKS` when set.
+pub fn benchmarks() -> Vec<BenchmarkProfile> {
+    let all = BenchmarkProfile::suite();
+    match std::env::var("NOC_BENCHMARKS") {
+        Ok(list) => list
+            .split(',')
+            .filter_map(|name| BenchmarkProfile::by_name(name.trim()).copied())
+            .collect(),
+        Err(_) => all.to_vec(),
+    }
+}
+
+/// Runs `f` over `items` on a bounded thread pool, preserving order.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = std::env::var("NOC_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        })
+        .max(1);
+    let n = items.len();
+    let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results_cells: Vec<std::sync::Mutex<&mut Option<R>>> =
+        results.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                **results_cells[i].lock().expect("cell lock") = Some(r);
+            });
+        }
+    });
+    drop(results_cells);
+    results
+        .into_iter()
+        .map(|r| r.expect("worker filled every slot"))
+        .collect()
+}
+
+/// One experiment point in a sweep.
+#[derive(Clone, Debug)]
+pub struct CmpPoint {
+    /// Benchmark profile.
+    pub bench: BenchmarkProfile,
+    /// Routing algorithm.
+    pub routing: RoutingPolicy,
+    /// VC allocation policy.
+    pub va: VaPolicy,
+    /// Router scheme.
+    pub scheme: Scheme,
+}
+
+/// Runs one CMP experiment on the given topology.
+pub fn run_cmp(topo: &SharedTopology, point: &CmpPoint, seed: u64) -> SimReport {
+    let (warmup, measure, drain) = cmp_phases();
+    let traffic = cmp_traffic_for(topo.as_ref(), point.bench, seed ^ 0x77);
+    ExperimentBuilder::new(topo.clone())
+        .routing(point.routing)
+        .va_policy(point.va)
+        .scheme(point.scheme)
+        .seed(seed)
+        .phases(warmup, measure, drain)
+        .run(Box::new(traffic))
+}
+
+/// The paper's reference baseline for Fig. 8: O1TURN routing with dynamic VC
+/// allocation, no pseudo-circuits ("the best performance in the baseline
+/// system", §VI.A).
+pub fn reference_baseline(bench: BenchmarkProfile) -> CmpPoint {
+    CmpPoint {
+        bench,
+        routing: RoutingPolicy::O1Turn,
+        va: VaPolicy::Dynamic,
+        scheme: Scheme::baseline(),
+    }
+}
+
+/// A fixed-width text table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Renders with aligned columns. An empty table (no headers) renders as
+    /// an empty string.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        if cols == 0 {
+            return String::new();
+        }
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String]| {
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:>width$}", width = widths[c]);
+            }
+            out.push('\n');
+        };
+        emit(&mut out, &self.headers);
+        let rule: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(rule));
+        out.push('\n');
+        for row in &self.rows {
+            emit(&mut out, row);
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Prints the standard harness banner.
+pub fn banner(figure: &str, what: &str) {
+    println!("==============================================================");
+    println!("{figure}: {what}");
+    println!(
+        "(scale {}x; set NOC_SCALE to lengthen runs, NOC_BENCHMARKS to subset)",
+        scale()
+    );
+    println!("==============================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["a", "1"]);
+        t.row(["longer-name", "2.5"]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let widths: Vec<usize> = lines.iter().map(|l| l.len()).collect();
+        assert_eq!(widths[0], widths[2], "header and row width match");
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(items, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn benchmarks_default_to_full_suite() {
+        // Only valid when the filter variable is unset, which is the normal
+        // test environment.
+        if std::env::var("NOC_BENCHMARKS").is_err() {
+            assert_eq!(benchmarks().len(), 12);
+        }
+    }
+
+    #[test]
+    fn phases_scale_with_env() {
+        let (w, m, d) = cmp_phases();
+        assert!(w > 0 && m > 0 && d > m);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.163), "16.3%");
+        assert_eq!(pct(-0.05), "-5.0%");
+    }
+
+    #[test]
+    fn empty_table_renders_empty() {
+        let t = Table::new(Vec::<String>::new());
+        assert_eq!(t.render(), "");
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(["a", "b", "c"]);
+        t.row(["only-one"]);
+        let text = t.render();
+        assert!(text.lines().count() == 3);
+    }
+}

@@ -1,0 +1,146 @@
+//! Scheme configuration: which of the paper's mechanisms are enabled.
+
+use std::fmt;
+
+/// Which pseudo-circuit mechanisms a router enables. The paper evaluates the
+/// five combinations exposed by the constructors below (its Figs. 8–12 use
+/// exactly these labels).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Scheme {
+    /// Reuse crossbar connections to bypass switch arbitration (§III).
+    pub pseudo_circuit: bool,
+    /// Speculatively restore terminated circuits on idle outputs (§IV.A).
+    pub speculation: bool,
+    /// Skip the buffer-write stage through the bypass latch (§IV.B).
+    pub buffer_bypass: bool,
+}
+
+impl Scheme {
+    /// The baseline speculative two-stage router, no pseudo-circuits.
+    pub const fn baseline() -> Self {
+        Self {
+            pseudo_circuit: false,
+            speculation: false,
+            buffer_bypass: false,
+        }
+    }
+
+    /// `Pseudo`: the basic pseudo-circuit scheme.
+    pub const fn pseudo() -> Self {
+        Self {
+            pseudo_circuit: true,
+            speculation: false,
+            buffer_bypass: false,
+        }
+    }
+
+    /// `Pseudo+PS`: with pseudo-circuit speculation.
+    pub const fn pseudo_ps() -> Self {
+        Self {
+            pseudo_circuit: true,
+            speculation: true,
+            buffer_bypass: false,
+        }
+    }
+
+    /// `Pseudo+BB`: with buffer bypassing.
+    pub const fn pseudo_bb() -> Self {
+        Self {
+            pseudo_circuit: true,
+            speculation: false,
+            buffer_bypass: true,
+        }
+    }
+
+    /// `Pseudo+PS+BB`: both aggressive schemes (the paper's headline
+    /// configuration).
+    pub const fn pseudo_ps_bb() -> Self {
+        Self {
+            pseudo_circuit: true,
+            speculation: true,
+            buffer_bypass: true,
+        }
+    }
+
+    /// The five configurations of the paper's figures, in plot order.
+    pub fn paper_lineup() -> [Scheme; 5] {
+        [
+            Self::baseline(),
+            Self::pseudo(),
+            Self::pseudo_ps(),
+            Self::pseudo_bb(),
+            Self::pseudo_ps_bb(),
+        ]
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when speculation or buffer bypassing is enabled
+    /// without the base pseudo-circuit scheme — neither mechanism exists
+    /// without pseudo-circuits.
+    pub fn validate(&self) -> Result<(), String> {
+        if (self.speculation || self.buffer_bypass) && !self.pseudo_circuit {
+            return Err("speculation/buffer bypassing require the pseudo-circuit scheme".into());
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.pseudo_circuit {
+            return write!(f, "Baseline");
+        }
+        write!(f, "Pseudo")?;
+        if self.speculation {
+            write!(f, "+PS")?;
+        }
+        if self.buffer_bypass {
+            write!(f, "+BB")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_the_paper() {
+        assert_eq!(Scheme::baseline().to_string(), "Baseline");
+        assert_eq!(Scheme::pseudo().to_string(), "Pseudo");
+        assert_eq!(Scheme::pseudo_ps().to_string(), "Pseudo+PS");
+        assert_eq!(Scheme::pseudo_bb().to_string(), "Pseudo+BB");
+        assert_eq!(Scheme::pseudo_ps_bb().to_string(), "Pseudo+PS+BB");
+    }
+
+    #[test]
+    fn lineup_is_ordered_and_valid() {
+        let lineup = Scheme::paper_lineup();
+        assert_eq!(lineup.len(), 5);
+        for s in lineup {
+            s.validate().unwrap();
+        }
+        assert_eq!(lineup[0], Scheme::baseline());
+        assert_eq!(lineup[4], Scheme::pseudo_ps_bb());
+    }
+
+    #[test]
+    fn aggressive_schemes_require_pseudo_circuit() {
+        let bad = Scheme {
+            pseudo_circuit: false,
+            speculation: true,
+            buffer_bypass: false,
+        };
+        assert!(bad.validate().is_err());
+        let bad = Scheme {
+            pseudo_circuit: false,
+            speculation: false,
+            buffer_bypass: true,
+        };
+        assert!(bad.validate().is_err());
+    }
+}

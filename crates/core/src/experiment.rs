@@ -1,0 +1,207 @@
+//! High-level experiment assembly: topology + traffic + scheme + policies →
+//! a runnable [`Simulation`] and its [`SimReport`].
+
+use crate::config::Scheme;
+use crate::router::PcRouterFactory;
+use noc_base::{RoutingPolicy, VaPolicy};
+use noc_sim::{NetworkConfig, RouterFactory, RunSpec, SimReport, Simulation};
+use noc_topology::{SharedTopology, Topology};
+use noc_traffic::{BenchmarkProfile, CmpConfig, CmpLayout, CmpTraffic, TrafficModel};
+
+/// A non-consuming builder for pseudo-circuit experiments.
+///
+/// Defaults follow the paper's configuration: 4 VCs × 4-flit buffers,
+/// O1TURN routing with dynamic VC allocation, baseline scheme, and a
+/// 1 000 / 5 000 / 50 000-cycle warmup / measure / drain schedule.
+#[derive(Clone)]
+pub struct ExperimentBuilder {
+    topology: SharedTopology,
+    config: NetworkConfig,
+    scheme: Scheme,
+    seed: u64,
+    spec: RunSpec,
+}
+
+impl std::fmt::Debug for ExperimentBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExperimentBuilder")
+            .field("topology", &self.topology.name())
+            .field("config", &self.config)
+            .field("scheme", &self.scheme)
+            .field("seed", &self.seed)
+            .field("spec", &self.spec)
+            .finish()
+    }
+}
+
+impl ExperimentBuilder {
+    /// Creates a builder over a topology.
+    pub fn new(topology: SharedTopology) -> Self {
+        Self {
+            topology,
+            config: NetworkConfig::paper(),
+            scheme: Scheme::baseline(),
+            seed: 1,
+            spec: RunSpec::new(1_000, 5_000, 50_000),
+        }
+    }
+
+    /// Sets the pseudo-circuit scheme.
+    pub fn scheme(mut self, scheme: Scheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Sets the routing algorithm.
+    pub fn routing(mut self, routing: RoutingPolicy) -> Self {
+        self.config.routing = routing;
+        self
+    }
+
+    /// Sets the VC allocation policy.
+    pub fn va_policy(mut self, policy: VaPolicy) -> Self {
+        self.config.va_policy = policy;
+        self
+    }
+
+    /// Sets the number of virtual channels per port.
+    pub fn vcs(mut self, vcs: u8) -> Self {
+        self.config.vcs_per_port = vcs;
+        self
+    }
+
+    /// Sets the per-VC buffer depth in flits.
+    pub fn buffer_depth(mut self, depth: u32) -> Self {
+        self.config.buffer_depth = depth;
+        self
+    }
+
+    /// Sets the experiment seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the warmup / measurement / drain cycle counts.
+    pub fn phases(mut self, warmup: u64, measure: u64, drain: u64) -> Self {
+        self.spec = RunSpec::new(warmup, measure, drain);
+        self
+    }
+
+    /// The network configuration assembled so far.
+    pub fn config(&self) -> NetworkConfig {
+        self.config
+    }
+
+    /// The topology of this experiment.
+    pub fn topology(&self) -> &SharedTopology {
+        &self.topology
+    }
+
+    /// Builds the simulation without running it.
+    pub fn build(&self, traffic: Box<dyn TrafficModel>) -> Simulation {
+        self.build_with_factory(traffic, &PcRouterFactory::new(self.scheme))
+    }
+
+    /// Builds the simulation with a custom router factory (used by the EVC
+    /// comparison crate).
+    pub fn build_with_factory(
+        &self,
+        traffic: Box<dyn TrafficModel>,
+        factory: &dyn RouterFactory,
+    ) -> Simulation {
+        Simulation::new(
+            self.topology.clone(),
+            self.config,
+            traffic,
+            factory,
+            self.seed,
+        )
+    }
+
+    /// Builds and runs the experiment.
+    pub fn run(&self, traffic: Box<dyn TrafficModel>) -> SimReport {
+        self.build(traffic).run(self.spec)
+    }
+
+    /// Builds and runs with a custom router factory.
+    pub fn run_with_factory(
+        &self,
+        traffic: Box<dyn TrafficModel>,
+        factory: &dyn RouterFactory,
+    ) -> SimReport {
+        self.build_with_factory(traffic, factory).run(self.spec)
+    }
+}
+
+/// Builds the paper's CMP workload for a topology: the concentration-4
+/// floorplan (two cores + two banks per router) when the topology is
+/// concentrated, a checkerboard of cores and banks otherwise.
+///
+/// # Panics
+///
+/// Panics if the topology's concentration is neither 4 nor 1, or if a
+/// concentration-1 topology has an odd number of nodes.
+pub fn cmp_traffic_for(
+    topo: &dyn Topology,
+    profile: BenchmarkProfile,
+    seed: u64,
+) -> CmpTraffic {
+    let layout = match topo.concentration() {
+        4 => CmpLayout::paper_cmesh(topo.num_routers()),
+        1 => {
+            assert!(
+                topo.num_nodes().is_multiple_of(2),
+                "checkerboard CMP layout needs an even node count"
+            );
+            CmpLayout::alternating(topo.num_nodes())
+        }
+        c => panic!("no CMP floorplan for concentration {c}"),
+    };
+    CmpTraffic::new(CmpConfig::paper(), layout, profile, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_topology::Mesh;
+    use std::sync::Arc;
+
+    #[test]
+    fn builder_accumulates_settings() {
+        let topo: SharedTopology = Arc::new(Mesh::new(4, 4, 1));
+        let b = ExperimentBuilder::new(topo)
+            .routing(RoutingPolicy::Yx)
+            .va_policy(VaPolicy::Static)
+            .vcs(8)
+            .buffer_depth(2)
+            .seed(99)
+            .phases(10, 20, 30)
+            .scheme(Scheme::pseudo_bb());
+        let cfg = b.config();
+        assert_eq!(cfg.routing, RoutingPolicy::Yx);
+        assert_eq!(cfg.va_policy, VaPolicy::Static);
+        assert_eq!(cfg.vcs_per_port, 8);
+        assert_eq!(cfg.buffer_depth, 2);
+    }
+
+    #[test]
+    fn cmp_traffic_matches_topology() {
+        let cmesh = Mesh::new(4, 4, 4);
+        let t = cmp_traffic_for(&cmesh, *BenchmarkProfile::by_name("fma3d").unwrap(), 1);
+        assert_eq!(t.layout().num_nodes(), 64);
+        assert_eq!(t.layout().num_cores(), 32);
+
+        let mesh = Mesh::new(8, 8, 1);
+        let t = cmp_traffic_for(&mesh, *BenchmarkProfile::by_name("lu").unwrap(), 1);
+        assert_eq!(t.layout().num_nodes(), 64);
+        assert_eq!(t.layout().num_cores(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "no CMP floorplan")]
+    fn cmp_traffic_rejects_odd_concentration() {
+        let topo = Mesh::new(4, 4, 2);
+        let _ = cmp_traffic_for(&topo, *BenchmarkProfile::by_name("fft").unwrap(), 1);
+    }
+}

@@ -1,0 +1,324 @@
+//! The pseudo-circuit unit: per-input-port registers, held crossbar
+//! connections, and per-output-port history for speculation (paper §III–IV).
+//!
+//! A *pseudo-circuit* is a crossbar connection left configured after a flit
+//! traversal, recorded as `(input VC, output port, drop distance)` in the
+//! input port's register. Invariants maintained here:
+//!
+//! - at most one live pseudo-circuit per input port **and** per output port
+//!   (a pseudo-circuit *is* a held crossbar connection);
+//! - invalidation clears only the valid bit — the registers retain their
+//!   contents so speculation can restore the circuit later (§IV.A);
+//! - every output port remembers the input port of its most recently
+//!   terminated pseudo-circuit (the speculation history register).
+
+use noc_base::{PortIndex, VcIndex};
+
+/// Why a pseudo-circuit was terminated (statistics).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Termination {
+    /// A switch-arbitration grant claimed one of its ports, or the incoming
+    /// flit's route mismatched.
+    Conflict,
+    /// The downstream router ran out of credits.
+    CreditExhausted,
+}
+
+/// Per-input-port pseudo-circuit registers. Contents persist across
+/// invalidation (only `valid` clears).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct PcRegisters {
+    /// Whether the stored circuit is currently live.
+    pub valid: bool,
+    /// Input VC the circuit serves.
+    pub in_vc: VcIndex,
+    /// Output port of the held connection.
+    pub out_port: PortIndex,
+    /// Drop distance on the output channel (1 for point-to-point links).
+    pub hops: u8,
+}
+
+impl PcRegisters {
+    fn empty() -> Self {
+        Self {
+            valid: false,
+            in_vc: VcIndex::new(0),
+            out_port: PortIndex::new(0),
+            hops: 1,
+        }
+    }
+}
+
+/// Pseudo-circuit state for one router.
+#[derive(Clone, Debug)]
+pub struct PseudoCircuitUnit {
+    regs: Vec<PcRegisters>,
+    held: Vec<Option<PortIndex>>,
+    history: Vec<Option<PortIndex>>,
+    terminations_conflict: u64,
+    terminations_credit: u64,
+}
+
+impl PseudoCircuitUnit {
+    /// Creates the unit for a router with the given port counts.
+    pub fn new(in_ports: usize, out_ports: usize) -> Self {
+        Self {
+            regs: vec![PcRegisters::empty(); in_ports],
+            held: vec![None; out_ports],
+            history: vec![None; out_ports],
+            terminations_conflict: 0,
+            terminations_credit: 0,
+        }
+    }
+
+    /// The registers of an input port (live or stale).
+    pub fn registers(&self, in_port: PortIndex) -> PcRegisters {
+        self.regs[in_port.index()]
+    }
+
+    /// The live pseudo-circuit at `in_port`, if any.
+    pub fn live(&self, in_port: PortIndex) -> Option<PcRegisters> {
+        let r = self.regs[in_port.index()];
+        r.valid.then_some(r)
+    }
+
+    /// The input port holding `out_port`'s crossbar connection, if any.
+    pub fn holder(&self, out_port: PortIndex) -> Option<PortIndex> {
+        self.held[out_port.index()]
+    }
+
+    /// The speculation history register of `out_port`: the input port of the
+    /// most recently terminated pseudo-circuit there.
+    pub fn history(&self, out_port: PortIndex) -> Option<PortIndex> {
+        self.history[out_port.index()]
+    }
+
+    /// Conflict terminations so far.
+    pub fn terminations_conflict(&self) -> u64 {
+        self.terminations_conflict
+    }
+
+    /// Credit-exhaustion terminations so far.
+    pub fn terminations_credit(&self) -> u64 {
+        self.terminations_credit
+    }
+
+    /// Establishes (or refreshes) the pseudo-circuit for a granted crossbar
+    /// connection, terminating any live circuits that conflict on the input
+    /// or output port.
+    pub fn establish(&mut self, in_port: PortIndex, in_vc: VcIndex, out_port: PortIndex, hops: u8) {
+        // Terminate the previous circuit from this input port (if any and
+        // different).
+        if let Some(prev) = self.live(in_port) {
+            if prev.out_port != out_port {
+                self.terminate(in_port, Termination::Conflict);
+            }
+        }
+        // Terminate whichever circuit currently holds the output port.
+        if let Some(holder) = self.held[out_port.index()] {
+            if holder != in_port {
+                self.terminate(holder, Termination::Conflict);
+            }
+        }
+        self.regs[in_port.index()] = PcRegisters {
+            valid: true,
+            in_vc,
+            out_port,
+            hops,
+        };
+        self.held[out_port.index()] = Some(in_port);
+    }
+
+    /// Terminates the live pseudo-circuit at `in_port` (no-op when none),
+    /// recording it in the output port's history register.
+    pub fn terminate(&mut self, in_port: PortIndex, why: Termination) {
+        let reg = &mut self.regs[in_port.index()];
+        if !reg.valid {
+            return;
+        }
+        reg.valid = false;
+        let out = reg.out_port;
+        debug_assert_eq!(self.held[out.index()], Some(in_port), "hold desync");
+        self.held[out.index()] = None;
+        self.history[out.index()] = Some(in_port);
+        match why {
+            Termination::Conflict => self.terminations_conflict += 1,
+            Termination::CreditExhausted => self.terminations_credit += 1,
+        }
+    }
+
+    /// Attempts the speculative restoration of `out_port`'s most recent
+    /// pseudo-circuit (paper §IV.A). Succeeds only when the output port is
+    /// free, the history input port has no live circuit, and its stale
+    /// registers still point at this output port. Returns whether a circuit
+    /// was restored; the caller is responsible for the downstream-credit
+    /// check.
+    pub fn try_restore(&mut self, out_port: PortIndex) -> bool {
+        if self.held[out_port.index()].is_some() {
+            return false;
+        }
+        let Some(h) = self.history[out_port.index()] else {
+            return false;
+        };
+        let reg = self.regs[h.index()];
+        if reg.valid || reg.out_port != out_port {
+            return false;
+        }
+        self.regs[h.index()].valid = true;
+        self.held[out_port.index()] = Some(h);
+        true
+    }
+
+    /// Checks the one-per-port invariants; used by debug assertions and
+    /// property tests.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (i, reg) in self.regs.iter().enumerate() {
+            if reg.valid && self.held[reg.out_port.index()] != Some(PortIndex::new(i)) {
+                return Err(format!("input {i} valid but output not held by it"));
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        for (o, h) in self.held.iter().enumerate() {
+            if let Some(input) = h {
+                if !self.regs[input.index()].valid {
+                    return Err(format!("output {o} held by invalid input {input}"));
+                }
+                if self.regs[input.index()].out_port.index() != o {
+                    return Err(format!("output {o} holder points elsewhere"));
+                }
+                if !seen.insert(*input) {
+                    return Err(format!("input {input} holds two outputs"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> PortIndex {
+        PortIndex::new(i)
+    }
+
+    fn v(i: usize) -> VcIndex {
+        VcIndex::new(i)
+    }
+
+    #[test]
+    fn establish_creates_a_live_circuit() {
+        let mut u = PseudoCircuitUnit::new(4, 4);
+        u.establish(p(1), v(2), p(3), 1);
+        let live = u.live(p(1)).unwrap();
+        assert_eq!(live.in_vc, v(2));
+        assert_eq!(live.out_port, p(3));
+        assert_eq!(u.holder(p(3)), Some(p(1)));
+        u.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn output_conflict_terminates_previous_holder() {
+        // Fig. 4(c): a new flit at a different input claims the same output.
+        let mut u = PseudoCircuitUnit::new(4, 4);
+        u.establish(p(0), v(0), p(3), 1);
+        u.establish(p(1), v(1), p(3), 1);
+        assert!(u.live(p(0)).is_none(), "previous circuit terminated");
+        assert_eq!(u.holder(p(3)), Some(p(1)));
+        assert_eq!(u.terminations_conflict(), 1);
+        // Registers persist after invalidation.
+        let stale = u.registers(p(0));
+        assert!(!stale.valid);
+        assert_eq!(stale.out_port, p(3));
+        u.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn input_conflict_terminates_previous_output() {
+        let mut u = PseudoCircuitUnit::new(4, 4);
+        u.establish(p(0), v(0), p(2), 1);
+        u.establish(p(0), v(1), p(3), 1);
+        assert_eq!(u.holder(p(2)), None);
+        assert_eq!(u.holder(p(3)), Some(p(0)));
+        assert_eq!(u.live(p(0)).unwrap().in_vc, v(1));
+        u.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn refresh_same_connection_is_not_a_termination() {
+        let mut u = PseudoCircuitUnit::new(4, 4);
+        u.establish(p(0), v(0), p(2), 1);
+        u.establish(p(0), v(1), p(2), 1); // same ports, new VC
+        assert_eq!(u.terminations_conflict(), 0);
+        assert_eq!(u.live(p(0)).unwrap().in_vc, v(1));
+        u.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn credit_termination_updates_history() {
+        let mut u = PseudoCircuitUnit::new(4, 4);
+        u.establish(p(2), v(0), p(1), 1);
+        u.terminate(p(2), Termination::CreditExhausted);
+        assert_eq!(u.terminations_credit(), 1);
+        assert_eq!(u.history(p(1)), Some(p(2)));
+        assert!(u.live(p(2)).is_none());
+        u.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn terminate_without_live_circuit_is_noop() {
+        let mut u = PseudoCircuitUnit::new(2, 2);
+        u.terminate(p(0), Termination::Conflict);
+        assert_eq!(u.terminations_conflict(), 0);
+    }
+
+    #[test]
+    fn speculation_restores_most_recent_circuit() {
+        // Fig. 5(a): the output reconnects to the input it last served.
+        let mut u = PseudoCircuitUnit::new(4, 4);
+        u.establish(p(0), v(3), p(2), 1);
+        u.terminate(p(0), Termination::Conflict);
+        assert!(u.try_restore(p(2)));
+        let live = u.live(p(0)).unwrap();
+        assert_eq!(live.in_vc, v(3), "restored circuit keeps its stored VC");
+        assert_eq!(u.holder(p(2)), Some(p(0)));
+        u.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn speculation_respects_conflicts() {
+        // Fig. 5(b): restoration only when the history input is free and its
+        // registers still point here.
+        let mut u = PseudoCircuitUnit::new(4, 4);
+        u.establish(p(0), v(0), p(2), 1);
+        u.terminate(p(0), Termination::Conflict);
+        // The input has since formed a circuit elsewhere: its registers now
+        // point to output 3, so output 2 must not restore.
+        u.establish(p(0), v(0), p(3), 1);
+        assert!(!u.try_restore(p(2)));
+        // A held output never restores.
+        assert!(!u.try_restore(p(3)));
+        // An output with no history never restores.
+        assert!(!u.try_restore(p(1)));
+        u.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn history_tracks_most_recent_termination() {
+        let mut u = PseudoCircuitUnit::new(4, 4);
+        u.establish(p(0), v(0), p(2), 1);
+        u.establish(p(1), v(0), p(2), 1); // terminates p0's circuit
+        u.terminate(p(1), Termination::Conflict);
+        assert_eq!(u.history(p(2)), Some(p(1)), "most recent wins");
+        assert!(u.try_restore(p(2)));
+        assert_eq!(u.holder(p(2)), Some(p(1)));
+    }
+
+    #[test]
+    fn multidrop_hops_are_stored() {
+        let mut u = PseudoCircuitUnit::new(2, 2);
+        u.establish(p(0), v(0), p(1), 3);
+        assert_eq!(u.live(p(0)).unwrap().hops, 3);
+    }
+}

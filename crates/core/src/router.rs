@@ -1,0 +1,732 @@
+//! The speculative two-stage baseline router and the pseudo-circuit scheme
+//! layered on it.
+//!
+//! # Pipeline (paper Figs. 2 and 6)
+//!
+//! The baseline is the state-of-the-art router of Peh & Dally (HPCA 2001)
+//! with lookahead routing (Galles, Hot Interconnects 1996):
+//!
+//! | cycle | stage |
+//! |-------|-------|
+//! | t     | **BW** — arriving flit written into its input-VC buffer |
+//! | t + 1 | **VA ∥ SA** — headers get an output VC; switch arbitration runs speculatively in parallel |
+//! | t + 2 | **ST** — granted flit traverses the crossbar (lookahead RC folded in) |
+//!
+//! Per-hop router delay: 3 cycles, plus one cycle of link traversal.
+//!
+//! With a matching **pseudo-circuit**, the flit skips VA∥SA (the route
+//! comparison fits inside ST, §III.B): BW at `t`, ST at `t + 1` — 2 cycles.
+//! With **buffer bypassing** it also skips BW: ST at `t` — 1 cycle.
+//!
+//! # Scheme mechanics implemented here
+//!
+//! - every switch-arbitration grant (re)establishes the pseudo-circuit for
+//!   its connection, terminating circuits that conflict on either port;
+//!   SA always has priority over pseudo-circuit reuse (starvation freedom,
+//!   §III.C);
+//! - a circuit whose output port has no downstream credit is terminated
+//!   immediately (buffer-overflow protection, §III.C);
+//! - headers reusing a circuit still acquire an output VC the same cycle
+//!   (VA is independent of SA, §III.B); on VA failure they fall back to the
+//!   full pipeline with no added penalty;
+//! - speculation restores the most recently terminated circuit of an idle
+//!   output port, guarded by the per-output history register (§IV.A);
+//! - the bypass latch forwards an arriving flit straight to the crossbar
+//!   when its VC buffer is empty and the circuit matches (§IV.B); bypassed
+//!   flits are charged no buffer read/write energy.
+
+use crate::config::Scheme;
+use crate::pseudo::{PseudoCircuitUnit, Termination};
+use noc_base::{
+    Credit, Flit, NodeId, PortIndex, RouteInfo, RouterId, VcIndex, VaPolicy, VcPartition,
+};
+use noc_energy::{EnergyCounters, EnergyEvent};
+use noc_sim::blocks::{CreditBook, FlitFifo, OutputVcAlloc, RrArbiter};
+use noc_sim::{
+    lookahead_route, NetworkConfig, RouterBuildContext, RouterFactory, RouterModel, RouterOutputs,
+    RouterStats, SentFlit,
+};
+use noc_topology::SharedTopology;
+
+/// One input virtual channel: buffer plus per-packet wormhole state.
+#[derive(Debug)]
+struct InputVc {
+    fifo: FlitFifo,
+    /// Route of the packet currently holding this VC (set when its header
+    /// traverses or is granted VA; cleared at the tail).
+    route: Option<RouteInfo>,
+    /// Output VC allocated to the current packet.
+    out_vc: Option<VcIndex>,
+    /// Cycle at which VA was granted (used to mark same-cycle SA requests as
+    /// speculative).
+    va_cycle: u64,
+}
+
+#[derive(Debug)]
+struct OutputPort {
+    alloc: OutputVcAlloc,
+    credits: CreditBook,
+}
+
+/// A switch-arbitration grant waiting for its switch-traversal cycle.
+#[derive(Copy, Clone, Debug)]
+struct StGrant {
+    in_port: PortIndex,
+    vc: VcIndex,
+}
+
+/// The pseudo-circuit router (also the baseline router when the scheme is
+/// [`Scheme::baseline`]).
+pub struct PcRouter {
+    id: RouterId,
+    topo: SharedTopology,
+    scheme: Scheme,
+    va_policy: VaPolicy,
+    partition: VcPartition,
+    concentration: usize,
+    inputs: Vec<Vec<InputVc>>,
+    outputs: Vec<OutputPort>,
+    pcu: PseudoCircuitUnit,
+    st_pending: Vec<StGrant>,
+    arrivals: Vec<(PortIndex, Flit)>,
+    in_busy: Vec<bool>,
+    out_busy: Vec<bool>,
+    in_arb: Vec<RrArbiter>,
+    va_arb: Vec<RrArbiter>,
+    out_arb: Vec<RrArbiter>,
+    last_connection: Vec<Option<PortIndex>>,
+    stats: RouterStats,
+    energy: EnergyCounters,
+}
+
+impl PcRouter {
+    /// Builds a router.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheme is inconsistent (see [`Scheme::validate`]).
+    pub fn new(id: RouterId, topo: SharedTopology, config: NetworkConfig, scheme: Scheme) -> Self {
+        scheme.validate().unwrap_or_else(|e| panic!("{e}"));
+        let in_ports = topo.in_ports(id);
+        let out_ports = topo.out_ports(id);
+        let vcs = config.vcs_per_port as usize;
+        let inputs = (0..in_ports)
+            .map(|_| {
+                (0..vcs)
+                    .map(|_| InputVc {
+                        fifo: FlitFifo::new(config.buffer_depth as usize),
+                        route: None,
+                        out_vc: None,
+                        va_cycle: u64::MAX,
+                    })
+                    .collect()
+            })
+            .collect();
+        let outputs = (0..out_ports)
+            .map(|p| {
+                let subs = topo.channel_len(id, PortIndex::new(p)) as usize;
+                OutputPort {
+                    alloc: OutputVcAlloc::new(vcs),
+                    credits: CreditBook::new(subs, vcs, config.buffer_depth),
+                }
+            })
+            .collect();
+        Self {
+            id,
+            concentration: topo.concentration(),
+            topo,
+            scheme,
+            va_policy: config.va_policy,
+            partition: config.partition(),
+            inputs,
+            outputs,
+            pcu: PseudoCircuitUnit::new(in_ports, out_ports),
+            st_pending: Vec::new(),
+            arrivals: Vec::new(),
+            in_busy: vec![false; in_ports],
+            out_busy: vec![false; out_ports],
+            in_arb: (0..in_ports).map(|_| RrArbiter::new(vcs)).collect(),
+            va_arb: (0..out_ports).map(|_| RrArbiter::new(in_ports * vcs)).collect(),
+            out_arb: (0..out_ports).map(|_| RrArbiter::new(in_ports)).collect(),
+            last_connection: vec![None; in_ports],
+            stats: RouterStats::default(),
+            energy: EnergyCounters::default(),
+        }
+    }
+
+    /// The scheme this router runs.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// The pseudo-circuit unit (exposed for white-box tests).
+    pub fn pseudo_unit(&self) -> &PseudoCircuitUnit {
+        &self.pcu
+    }
+
+    fn vc(&self, in_port: PortIndex, vc: VcIndex) -> &InputVc {
+        &self.inputs[in_port.index()][vc.index()]
+    }
+
+    fn vc_mut(&mut self, in_port: PortIndex, vc: VcIndex) -> &mut InputVc {
+        &mut self.inputs[in_port.index()][vc.index()]
+    }
+
+    /// Allocates an output VC for a header (VA). `require_credit` makes the
+    /// allocation fail unless the chosen VC has a downstream credit — used by
+    /// the pseudo-circuit reuse/bypass paths that traverse the same cycle.
+    fn allocate_out_vc(
+        &mut self,
+        route: RouteInfo,
+        class: u8,
+        dst: NodeId,
+        owner: (PortIndex, VcIndex),
+        require_credit: bool,
+    ) -> Option<VcIndex> {
+        let sub = route.hops as usize - 1;
+        let port = &mut self.outputs[route.port.index()];
+        let chosen = match self.va_policy {
+            VaPolicy::Static => {
+                let vc = self.partition.static_vc(class, dst);
+                (port.alloc.is_free(vc) && (!require_credit || port.credits.available(sub, vc) > 0))
+                    .then_some(vc)
+            }
+            VaPolicy::Dynamic => self
+                .partition
+                .class_range(class)
+                .map(|v| VcIndex::new(v as usize))
+                .filter(|&v| port.alloc.is_free(v))
+                .filter(|&v| !require_credit || port.credits.available(sub, v) > 0)
+                .max_by_key(|&v| port.credits.available(sub, v)),
+        }?;
+        port.alloc.allocate(chosen, owner);
+        Some(chosen)
+    }
+
+    /// Sends a flit out of the crossbar: records locality, fills in the
+    /// downstream VC and the lookahead route, and queues the emission.
+    fn send(
+        &mut self,
+        mut flit: Flit,
+        in_port: PortIndex,
+        route: RouteInfo,
+        out_vc: VcIndex,
+        out: &mut RouterOutputs,
+    ) {
+        if flit.kind.is_head() {
+            // Packet-granularity crossbar-connection locality (Fig. 1):
+            // body/tail flits trivially follow their header, so only
+            // consecutive packets are compared.
+            if let Some(prev) = self.last_connection[in_port.index()] {
+                self.stats.xbar_locality_total += 1;
+                if prev == route.port {
+                    self.stats.xbar_locality_hits += 1;
+                }
+            }
+            self.last_connection[in_port.index()] = Some(route.port);
+            self.stats.header_traversals += 1;
+        }
+        self.stats.flit_traversals += 1;
+        self.energy.record(EnergyEvent::CrossbarTraversal);
+        self.in_busy[in_port.index()] = true;
+        self.out_busy[route.port.index()] = true;
+
+        flit.vc = out_vc;
+        if route.port.index() >= self.concentration {
+            flit.route = lookahead_route(
+                self.topo.as_ref(),
+                self.id,
+                route.port,
+                route.hops,
+                flit.dst,
+                flit.mode,
+            );
+        }
+        out.flits.push(SentFlit {
+            out_port: route.port,
+            hops: route.hops,
+            flit,
+        });
+    }
+
+    /// Pops the head flit of `(in_port, vc)` and sends it through the held
+    /// route of that VC. `reuse` marks a pseudo-circuit traversal (skipped
+    /// SA); credits were pre-reserved for granted traversals and are consumed
+    /// here for reuse traversals.
+    fn traverse_from_buffer(
+        &mut self,
+        cycle: u64,
+        in_port: PortIndex,
+        vc: VcIndex,
+        reuse: bool,
+        out: &mut RouterOutputs,
+    ) {
+        let ivc = self.vc_mut(in_port, vc);
+        let buffered = ivc.fifo.pop().expect("granted VC has a flit");
+        debug_assert!(buffered.ready_at <= cycle, "flit traversed before ready");
+        let flit = buffered.flit;
+        if flit.kind.is_head() {
+            debug_assert!(ivc.route.is_some(), "header traversing without a route");
+        }
+        let route = ivc.route.expect("active VC has a route");
+        let out_vc = ivc.out_vc.expect("active VC has an output VC");
+        let is_tail = flit.kind.is_tail();
+        if is_tail {
+            ivc.route = None;
+            ivc.out_vc = None;
+            ivc.va_cycle = u64::MAX;
+        }
+        if is_tail {
+            self.outputs[route.port.index()].alloc.free(out_vc);
+        }
+        if reuse {
+            self.outputs[route.port.index()]
+                .credits
+                .consume(route.hops as usize - 1, out_vc);
+            self.stats.pc_reuses += 1;
+            if flit.kind.is_head() {
+                self.stats.pc_header_reuses += 1;
+            }
+        }
+        self.energy.record(EnergyEvent::BufferRead);
+        out.credits.push((in_port, vc));
+        self.send(flit, in_port, route, out_vc, out);
+    }
+
+    /// Phase A: terminate pseudo-circuits whose output has no downstream
+    /// credit at the held drop position (§III.C).
+    fn terminate_creditless_circuits(&mut self) {
+        for out_port in 0..self.outputs.len() {
+            let port = PortIndex::new(out_port);
+            let Some(holder) = self.pcu.holder(port) else {
+                continue;
+            };
+            let reg = self.pcu.registers(holder);
+            let sub = reg.hops as usize - 1;
+            if self.outputs[out_port].credits.available_at_sub(sub) == 0 {
+                self.pcu.terminate(holder, Termination::CreditExhausted);
+            }
+        }
+    }
+
+    /// Phase C: pseudo-circuit reuse from the input buffers. A buffered,
+    /// ready head-of-VC flit whose route matches the live circuit traverses
+    /// immediately, bypassing SA.
+    fn reuse_circuits(&mut self, cycle: u64, out: &mut RouterOutputs) {
+        for in_port in 0..self.inputs.len() {
+            let in_port = PortIndex::new(in_port);
+            if self.in_busy[in_port.index()] {
+                continue;
+            }
+            let Some(pc) = self.pcu.live(in_port) else {
+                continue;
+            };
+            if self.out_busy[pc.out_port.index()] {
+                continue;
+            }
+            let vc = pc.in_vc;
+            let ivc = self.vc(in_port, vc);
+            let Some(flit) = ivc.fifo.head_ready(cycle) else {
+                continue;
+            };
+            let pc_route = RouteInfo {
+                port: pc.out_port,
+                hops: pc.hops,
+            };
+            let sub = pc.hops as usize - 1;
+            if flit.kind.is_head() && ivc.route.is_none() {
+                // A new packet: compare its routing information against the
+                // circuit (§III.B) and acquire an output VC in parallel.
+                if flit.route != pc_route {
+                    continue; // mismatch: the flit takes the baseline pipeline
+                }
+                let (class, dst) = (flit.class, flit.dst);
+                let Some(out_vc) =
+                    self.allocate_out_vc(pc_route, class, dst, (in_port, vc), true)
+                else {
+                    continue; // VA failed: baseline pipeline, no penalty
+                };
+                let ivc = self.vc_mut(in_port, vc);
+                ivc.route = Some(pc_route);
+                ivc.out_vc = Some(out_vc);
+                self.stats.va_grants += 1;
+                self.energy.record(EnergyEvent::Arbitration);
+            } else {
+                // Mid-packet (or a header that already holds VA state): the
+                // packet's route must match the circuit.
+                if ivc.route != Some(pc_route) {
+                    continue;
+                }
+                let out_vc = ivc.out_vc.expect("routed VC has an output VC");
+                if self.outputs[pc.out_port.index()].credits.available(sub, out_vc) == 0 {
+                    continue; // per-VC back-pressure; port-level handled in phase A
+                }
+            }
+            self.traverse_from_buffer(cycle, in_port, vc, true, out);
+        }
+    }
+
+    /// Phase D: arriving flits either take the bypass latch straight to the
+    /// crossbar (§IV.B) or are written into their VC buffer.
+    fn accept_arrivals(&mut self, cycle: u64, out: &mut RouterOutputs) {
+        let arrivals = std::mem::take(&mut self.arrivals);
+        for (in_port, flit) in arrivals {
+            if self.try_bypass(cycle, in_port, &flit, out) {
+                continue;
+            }
+            self.energy.record(EnergyEvent::BufferWrite);
+            self.vc_mut(in_port, flit.vc)
+                .fifo
+                .push(flit, cycle + 1)
+                .expect("upstream credits bound buffer occupancy");
+        }
+    }
+
+    /// Attempts to forward an arriving flit through the bypass latch.
+    /// Returns whether the flit was consumed.
+    fn try_bypass(
+        &mut self,
+        _cycle: u64,
+        in_port: PortIndex,
+        flit: &Flit,
+        out: &mut RouterOutputs,
+    ) -> bool {
+        if !self.scheme.buffer_bypass || self.in_busy[in_port.index()] {
+            return false;
+        }
+        let Some(pc) = self.pcu.live(in_port) else {
+            return false;
+        };
+        if pc.in_vc != flit.vc || self.out_busy[pc.out_port.index()] {
+            return false;
+        }
+        let vc = flit.vc;
+        let ivc = self.vc(in_port, vc);
+        if !ivc.fifo.is_empty() {
+            return false;
+        }
+        let pc_route = RouteInfo {
+            port: pc.out_port,
+            hops: pc.hops,
+        };
+        let sub = pc.hops as usize - 1;
+        let out_vc;
+        let is_tail = flit.kind.is_tail();
+        if flit.kind.is_head() && ivc.route.is_none() {
+            if flit.route != pc_route {
+                return false;
+            }
+            let Some(allocated) =
+                self.allocate_out_vc(pc_route, flit.class, flit.dst, (in_port, vc), true)
+            else {
+                return false;
+            };
+            out_vc = allocated;
+            self.stats.va_grants += 1;
+            self.energy.record(EnergyEvent::Arbitration);
+            if !is_tail {
+                let ivc = self.vc_mut(in_port, vc);
+                ivc.route = Some(pc_route);
+                ivc.out_vc = Some(out_vc);
+            } else {
+                self.outputs[pc_route.port.index()].alloc.free(allocated);
+            }
+        } else {
+            if ivc.route != Some(pc_route) {
+                return false;
+            }
+            out_vc = ivc.out_vc.expect("routed VC has an output VC");
+            if self.outputs[pc.out_port.index()].credits.available(sub, out_vc) == 0 {
+                return false;
+            }
+            if is_tail {
+                let ivc = self.vc_mut(in_port, vc);
+                ivc.route = None;
+                ivc.out_vc = None;
+                ivc.va_cycle = u64::MAX;
+                self.outputs[pc_route.port.index()].alloc.free(out_vc);
+            }
+        }
+        self.outputs[pc_route.port.index()]
+            .credits
+            .consume(sub, out_vc);
+        self.stats.pc_reuses += 1;
+        self.stats.buffer_bypasses += 1;
+        if flit.kind.is_head() {
+            self.stats.pc_header_reuses += 1;
+            self.stats.pc_header_bypasses += 1;
+        }
+        // The write-through latch never occupies a buffer slot: the upstream
+        // credit returns immediately.
+        out.credits.push((in_port, vc));
+        self.send(flit.clone(), in_port, pc_route, out_vc, out);
+        true
+    }
+
+    /// Phase E: VC allocation for ready headers (separable, per output VC,
+    /// round-robin across requesters).
+    #[allow(clippy::needless_range_loop)] // index used across parallel arrays
+    fn allocate_vcs(&mut self, cycle: u64) {
+        let vcs = self.partition.total_vcs() as usize;
+        // Gather requests grouped by output port.
+        let mut requests: Vec<Vec<(PortIndex, VcIndex)>> = vec![Vec::new(); self.outputs.len()];
+        for in_port in 0..self.inputs.len() {
+            for vc in 0..vcs {
+                let in_port_i = PortIndex::new(in_port);
+                let vc_i = VcIndex::new(vc);
+                let ivc = self.vc(in_port_i, vc_i);
+                if ivc.out_vc.is_some() || ivc.route.is_some() {
+                    continue;
+                }
+                let Some(flit) = ivc.fifo.head_ready(cycle) else {
+                    continue;
+                };
+                if !flit.kind.is_head() {
+                    continue;
+                }
+                requests[flit.route.port.index()].push((in_port_i, vc_i));
+            }
+        }
+        for out_port in 0..self.outputs.len() {
+            if requests[out_port].is_empty() {
+                continue;
+            }
+            // Round-robin over the flattened (input port, VC) space.
+            let mut mask = vec![false; self.inputs.len() * vcs];
+            for &(p, v) in &requests[out_port] {
+                mask[p.index() * vcs + v.index()] = true;
+            }
+            while let Some(slot) = self.va_arb[out_port].grant(&mask) {
+                mask[slot] = false;
+                let in_port = PortIndex::new(slot / vcs);
+                let vc = VcIndex::new(slot % vcs);
+                let flit = self
+                    .vc(in_port, vc)
+                    .fifo
+                    .head_ready(cycle)
+                    .expect("request implies ready head")
+                    .clone();
+                if let Some(out_vc) =
+                    self.allocate_out_vc(flit.route, flit.class, flit.dst, (in_port, vc), false)
+                {
+                    let ivc = self.vc_mut(in_port, vc);
+                    ivc.route = Some(flit.route);
+                    ivc.out_vc = Some(out_vc);
+                    ivc.va_cycle = cycle;
+                    self.stats.va_grants += 1;
+                    self.energy.record(EnergyEvent::Arbitration);
+                }
+                if mask.iter().all(|&m| !m) {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Phase F: separable switch arbitration. Non-speculative requests (VC
+    /// held before this cycle) beat speculative ones (VC granted this cycle,
+    /// Peh & Dally HPCA 2001). Grants reserve a credit and traverse next
+    /// cycle; each grant (re)establishes the pseudo-circuit of its
+    /// connection.
+    #[allow(clippy::needless_range_loop)] // index used across parallel arrays
+    fn arbitrate_switch(&mut self, cycle: u64) {
+        let vcs = self.partition.total_vcs() as usize;
+        // Input-first stage: one winning VC per input port.
+        let mut winners: Vec<Option<(VcIndex, RouteInfo, VcIndex, bool)>> =
+            vec![None; self.inputs.len()];
+        for in_port in 0..self.inputs.len() {
+            let in_port_i = PortIndex::new(in_port);
+            let mut nonspec = vec![false; vcs];
+            let mut spec = vec![false; vcs];
+            for vc in 0..vcs {
+                let ivc = self.vc(in_port_i, VcIndex::new(vc));
+                let (Some(route), Some(out_vc)) = (ivc.route, ivc.out_vc) else {
+                    continue;
+                };
+                if ivc.fifo.head_ready(cycle).is_none() {
+                    continue;
+                }
+                // Flits covered by a live matching pseudo-circuit bypass SA
+                // entirely: they drain through the held connection (§III.B,
+                // "the following flits coming to the same VC can bypass SA
+                // ... until the pseudo-circuit is terminated").
+                if self.scheme.pseudo_circuit {
+                    if let Some(pc) = self.pcu.live(in_port_i) {
+                        if pc.in_vc.index() == vc
+                            && pc.out_port == route.port
+                            && pc.hops == route.hops
+                        {
+                            continue;
+                        }
+                    }
+                }
+                let sub = route.hops as usize - 1;
+                if self.outputs[route.port.index()].credits.available(sub, out_vc) == 0 {
+                    continue;
+                }
+                if ivc.va_cycle == cycle {
+                    spec[vc] = true;
+                } else {
+                    nonspec[vc] = true;
+                }
+            }
+            let pick = if nonspec.iter().any(|&r| r) {
+                self.in_arb[in_port].grant(&nonspec)
+            } else {
+                self.in_arb[in_port].grant(&spec)
+            };
+            if let Some(vc) = pick {
+                let speculative = spec[vc];
+                let ivc = self.vc(in_port_i, VcIndex::new(vc));
+                winners[in_port] = Some((
+                    VcIndex::new(vc),
+                    ivc.route.expect("winner has route"),
+                    ivc.out_vc.expect("winner has output VC"),
+                    speculative,
+                ));
+            }
+        }
+        // Output stage: one winner per output port, non-speculative first.
+        for out_port in 0..self.outputs.len() {
+            let out_port_i = PortIndex::new(out_port);
+            let mut nonspec = vec![false; self.inputs.len()];
+            let mut spec = vec![false; self.inputs.len()];
+            for (in_port, w) in winners.iter().enumerate() {
+                if let Some((_, route, _, speculative)) = w {
+                    if route.port == out_port_i {
+                        if *speculative {
+                            spec[in_port] = true;
+                        } else {
+                            nonspec[in_port] = true;
+                        }
+                    }
+                }
+            }
+            let pick = if nonspec.iter().any(|&r| r) {
+                self.out_arb[out_port].grant(&nonspec)
+            } else {
+                self.out_arb[out_port].grant(&spec)
+            };
+            let Some(in_port) = pick else {
+                continue;
+            };
+            let (vc, route, out_vc, _) = winners[in_port].expect("picked winner exists");
+            self.outputs[out_port]
+                .credits
+                .consume(route.hops as usize - 1, out_vc);
+            self.st_pending.push(StGrant {
+                in_port: PortIndex::new(in_port),
+                vc,
+            });
+            self.stats.sa_grants += 1;
+            self.energy.record(EnergyEvent::Arbitration);
+            if self.scheme.pseudo_circuit {
+                self.pcu
+                    .establish(PortIndex::new(in_port), vc, route.port, route.hops);
+            }
+        }
+    }
+
+    /// Phase G: pseudo-circuit speculation — restore the most recently
+    /// terminated circuit of every idle output port with downstream credit
+    /// (§IV.A).
+    fn speculate(&mut self) {
+        for out_port in 0..self.outputs.len() {
+            let port = PortIndex::new(out_port);
+            if self.pcu.holder(port).is_some() {
+                continue;
+            }
+            let Some(h) = self.pcu.history(port) else {
+                continue;
+            };
+            let reg = self.pcu.registers(h);
+            if reg.valid || reg.out_port != port {
+                continue;
+            }
+            let sub = reg.hops as usize - 1;
+            if self.outputs[out_port].credits.available_at_sub(sub) == 0 {
+                continue;
+            }
+            let restored = self.pcu.try_restore(port);
+            debug_assert!(restored, "preconditions checked above");
+            self.stats.pc_speculative_restores += 1;
+        }
+    }
+}
+
+impl RouterModel for PcRouter {
+    fn receive_flit(&mut self, in_port: PortIndex, flit: Flit) {
+        debug_assert!(in_port.index() < self.inputs.len(), "bad input port");
+        self.arrivals.push((in_port, flit));
+    }
+
+    fn receive_credit(&mut self, out_port: PortIndex, credit: Credit) {
+        self.outputs[out_port.index()]
+            .credits
+            .refill(credit.sub as usize, credit.vc);
+    }
+
+    fn step(&mut self, cycle: u64, out: &mut RouterOutputs) {
+        self.in_busy.fill(false);
+        self.out_busy.fill(false);
+
+        if self.scheme.pseudo_circuit {
+            self.terminate_creditless_circuits();
+        }
+
+        // Switch traversal of last cycle's grants (SA has priority over
+        // reuse: its connections were established at grant time, so no live
+        // circuit can conflict with these traversals).
+        let grants = std::mem::take(&mut self.st_pending);
+        for g in grants {
+            self.traverse_from_buffer(cycle, g.in_port, g.vc, false, out);
+        }
+
+        if self.scheme.pseudo_circuit {
+            self.reuse_circuits(cycle, out);
+        }
+        self.accept_arrivals(cycle, out);
+        self.allocate_vcs(cycle);
+        self.arbitrate_switch(cycle);
+        if self.scheme.speculation {
+            self.speculate();
+        }
+
+        self.stats.pc_terminations_conflict = self.pcu.terminations_conflict();
+        self.stats.pc_terminations_credit = self.pcu.terminations_credit();
+        debug_assert!(self.pcu.check_invariants().is_ok());
+    }
+
+    fn stats(&self) -> RouterStats {
+        self.stats
+    }
+
+    fn energy(&self) -> EnergyCounters {
+        self.energy
+    }
+}
+
+/// Builds [`PcRouter`]s with a fixed scheme.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct PcRouterFactory {
+    /// The scheme every router in the network runs.
+    pub scheme: Scheme,
+}
+
+impl PcRouterFactory {
+    /// Creates a factory for `scheme`.
+    pub fn new(scheme: Scheme) -> Self {
+        Self { scheme }
+    }
+}
+
+impl RouterFactory for PcRouterFactory {
+    fn build(&self, ctx: RouterBuildContext<'_>) -> Box<dyn RouterModel> {
+        Box::new(PcRouter::new(
+            ctx.id,
+            ctx.topology.clone(),
+            *ctx.config,
+            self.scheme,
+        ))
+    }
+}

@@ -1,0 +1,546 @@
+//! The EVC router: a speculative two-stage baseline pipeline plus the
+//! express-latch path.
+
+use noc_base::{Credit, Flit, NodeId, PortIndex, RouteInfo, RouterId, VaPolicy, VcIndex};
+use noc_energy::{EnergyCounters, EnergyEvent};
+use noc_sim::blocks::{CreditBook, FlitFifo, OutputVcAlloc, RrArbiter};
+use noc_sim::{
+    lookahead_route, NetworkConfig, RouterBuildContext, RouterFactory, RouterModel, RouterOutputs,
+    RouterStats, SentFlit,
+};
+use noc_topology::SharedTopology;
+
+#[derive(Debug)]
+struct InputVc {
+    fifo: FlitFifo,
+    route: Option<RouteInfo>,
+    out_vc: Option<VcIndex>,
+    va_cycle: u64,
+    /// Whether the packet holding this VC travels an express segment from
+    /// this router (decided at VA).
+    express: bool,
+    /// Whether the VC state was claimed by an express stream latching
+    /// through (no flits buffered, but the output VC is held).
+    pass_through: bool,
+}
+
+#[derive(Debug)]
+struct OutputPort {
+    alloc: OutputVcAlloc,
+    credits: CreditBook,
+}
+
+#[derive(Copy, Clone, Debug)]
+struct StGrant {
+    in_port: PortIndex,
+    vc: VcIndex,
+}
+
+/// The Express-Virtual-Channel router (dynamic EVCs, configurable `l_max`).
+pub struct EvcRouter {
+    id: RouterId,
+    topo: SharedTopology,
+    va_policy: VaPolicy,
+    vcs: usize,
+    nvcs: usize,
+    l_max: u8,
+    concentration: usize,
+    inputs: Vec<Vec<InputVc>>,
+    outputs: Vec<OutputPort>,
+    st_pending: Vec<StGrant>,
+    arrivals: Vec<(PortIndex, Flit)>,
+    in_busy: Vec<bool>,
+    out_busy: Vec<bool>,
+    in_arb: Vec<RrArbiter>,
+    va_arb: Vec<RrArbiter>,
+    out_arb: Vec<RrArbiter>,
+    last_connection: Vec<Option<PortIndex>>,
+    stats: RouterStats,
+    energy: EnergyCounters,
+}
+
+impl EvcRouter {
+    /// Builds an EVC router. Half the VCs are normal, half express.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the routing policy uses more than one deadlock class (EVC's
+    /// VC partition replaces O1TURN's), if the VC count is odd, or if
+    /// `l_max < 2`.
+    pub fn new(id: RouterId, topo: SharedTopology, config: NetworkConfig, l_max: u8) -> Self {
+        assert_eq!(
+            config.routing.num_classes(),
+            1,
+            "EVC requires a single-class routing policy (XY or YX)"
+        );
+        assert!(config.vcs_per_port.is_multiple_of(2), "EVC splits VCs in half");
+        assert!(l_max >= 2, "express segments span at least two hops");
+        let in_ports = topo.in_ports(id);
+        let out_ports = topo.out_ports(id);
+        let vcs = config.vcs_per_port as usize;
+        let inputs = (0..in_ports)
+            .map(|_| {
+                (0..vcs)
+                    .map(|_| InputVc {
+                        fifo: FlitFifo::new(config.buffer_depth as usize),
+                        route: None,
+                        out_vc: None,
+                        va_cycle: u64::MAX,
+                        express: false,
+                        pass_through: false,
+                    })
+                    .collect()
+            })
+            .collect();
+        let outputs = (0..out_ports)
+            .map(|p| {
+                let subs = topo.channel_len(id, PortIndex::new(p)) as usize;
+                OutputPort {
+                    alloc: OutputVcAlloc::new(vcs),
+                    credits: CreditBook::new(subs, vcs, config.buffer_depth),
+                }
+            })
+            .collect();
+        Self {
+            id,
+            concentration: topo.concentration(),
+            topo,
+            va_policy: config.va_policy,
+            vcs,
+            nvcs: vcs / 2,
+            l_max,
+            inputs,
+            outputs,
+            st_pending: Vec::new(),
+            arrivals: Vec::new(),
+            in_busy: vec![false; in_ports],
+            out_busy: vec![false; out_ports],
+            in_arb: (0..in_ports).map(|_| RrArbiter::new(vcs)).collect(),
+            va_arb: (0..out_ports).map(|_| RrArbiter::new(in_ports * vcs)).collect(),
+            out_arb: (0..out_ports).map(|_| RrArbiter::new(in_ports)).collect(),
+            last_connection: vec![None; in_ports],
+            stats: RouterStats::default(),
+            energy: EnergyCounters::default(),
+        }
+    }
+
+    fn is_evc(&self, vc: VcIndex) -> bool {
+        vc.index() >= self.nvcs
+    }
+
+    fn vc(&self, in_port: PortIndex, vc: VcIndex) -> &InputVc {
+        &self.inputs[in_port.index()][vc.index()]
+    }
+
+    fn vc_mut(&mut self, in_port: PortIndex, vc: VcIndex) -> &mut InputVc {
+        &mut self.inputs[in_port.index()][vc.index()]
+    }
+
+    /// Whether a packet leaving through `route` continues for at least
+    /// `l_max` hops in the same direction (same output-port index at each
+    /// router along the way) — the express-eligibility test.
+    fn express_eligible(&self, route: RouteInfo, dst: NodeId, mode: noc_base::RouteMode) -> bool {
+        if route.port.index() < self.concentration {
+            return false;
+        }
+        let mut router = self.id;
+        let mut step = route;
+        for _ in 0..self.l_max - 1 {
+            let Some(end) = self.topo.link(router, step.port, step.hops) else {
+                return false;
+            };
+            let next = self.topo.route(end.router, dst, mode);
+            if next.port != step.port || next.hops != step.hops {
+                return false;
+            }
+            router = end.router;
+            step = next;
+        }
+        true
+    }
+
+    /// VC allocation for one header: express packets take EVCs, others NVCs.
+    /// Falls back from EVC to NVC when no express VC is free. Returns the VC
+    /// and whether the packet goes express.
+    fn allocate_out_vc(
+        &mut self,
+        route: RouteInfo,
+        dst: NodeId,
+        mode: noc_base::RouteMode,
+        owner: (PortIndex, VcIndex),
+    ) -> Option<(VcIndex, bool)> {
+        let sub = route.hops as usize - 1;
+        let express = self.express_eligible(route, dst, mode);
+        let port = &mut self.outputs[route.port.index()];
+        let pick = |range: std::ops::Range<usize>, port: &OutputPort, policy: VaPolicy| match policy
+        {
+            VaPolicy::Static => {
+                let vc = VcIndex::new(range.start + dst.index() % range.len());
+                port.alloc.is_free(vc).then_some(vc)
+            }
+            VaPolicy::Dynamic => range
+                .map(VcIndex::new)
+                .filter(|&v| port.alloc.is_free(v))
+                .max_by_key(|&v| port.credits.available(sub, v)),
+        };
+        // Local (ejection) ports have no express discipline: any VC.
+        if route.port.index() < self.concentration {
+            let vc = pick(0..self.vcs, port, self.va_policy)?;
+            port.alloc.allocate(vc, owner);
+            return Some((vc, false));
+        }
+        if express {
+            if let Some(vc) = pick(self.nvcs..self.vcs, port, self.va_policy) {
+                port.alloc.allocate(vc, owner);
+                return Some((vc, true));
+            }
+        }
+        let vc = pick(0..self.nvcs, port, self.va_policy)?;
+        port.alloc.allocate(vc, owner);
+        Some((vc, false))
+    }
+
+    fn send(
+        &mut self,
+        mut flit: Flit,
+        in_port: PortIndex,
+        route: RouteInfo,
+        out_vc: VcIndex,
+        express_hops: u8,
+        out: &mut RouterOutputs,
+    ) {
+        if flit.kind.is_head() {
+            // Packet-granularity crossbar-connection locality (Fig. 1):
+            // body/tail flits trivially follow their header, so only
+            // consecutive packets are compared.
+            if let Some(prev) = self.last_connection[in_port.index()] {
+                self.stats.xbar_locality_total += 1;
+                if prev == route.port {
+                    self.stats.xbar_locality_hits += 1;
+                }
+            }
+            self.last_connection[in_port.index()] = Some(route.port);
+        }
+        self.stats.flit_traversals += 1;
+        self.energy.record(EnergyEvent::CrossbarTraversal);
+        self.in_busy[in_port.index()] = true;
+        self.out_busy[route.port.index()] = true;
+        flit.vc = out_vc;
+        flit.express_hops = express_hops;
+        if route.port.index() >= self.concentration {
+            flit.route = lookahead_route(
+                self.topo.as_ref(),
+                self.id,
+                route.port,
+                route.hops,
+                flit.dst,
+                flit.mode,
+            );
+        }
+        out.flits.push(SentFlit {
+            out_port: route.port,
+            hops: route.hops,
+            flit,
+        });
+    }
+
+    fn traverse_from_buffer(&mut self, cycle: u64, in_port: PortIndex, vc: VcIndex, out: &mut RouterOutputs) {
+        let ivc = self.vc_mut(in_port, vc);
+        let buffered = ivc.fifo.pop().expect("granted VC has a flit");
+        debug_assert!(buffered.ready_at <= cycle);
+        let flit = buffered.flit;
+        let route = ivc.route.expect("active VC has a route");
+        let out_vc = ivc.out_vc.expect("active VC has an output VC");
+        let express = ivc.express;
+        if flit.kind.is_tail() {
+            ivc.route = None;
+            ivc.out_vc = None;
+            ivc.va_cycle = u64::MAX;
+            ivc.express = false;
+            self.outputs[route.port.index()].alloc.free(out_vc);
+        }
+        self.energy.record(EnergyEvent::BufferRead);
+        out.credits.push((in_port, vc));
+        let hops_flag = if express { self.l_max - 1 } else { 0 };
+        self.send(flit, in_port, route, out_vc, hops_flag, out);
+    }
+
+    /// Attempts the express latch for an arriving flit with remaining
+    /// express hops. Returns whether the flit was consumed.
+    fn try_latch(&mut self, in_port: PortIndex, flit: &Flit, out: &mut RouterOutputs) -> bool {
+        if flit.express_hops == 0 || self.in_busy[in_port.index()] {
+            return false;
+        }
+        let route = flit.route;
+        if route.port.index() < self.concentration || self.out_busy[route.port.index()] {
+            return false;
+        }
+        let vc = flit.vc;
+        debug_assert!(self.is_evc(vc), "express flit on a normal VC");
+        let ivc = self.vc(in_port, vc);
+        if !ivc.fifo.is_empty() {
+            return false;
+        }
+        let sub = route.hops as usize - 1;
+        let is_head = flit.kind.is_head();
+        let is_tail = flit.kind.is_tail();
+        if is_head {
+            if ivc.route.is_some() {
+                return false;
+            }
+            let port = &self.outputs[route.port.index()];
+            if !port.alloc.is_free(vc) || port.credits.available(sub, vc) == 0 {
+                return false;
+            }
+            self.outputs[route.port.index()].alloc.allocate(vc, (in_port, vc));
+            if !is_tail {
+                let ivc = self.vc_mut(in_port, vc);
+                ivc.route = Some(route);
+                ivc.out_vc = Some(vc);
+                ivc.pass_through = true;
+            } else {
+                self.outputs[route.port.index()].alloc.free(vc);
+            }
+        } else {
+            if !ivc.pass_through || ivc.route != Some(route) || ivc.out_vc != Some(vc) {
+                return false;
+            }
+            if self.outputs[route.port.index()].credits.available(sub, vc) == 0 {
+                return false;
+            }
+            if is_tail {
+                let ivc = self.vc_mut(in_port, vc);
+                ivc.route = None;
+                ivc.out_vc = None;
+                ivc.pass_through = false;
+                self.outputs[route.port.index()].alloc.free(vc);
+            }
+        }
+        self.outputs[route.port.index()].credits.consume(sub, vc);
+        self.stats.express_bypasses += 1;
+        out.credits.push((in_port, vc));
+        self.send(
+            flit.clone(),
+            in_port,
+            route,
+            vc,
+            flit.express_hops - 1,
+            out,
+        );
+        true
+    }
+
+    fn accept_arrivals(&mut self, cycle: u64, out: &mut RouterOutputs) {
+        let arrivals = std::mem::take(&mut self.arrivals);
+        for (in_port, flit) in arrivals {
+            if self.try_latch(in_port, &flit, out) {
+                continue;
+            }
+            // Fallback: the flit (express or not) enters the buffer. An
+            // express stream that stalls here continues hop-by-hop; its
+            // pass-through claim becomes an ordinary buffered packet claim.
+            self.energy.record(EnergyEvent::BufferWrite);
+            let ivc = self.vc_mut(in_port, flit.vc);
+            ivc.pass_through = false;
+            ivc.fifo
+                .push(flit, cycle + 1)
+                .expect("upstream credits bound buffer occupancy");
+        }
+    }
+
+    #[allow(clippy::needless_range_loop)] // index used across parallel arrays
+    fn allocate_vcs(&mut self, cycle: u64) {
+        let vcs = self.vcs;
+        let mut requests: Vec<Vec<(PortIndex, VcIndex)>> = vec![Vec::new(); self.outputs.len()];
+        for in_port in 0..self.inputs.len() {
+            for vc in 0..vcs {
+                let in_port_i = PortIndex::new(in_port);
+                let vc_i = VcIndex::new(vc);
+                let ivc = self.vc(in_port_i, vc_i);
+                if ivc.out_vc.is_some() || ivc.route.is_some() {
+                    continue;
+                }
+                let Some(flit) = ivc.fifo.head_ready(cycle) else {
+                    continue;
+                };
+                if !flit.kind.is_head() {
+                    continue;
+                }
+                requests[flit.route.port.index()].push((in_port_i, vc_i));
+            }
+        }
+        for out_port in 0..self.outputs.len() {
+            if requests[out_port].is_empty() {
+                continue;
+            }
+            let mut mask = vec![false; self.inputs.len() * vcs];
+            for &(p, v) in &requests[out_port] {
+                mask[p.index() * vcs + v.index()] = true;
+            }
+            while let Some(slot) = self.va_arb[out_port].grant(&mask) {
+                mask[slot] = false;
+                let in_port = PortIndex::new(slot / vcs);
+                let vc = VcIndex::new(slot % vcs);
+                let flit = self
+                    .vc(in_port, vc)
+                    .fifo
+                    .head_ready(cycle)
+                    .expect("request implies ready head")
+                    .clone();
+                if let Some((out_vc, express)) =
+                    self.allocate_out_vc(flit.route, flit.dst, flit.mode, (in_port, vc))
+                {
+                    let ivc = self.vc_mut(in_port, vc);
+                    ivc.route = Some(flit.route);
+                    ivc.out_vc = Some(out_vc);
+                    ivc.va_cycle = cycle;
+                    ivc.express = express;
+                    self.stats.va_grants += 1;
+                    self.energy.record(EnergyEvent::Arbitration);
+                }
+                if mask.iter().all(|&m| !m) {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::needless_range_loop)] // index used across parallel arrays
+    fn arbitrate_switch(&mut self, cycle: u64) {
+        let vcs = self.vcs;
+        let mut winners: Vec<Option<(VcIndex, RouteInfo, VcIndex, bool)>> =
+            vec![None; self.inputs.len()];
+        for in_port in 0..self.inputs.len() {
+            let in_port_i = PortIndex::new(in_port);
+            let mut nonspec = vec![false; vcs];
+            let mut spec = vec![false; vcs];
+            for vc in 0..vcs {
+                let ivc = self.vc(in_port_i, VcIndex::new(vc));
+                if ivc.pass_through {
+                    continue;
+                }
+                let (Some(route), Some(out_vc)) = (ivc.route, ivc.out_vc) else {
+                    continue;
+                };
+                if ivc.fifo.head_ready(cycle).is_none() {
+                    continue;
+                }
+                let sub = route.hops as usize - 1;
+                if self.outputs[route.port.index()].credits.available(sub, out_vc) == 0 {
+                    continue;
+                }
+                if ivc.va_cycle == cycle {
+                    spec[vc] = true;
+                } else {
+                    nonspec[vc] = true;
+                }
+            }
+            let pick = if nonspec.iter().any(|&r| r) {
+                self.in_arb[in_port].grant(&nonspec)
+            } else {
+                self.in_arb[in_port].grant(&spec)
+            };
+            if let Some(vc) = pick {
+                let speculative = spec[vc];
+                let ivc = self.vc(in_port_i, VcIndex::new(vc));
+                winners[in_port] = Some((
+                    VcIndex::new(vc),
+                    ivc.route.expect("winner has route"),
+                    ivc.out_vc.expect("winner has output VC"),
+                    speculative,
+                ));
+            }
+        }
+        for out_port in 0..self.outputs.len() {
+            let out_port_i = PortIndex::new(out_port);
+            let mut nonspec = vec![false; self.inputs.len()];
+            let mut spec = vec![false; self.inputs.len()];
+            for (in_port, w) in winners.iter().enumerate() {
+                if let Some((_, route, _, speculative)) = w {
+                    if route.port == out_port_i {
+                        if *speculative {
+                            spec[in_port] = true;
+                        } else {
+                            nonspec[in_port] = true;
+                        }
+                    }
+                }
+            }
+            let pick = if nonspec.iter().any(|&r| r) {
+                self.out_arb[out_port].grant(&nonspec)
+            } else {
+                self.out_arb[out_port].grant(&spec)
+            };
+            let Some(in_port) = pick else {
+                continue;
+            };
+            let (vc, route, out_vc, _) = winners[in_port].expect("picked winner exists");
+            self.outputs[out_port]
+                .credits
+                .consume(route.hops as usize - 1, out_vc);
+            self.st_pending.push(StGrant {
+                in_port: PortIndex::new(in_port),
+                vc,
+            });
+            self.stats.sa_grants += 1;
+            self.energy.record(EnergyEvent::Arbitration);
+        }
+    }
+}
+
+impl RouterModel for EvcRouter {
+    fn receive_flit(&mut self, in_port: PortIndex, flit: Flit) {
+        self.arrivals.push((in_port, flit));
+    }
+
+    fn receive_credit(&mut self, out_port: PortIndex, credit: Credit) {
+        self.outputs[out_port.index()]
+            .credits
+            .refill(credit.sub as usize, credit.vc);
+    }
+
+    fn step(&mut self, cycle: u64, out: &mut RouterOutputs) {
+        self.in_busy.fill(false);
+        self.out_busy.fill(false);
+        let grants = std::mem::take(&mut self.st_pending);
+        for g in grants {
+            self.traverse_from_buffer(cycle, g.in_port, g.vc, out);
+        }
+        self.accept_arrivals(cycle, out);
+        self.allocate_vcs(cycle);
+        self.arbitrate_switch(cycle);
+    }
+
+    fn stats(&self) -> RouterStats {
+        self.stats
+    }
+
+    fn energy(&self) -> EnergyCounters {
+        self.energy
+    }
+}
+
+/// Builds [`EvcRouter`]s with a fixed `l_max` (default 2, the paper's
+/// configuration).
+#[derive(Copy, Clone, Debug)]
+pub struct EvcRouterFactory {
+    /// Express-segment length bound.
+    pub l_max: u8,
+}
+
+impl Default for EvcRouterFactory {
+    fn default() -> Self {
+        Self { l_max: 2 }
+    }
+}
+
+impl RouterFactory for EvcRouterFactory {
+    fn build(&self, ctx: RouterBuildContext<'_>) -> Box<dyn RouterModel> {
+        Box::new(EvcRouter::new(
+            ctx.id,
+            ctx.topology.clone(),
+            *ctx.config,
+            self.l_max,
+        ))
+    }
+}

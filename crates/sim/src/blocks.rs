@@ -1,0 +1,415 @@
+//! Reusable router microarchitecture building blocks.
+//!
+//! The pseudo-circuit router (`pseudo-circuit` crate) and the EVC comparison
+//! router (`noc-evc` crate) are assembled from the same primitives: bounded
+//! flit FIFOs with pipeline-stage readiness, round-robin arbiters, per-channel
+//! credit books, and output-VC allocation state.
+
+use noc_base::{Flit, PortIndex, VcIndex};
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+/// A flit stored in an input-VC buffer, with the first cycle at which it may
+/// leave (the cycle after its buffer-write stage).
+#[derive(Clone, PartialEq, Debug)]
+pub struct BufferedFlit {
+    /// The buffered flit.
+    pub flit: Flit,
+    /// First cycle the flit is eligible for arbitration / traversal.
+    pub ready_at: u64,
+}
+
+/// Error returned when pushing into a full [`FlitFifo`] — doing so indicates
+/// a credit-accounting bug, so callers generally `expect` it.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct FifoFullError;
+
+impl fmt::Display for FifoFullError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "flit buffer overflow (credit accounting violated)")
+    }
+}
+
+impl Error for FifoFullError {}
+
+/// A bounded FIFO modelling one input-VC buffer.
+#[derive(Clone, Debug)]
+pub struct FlitFifo {
+    queue: VecDeque<BufferedFlit>,
+    capacity: usize,
+}
+
+impl FlitFifo {
+    /// Creates a buffer holding up to `capacity` flits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer capacity must be nonzero");
+        Self {
+            queue: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Appends a flit that becomes ready at `ready_at`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FifoFullError`] when the buffer is full.
+    pub fn push(&mut self, flit: Flit, ready_at: u64) -> Result<(), FifoFullError> {
+        if self.queue.len() >= self.capacity {
+            return Err(FifoFullError);
+        }
+        self.queue.push_back(BufferedFlit { flit, ready_at });
+        Ok(())
+    }
+
+    /// The head flit, if any (ready or not).
+    pub fn head(&self) -> Option<&BufferedFlit> {
+        self.queue.front()
+    }
+
+    /// The head flit if it is ready at `cycle`.
+    pub fn head_ready(&self, cycle: u64) -> Option<&Flit> {
+        self.queue
+            .front()
+            .filter(|b| b.ready_at <= cycle)
+            .map(|b| &b.flit)
+    }
+
+    /// Removes and returns the head flit.
+    pub fn pop(&mut self) -> Option<BufferedFlit> {
+        self.queue.pop_front()
+    }
+
+    /// Number of buffered flits.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Whether the buffer is full.
+    pub fn is_full(&self) -> bool {
+        self.queue.len() >= self.capacity
+    }
+
+    /// Configured capacity in flits.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// A work-conserving round-robin arbiter over `n` requesters.
+#[derive(Clone, Debug)]
+pub struct RrArbiter {
+    next: usize,
+    n: usize,
+}
+
+impl RrArbiter {
+    /// Creates an arbiter over `n` requesters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "arbiter needs at least one requester");
+        Self { next: 0, n }
+    }
+
+    /// Grants one of the requesting indices (where `requests[i]` is true),
+    /// rotating priority so the winner moves to lowest priority.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests.len() != n`.
+    pub fn grant(&mut self, requests: &[bool]) -> Option<usize> {
+        assert_eq!(requests.len(), self.n, "request vector size mismatch");
+        for offset in 0..self.n {
+            let i = (self.next + offset) % self.n;
+            if requests[i] {
+                self.next = (i + 1) % self.n;
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Number of requesters.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false; arbiters are non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Per-output-channel credit counters: one counter per (drop position, VC).
+///
+/// `sub` indexes the drop position of a multidrop channel (always 0 for
+/// point-to-point links).
+#[derive(Clone, Debug)]
+pub struct CreditBook {
+    credits: Vec<u32>,
+    subs: usize,
+    vcs: usize,
+    capacity: u32,
+}
+
+impl CreditBook {
+    /// Creates a credit book for `subs` drop positions × `vcs` VCs, each
+    /// starting with `capacity` credits (the downstream buffer depth).
+    ///
+    /// `subs == 0` creates an unconnected book (all queries return 0).
+    pub fn new(subs: usize, vcs: usize, capacity: u32) -> Self {
+        Self {
+            credits: vec![capacity; subs * vcs],
+            subs,
+            vcs,
+            capacity,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, sub: usize, vc: VcIndex) -> usize {
+        debug_assert!(sub < self.subs, "sub {sub} out of range");
+        debug_assert!(vc.index() < self.vcs, "vc {vc} out of range");
+        sub * self.vcs + vc.index()
+    }
+
+    /// Credits available for (`sub`, `vc`); 0 for unconnected books.
+    pub fn available(&self, sub: usize, vc: VcIndex) -> u32 {
+        if self.subs == 0 {
+            return 0;
+        }
+        self.credits[self.slot(sub, vc)]
+    }
+
+    /// Consumes one credit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no credit is available — that is a flow-control bug.
+    pub fn consume(&mut self, sub: usize, vc: VcIndex) {
+        let slot = self.slot(sub, vc);
+        assert!(self.credits[slot] > 0, "credit underflow at sub {sub} {vc}");
+        self.credits[slot] -= 1;
+    }
+
+    /// Returns one credit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the counter would exceed the configured capacity.
+    pub fn refill(&mut self, sub: usize, vc: VcIndex) {
+        let capacity = self.capacity;
+        let slot = self.slot(sub, vc);
+        assert!(
+            self.credits[slot] < capacity,
+            "credit overflow at sub {sub} {vc}"
+        );
+        self.credits[slot] += 1;
+    }
+
+    /// Total credits across every (sub, vc) pair.
+    pub fn total_available(&self) -> u32 {
+        self.credits.iter().sum()
+    }
+
+    /// Credits summed across VCs at one drop position.
+    pub fn available_at_sub(&self, sub: usize) -> u32 {
+        if self.subs == 0 {
+            return 0;
+        }
+        (0..self.vcs)
+            .map(|v| self.credits[sub * self.vcs + v])
+            .sum()
+    }
+
+    /// Number of drop positions.
+    pub fn subs(&self) -> usize {
+        self.subs
+    }
+
+    /// Per-(sub, VC) capacity.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+}
+
+/// Output-VC allocation state for one output port: which (input port, input
+/// VC) currently owns each output VC.
+#[derive(Clone, Debug)]
+pub struct OutputVcAlloc {
+    owners: Vec<Option<(PortIndex, VcIndex)>>,
+}
+
+impl OutputVcAlloc {
+    /// Creates state for `vcs` output VCs, all free.
+    pub fn new(vcs: usize) -> Self {
+        Self {
+            owners: vec![None; vcs],
+        }
+    }
+
+    /// Whether `vc` is unallocated.
+    pub fn is_free(&self, vc: VcIndex) -> bool {
+        self.owners[vc.index()].is_none()
+    }
+
+    /// The (input port, input VC) holding `vc`, if any.
+    pub fn owner(&self, vc: VcIndex) -> Option<(PortIndex, VcIndex)> {
+        self.owners[vc.index()]
+    }
+
+    /// Allocates `vc` to an input VC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vc` is already allocated.
+    pub fn allocate(&mut self, vc: VcIndex, owner: (PortIndex, VcIndex)) {
+        assert!(self.is_free(vc), "output {vc} already allocated");
+        self.owners[vc.index()] = Some(owner);
+    }
+
+    /// Frees `vc` (idempotent).
+    pub fn free(&mut self, vc: VcIndex) {
+        self.owners[vc.index()] = None;
+    }
+
+    /// Number of output VCs.
+    pub fn len(&self) -> usize {
+        self.owners.len()
+    }
+
+    /// Whether there are zero VCs.
+    pub fn is_empty(&self) -> bool {
+        self.owners.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_base::{FlitKind, NodeId, PacketClass, PacketId, RouteInfo, RouteMode};
+
+    fn flit(seq: u16) -> Flit {
+        Flit {
+            packet: PacketId::new(1),
+            kind: FlitKind::Body,
+            seq,
+            src: NodeId::new(0),
+            dst: NodeId::new(1),
+            vc: VcIndex::new(0),
+            route: RouteInfo::new(PortIndex::new(0)),
+            mode: RouteMode::Xy,
+            class: 0,
+            injected_at: 0,
+            packet_class: PacketClass::Data,
+            express_hops: 0,
+        }
+    }
+
+    #[test]
+    fn fifo_respects_capacity_and_order() {
+        let mut f = FlitFifo::new(2);
+        f.push(flit(0), 1).unwrap();
+        f.push(flit(1), 2).unwrap();
+        assert!(f.is_full());
+        assert_eq!(f.push(flit(2), 3), Err(FifoFullError));
+        assert_eq!(f.pop().unwrap().flit.seq, 0);
+        assert_eq!(f.pop().unwrap().flit.seq, 1);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn fifo_head_ready_respects_pipeline_timing() {
+        let mut f = FlitFifo::new(4);
+        f.push(flit(0), 5).unwrap();
+        assert!(f.head_ready(4).is_none(), "not ready before cycle 5");
+        assert_eq!(f.head_ready(5).unwrap().seq, 0);
+        assert_eq!(f.head().unwrap().ready_at, 5);
+    }
+
+    #[test]
+    fn arbiter_is_round_robin_fair() {
+        let mut a = RrArbiter::new(3);
+        let all = [true, true, true];
+        let grants: Vec<usize> = (0..6).map(|_| a.grant(&all).unwrap()).collect();
+        assert_eq!(grants, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn arbiter_skips_idle_requesters() {
+        let mut a = RrArbiter::new(4);
+        assert_eq!(a.grant(&[false, false, true, false]), Some(2));
+        // Priority rotates past the winner.
+        assert_eq!(a.grant(&[true, false, true, false]), Some(0));
+        assert_eq!(a.grant(&[false, false, false, false]), None);
+    }
+
+    #[test]
+    fn credit_book_consume_refill_roundtrip() {
+        let mut b = CreditBook::new(2, 4, 4);
+        assert_eq!(b.available(1, VcIndex::new(3)), 4);
+        b.consume(1, VcIndex::new(3));
+        assert_eq!(b.available(1, VcIndex::new(3)), 3);
+        b.refill(1, VcIndex::new(3));
+        assert_eq!(b.available(1, VcIndex::new(3)), 4);
+        assert_eq!(b.total_available(), 2 * 4 * 4);
+        assert_eq!(b.available_at_sub(0), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn credit_underflow_is_a_bug() {
+        let mut b = CreditBook::new(1, 1, 1);
+        b.consume(0, VcIndex::new(0));
+        b.consume(0, VcIndex::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn credit_overflow_is_a_bug() {
+        let mut b = CreditBook::new(1, 1, 1);
+        b.refill(0, VcIndex::new(0));
+    }
+
+    #[test]
+    fn unconnected_credit_book_reports_zero() {
+        let b = CreditBook::new(0, 4, 4);
+        assert_eq!(b.available(0, VcIndex::new(0)), 0);
+        assert_eq!(b.total_available(), 0);
+        assert_eq!(b.available_at_sub(0), 0);
+    }
+
+    #[test]
+    fn output_vc_allocation_lifecycle() {
+        let mut a = OutputVcAlloc::new(4);
+        let vc = VcIndex::new(2);
+        assert!(a.is_free(vc));
+        a.allocate(vc, (PortIndex::new(1), VcIndex::new(0)));
+        assert!(!a.is_free(vc));
+        assert_eq!(a.owner(vc), Some((PortIndex::new(1), VcIndex::new(0))));
+        a.free(vc);
+        assert!(a.is_free(vc));
+        a.free(vc); // idempotent
+    }
+
+    #[test]
+    #[should_panic(expected = "already allocated")]
+    fn double_allocation_is_a_bug() {
+        let mut a = OutputVcAlloc::new(1);
+        a.allocate(VcIndex::new(0), (PortIndex::new(0), VcIndex::new(0)));
+        a.allocate(VcIndex::new(0), (PortIndex::new(1), VcIndex::new(1)));
+    }
+}

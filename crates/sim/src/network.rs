@@ -1,0 +1,384 @@
+//! Network assembly and the cycle-accurate simulation driver.
+//!
+//! The engine is cycle-driven with two-phase event delivery: everything a
+//! router or network interface emits at cycle `c` is delivered at `c + 1`
+//! (one-cycle link and credit-return latency), so evaluation order within a
+//! cycle cannot leak information between components.
+
+use crate::ni::{NetworkInterface, NiOutputs};
+use crate::router::{RouterBuildContext, RouterFactory, RouterModel, RouterOutputs};
+use crate::stats::{energy_breakdown_of, SimReport, SimStats};
+use crate::{NetworkConfig, RunSpec};
+use noc_base::rng::splitmix64;
+use noc_base::{Credit, Flit, NodeId, PacketId, PortIndex, RouterId};
+use noc_energy::EnergyCounters;
+use noc_topology::SharedTopology;
+use noc_traffic::TrafficModel;
+use std::collections::HashMap;
+
+/// Where a credit emitted by a router input port must be delivered.
+#[derive(Copy, Clone, Debug)]
+enum CreditSink {
+    /// Upstream router output port, at multidrop position `sub`.
+    Router {
+        router: RouterId,
+        out_port: PortIndex,
+        sub: u8,
+    },
+    /// The network interface that injects into this input port.
+    Node(NodeId),
+}
+
+/// An event in flight on the (one-cycle) link fabric.
+#[derive(Debug)]
+enum Event {
+    FlitToRouter {
+        router: RouterId,
+        port: PortIndex,
+        flit: Flit,
+    },
+    FlitToNode {
+        node: NodeId,
+        flit: Flit,
+    },
+    CreditToRouter {
+        router: RouterId,
+        out_port: PortIndex,
+        credit: Credit,
+    },
+    CreditToNode {
+        node: NodeId,
+        credit: Credit,
+    },
+}
+
+/// A fully wired network plus its workload: the top-level simulation object.
+pub struct Simulation {
+    topo: SharedTopology,
+    config: NetworkConfig,
+    routers: Vec<Box<dyn RouterModel>>,
+    nis: Vec<NetworkInterface>,
+    traffic: Box<dyn TrafficModel>,
+    credit_sinks: HashMap<(RouterId, PortIndex), CreditSink>,
+    now: Vec<Event>,
+    next: Vec<Event>,
+    cycle: u64,
+    next_packet_id: u64,
+    stats: SimStats,
+    router_out: RouterOutputs,
+    ni_out: NiOutputs,
+    request_buf: Vec<noc_traffic::PacketRequest>,
+}
+
+impl Simulation {
+    /// Builds a simulation: validates the topology, constructs one router
+    /// per topology node via `factory`, and attaches network interfaces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology fails [`noc_topology::validate`].
+    pub fn new(
+        topo: SharedTopology,
+        config: NetworkConfig,
+        traffic: Box<dyn TrafficModel>,
+        factory: &dyn RouterFactory,
+        seed: u64,
+    ) -> Self {
+        noc_topology::validate(topo.as_ref())
+            .unwrap_or_else(|e| panic!("invalid topology {}: {e}", topo.name()));
+        let routers: Vec<Box<dyn RouterModel>> = (0..topo.num_routers())
+            .map(|r| {
+                factory.build(RouterBuildContext {
+                    id: RouterId::new(r),
+                    topology: &topo,
+                    config: &config,
+                    seed: splitmix64(seed ^ (r as u64).wrapping_mul(0x9e37)),
+                })
+            })
+            .collect();
+        let nis: Vec<NetworkInterface> = (0..topo.num_nodes())
+            .map(|n| {
+                NetworkInterface::new(
+                    NodeId::new(n),
+                    topo.clone(),
+                    config,
+                    splitmix64(seed ^ 0xabcd ^ (n as u64) << 17),
+                )
+            })
+            .collect();
+
+        // Reverse wiring: which sink receives the credit emitted when an
+        // input port's buffer slot frees.
+        let mut credit_sinks = HashMap::new();
+        for r in 0..topo.num_routers() {
+            let router = RouterId::new(r);
+            for out in topo.concentration()..topo.out_ports(router) {
+                let out = PortIndex::new(out);
+                for hop in 1..=topo.channel_len(router, out) {
+                    if let Some(end) = topo.link(router, out, hop) {
+                        credit_sinks.insert(
+                            (end.router, end.port),
+                            CreditSink::Router {
+                                router,
+                                out_port: out,
+                                sub: hop - 1,
+                            },
+                        );
+                    }
+                }
+            }
+            // Local input ports return credits to the injecting interface.
+            for p in 0..topo.concentration() {
+                let port = PortIndex::new(p);
+                if let Some(node) = topo.node_at(router, port) {
+                    credit_sinks.insert((router, port), CreditSink::Node(node));
+                }
+            }
+        }
+
+        Self {
+            topo,
+            config,
+            routers,
+            nis,
+            traffic,
+            credit_sinks,
+            now: Vec::new(),
+            next: Vec::new(),
+            cycle: 0,
+            next_packet_id: 0,
+            stats: SimStats::new(0, u64::MAX),
+            router_out: RouterOutputs::default(),
+            ni_out: NiOutputs::default(),
+            request_buf: Vec::new(),
+        }
+    }
+
+    /// The current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The shared network configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// The topology driving the wiring.
+    pub fn topology(&self) -> &SharedTopology {
+        &self.topo
+    }
+
+    /// Read access to one router (for white-box tests).
+    pub fn router(&self, id: RouterId) -> &dyn RouterModel {
+        self.routers[id.index()].as_ref()
+    }
+
+    /// Read access to one network interface.
+    pub fn interface(&self, node: NodeId) -> &NetworkInterface {
+        &self.nis[node.index()]
+    }
+
+    /// Read access to the traffic model (for model-specific statistics via
+    /// [`noc_traffic::TrafficModel::as_any`]).
+    pub fn traffic_model(&self) -> &dyn TrafficModel {
+        self.traffic.as_ref()
+    }
+
+    /// Advances the simulation one cycle.
+    pub fn step(&mut self) {
+        let cycle = self.cycle;
+        std::mem::swap(&mut self.now, &mut self.next);
+
+        // Phase 1: deliver events arriving this cycle.
+        for event in self.now.drain(..) {
+            match event {
+                Event::FlitToRouter { router, port, flit } => {
+                    self.routers[router.index()].receive_flit(port, flit);
+                }
+                Event::FlitToNode { node, flit } => {
+                    self.nis[node.index()].receive_flit(cycle, flit);
+                }
+                Event::CreditToRouter {
+                    router,
+                    out_port,
+                    credit,
+                } => {
+                    self.routers[router.index()].receive_credit(out_port, credit);
+                }
+                Event::CreditToNode { node, credit } => {
+                    self.nis[node.index()].receive_credit(credit);
+                }
+            }
+        }
+
+        // Phase 2: workload generation into source queues.
+        let requests = &mut self.request_buf;
+        debug_assert!(requests.is_empty());
+        self.traffic.generate(cycle, &mut |r| requests.push(r));
+        for request in self.request_buf.drain(..) {
+            assert!(
+                request.dst.index() < self.nis.len(),
+                "request to unknown node {}",
+                request.dst
+            );
+            let id = PacketId::new(self.next_packet_id);
+            self.next_packet_id += 1;
+            self.nis[request.src.index()].enqueue(cycle, &request, id);
+            self.stats.on_injected(cycle);
+        }
+
+        // Phase 3: interface injection and ejection-credit return.
+        for ni in &mut self.nis {
+            self.ni_out.clear();
+            ni.step(cycle, &mut self.ni_out);
+            let node = ni.node();
+            let router = self.topo.router_of(node);
+            let local = self.topo.local_port(node);
+            if let Some(flit) = self.ni_out.flit.take() {
+                self.next.push(Event::FlitToRouter {
+                    router,
+                    port: local,
+                    flit,
+                });
+            }
+            for vc in self.ni_out.credits.drain(..) {
+                self.next.push(Event::CreditToRouter {
+                    router,
+                    out_port: local,
+                    credit: Credit::new(vc),
+                });
+            }
+        }
+
+        // Phase 4: routers advance and emit.
+        for r in 0..self.routers.len() {
+            let router = RouterId::new(r);
+            self.router_out.clear();
+            self.routers[r].step(cycle, &mut self.router_out);
+            for sent in self.router_out.flits.drain(..) {
+                if sent.out_port.index() < self.topo.concentration() {
+                    let node = self
+                        .topo
+                        .node_at(router, sent.out_port)
+                        .unwrap_or_else(|| panic!("{router} ejects on unattached port"));
+                    debug_assert_eq!(sent.flit.dst, node, "misrouted ejection at {router}");
+                    self.next.push(Event::FlitToNode {
+                        node,
+                        flit: sent.flit,
+                    });
+                } else {
+                    let end = self
+                        .topo
+                        .link(router, sent.out_port, sent.hops)
+                        .unwrap_or_else(|| {
+                            panic!(
+                                "{router} sent flit on dead channel {} hop {}",
+                                sent.out_port, sent.hops
+                            )
+                        });
+                    self.next.push(Event::FlitToRouter {
+                        router: end.router,
+                        port: end.port,
+                        flit: sent.flit,
+                    });
+                }
+            }
+            for (in_port, vc) in self.router_out.credits.drain(..) {
+                match self.credit_sinks.get(&(router, in_port)) {
+                    Some(&CreditSink::Router {
+                        router: up,
+                        out_port,
+                        sub,
+                    }) => self.next.push(Event::CreditToRouter {
+                        router: up,
+                        out_port,
+                        credit: Credit { vc, sub },
+                    }),
+                    Some(&CreditSink::Node(node)) => self.next.push(Event::CreditToNode {
+                        node,
+                        credit: Credit::new(vc),
+                    }),
+                    None => panic!("{router} returned credit on unwired input {in_port}"),
+                }
+            }
+        }
+
+        // Phase 5: completed deliveries feed statistics and the (possibly
+        // closed-loop) workload.
+        for n in 0..self.nis.len() {
+            for packet in self.nis[n].drain_delivered() {
+                // Minimal routing: actual hops equal the topological minimum.
+                let hops = self.topo.min_hops(packet.src, packet.dst);
+                self.stats.on_delivered(&packet, hops);
+                self.traffic.deliver(cycle, &packet);
+            }
+        }
+
+        self.cycle += 1;
+    }
+
+    /// Runs warmup + measurement + drain and produces the report.
+    ///
+    /// Measurement covers packets created in
+    /// `[spec.warmup, spec.warmup + spec.measure)`. After the window closes
+    /// the simulation keeps stepping until every measured packet is delivered
+    /// or `spec.drain` extra cycles elapse.
+    pub fn run(&mut self, spec: RunSpec) -> SimReport {
+        let start = self.cycle;
+        self.stats = SimStats::new(start + spec.warmup, start + spec.warmup + spec.measure);
+        for _ in 0..spec.warmup + spec.measure {
+            self.step();
+        }
+        let mut drained_cycles = 0;
+        while self.stats.measured_in_flight() > 0 && drained_cycles < spec.drain {
+            self.step();
+            drained_cycles += 1;
+        }
+        self.report(spec)
+    }
+
+    /// Builds a report from the current statistics.
+    fn report(&self, spec: RunSpec) -> SimReport {
+        let router_stats = self
+            .routers
+            .iter()
+            .map(|r| r.stats())
+            .fold(crate::RouterStats::default(), |a, b| a + b);
+        let energy = self
+            .routers
+            .iter()
+            .map(|r| r.energy())
+            .fold(EnergyCounters::default(), |a, b| a + b);
+        let (hits, total) = self.nis.iter().fold((0u64, 0u64), |(h, t), ni| {
+            (h + ni.stats().locality_hits, t + ni.stats().locality_total)
+        });
+        let nodes = self.nis.len().max(1) as f64;
+        SimReport {
+            topology: self.topo.name().to_string(),
+            traffic: self.traffic.name().to_string(),
+            cycles: self.cycle,
+            avg_latency: self.stats.avg_latency(),
+            avg_hops: self.stats.avg_hops(),
+            p99_latency_bound: self.stats.histogram.quantile_bound(0.99),
+            measured_injected: self.stats.measured_injected,
+            measured_delivered: self.stats.measured_delivered,
+            delivered_packets: self.stats.delivered_packets,
+            throughput: if spec.measure == 0 {
+                0.0
+            } else {
+                self.stats.measured_flits as f64 / (spec.measure as f64 * nodes)
+            },
+            router_stats,
+            energy,
+            energy_breakdown: energy_breakdown_of(&energy),
+            end_to_end_locality: if total == 0 {
+                0.0
+            } else {
+                hits as f64 / total as f64
+            },
+            drained: self.stats.measured_in_flight() == 0,
+            final_backlog: self.nis.iter().map(|ni| ni.backlog() as u64).sum(),
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for topology wiring and routing: every generated
+//! topology validates, and dimension-order routing always reaches the
+//! destination in exactly the minimal hop count, never using a dead channel.
+
+use noc_base::{NodeId, RouteMode};
+use noc_topology::{validate, walk_route, FlattenedButterfly, Mecs, Mesh, Topology};
+use proptest::prelude::*;
+
+fn check_topology(topo: &dyn Topology, pairs: &[(usize, usize)]) -> Result<(), TestCaseError> {
+    prop_assert!(validate(topo).is_ok(), "{} failed validation", topo.name());
+    for &(s, d) in pairs {
+        let src = NodeId::new(s % topo.num_nodes());
+        let dst = NodeId::new(d % topo.num_nodes());
+        for mode in [RouteMode::Xy, RouteMode::Yx] {
+            let path = walk_route(topo, src, dst, mode);
+            prop_assert_eq!(
+                path.len() as u32 - 1,
+                topo.min_hops(src, dst),
+                "{}: {}->{} via {:?}",
+                topo.name(),
+                src,
+                dst,
+                mode
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn mesh_routes_are_minimal(
+        w in 1u16..7,
+        h in 1u16..7,
+        c in 1usize..5,
+        pairs in prop::collection::vec((0usize..4096, 0usize..4096), 8),
+    ) {
+        let topo = Mesh::new(w, h, c);
+        check_topology(&topo, &pairs)?;
+    }
+
+    #[test]
+    fn fbfly_routes_are_minimal(
+        w in 1u16..6,
+        h in 1u16..6,
+        c in 1usize..5,
+        pairs in prop::collection::vec((0usize..4096, 0usize..4096), 8),
+    ) {
+        let topo = FlattenedButterfly::new(w, h, c);
+        check_topology(&topo, &pairs)?;
+    }
+
+    #[test]
+    fn mecs_routes_are_minimal(
+        w in 1u16..6,
+        h in 1u16..6,
+        c in 1usize..5,
+        pairs in prop::collection::vec((0usize..4096, 0usize..4096), 8),
+    ) {
+        let topo = Mecs::new(w, h, c);
+        check_topology(&topo, &pairs)?;
+    }
+
+    #[test]
+    fn express_topologies_never_exceed_two_hops(
+        w in 2u16..6,
+        h in 2u16..6,
+        s in 0usize..4096,
+        d in 0usize..4096,
+    ) {
+        for topo in [
+            Box::new(FlattenedButterfly::new(w, h, 2)) as Box<dyn Topology>,
+            Box::new(Mecs::new(w, h, 2)),
+        ] {
+            let src = NodeId::new(s % topo.num_nodes());
+            let dst = NodeId::new(d % topo.num_nodes());
+            prop_assert!(topo.min_hops(src, dst) <= 2);
+        }
+    }
+
+    #[test]
+    fn node_attachment_is_a_bijection(w in 1u16..6, h in 1u16..6, c in 1usize..5) {
+        let topo = Mesh::new(w, h, c);
+        let mut seen = std::collections::HashSet::new();
+        for n in 0..topo.num_nodes() {
+            let node = NodeId::new(n);
+            let key = (topo.router_of(node), topo.local_port(node));
+            prop_assert!(seen.insert(key), "two nodes share a local port");
+            prop_assert_eq!(topo.node_at(key.0, key.1), Some(node));
+        }
+    }
+}

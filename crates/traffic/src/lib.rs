@@ -1,0 +1,127 @@
+#![warn(missing_docs)]
+
+//! Traffic models for the pseudo-circuit NoC simulator.
+//!
+//! Three families of workload drive the paper's evaluation:
+//!
+//! - [`synthetic`] — open-loop synthetic patterns (uniform random, bit
+//!   complement, bit permutation/transpose, plus tornado / neighbor / hotspot
+//!   extensions) injected at a configurable offered load (paper §VI.B);
+//! - [`cmp`] — a closed-loop CMP cache-coherence workload model standing in
+//!   for the paper's Simics traces (see DESIGN.md §5): out-of-order core
+//!   proxies with 4 MSHRs each (self-throttling, Kroft ISCA 1981),
+//!   address-interleaved shared L2 banks, and a write-through /
+//!   write-invalidate directory protocol generating 1-flit address packets
+//!   and 5-flit data packets;
+//! - [`trace`] — record/replay of packet traces, mirroring the paper's
+//!   trace-driven methodology.
+//!
+//! All models implement [`TrafficModel`]: once per cycle the simulator asks
+//! the model to [`generate`](TrafficModel::generate) packet requests, and
+//! notifies it of every packet [`deliver`](TrafficModel::deliver)ed so
+//! closed-loop models can progress their transactions.
+
+pub mod cmp;
+pub mod profiles;
+pub mod synthetic;
+pub mod trace;
+
+pub use cmp::{CmpConfig, CmpLayout, CmpStats, CmpTraffic, NodeRole};
+pub use profiles::BenchmarkProfile;
+pub use synthetic::{SyntheticPattern, SyntheticTraffic};
+pub use trace::{TraceError, TraceRecord, TraceRecorder, TraceReplay};
+
+use noc_base::{NodeId, PacketClass, PacketId};
+
+/// A request to inject one packet, produced by a traffic model.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PacketRequest {
+    /// Source endpoint.
+    pub src: NodeId,
+    /// Destination endpoint.
+    pub dst: NodeId,
+    /// Length in flits (≥ 1).
+    pub len: u16,
+    /// Semantic class (statistics and closed-loop bookkeeping).
+    pub class: PacketClass,
+}
+
+/// A packet that completed delivery, reported back to the traffic model.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DeliveredPacket {
+    /// The packet's identifier.
+    pub id: PacketId,
+    /// Source endpoint.
+    pub src: NodeId,
+    /// Destination endpoint.
+    pub dst: NodeId,
+    /// Length in flits.
+    pub len: u16,
+    /// Semantic class.
+    pub class: PacketClass,
+    /// Cycle the packet entered the source queue.
+    pub injected_at: u64,
+    /// Cycle the tail flit was ejected at the destination.
+    pub delivered_at: u64,
+}
+
+/// A workload: a stream of packet injection requests, optionally reacting to
+/// deliveries (closed-loop models).
+pub trait TrafficModel: Send {
+    /// Short human-readable name (e.g. `"uniform@0.30"` or `"fma3d"`).
+    fn name(&self) -> &str;
+
+    /// Produces this cycle's injection requests through `sink`.
+    ///
+    /// Called exactly once per simulated cycle with non-decreasing `cycle`
+    /// values.
+    fn generate(&mut self, cycle: u64, sink: &mut dyn FnMut(PacketRequest));
+
+    /// Notifies the model that a packet finished delivery (tail ejected).
+    fn deliver(&mut self, cycle: u64, packet: &DeliveredPacket) {
+        let _ = (cycle, packet);
+    }
+
+    /// Whether the model still holds internal future work (in-flight
+    /// transactions or scheduled responses). Open-loop models return `false`.
+    fn has_pending_work(&self) -> bool {
+        false
+    }
+
+    /// Downcasting hook so callers can recover model-specific statistics
+    /// after a simulation run (e.g. [`CmpTraffic::stats`]). Models opt in by
+    /// returning `Some(self)`.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Null;
+    impl TrafficModel for Null {
+        fn name(&self) -> &str {
+            "null"
+        }
+        fn generate(&mut self, _cycle: u64, _sink: &mut dyn FnMut(PacketRequest)) {}
+    }
+
+    #[test]
+    fn default_trait_methods_are_inert() {
+        let mut model = Null;
+        assert!(!model.has_pending_work());
+        let pkt = DeliveredPacket {
+            id: PacketId::new(1),
+            src: NodeId::new(0),
+            dst: NodeId::new(1),
+            len: 1,
+            class: PacketClass::Data,
+            injected_at: 0,
+            delivered_at: 5,
+        };
+        model.deliver(5, &pkt); // must not panic
+        assert_eq!(model.name(), "null");
+    }
+}

@@ -1,0 +1,400 @@
+//! Packet-trace record and replay.
+//!
+//! The paper's methodology extracts traces from a full-system simulator and
+//! replays them through the network simulator. [`TraceRecorder`] wraps any
+//! [`TrafficModel`] and logs every emitted request with its cycle;
+//! [`TraceReplay`] plays a recorded trace back, open-loop, so two router
+//! configurations can be compared on *identical* input (and so tests get
+//! deterministic workloads).
+//!
+//! The on-disk format is a plain text line format —
+//! `cycle src dst len class` — chosen over a serde format so the workspace
+//! needs no serialization dependency (DESIGN.md §8).
+
+use crate::{PacketRequest, TrafficModel};
+use noc_base::{NodeId, PacketClass};
+use std::error::Error;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// One packet injection event.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct TraceRecord {
+    /// Cycle the packet was requested.
+    pub cycle: u64,
+    /// Source endpoint.
+    pub src: NodeId,
+    /// Destination endpoint.
+    pub dst: NodeId,
+    /// Length in flits.
+    pub len: u16,
+    /// Semantic class.
+    pub class: PacketClass,
+}
+
+fn class_code(class: PacketClass) -> &'static str {
+    match class {
+        PacketClass::Data => "D",
+        PacketClass::ReadRequest => "RQ",
+        PacketClass::ReadResponse => "RS",
+        PacketClass::WriteRequest => "WQ",
+        PacketClass::WriteAck => "WA",
+        PacketClass::Coherence => "C",
+    }
+}
+
+fn class_from_code(code: &str) -> Option<PacketClass> {
+    Some(match code {
+        "D" => PacketClass::Data,
+        "RQ" => PacketClass::ReadRequest,
+        "RS" => PacketClass::ReadResponse,
+        "WQ" => PacketClass::WriteRequest,
+        "WA" => PacketClass::WriteAck,
+        "C" => PacketClass::Coherence,
+        _ => return None,
+    })
+}
+
+/// Error parsing a trace file.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line, with its 1-based line number.
+    Parse {
+        /// 1-based line number of the malformed line.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::Parse { line, message } => {
+                write!(f, "trace parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for TraceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            TraceError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// Writes records in the line format. Lines beginning with `#` are comments.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_trace<W: Write>(mut w: W, records: &[TraceRecord]) -> io::Result<()> {
+    writeln!(w, "# pseudo-circuit packet trace: cycle src dst len class")?;
+    for r in records {
+        writeln!(
+            w,
+            "{} {} {} {} {}",
+            r.cycle,
+            r.src.index(),
+            r.dst.index(),
+            r.len,
+            class_code(r.class)
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads records from the line format.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Parse`] on a malformed line (wrong field count,
+/// non-numeric field, unknown class code, zero length, or cycles out of
+/// order) and [`TraceError::Io`] on reader failure.
+pub fn read_trace<R: BufRead>(r: R) -> Result<Vec<TraceRecord>, TraceError> {
+    let mut records = Vec::new();
+    let mut last_cycle = 0u64;
+    for (idx, line) in r.lines().enumerate() {
+        let line = line?;
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let parse = |s: &str, what: &str| -> Result<u64, TraceError> {
+            s.parse().map_err(|_| TraceError::Parse {
+                line: line_no,
+                message: format!("bad {what}: {s:?}"),
+            })
+        };
+        let fields: Vec<&str> = trimmed.split_whitespace().collect();
+        if fields.len() != 5 {
+            return Err(TraceError::Parse {
+                line: line_no,
+                message: format!("expected 5 fields, found {}", fields.len()),
+            });
+        }
+        let cycle = parse(fields[0], "cycle")?;
+        if cycle < last_cycle {
+            return Err(TraceError::Parse {
+                line: line_no,
+                message: format!("cycle {cycle} out of order (last {last_cycle})"),
+            });
+        }
+        last_cycle = cycle;
+        let len = parse(fields[3], "length")? as u16;
+        if len == 0 {
+            return Err(TraceError::Parse {
+                line: line_no,
+                message: "zero-length packet".into(),
+            });
+        }
+        let class = class_from_code(fields[4]).ok_or_else(|| TraceError::Parse {
+            line: line_no,
+            message: format!("unknown class {:?}", fields[4]),
+        })?;
+        records.push(TraceRecord {
+            cycle,
+            src: NodeId::new(parse(fields[1], "src")? as usize),
+            dst: NodeId::new(parse(fields[2], "dst")? as usize),
+            len,
+            class,
+        });
+    }
+    Ok(records)
+}
+
+/// Wraps a traffic model and records everything it emits.
+pub struct TraceRecorder<T> {
+    inner: T,
+    records: Vec<TraceRecord>,
+}
+
+impl<T: TrafficModel> TraceRecorder<T> {
+    /// Starts recording `inner`.
+    pub fn new(inner: T) -> Self {
+        Self {
+            inner,
+            records: Vec::new(),
+        }
+    }
+
+    /// The records captured so far.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Stops recording and returns the model and the captured trace.
+    pub fn into_parts(self) -> (T, Vec<TraceRecord>) {
+        (self.inner, self.records)
+    }
+}
+
+impl<T: TrafficModel> TrafficModel for TraceRecorder<T> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn generate(&mut self, cycle: u64, sink: &mut dyn FnMut(PacketRequest)) {
+        let records = &mut self.records;
+        self.inner.generate(cycle, &mut |request| {
+            records.push(TraceRecord {
+                cycle,
+                src: request.src,
+                dst: request.dst,
+                len: request.len,
+                class: request.class,
+            });
+            sink(request);
+        });
+    }
+
+    fn deliver(&mut self, cycle: u64, packet: &crate::DeliveredPacket) {
+        self.inner.deliver(cycle, packet);
+    }
+
+    fn has_pending_work(&self) -> bool {
+        self.inner.has_pending_work()
+    }
+}
+
+/// Replays a recorded trace, open-loop.
+pub struct TraceReplay {
+    records: Vec<TraceRecord>,
+    next: usize,
+    name: String,
+}
+
+impl TraceReplay {
+    /// Creates a replay over records sorted by cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the records are not sorted by cycle.
+    pub fn new(name: impl Into<String>, records: Vec<TraceRecord>) -> Self {
+        assert!(
+            records.windows(2).all(|w| w[0].cycle <= w[1].cycle),
+            "trace records must be sorted by cycle"
+        );
+        Self {
+            records,
+            next: 0,
+            name: name.into(),
+        }
+    }
+
+    /// Remaining (unreplayed) record count.
+    pub fn remaining(&self) -> usize {
+        self.records.len() - self.next
+    }
+}
+
+impl TrafficModel for TraceReplay {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn generate(&mut self, cycle: u64, sink: &mut dyn FnMut(PacketRequest)) {
+        while let Some(r) = self.records.get(self.next) {
+            if r.cycle > cycle {
+                break;
+            }
+            sink(PacketRequest {
+                src: r.src,
+                dst: r.dst,
+                len: r.len,
+                class: r.class,
+            });
+            self.next += 1;
+        }
+    }
+
+    fn has_pending_work(&self) -> bool {
+        self.next < self.records.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{SyntheticPattern, SyntheticTraffic};
+
+    fn sample_records() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord {
+                cycle: 0,
+                src: NodeId::new(1),
+                dst: NodeId::new(2),
+                len: 1,
+                class: PacketClass::ReadRequest,
+            },
+            TraceRecord {
+                cycle: 3,
+                src: NodeId::new(2),
+                dst: NodeId::new(1),
+                len: 5,
+                class: PacketClass::ReadResponse,
+            },
+            TraceRecord {
+                cycle: 3,
+                src: NodeId::new(0),
+                dst: NodeId::new(7),
+                len: 5,
+                class: PacketClass::Data,
+            },
+        ]
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let records = sample_records();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &records).unwrap();
+        let parsed = read_trace(&buf[..]).unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "# header\n\n0 1 2 1 D\n  \n1 2 3 5 RS\n";
+        let parsed = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(parsed.len(), 2);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let bad_fields = read_trace("0 1 2 1\n".as_bytes()).unwrap_err();
+        assert!(bad_fields.to_string().contains("line 1"));
+        let bad_class = read_trace("0 1 2 1 XX\n".as_bytes()).unwrap_err();
+        assert!(bad_class.to_string().contains("unknown class"));
+        let bad_num = read_trace("zero 1 2 1 D\n".as_bytes()).unwrap_err();
+        assert!(bad_num.to_string().contains("bad cycle"));
+        let out_of_order = read_trace("5 1 2 1 D\n3 1 2 1 D\n".as_bytes()).unwrap_err();
+        assert!(out_of_order.to_string().contains("out of order"));
+        let zero_len = read_trace("0 1 2 0 D\n".as_bytes()).unwrap_err();
+        assert!(zero_len.to_string().contains("zero-length"));
+    }
+
+    #[test]
+    fn recorder_captures_synthetic_traffic() {
+        let inner = SyntheticTraffic::new(SyntheticPattern::UniformRandom, 4, 4, 3, 0.3, 9);
+        let mut rec = TraceRecorder::new(inner);
+        let mut count = 0;
+        for cycle in 0..200 {
+            rec.generate(cycle, &mut |_r| count += 1);
+        }
+        assert_eq!(rec.records().len(), count);
+        assert!(count > 0);
+        let (_inner, records) = rec.into_parts();
+        assert!(records.windows(2).all(|w| w[0].cycle <= w[1].cycle));
+    }
+
+    #[test]
+    fn replay_reproduces_the_recording() {
+        let inner = SyntheticTraffic::new(SyntheticPattern::Transpose, 4, 4, 2, 0.2, 4);
+        let mut rec = TraceRecorder::new(inner);
+        let mut original = Vec::new();
+        for cycle in 0..300 {
+            rec.generate(cycle, &mut |r| original.push((cycle, r)));
+        }
+        let (_, records) = rec.into_parts();
+        let mut replay = TraceReplay::new("replay", records);
+        assert!(replay.has_pending_work());
+        let mut replayed = Vec::new();
+        for cycle in 0..300 {
+            replay.generate(cycle, &mut |r| replayed.push((cycle, r)));
+        }
+        assert_eq!(original, replayed);
+        assert!(!replay.has_pending_work());
+        assert_eq!(replay.remaining(), 0);
+    }
+
+    #[test]
+    fn replay_catches_up_after_skipped_cycles() {
+        let mut replay = TraceReplay::new("t", sample_records());
+        let mut seen = Vec::new();
+        // Jump straight to cycle 10: all three records must be emitted.
+        replay.generate(10, &mut |r| seen.push(r));
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_replay_rejected() {
+        let mut records = sample_records();
+        records.swap(0, 1);
+        let _ = TraceReplay::new("bad", records);
+    }
+}

@@ -1,0 +1,65 @@
+//! CMP workload example: the paper's own evaluation substrate — a 32-core /
+//! 32-bank chip multiprocessor on a 4×4 concentrated mesh with directory
+//! coherence traffic and MSHR self-throttling — run against every router
+//! configuration.
+//!
+//! Run with: `cargo run --release --example cmp_workload [benchmark]`
+//! (default benchmark: fma3d; try `jbb` for skewed traffic)
+
+use noc_base::{RoutingPolicy, VaPolicy};
+use noc_topology::{Mesh, Topology as _};
+use noc_traffic::BenchmarkProfile;
+use pseudo_circuit::experiment::cmp_traffic_for;
+use pseudo_circuit::{ExperimentBuilder, Scheme};
+use std::sync::Arc;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "fma3d".into());
+    let Some(&bench) = BenchmarkProfile::by_name(&name) else {
+        eprintln!("unknown benchmark {name:?}; available:");
+        for p in BenchmarkProfile::suite() {
+            eprintln!("  {}", p.name);
+        }
+        std::process::exit(1);
+    };
+
+    let topo = Arc::new(Mesh::new(4, 4, 4));
+    println!(
+        "CMP: 32 cores + 32 L2 banks on {}, benchmark {}",
+        topo.name(),
+        bench.name
+    );
+
+    // The paper's strongest baseline: O1TURN + dynamic VA.
+    let baseline = ExperimentBuilder::new(topo.clone())
+        .routing(RoutingPolicy::O1Turn)
+        .va_policy(VaPolicy::Dynamic)
+        .scheme(Scheme::baseline())
+        .phases(1_000, 20_000, 200_000)
+        .run(Box::new(cmp_traffic_for(topo.as_ref(), bench, 7)));
+    println!(
+        "\nbaseline (O1TURN, dynamic VA): {:.2} cycles over {} packets",
+        baseline.avg_latency, baseline.measured_delivered
+    );
+
+    println!("\nscheme        latency  reduction  reuse%  header-hit%  energy/flit");
+    for scheme in Scheme::paper_lineup() {
+        let report = ExperimentBuilder::new(topo.clone())
+            .routing(RoutingPolicy::Xy)
+            .va_policy(VaPolicy::Static)
+            .scheme(scheme)
+            .phases(1_000, 20_000, 200_000)
+            .run(Box::new(cmp_traffic_for(topo.as_ref(), bench, 7)));
+        let per_flit =
+            report.energy_pj() / report.router_stats.flit_traversals.max(1) as f64;
+        println!(
+            "{:<13} {:>7.2}  {:>8.1}%  {:>5.1}%  {:>10.1}%  {:>8.2} pJ",
+            scheme.to_string(),
+            report.avg_latency,
+            report.latency_reduction_vs(&baseline) * 100.0,
+            report.reusability() * 100.0,
+            report.router_stats.header_hit_rate() * 100.0,
+            per_flit,
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! `noc` — command-line experiment runner for the pseudo-circuit
+//! reproduction. See `noc help` for usage.
+
+use pseudo_circuit_repro::cli;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (command, rest) = match args.split_first() {
+        Some((c, rest)) => (c.as_str(), rest),
+        None => ("help", &[][..]),
+    };
+    match command {
+        "run" => match cli::parse_run_args(rest).and_then(|a| cli::run(&a)) {
+            Ok(report) => {
+                println!("{}", cli::render_report(&report));
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "list" => {
+            println!("{}", cli::render_list());
+            ExitCode::SUCCESS
+        }
+        "help" | "--help" | "-h" => {
+            println!("{}", cli::usage());
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("error: unknown command {other:?}\n\n{}", cli::usage());
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,460 @@
+//! Command-line experiment runner backing the `noc` binary.
+//!
+//! Hand-rolled argument parsing (no external dependency) exposed as a
+//! library so it is unit-testable. Grammar:
+//!
+//! ```text
+//! noc run [--topology mesh8x8|cmesh4x4|mecs4x4|fbfly4x4|mesh<W>x<H>[c<C>]]
+//!         [--traffic ur|bc|bp|tornado|neighbor|<benchmark>]
+//!         [--load 0.10] [--packet 5]
+//!         [--scheme baseline|pseudo|pseudo+ps|pseudo+bb|pseudo+ps+bb|evc]
+//!         [--routing xy|yx|o1turn] [--va static|dynamic]
+//!         [--vcs 4] [--buffer 4]
+//!         [--warmup 1000] [--measure 10000] [--drain 100000]
+//!         [--seed 1]
+//! noc list            # available traffic names and topologies
+//! ```
+
+use noc_base::{RoutingPolicy, VaPolicy};
+use noc_evc::EvcRouterFactory;
+use noc_sim::SimReport;
+use noc_topology::{FlattenedButterfly, Mecs, Mesh, SharedTopology};
+use noc_traffic::{BenchmarkProfile, SyntheticPattern, SyntheticTraffic, TrafficModel};
+use pseudo_circuit::experiment::cmp_traffic_for;
+use pseudo_circuit::{ExperimentBuilder, Scheme};
+use std::fmt;
+use std::sync::Arc;
+
+/// The router scheme to run, including the EVC comparator.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum RouterChoice {
+    /// A `pseudo-circuit` crate scheme.
+    Pc(Scheme),
+    /// The Express-Virtual-Channels router.
+    Evc,
+}
+
+/// A fully parsed experiment description.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunArgs {
+    /// Topology spec string (e.g. `mesh8x8`, `cmesh4x4`).
+    pub topology: String,
+    /// Traffic spec: synthetic pattern name or benchmark name.
+    pub traffic: String,
+    /// Offered load in flits/node/cycle (synthetic traffic only).
+    pub load: f64,
+    /// Packet length in flits (synthetic traffic only).
+    pub packet: u16,
+    /// Router scheme.
+    pub scheme: RouterChoice,
+    /// Routing algorithm.
+    pub routing: RoutingPolicy,
+    /// VC allocation policy.
+    pub va: VaPolicy,
+    /// Virtual channels per port.
+    pub vcs: u8,
+    /// Buffer depth per VC.
+    pub buffer: u32,
+    /// Warmup cycles.
+    pub warmup: u64,
+    /// Measurement cycles.
+    pub measure: u64,
+    /// Drain-limit cycles.
+    pub drain: u64,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl Default for RunArgs {
+    fn default() -> Self {
+        Self {
+            topology: "mesh8x8".into(),
+            traffic: "ur".into(),
+            load: 0.10,
+            packet: 5,
+            scheme: RouterChoice::Pc(Scheme::pseudo_ps_bb()),
+            routing: RoutingPolicy::Xy,
+            va: VaPolicy::Static,
+            vcs: 4,
+            buffer: 4,
+            warmup: 1_000,
+            measure: 10_000,
+            drain: 100_000,
+            seed: 1,
+        }
+    }
+}
+
+/// A CLI usage error with a human-readable message.
+#[derive(Debug, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(message: impl Into<String>) -> CliError {
+    CliError(message.into())
+}
+
+/// Parses `run` subcommand arguments.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing the first unknown flag, missing value,
+/// or unparseable number.
+pub fn parse_run_args(args: &[String]) -> Result<RunArgs, CliError> {
+    let mut out = RunArgs::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| err(format!("{flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--topology" => out.topology = value()?,
+            "--traffic" => out.traffic = value()?,
+            "--load" => out.load = parse_num(&value()?, flag)?,
+            "--packet" => out.packet = parse_num(&value()?, flag)?,
+            "--scheme" => out.scheme = parse_scheme(&value()?)?,
+            "--routing" => {
+                out.routing = match value()?.to_ascii_lowercase().as_str() {
+                    "xy" => RoutingPolicy::Xy,
+                    "yx" => RoutingPolicy::Yx,
+                    "o1turn" => RoutingPolicy::O1Turn,
+                    other => return Err(err(format!("unknown routing {other:?}"))),
+                }
+            }
+            "--va" => {
+                out.va = match value()?.to_ascii_lowercase().as_str() {
+                    "static" => VaPolicy::Static,
+                    "dynamic" => VaPolicy::Dynamic,
+                    other => return Err(err(format!("unknown VA policy {other:?}"))),
+                }
+            }
+            "--vcs" => out.vcs = parse_num(&value()?, flag)?,
+            "--buffer" => out.buffer = parse_num(&value()?, flag)?,
+            "--warmup" => out.warmup = parse_num(&value()?, flag)?,
+            "--measure" => out.measure = parse_num(&value()?, flag)?,
+            "--drain" => out.drain = parse_num(&value()?, flag)?,
+            "--seed" => out.seed = parse_num(&value()?, flag)?,
+            other => return Err(err(format!("unknown flag {other:?} (see `noc help`)"))),
+        }
+    }
+    Ok(out)
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, CliError> {
+    s.parse()
+        .map_err(|_| err(format!("{flag}: cannot parse {s:?}")))
+}
+
+fn parse_scheme(s: &str) -> Result<RouterChoice, CliError> {
+    Ok(match s.to_ascii_lowercase().as_str() {
+        "baseline" => RouterChoice::Pc(Scheme::baseline()),
+        "pseudo" => RouterChoice::Pc(Scheme::pseudo()),
+        "pseudo+ps" => RouterChoice::Pc(Scheme::pseudo_ps()),
+        "pseudo+bb" => RouterChoice::Pc(Scheme::pseudo_bb()),
+        "pseudo+ps+bb" | "full" => RouterChoice::Pc(Scheme::pseudo_ps_bb()),
+        "evc" => RouterChoice::Evc,
+        other => return Err(err(format!("unknown scheme {other:?}"))),
+    })
+}
+
+/// Builds the topology named by a spec string: the four named presets or the
+/// general `mesh<W>x<H>[c<C>]` form.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for unrecognized specs.
+pub fn build_topology(spec: &str) -> Result<SharedTopology, CliError> {
+    let spec = spec.to_ascii_lowercase();
+    match spec.as_str() {
+        "mesh8x8" => return Ok(Arc::new(Mesh::new(8, 8, 1))),
+        "cmesh4x4" => return Ok(Arc::new(Mesh::new(4, 4, 4))),
+        "mecs4x4" => return Ok(Arc::new(Mecs::new(4, 4, 4))),
+        "fbfly4x4" => return Ok(Arc::new(FlattenedButterfly::new(4, 4, 4))),
+        _ => {}
+    }
+    let body = spec
+        .strip_prefix("mesh")
+        .ok_or_else(|| err(format!("unknown topology {spec:?}")))?;
+    let (dims, conc) = match body.split_once('c') {
+        Some((dims, c)) => (dims, parse_num::<usize>(c, "concentration")?),
+        None => (body, 1),
+    };
+    let (w, h) = dims
+        .split_once('x')
+        .ok_or_else(|| err(format!("bad mesh spec {spec:?} (want mesh<W>x<H>[c<C>])")))?;
+    Ok(Arc::new(Mesh::new(
+        parse_num(w, "width")?,
+        parse_num(h, "height")?,
+        conc,
+    )))
+}
+
+/// Builds the traffic model named by `args.traffic` for `topo`.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] if the name is neither a synthetic pattern nor a
+/// benchmark profile, or if the topology cannot host the CMP layout.
+pub fn build_traffic(
+    args: &RunArgs,
+    topo: &SharedTopology,
+) -> Result<Box<dyn TrafficModel>, CliError> {
+    let name = args.traffic.to_ascii_lowercase();
+    let pattern = match name.as_str() {
+        "ur" | "uniform" => Some(SyntheticPattern::UniformRandom),
+        "bc" | "bitcomp" => Some(SyntheticPattern::BitComplement),
+        "bp" | "transpose" => Some(SyntheticPattern::Transpose),
+        "tornado" => Some(SyntheticPattern::Tornado),
+        "neighbor" => Some(SyntheticPattern::Neighbor),
+        _ => None,
+    };
+    if let Some(pattern) = pattern {
+        // Arrange the nodes on the router grid footprint (concentration
+        // folded into columns).
+        let n = topo.num_nodes();
+        let cols = (1..=n)
+            .rev()
+            .find(|c| n.is_multiple_of(*c) && *c * *c <= n)
+            .unwrap_or(1);
+        let (cols, rows) = (n / cols, cols);
+        if matches!(pattern, SyntheticPattern::Transpose) && cols != rows {
+            return Err(err("transpose requires a square node grid"));
+        }
+        return Ok(Box::new(SyntheticTraffic::new(
+            pattern, cols, rows, args.packet, args.load, args.seed,
+        )));
+    }
+    let profile = BenchmarkProfile::by_name(&name)
+        .ok_or_else(|| err(format!("unknown traffic {name:?} (try `noc list`)")))?;
+    // Mirror cmp_traffic_for's floorplan requirements as errors, not panics.
+    match topo.concentration() {
+        4 => {}
+        1 if topo.num_nodes().is_multiple_of(2) => {}
+        c => {
+            return Err(err(format!(
+                "benchmark traffic needs concentration 4 (2 cores + 2 banks                  per router) or concentration 1 with an even node count;                  {} has concentration {c}",
+                topo.name()
+            )))
+        }
+    }
+    Ok(Box::new(cmp_traffic_for(topo.as_ref(), *profile, args.seed)))
+}
+
+/// Runs a parsed experiment to completion.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] when the topology or traffic spec is invalid.
+pub fn run(args: &RunArgs) -> Result<SimReport, CliError> {
+    let topo = build_topology(&args.topology)?;
+    let traffic = build_traffic(args, &topo)?;
+    let builder = ExperimentBuilder::new(topo)
+        .routing(args.routing)
+        .va_policy(args.va)
+        .vcs(args.vcs)
+        .buffer_depth(args.buffer)
+        .seed(args.seed)
+        .phases(args.warmup, args.measure, args.drain);
+    Ok(match args.scheme {
+        RouterChoice::Pc(scheme) => builder.scheme(scheme).run(traffic),
+        RouterChoice::Evc => builder.run_with_factory(traffic, &EvcRouterFactory::default()),
+    })
+}
+
+/// Renders a report as the CLI's human-readable summary.
+pub fn render_report(report: &SimReport) -> String {
+    let s = report.router_stats;
+    format!(
+        "topology       {}\n\
+         traffic        {}\n\
+         cycles         {}\n\
+         avg latency    {:.2} cycles (p99 <= {}), avg hops {:.2}\n\
+         delivered      {} measured / {} total{}\n\
+         throughput     {:.4} flits/node/cycle\n\
+         reuse          {:.1}% of flits ({:.1}% of headers)\n\
+         buffer bypass  {:.1}% of flits\n\
+         router energy  {:.1} nJ ({})\n\
+         locality       {:.1}% end-to-end, {:.1}% crossbar",
+        report.topology,
+        report.traffic,
+        report.cycles,
+        report.avg_latency,
+        report.p99_latency_bound,
+        report.avg_hops,
+        report.measured_delivered,
+        report.delivered_packets,
+        if report.drained { "" } else { "  [NOT DRAINED]" },
+        report.throughput,
+        report.reusability() * 100.0,
+        s.header_hit_rate() * 100.0,
+        report.bypass_rate() * 100.0,
+        report.energy_pj() / 1000.0,
+        report.energy_breakdown,
+        report.end_to_end_locality * 100.0,
+        report.xbar_locality() * 100.0,
+    )
+}
+
+/// The `noc list` output: available traffic names and topology presets.
+pub fn render_list() -> String {
+    let mut out = String::from(
+        "synthetic traffic: ur, bc, bp, tornado, neighbor\nbenchmarks:        ",
+    );
+    let names: Vec<&str> = BenchmarkProfile::suite().iter().map(|p| p.name).collect();
+    out.push_str(&names.join(", "));
+    out.push_str(
+        "\ntopologies:        mesh8x8, cmesh4x4, mecs4x4, fbfly4x4, mesh<W>x<H>[c<C>]\n\
+         schemes:           baseline, pseudo, pseudo+ps, pseudo+bb, pseudo+ps+bb, evc",
+    );
+    out
+}
+
+/// The `noc help` text.
+pub fn usage() -> &'static str {
+    "noc — pseudo-circuit NoC experiment runner\n\
+     \n\
+     USAGE:\n\
+       noc run [flags]     run one experiment and print its report\n\
+       noc list            list traffic models, topologies and schemes\n\
+       noc help            this text\n\
+     \n\
+     FLAGS (with defaults):\n\
+       --topology mesh8x8    --traffic ur        --load 0.10    --packet 5\n\
+       --scheme pseudo+ps+bb --routing xy        --va static\n\
+       --vcs 4               --buffer 4\n\
+       --warmup 1000         --measure 10000     --drain 100000 --seed 1"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_parse_from_empty() {
+        let parsed = parse_run_args(&[]).unwrap();
+        assert_eq!(parsed, RunArgs::default());
+    }
+
+    #[test]
+    fn full_flag_set_parses() {
+        let parsed = parse_run_args(&args(&[
+            "--topology", "cmesh4x4", "--traffic", "fma3d", "--scheme", "pseudo+bb",
+            "--routing", "o1turn", "--va", "dynamic", "--vcs", "8", "--buffer", "2",
+            "--warmup", "10", "--measure", "20", "--drain", "30", "--seed", "9",
+            "--load", "0.25", "--packet", "1",
+        ]))
+        .unwrap();
+        assert_eq!(parsed.topology, "cmesh4x4");
+        assert_eq!(parsed.scheme, RouterChoice::Pc(Scheme::pseudo_bb()));
+        assert_eq!(parsed.routing, RoutingPolicy::O1Turn);
+        assert_eq!(parsed.va, VaPolicy::Dynamic);
+        assert_eq!((parsed.vcs, parsed.buffer), (8, 2));
+        assert_eq!((parsed.warmup, parsed.measure, parsed.drain), (10, 20, 30));
+        assert_eq!(parsed.load, 0.25);
+    }
+
+    #[test]
+    fn errors_name_the_problem() {
+        assert!(parse_run_args(&args(&["--bogus"])).unwrap_err().0.contains("--bogus"));
+        assert!(parse_run_args(&args(&["--load"])).unwrap_err().0.contains("needs a value"));
+        assert!(parse_run_args(&args(&["--load", "abc"])).unwrap_err().0.contains("abc"));
+        assert!(parse_scheme("warp").is_err());
+    }
+
+    #[test]
+    fn topology_specs_build() {
+        assert_eq!(build_topology("mesh8x8").unwrap().num_routers(), 64);
+        assert_eq!(build_topology("CMESH4x4").unwrap().num_nodes(), 64);
+        assert_eq!(build_topology("mecs4x4").unwrap().num_nodes(), 64);
+        assert_eq!(build_topology("fbfly4x4").unwrap().num_nodes(), 64);
+        let custom = build_topology("mesh3x5c2").unwrap();
+        assert_eq!(custom.num_routers(), 15);
+        assert_eq!(custom.num_nodes(), 30);
+        assert!(build_topology("ring9").is_err());
+        assert!(build_topology("mesh3by5").is_err());
+    }
+
+    #[test]
+    fn traffic_specs_build() {
+        let run_args = RunArgs::default();
+        let topo = build_topology("mesh4x4c1").unwrap();
+        assert!(build_traffic(&run_args, &topo).is_ok());
+        let bench = RunArgs {
+            traffic: "lu".into(),
+            ..RunArgs::default()
+        };
+        let cmesh = build_topology("cmesh4x4").unwrap();
+        assert!(build_traffic(&bench, &cmesh).is_ok());
+        let bad = RunArgs {
+            traffic: "nonesuch".into(),
+            ..RunArgs::default()
+        };
+        assert!(build_traffic(&bad, &cmesh).is_err());
+    }
+
+    #[test]
+    fn benchmark_traffic_on_unsupported_concentration_is_an_error() {
+        let args = RunArgs {
+            traffic: "fma3d".into(),
+            ..RunArgs::default()
+        };
+        let odd = build_topology("mesh3x3c2").unwrap();
+        let Err(e) = build_traffic(&args, &odd) else {
+            panic!("expected a concentration error");
+        };
+        assert!(e.0.contains("concentration"), "{e}");
+        // Concentration 1 with an odd node count is also rejected cleanly.
+        let odd_nodes = build_topology("mesh3x3").unwrap();
+        assert!(build_traffic(&args, &odd_nodes).is_err());
+    }
+
+    #[test]
+    fn tiny_experiment_runs_end_to_end() {
+        let mut run_args = parse_run_args(&args(&[
+            "--topology", "mesh2x2", "--traffic", "ur", "--load", "0.05",
+            "--measure", "500", "--warmup", "100", "--drain", "5000",
+        ]))
+        .unwrap();
+        run_args.packet = 2;
+        let report = run(&run_args).unwrap();
+        assert!(report.drained);
+        let text = render_report(&report);
+        assert!(text.contains("avg latency"));
+        assert!(!text.contains("NOT DRAINED"));
+    }
+
+    #[test]
+    fn evc_scheme_runs() {
+        let mut run_args = RunArgs {
+            topology: "mesh4x4".into(),
+            scheme: RouterChoice::Evc,
+            measure: 400,
+            warmup: 100,
+            drain: 4_000,
+            ..RunArgs::default()
+        };
+        run_args.load = 0.05;
+        let report = run(&run_args).unwrap();
+        assert!(report.measured_delivered > 0);
+    }
+
+    #[test]
+    fn list_and_usage_mention_key_names() {
+        let list = render_list();
+        assert!(list.contains("fma3d") && list.contains("mecs4x4"));
+        assert!(usage().contains("noc run"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Energy accounting and statistics invariants across full simulations.
+
+use noc_base::{RoutingPolicy, VaPolicy};
+use noc_topology::{Mesh, SharedTopology};
+use noc_traffic::{BenchmarkProfile, SyntheticPattern, SyntheticTraffic};
+use pseudo_circuit::experiment::cmp_traffic_for;
+use pseudo_circuit::{ExperimentBuilder, Scheme};
+use std::sync::Arc;
+
+fn run(scheme: Scheme, seed: u64) -> noc_sim::SimReport {
+    let topo: SharedTopology = Arc::new(Mesh::new(4, 4, 4));
+    let bench = *BenchmarkProfile::by_name("mgrid").unwrap();
+    let traffic = cmp_traffic_for(topo.as_ref(), bench, seed);
+    ExperimentBuilder::new(topo)
+        .routing(RoutingPolicy::Xy)
+        .va_policy(VaPolicy::Static)
+        .scheme(scheme)
+        .phases(500, 4_000, 50_000)
+        .seed(seed)
+        .run(Box::new(traffic))
+}
+
+#[test]
+fn buffer_bypassing_saves_buffer_energy() {
+    let base = run(Scheme::baseline(), 5);
+    let bb = run(Scheme::pseudo_ps_bb(), 5);
+    let per_flit =
+        |r: &noc_sim::SimReport| r.energy_pj() / r.router_stats.flit_traversals.max(1) as f64;
+    let saving = 1.0 - per_flit(&bb) / per_flit(&base);
+    assert!(
+        saving > 0.02,
+        "buffer bypassing should save energy: {saving}"
+    );
+    // Savings are bounded by the buffer share of router energy (~23.6%).
+    assert!(saving < 0.25, "saving {saving} exceeds the buffer share");
+    assert!(bb.energy.buffer_writes < base.energy.buffer_writes);
+}
+
+#[test]
+fn pseudo_without_bb_saves_little_energy() {
+    // Paper: "the pseudo-circuit schemes without buffer bypassing have
+    // virtually no energy saving" (arbiters are 0.24% of router energy).
+    let base = run(Scheme::baseline(), 6);
+    let pseudo = run(Scheme::pseudo(), 6);
+    let per_flit =
+        |r: &noc_sim::SimReport| r.energy_pj() / r.router_stats.flit_traversals.max(1) as f64;
+    let saving = (1.0 - per_flit(&pseudo) / per_flit(&base)).abs();
+    assert!(saving < 0.02, "Pseudo alone changed energy by {saving}");
+}
+
+#[test]
+fn energy_counters_are_flit_conserving() {
+    let report = run(Scheme::baseline(), 7);
+    let e = report.energy;
+    // Baseline: every traversal reads a buffered flit.
+    assert_eq!(e.buffer_reads, e.crossbar_traversals);
+    assert_eq!(report.router_stats.flit_traversals, e.crossbar_traversals);
+    // Every read was written; unmeasured flits still buffered when the run
+    // stops account for at most the total buffering of the network
+    // (16 routers x <=8 ports x 4 VCs x 4 flits).
+    assert!(e.buffer_writes >= e.buffer_reads);
+    assert!(
+        e.buffer_writes - e.buffer_reads <= 16 * 8 * 4 * 4,
+        "residual {} exceeds network buffering",
+        e.buffer_writes - e.buffer_reads
+    );
+}
+
+#[test]
+fn bypassed_flits_skip_the_buffer_entirely() {
+    let report = run(Scheme::pseudo_ps_bb(), 8);
+    let e = report.energy;
+    let s = report.router_stats;
+    // Every traversal either read the buffer or came through the bypass
+    // latch (exact), and every buffered flit was written (with residual
+    // in-flight slack at run end).
+    assert_eq!(e.buffer_reads + s.buffer_bypasses, s.flit_traversals);
+    assert!(e.buffer_writes + s.buffer_bypasses >= s.flit_traversals);
+    assert!(
+        e.buffer_writes + s.buffer_bypasses - s.flit_traversals <= 16 * 8 * 4 * 4,
+        "residual buffered flits exceed network capacity"
+    );
+}
+
+#[test]
+fn reusability_and_rates_are_fractions() {
+    let report = run(Scheme::pseudo_ps_bb(), 9);
+    let s = report.router_stats;
+    for v in [
+        report.reusability(),
+        report.bypass_rate(),
+        report.xbar_locality(),
+        report.end_to_end_locality,
+        s.header_hit_rate(),
+    ] {
+        assert!((0.0..=1.0).contains(&v), "rate {v} out of range");
+    }
+    assert!(s.pc_reuses <= s.flit_traversals);
+    assert!(s.buffer_bypasses <= s.pc_reuses);
+    assert!(s.pc_header_reuses <= s.pc_reuses);
+    assert!(s.header_traversals <= s.flit_traversals);
+}
+
+#[test]
+fn throughput_reflects_measured_flits() {
+    let topo: SharedTopology = Arc::new(Mesh::new(4, 4, 1));
+    let traffic = SyntheticTraffic::new(SyntheticPattern::UniformRandom, 4, 4, 4, 0.12, 3);
+    let report = ExperimentBuilder::new(topo)
+        .routing(RoutingPolicy::Xy)
+        .va_policy(VaPolicy::Dynamic)
+        .phases(500, 4_000, 40_000)
+        .run(Box::new(traffic));
+    assert!((report.throughput - 0.12).abs() < 0.03, "{}", report.throughput);
+}
