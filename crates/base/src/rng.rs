@@ -169,7 +169,10 @@ mod tests {
         let mut a = Pcg32::seed_with_stream(1, 0);
         let mut b = Pcg32::seed_with_stream(1, 1);
         let same = (0..100).filter(|_| a.next_u32() == b.next_u32()).count();
-        assert!(same < 3, "streams should be decorrelated, {same} collisions");
+        assert!(
+            same < 3,
+            "streams should be decorrelated, {same} collisions"
+        );
     }
 
     #[test]

@@ -26,8 +26,7 @@ fn main() {
         }
     }
     let reports = parallel_map(points, |(len, scheme)| {
-        let traffic =
-            SyntheticTraffic::new(SyntheticPattern::UniformRandom, 8, 8, *len, 0.15, 91);
+        let traffic = SyntheticTraffic::new(SyntheticPattern::UniformRandom, 8, 8, *len, 0.15, 91);
         ExperimentBuilder::new(topo.clone())
             .routing(RoutingPolicy::Xy)
             .va_policy(VaPolicy::Static)

@@ -16,7 +16,10 @@ use pseudo_circuit::{ExperimentBuilder, Scheme};
 use std::sync::Arc;
 
 fn main() {
-    banner("Ablation", "VA keying: destination-keyed static vs dynamic (fma3d, XY)");
+    banner(
+        "Ablation",
+        "VA keying: destination-keyed static vs dynamic (fma3d, XY)",
+    );
     let topo: SharedTopology = Arc::new(Mesh::new(4, 4, 4));
     let (warmup, measure, drain) = cmp_phases();
     let bench = *BenchmarkProfile::by_name("fma3d").expect("profile exists");

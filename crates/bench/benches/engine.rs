@@ -1,18 +1,30 @@
-//! Criterion micro-benchmarks of the simulation engine itself: cycles per
-//! second for the baseline router, the full pseudo-circuit router, and the
-//! EVC router on a loaded 8×8 mesh — regression guard for simulator
+//! Engine-throughput harness: cycles per second for the baseline router, the
+//! full pseudo-circuit router, and the EVC router on a loaded 8×8 mesh, plus
+//! the paper-default CMesh configuration — the regression guard for simulator
 //! performance, not a paper figure.
+//!
+//! Results are printed as a table and written to `BENCH_engine.json` at the
+//! workspace root so the performance trajectory is tracked across PRs
+//! (see EXPERIMENTS.md §"Engine throughput methodology").
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use noc_base::{RoutingPolicy, VaPolicy};
 use noc_evc::EvcRouterFactory;
 use noc_sim::{NetworkConfig, RouterFactory, Simulation};
 use noc_topology::Mesh;
 use noc_traffic::{SyntheticPattern, SyntheticTraffic};
 use pseudo_circuit::{PcRouterFactory, Scheme};
+use std::fmt::Write as _;
 use std::sync::Arc;
+use std::time::Instant;
 
-fn build(factory: &dyn RouterFactory) -> Simulation {
+/// One benchmarked engine configuration.
+struct Case {
+    name: &'static str,
+    config: &'static str,
+    sim: Simulation,
+}
+
+fn mesh8x8(factory: &dyn RouterFactory) -> Simulation {
     let topo = Arc::new(Mesh::new(8, 8, 1));
     let traffic = SyntheticTraffic::new(SyntheticPattern::UniformRandom, 8, 8, 5, 0.15, 5);
     let config = NetworkConfig {
@@ -23,36 +35,126 @@ fn build(factory: &dyn RouterFactory) -> Simulation {
     Simulation::new(topo, config, Box::new(traffic), factory, 9)
 }
 
-fn bench_engine(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine");
-    group.sample_size(10);
-
-    group.bench_function("baseline_router_1k_cycles", |b| {
-        let mut sim = build(&PcRouterFactory::new(Scheme::baseline()));
-        b.iter(|| {
-            for _ in 0..1_000 {
-                sim.step();
-            }
-        });
-    });
-    group.bench_function("pseudo_router_1k_cycles", |b| {
-        let mut sim = build(&PcRouterFactory::new(Scheme::pseudo_ps_bb()));
-        b.iter(|| {
-            for _ in 0..1_000 {
-                sim.step();
-            }
-        });
-    });
-    group.bench_function("evc_router_1k_cycles", |b| {
-        let mut sim = build(&EvcRouterFactory::default());
-        b.iter(|| {
-            for _ in 0..1_000 {
-                sim.step();
-            }
-        });
-    });
-    group.finish();
+/// The paper-default CMP substrate: 4×4 CMesh (concentration 4, 64 nodes)
+/// with O1TURN routing and dynamic VC allocation.
+fn cmesh4x4(factory: &dyn RouterFactory) -> Simulation {
+    let topo = Arc::new(Mesh::new(4, 4, 4));
+    let traffic = SyntheticTraffic::new(SyntheticPattern::UniformRandom, 8, 8, 5, 0.10, 7);
+    Simulation::new(topo, NetworkConfig::paper(), Box::new(traffic), factory, 9)
 }
 
-criterion_group!(benches, bench_engine);
-criterion_main!(benches);
+struct Measurement {
+    name: String,
+    config: String,
+    cycles: u64,
+    secs: f64,
+    cycles_per_sec: f64,
+    flits_per_sec: f64,
+}
+
+/// Times `cycles` engine steps after a warmup, returning throughput numbers.
+fn measure(case: &mut Case, warmup: u64, cycles: u64) -> Measurement {
+    for _ in 0..warmup {
+        case.sim.step();
+    }
+    let flits_before = total_flits(&case.sim);
+    let start = Instant::now();
+    for _ in 0..cycles {
+        case.sim.step();
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let flits = total_flits(&case.sim) - flits_before;
+    Measurement {
+        name: case.name.to_string(),
+        config: case.config.to_string(),
+        cycles,
+        secs,
+        cycles_per_sec: cycles as f64 / secs,
+        flits_per_sec: flits as f64 / secs,
+    }
+}
+
+fn total_flits(sim: &Simulation) -> u64 {
+    let routers = sim.topology().num_routers();
+    (0..routers)
+        .map(|r| {
+            sim.router(noc_base::RouterId::new(r))
+                .stats()
+                .flit_traversals
+        })
+        .sum()
+}
+
+fn main() {
+    // `cargo bench` passes harness flags (e.g. `--bench`); ignore them.
+    let scale: u64 = std::env::var("NOC_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let warmup = 2_000;
+    let cycles = 50_000 * scale;
+
+    let mut cases = vec![
+        Case {
+            name: "baseline_router",
+            config: "mesh8x8 xy static uniform@0.15",
+            sim: mesh8x8(&PcRouterFactory::new(Scheme::baseline())),
+        },
+        Case {
+            name: "pseudo_router",
+            config: "mesh8x8 xy static uniform@0.15",
+            sim: mesh8x8(&PcRouterFactory::new(Scheme::pseudo_ps_bb())),
+        },
+        Case {
+            name: "evc_router",
+            config: "mesh8x8 xy static uniform@0.15",
+            sim: mesh8x8(&EvcRouterFactory::default()),
+        },
+        Case {
+            name: "paper_cmesh",
+            config: "cmesh4x4c4 o1turn dynamic uniform@0.10",
+            sim: cmesh4x4(&PcRouterFactory::new(Scheme::pseudo_ps_bb())),
+        },
+    ];
+
+    println!("engine throughput ({cycles} cycles per case after {warmup} warmup)");
+    println!(
+        "{:<18} {:>14} {:>14}  config",
+        "case", "cycles/sec", "flits/sec"
+    );
+    let mut json = String::from("{\n  \"bench\": \"engine\",\n  \"cases\": [\n");
+    let n = cases.len();
+    for (i, case) in cases.iter_mut().enumerate() {
+        let m = measure(case, warmup, cycles);
+        println!(
+            "{:<18} {:>14.0} {:>14.0}  {}",
+            m.name, m.cycles_per_sec, m.flits_per_sec, m.config
+        );
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"config\": \"{}\", \"cycles\": {}, \"secs\": {:.6}, \
+             \"cycles_per_sec\": {:.1}, \"flits_per_sec\": {:.1}}}{}\n",
+            m.name,
+            m.config,
+            m.cycles,
+            m.secs,
+            m.cycles_per_sec,
+            m.flits_per_sec,
+            if i + 1 == n { "" } else { "," }
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    // crates/bench/benches → workspace root is two levels up from the
+    // manifest directory.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root exists")
+        .to_path_buf();
+    let out = root.join("BENCH_engine.json");
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(e) => eprintln!("could not write {}: {e}", out.display()),
+    }
+}

@@ -41,11 +41,7 @@ fn main() {
         ]);
     }
     let n = reports.len() as f64;
-    table.row([
-        "AVG".to_string(),
-        pct(e2e_sum / n),
-        pct(xbar_sum / n),
-    ]);
+    table.row(["AVG".to_string(), pct(e2e_sum / n), pct(xbar_sum / n)]);
     table.print();
     println!("\npaper: ~22% end-to-end, ~31% crossbar-connection on average");
 }

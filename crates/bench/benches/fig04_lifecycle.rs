@@ -79,7 +79,10 @@ fn main() {
     r.receive_flit(PortIndex::new(0), flit(1, 2));
     for c in 0..3 {
         let sent = step(&mut r, c);
-        describe(&r, &format!("cycle {c} ({} flit(s) left the router):", sent));
+        describe(
+            &r,
+            &format!("cycle {c} ({} flit(s) left the router):", sent),
+        );
     }
     assert_eq!(r.stats().sa_grants, 1);
 
@@ -87,7 +90,10 @@ fn main() {
     r.receive_flit(PortIndex::new(0), flit(2, 2));
     for c in 3..5 {
         let sent = step(&mut r, c);
-        describe(&r, &format!("cycle {c} ({} flit(s) left the router):", sent));
+        describe(
+            &r,
+            &format!("cycle {c} ({} flit(s) left the router):", sent),
+        );
     }
     assert_eq!(r.stats().pc_reuses, 1, "packet 2 reused the circuit");
     assert_eq!(r.stats().sa_grants, 1, "and never touched the arbiter");
@@ -96,7 +102,10 @@ fn main() {
     r.receive_flit(PortIndex::new(1), flit(3, 2));
     for c in 5..8 {
         let sent = step(&mut r, c);
-        describe(&r, &format!("cycle {c} ({} flit(s) left the router):", sent));
+        describe(
+            &r,
+            &format!("cycle {c} ({} flit(s) left the router):", sent),
+        );
     }
     assert_eq!(r.stats().pc_terminations_conflict, 1);
     println!(

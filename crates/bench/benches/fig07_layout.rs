@@ -30,14 +30,20 @@ fn main() {
         let line: Vec<String> = labels
             .iter()
             .enumerate()
-            .map(|(col, l)| format!("[R{:02}: {} {} {} {}]", row * 4 + col, l[0], l[1], l[2], l[3]))
+            .map(|(col, l)| {
+                format!(
+                    "[R{:02}: {} {} {} {}]",
+                    row * 4 + col,
+                    l[0],
+                    l[1],
+                    l[2],
+                    l[3]
+                )
+            })
             .collect();
         println!("  {}", line.join("--"));
         if row < 3 {
-            println!(
-                "  {:^24}{:^24}{:^24}{:^24}",
-                "|", "|", "|", "|"
-            );
+            println!("  {:^24}{:^24}{:^24}{:^24}", "|", "|", "|", "|");
         }
     }
     println!(

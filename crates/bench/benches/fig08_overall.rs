@@ -9,7 +9,9 @@
 //! (b) Pseudo-circuit reusability per benchmark.
 
 use noc_base::{RoutingPolicy, VaPolicy};
-use noc_bench::{banner, benchmarks, parallel_map, pct, reference_baseline, run_cmp, CmpPoint, Table};
+use noc_bench::{
+    banner, benchmarks, parallel_map, pct, reference_baseline, run_cmp, CmpPoint, Table,
+};
 use noc_topology::{Mesh, SharedTopology};
 use pseudo_circuit::Scheme;
 use std::sync::Arc;
@@ -43,8 +45,20 @@ fn main() {
     }
     let reports = parallel_map(points, |p| run_cmp(&topo, p, 88));
 
-    let mut reduction = Table::new(["benchmark", "Pseudo", "Pseudo+PS", "Pseudo+BB", "Pseudo+PS+BB"]);
-    let mut reuse = Table::new(["benchmark", "Pseudo", "Pseudo+PS", "Pseudo+BB", "Pseudo+PS+BB"]);
+    let mut reduction = Table::new([
+        "benchmark",
+        "Pseudo",
+        "Pseudo+PS",
+        "Pseudo+BB",
+        "Pseudo+PS+BB",
+    ]);
+    let mut reuse = Table::new([
+        "benchmark",
+        "Pseudo",
+        "Pseudo+PS",
+        "Pseudo+BB",
+        "Pseudo+PS+BB",
+    ]);
     let mut avg_red = [0.0f64; 4];
     let mut avg_reuse = [0.0f64; 4];
     for (i, bench) in benches.iter().enumerate() {

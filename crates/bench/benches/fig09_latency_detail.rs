@@ -7,7 +7,9 @@
 //! in most benchmarks; jbb prefers O1TURN due to its skewed traffic.
 
 use noc_base::{RoutingPolicy, VaPolicy};
-use noc_bench::{banner, benchmarks, parallel_map, pct, reference_baseline, run_cmp, CmpPoint, Table};
+use noc_bench::{
+    banner, benchmarks, parallel_map, pct, reference_baseline, run_cmp, CmpPoint, Table,
+};
 use noc_topology::{Mesh, SharedTopology};
 use pseudo_circuit::Scheme;
 use std::sync::Arc;

@@ -69,7 +69,10 @@ fn main() {
             row.push(pct(improvement));
             table.row(row);
         }
-        println!("\n{} (avg packet latency, cycles; * = saturated):", pattern.label());
+        println!(
+            "\n{} (avg packet latency, cycles; * = saturated):",
+            pattern.label()
+        );
         table.print();
     }
     println!("\npaper shape: ~11% low-load gain for UR/BP, ~6% for BC; knee shifts right");

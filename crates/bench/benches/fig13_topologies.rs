@@ -64,9 +64,7 @@ fn main() {
         for r in row_reports {
             row.push(format!("{:.2}", r.avg_latency / mesh_baseline));
         }
-        row.push(pct(
-            row_reports[4].latency_reduction_vs(&row_reports[0]),
-        ));
+        row.push(pct(row_reports[4].latency_reduction_vs(&row_reports[0])));
         table.row(row);
     }
     println!("\nlatency normalized to the mesh baseline (lower is better):");

@@ -28,15 +28,9 @@ fn main() {
     table.row(["data packet", &format!("{} flits", cmp.data_flits)]);
     table.row(["link bandwidth", "128 bits/cycle (1 flit)"]);
     table.row(["topology", topo.name()]);
-    table.row([
-        "avg min hops",
-        &format!("{:.2}", average_min_hops(&topo)),
-    ]);
+    table.row(["avg min hops", &format!("{:.2}", average_min_hops(&topo))]);
     table.row(["VCs per port", &net.vcs_per_port.to_string()]);
-    table.row([
-        "buffer per VC",
-        &format!("{} flits", net.buffer_depth),
-    ]);
+    table.row(["buffer per VC", &format!("{} flits", net.buffer_depth)]);
     table.row(["coherence", "directory, write-through / write-invalidate"]);
     table.print();
 }

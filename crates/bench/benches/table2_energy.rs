@@ -8,7 +8,10 @@ use noc_bench::{banner, Table};
 use noc_energy::EnergyModel;
 
 fn main() {
-    banner("Table II", "router component energy (Orion-style model, 45 nm)");
+    banner(
+        "Table II",
+        "router component energy (Orion-style model, 45 nm)",
+    );
     let model = EnergyModel::paper_45nm();
     let shares = model.reference_shares();
     let (buffer, crossbar, arbiter) = shares.shares();

@@ -56,7 +56,11 @@ pub fn benchmarks() -> Vec<BenchmarkProfile> {
     }
 }
 
-/// Runs `f` over `items` on a bounded thread pool, preserving order.
+/// Runs `f` over `items` on a bounded set of scoped threads, preserving
+/// order. Each worker owns one contiguous chunk of the items and writes into
+/// the matching disjoint chunk of the result vector, so no locking (and no
+/// per-cell `Mutex`) is needed: the chunks never alias, and the thread-scope
+/// join publishes every write before the results are read.
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send + Sync,
@@ -73,24 +77,22 @@ where
         })
         .max(1);
     let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let chunk = n.div_ceil(threads.min(n));
     let mut results: Vec<Option<R>> = Vec::with_capacity(n);
     results.resize_with(n, || None);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results_cells: Vec<std::sync::Mutex<&mut Option<R>>> =
-        results.iter_mut().map(std::sync::Mutex::new).collect();
+    let f = &f;
     std::thread::scope(|scope| {
-        for _ in 0..threads.min(n) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
+        for (out_chunk, in_chunk) in results.chunks_mut(chunk).zip(items.chunks(chunk)) {
+            scope.spawn(move || {
+                for (slot, item) in out_chunk.iter_mut().zip(in_chunk) {
+                    *slot = Some(f(item));
                 }
-                let r = f(&items[i]);
-                **results_cells[i].lock().expect("cell lock") = Some(r);
             });
         }
     });
-    drop(results_cells);
     results
         .into_iter()
         .map(|r| r.expect("worker filled every slot"))
@@ -234,6 +236,14 @@ mod tests {
         let items: Vec<u64> = (0..100).collect();
         let out = parallel_map(items, |&x| x * 2);
         assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_tiny_inputs() {
+        assert_eq!(parallel_map(Vec::<u64>::new(), |&x| x), Vec::<u64>::new());
+        // Fewer items than threads: every chunk is a single item.
+        assert_eq!(parallel_map(vec![7u64], |&x| x + 1), vec![8]);
+        assert_eq!(parallel_map(vec![1u64, 2, 3], |&x| x * x), vec![1, 4, 9]);
     }
 
     #[test]

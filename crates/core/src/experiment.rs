@@ -142,11 +142,7 @@ impl ExperimentBuilder {
 ///
 /// Panics if the topology's concentration is neither 4 nor 1, or if a
 /// concentration-1 topology has an odd number of nodes.
-pub fn cmp_traffic_for(
-    topo: &dyn Topology,
-    profile: BenchmarkProfile,
-    seed: u64,
-) -> CmpTraffic {
+pub fn cmp_traffic_for(topo: &dyn Topology, profile: BenchmarkProfile, seed: u64) -> CmpTraffic {
     let layout = match topo.concentration() {
         4 => CmpLayout::paper_cmesh(topo.num_routers()),
         1 => {

@@ -177,7 +177,6 @@ impl PseudoCircuitUnit {
                 return Err(format!("input {i} valid but output not held by it"));
             }
         }
-        let mut seen = std::collections::HashSet::new();
         for (o, h) in self.held.iter().enumerate() {
             if let Some(input) = h {
                 if !self.regs[input.index()].valid {
@@ -186,7 +185,11 @@ impl PseudoCircuitUnit {
                 if self.regs[input.index()].out_port.index() != o {
                     return Err(format!("output {o} holder points elsewhere"));
                 }
-                if !seen.insert(*input) {
+                // Quadratic duplicate scan instead of a hash set: the port
+                // count is tiny, and this runs inside a per-step
+                // debug_assert, which must stay allocation-free
+                // (tests/zero_alloc.rs counts debug builds too).
+                if self.held[..o].contains(h) {
                     return Err(format!("input {input} holds two outputs"));
                 }
             }

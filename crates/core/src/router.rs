@@ -38,7 +38,7 @@
 use crate::config::Scheme;
 use crate::pseudo::{PseudoCircuitUnit, Termination};
 use noc_base::{
-    Credit, Flit, NodeId, PortIndex, RouteInfo, RouterId, VcIndex, VaPolicy, VcPartition,
+    Credit, Flit, NodeId, PortIndex, RouteInfo, RouterId, VaPolicy, VcIndex, VcPartition,
 };
 use noc_energy::{EnergyCounters, EnergyEvent};
 use noc_sim::blocks::{CreditBook, FlitFifo, OutputVcAlloc, RrArbiter};
@@ -97,6 +97,21 @@ pub struct PcRouter {
     last_connection: Vec<Option<PortIndex>>,
     stats: RouterStats,
     energy: EnergyCounters,
+    /// Buffered flits per input port across all its VCs; lets the VA/SA
+    /// scans and circuit reuse skip empty ports without touching their VC
+    /// state (every candidate in those scans requires a buffered flit).
+    in_occupancy: Vec<u32>,
+    // Reusable per-cycle working storage, so `step` never allocates once the
+    // queues reach steady-state capacity.
+    st_scratch: Vec<StGrant>,
+    arrivals_scratch: Vec<(PortIndex, Flit)>,
+    va_requests: Vec<Vec<(PortIndex, VcIndex)>>,
+    va_mask: Vec<bool>,
+    sa_winners: Vec<Option<(VcIndex, RouteInfo, VcIndex, bool)>>,
+    sa_vc_nonspec: Vec<bool>,
+    sa_vc_spec: Vec<bool>,
+    sa_out_nonspec: Vec<bool>,
+    sa_out_spec: Vec<bool>,
 }
 
 impl PcRouter {
@@ -141,16 +156,32 @@ impl PcRouter {
             inputs,
             outputs,
             pcu: PseudoCircuitUnit::new(in_ports, out_ports),
-            st_pending: Vec::new(),
-            arrivals: Vec::new(),
+            // All per-cycle queues are reserved to their structural maxima so
+            // steady-state stepping never allocates (tests/zero_alloc.rs).
+            st_pending: Vec::with_capacity(in_ports),
+            arrivals: Vec::with_capacity(in_ports),
             in_busy: vec![false; in_ports],
             out_busy: vec![false; out_ports],
             in_arb: (0..in_ports).map(|_| RrArbiter::new(vcs)).collect(),
-            va_arb: (0..out_ports).map(|_| RrArbiter::new(in_ports * vcs)).collect(),
+            va_arb: (0..out_ports)
+                .map(|_| RrArbiter::new(in_ports * vcs))
+                .collect(),
             out_arb: (0..out_ports).map(|_| RrArbiter::new(in_ports)).collect(),
             last_connection: vec![None; in_ports],
             stats: RouterStats::default(),
             energy: EnergyCounters::default(),
+            in_occupancy: vec![0; in_ports],
+            st_scratch: Vec::with_capacity(in_ports),
+            arrivals_scratch: Vec::with_capacity(in_ports),
+            va_requests: (0..out_ports)
+                .map(|_| Vec::with_capacity(in_ports * vcs))
+                .collect(),
+            va_mask: vec![false; in_ports * vcs],
+            sa_winners: vec![None; in_ports],
+            sa_vc_nonspec: vec![false; vcs],
+            sa_vc_spec: vec![false; vcs],
+            sa_out_nonspec: vec![false; in_ports],
+            sa_out_spec: vec![false; in_ports],
         }
     }
 
@@ -288,6 +319,7 @@ impl PcRouter {
                 self.stats.pc_header_reuses += 1;
             }
         }
+        self.in_occupancy[in_port.index()] -= 1;
         self.energy.record(EnergyEvent::BufferRead);
         out.credits.push((in_port, vc));
         self.send(flit, in_port, route, out_vc, out);
@@ -314,6 +346,9 @@ impl PcRouter {
     /// immediately, bypassing SA.
     fn reuse_circuits(&mut self, cycle: u64, out: &mut RouterOutputs) {
         for in_port in 0..self.inputs.len() {
+            if self.in_occupancy[in_port] == 0 {
+                continue; // reuse only drains buffered flits
+            }
             let in_port = PortIndex::new(in_port);
             if self.in_busy[in_port.index()] {
                 continue;
@@ -341,8 +376,7 @@ impl PcRouter {
                     continue; // mismatch: the flit takes the baseline pipeline
                 }
                 let (class, dst) = (flit.class, flit.dst);
-                let Some(out_vc) =
-                    self.allocate_out_vc(pc_route, class, dst, (in_port, vc), true)
+                let Some(out_vc) = self.allocate_out_vc(pc_route, class, dst, (in_port, vc), true)
                 else {
                     continue; // VA failed: baseline pipeline, no penalty
                 };
@@ -358,7 +392,11 @@ impl PcRouter {
                     continue;
                 }
                 let out_vc = ivc.out_vc.expect("routed VC has an output VC");
-                if self.outputs[pc.out_port.index()].credits.available(sub, out_vc) == 0 {
+                if self.outputs[pc.out_port.index()]
+                    .credits
+                    .available(sub, out_vc)
+                    == 0
+                {
                     continue; // per-VC back-pressure; port-level handled in phase A
                 }
             }
@@ -369,17 +407,22 @@ impl PcRouter {
     /// Phase D: arriving flits either take the bypass latch straight to the
     /// crossbar (§IV.B) or are written into their VC buffer.
     fn accept_arrivals(&mut self, cycle: u64, out: &mut RouterOutputs) {
-        let arrivals = std::mem::take(&mut self.arrivals);
-        for (in_port, flit) in arrivals {
+        // Swap into the scratch buffer (both retain capacity) and walk by
+        // index so `self` stays free for the bypass/buffer calls.
+        std::mem::swap(&mut self.arrivals, &mut self.arrivals_scratch);
+        for i in 0..self.arrivals_scratch.len() {
+            let (in_port, flit) = self.arrivals_scratch[i].clone();
             if self.try_bypass(cycle, in_port, &flit, out) {
                 continue;
             }
             self.energy.record(EnergyEvent::BufferWrite);
+            self.in_occupancy[in_port.index()] += 1;
             self.vc_mut(in_port, flit.vc)
                 .fifo
                 .push(flit, cycle + 1)
                 .expect("upstream credits bound buffer occupancy");
         }
+        self.arrivals_scratch.clear();
     }
 
     /// Attempts to forward an arriving flit through the bypass latch.
@@ -436,7 +479,11 @@ impl PcRouter {
                 return false;
             }
             out_vc = ivc.out_vc.expect("routed VC has an output VC");
-            if self.outputs[pc.out_port.index()].credits.available(sub, out_vc) == 0 {
+            if self.outputs[pc.out_port.index()]
+                .credits
+                .available(sub, out_vc)
+                == 0
+            {
                 return false;
             }
             if is_tail {
@@ -468,13 +515,14 @@ impl PcRouter {
     #[allow(clippy::needless_range_loop)] // index used across parallel arrays
     fn allocate_vcs(&mut self, cycle: u64) {
         let vcs = self.partition.total_vcs() as usize;
-        // Gather requests grouped by output port.
-        let mut requests: Vec<Vec<(PortIndex, VcIndex)>> = vec![Vec::new(); self.outputs.len()];
+        // Gather requests grouped by output port (into reused buffers).
+        debug_assert!(self.va_requests.iter().all(|r| r.is_empty()));
         for in_port in 0..self.inputs.len() {
+            if self.in_occupancy[in_port] == 0 {
+                continue; // only buffered headers request VA
+            }
             for vc in 0..vcs {
-                let in_port_i = PortIndex::new(in_port);
-                let vc_i = VcIndex::new(vc);
-                let ivc = self.vc(in_port_i, vc_i);
+                let ivc = &self.inputs[in_port][vc];
                 if ivc.out_vc.is_some() || ivc.route.is_some() {
                     continue;
                 }
@@ -484,20 +532,22 @@ impl PcRouter {
                 if !flit.kind.is_head() {
                     continue;
                 }
-                requests[flit.route.port.index()].push((in_port_i, vc_i));
+                let target = flit.route.port.index();
+                self.va_requests[target].push((PortIndex::new(in_port), VcIndex::new(vc)));
             }
         }
         for out_port in 0..self.outputs.len() {
-            if requests[out_port].is_empty() {
+            if self.va_requests[out_port].is_empty() {
                 continue;
             }
             // Round-robin over the flattened (input port, VC) space.
-            let mut mask = vec![false; self.inputs.len() * vcs];
-            for &(p, v) in &requests[out_port] {
-                mask[p.index() * vcs + v.index()] = true;
+            self.va_mask.fill(false);
+            for i in 0..self.va_requests[out_port].len() {
+                let (p, v) = self.va_requests[out_port][i];
+                self.va_mask[p.index() * vcs + v.index()] = true;
             }
-            while let Some(slot) = self.va_arb[out_port].grant(&mask) {
-                mask[slot] = false;
+            while let Some(slot) = self.va_arb[out_port].grant(&self.va_mask) {
+                self.va_mask[slot] = false;
                 let in_port = PortIndex::new(slot / vcs);
                 let vc = VcIndex::new(slot % vcs);
                 let flit = self
@@ -516,10 +566,11 @@ impl PcRouter {
                     self.stats.va_grants += 1;
                     self.energy.record(EnergyEvent::Arbitration);
                 }
-                if mask.iter().all(|&m| !m) {
+                if self.va_mask.iter().all(|&m| !m) {
                     break;
                 }
             }
+            self.va_requests[out_port].clear();
         }
     }
 
@@ -532,14 +583,16 @@ impl PcRouter {
     fn arbitrate_switch(&mut self, cycle: u64) {
         let vcs = self.partition.total_vcs() as usize;
         // Input-first stage: one winning VC per input port.
-        let mut winners: Vec<Option<(VcIndex, RouteInfo, VcIndex, bool)>> =
-            vec![None; self.inputs.len()];
+        self.sa_winners.fill(None);
         for in_port in 0..self.inputs.len() {
+            if self.in_occupancy[in_port] == 0 {
+                continue; // every SA candidate needs a buffered ready flit
+            }
             let in_port_i = PortIndex::new(in_port);
-            let mut nonspec = vec![false; vcs];
-            let mut spec = vec![false; vcs];
+            self.sa_vc_nonspec.fill(false);
+            self.sa_vc_spec.fill(false);
             for vc in 0..vcs {
-                let ivc = self.vc(in_port_i, VcIndex::new(vc));
+                let ivc = &self.inputs[in_port][vc];
                 let (Some(route), Some(out_vc)) = (ivc.route, ivc.out_vc) else {
                     continue;
                 };
@@ -561,24 +614,28 @@ impl PcRouter {
                     }
                 }
                 let sub = route.hops as usize - 1;
-                if self.outputs[route.port.index()].credits.available(sub, out_vc) == 0 {
+                if self.outputs[route.port.index()]
+                    .credits
+                    .available(sub, out_vc)
+                    == 0
+                {
                     continue;
                 }
                 if ivc.va_cycle == cycle {
-                    spec[vc] = true;
+                    self.sa_vc_spec[vc] = true;
                 } else {
-                    nonspec[vc] = true;
+                    self.sa_vc_nonspec[vc] = true;
                 }
             }
-            let pick = if nonspec.iter().any(|&r| r) {
-                self.in_arb[in_port].grant(&nonspec)
+            let pick = if self.sa_vc_nonspec.iter().any(|&r| r) {
+                self.in_arb[in_port].grant(&self.sa_vc_nonspec)
             } else {
-                self.in_arb[in_port].grant(&spec)
+                self.in_arb[in_port].grant(&self.sa_vc_spec)
             };
             if let Some(vc) = pick {
-                let speculative = spec[vc];
-                let ivc = self.vc(in_port_i, VcIndex::new(vc));
-                winners[in_port] = Some((
+                let speculative = self.sa_vc_spec[vc];
+                let ivc = &self.inputs[in_port][vc];
+                self.sa_winners[in_port] = Some((
                     VcIndex::new(vc),
                     ivc.route.expect("winner has route"),
                     ivc.out_vc.expect("winner has output VC"),
@@ -589,28 +646,28 @@ impl PcRouter {
         // Output stage: one winner per output port, non-speculative first.
         for out_port in 0..self.outputs.len() {
             let out_port_i = PortIndex::new(out_port);
-            let mut nonspec = vec![false; self.inputs.len()];
-            let mut spec = vec![false; self.inputs.len()];
-            for (in_port, w) in winners.iter().enumerate() {
-                if let Some((_, route, _, speculative)) = w {
+            self.sa_out_nonspec.fill(false);
+            self.sa_out_spec.fill(false);
+            for in_port in 0..self.sa_winners.len() {
+                if let Some((_, route, _, speculative)) = self.sa_winners[in_port] {
                     if route.port == out_port_i {
-                        if *speculative {
-                            spec[in_port] = true;
+                        if speculative {
+                            self.sa_out_spec[in_port] = true;
                         } else {
-                            nonspec[in_port] = true;
+                            self.sa_out_nonspec[in_port] = true;
                         }
                     }
                 }
             }
-            let pick = if nonspec.iter().any(|&r| r) {
-                self.out_arb[out_port].grant(&nonspec)
+            let pick = if self.sa_out_nonspec.iter().any(|&r| r) {
+                self.out_arb[out_port].grant(&self.sa_out_nonspec)
             } else {
-                self.out_arb[out_port].grant(&spec)
+                self.out_arb[out_port].grant(&self.sa_out_spec)
             };
             let Some(in_port) = pick else {
                 continue;
             };
-            let (vc, route, out_vc, _) = winners[in_port].expect("picked winner exists");
+            let (vc, route, out_vc, _) = self.sa_winners[in_port].expect("picked winner exists");
             self.outputs[out_port]
                 .credits
                 .consume(route.hops as usize - 1, out_vc);
@@ -676,11 +733,14 @@ impl RouterModel for PcRouter {
 
         // Switch traversal of last cycle's grants (SA has priority over
         // reuse: its connections were established at grant time, so no live
-        // circuit can conflict with these traversals).
-        let grants = std::mem::take(&mut self.st_pending);
-        for g in grants {
+        // circuit can conflict with these traversals). Swapped through the
+        // scratch buffer so both vectors retain their capacity.
+        std::mem::swap(&mut self.st_pending, &mut self.st_scratch);
+        for i in 0..self.st_scratch.len() {
+            let g = self.st_scratch[i];
             self.traverse_from_buffer(cycle, g.in_port, g.vc, false, out);
         }
+        self.st_scratch.clear();
 
         if self.scheme.pseudo_circuit {
             self.reuse_circuits(cycle, out);
@@ -695,6 +755,45 @@ impl RouterModel for PcRouter {
         self.stats.pc_terminations_conflict = self.pcu.terminations_conflict();
         self.stats.pc_terminations_credit = self.pcu.terminations_credit();
         debug_assert!(self.pcu.check_invariants().is_ok());
+    }
+
+    /// Exact step-is-no-op predicate, mirroring every phase of `step`:
+    /// nothing staged or buffered (phases B–F have no work), no live circuit
+    /// that phase A would terminate for credit exhaustion, and no history
+    /// register that phase G would speculatively restore. Arbiters do not
+    /// move on empty request masks, so a skipped step is bit-identical to an
+    /// executed one.
+    fn is_idle(&self) -> bool {
+        if !self.arrivals.is_empty() || !self.st_pending.is_empty() {
+            return false;
+        }
+        if self.in_occupancy.iter().any(|&c| c > 0) {
+            return false;
+        }
+        for out_port in 0..self.outputs.len() {
+            let port = PortIndex::new(out_port);
+            if self.scheme.pseudo_circuit {
+                if let Some(holder) = self.pcu.holder(port) {
+                    let reg = self.pcu.registers(holder);
+                    let sub = reg.hops as usize - 1;
+                    if self.outputs[out_port].credits.available_at_sub(sub) == 0 {
+                        return false; // phase A would terminate this circuit
+                    }
+                }
+            }
+            if self.scheme.speculation && self.pcu.holder(port).is_none() {
+                if let Some(h) = self.pcu.history(port) {
+                    let reg = self.pcu.registers(h);
+                    if !reg.valid && reg.out_port == port {
+                        let sub = reg.hops as usize - 1;
+                        if self.outputs[out_port].credits.available_at_sub(sub) > 0 {
+                            return false; // phase G would restore this circuit
+                        }
+                    }
+                }
+            }
+        }
+        true
     }
 
     fn stats(&self) -> RouterStats {

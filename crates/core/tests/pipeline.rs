@@ -381,7 +381,11 @@ fn o1turn_va_respects_vc_class_partition() {
         let class = (i % 2) as u8;
         let mut f = single_flit(i, 0, (class as usize) * 2); // in-vc within class
         f.class = class;
-        f.mode = if class == 0 { RouteMode::Xy } else { RouteMode::Yx };
+        f.mode = if class == 0 {
+            RouteMode::Xy
+        } else {
+            RouteMode::Yx
+        };
         r.receive_flit(PortIndex::new(0), f);
     }
     let mut sent = Vec::new();

@@ -213,7 +213,10 @@ mod tests {
         let (buffer, crossbar, arbiter) = model.reference_shares().shares();
         // Paper Table II: 23.4% / 76.22% / 0.24%.
         assert!((buffer - 0.234).abs() < 0.005, "buffer share {buffer}");
-        assert!((crossbar - 0.7622).abs() < 0.005, "crossbar share {crossbar}");
+        assert!(
+            (crossbar - 0.7622).abs() < 0.005,
+            "crossbar share {crossbar}"
+        );
         assert!((arbiter - 0.0024).abs() < 0.001, "arbiter share {arbiter}");
     }
 

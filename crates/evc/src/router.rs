@@ -57,6 +57,21 @@ pub struct EvcRouter {
     last_connection: Vec<Option<PortIndex>>,
     stats: RouterStats,
     energy: EnergyCounters,
+    /// Buffered flits per input port across all its VCs; lets the VA/SA
+    /// scans skip empty ports (every candidate there requires a buffered
+    /// flit).
+    in_occupancy: Vec<u32>,
+    // Reusable per-cycle working storage, so `step` never allocates once the
+    // queues reach steady-state capacity.
+    st_scratch: Vec<StGrant>,
+    arrivals_scratch: Vec<(PortIndex, Flit)>,
+    va_requests: Vec<Vec<(PortIndex, VcIndex)>>,
+    va_mask: Vec<bool>,
+    sa_winners: Vec<Option<(VcIndex, RouteInfo, VcIndex, bool)>>,
+    sa_vc_nonspec: Vec<bool>,
+    sa_vc_spec: Vec<bool>,
+    sa_out_nonspec: Vec<bool>,
+    sa_out_spec: Vec<bool>,
 }
 
 impl EvcRouter {
@@ -73,7 +88,10 @@ impl EvcRouter {
             1,
             "EVC requires a single-class routing policy (XY or YX)"
         );
-        assert!(config.vcs_per_port.is_multiple_of(2), "EVC splits VCs in half");
+        assert!(
+            config.vcs_per_port.is_multiple_of(2),
+            "EVC splits VCs in half"
+        );
         assert!(l_max >= 2, "express segments span at least two hops");
         let in_ports = topo.in_ports(id);
         let out_ports = topo.out_ports(id);
@@ -111,16 +129,32 @@ impl EvcRouter {
             l_max,
             inputs,
             outputs,
-            st_pending: Vec::new(),
-            arrivals: Vec::new(),
+            // Reserved to structural maxima so steady-state stepping never
+            // allocates (tests/zero_alloc.rs).
+            st_pending: Vec::with_capacity(in_ports),
+            arrivals: Vec::with_capacity(in_ports),
             in_busy: vec![false; in_ports],
             out_busy: vec![false; out_ports],
             in_arb: (0..in_ports).map(|_| RrArbiter::new(vcs)).collect(),
-            va_arb: (0..out_ports).map(|_| RrArbiter::new(in_ports * vcs)).collect(),
+            va_arb: (0..out_ports)
+                .map(|_| RrArbiter::new(in_ports * vcs))
+                .collect(),
             out_arb: (0..out_ports).map(|_| RrArbiter::new(in_ports)).collect(),
             last_connection: vec![None; in_ports],
             stats: RouterStats::default(),
             energy: EnergyCounters::default(),
+            in_occupancy: vec![0; in_ports],
+            st_scratch: Vec::with_capacity(in_ports),
+            arrivals_scratch: Vec::with_capacity(in_ports),
+            va_requests: (0..out_ports)
+                .map(|_| Vec::with_capacity(in_ports * vcs))
+                .collect(),
+            va_mask: vec![false; in_ports * vcs],
+            sa_winners: vec![None; in_ports],
+            sa_vc_nonspec: vec![false; vcs],
+            sa_vc_spec: vec![false; vcs],
+            sa_out_nonspec: vec![false; in_ports],
+            sa_out_spec: vec![false; in_ports],
         }
     }
 
@@ -244,7 +278,13 @@ impl EvcRouter {
         });
     }
 
-    fn traverse_from_buffer(&mut self, cycle: u64, in_port: PortIndex, vc: VcIndex, out: &mut RouterOutputs) {
+    fn traverse_from_buffer(
+        &mut self,
+        cycle: u64,
+        in_port: PortIndex,
+        vc: VcIndex,
+        out: &mut RouterOutputs,
+    ) {
         let ivc = self.vc_mut(in_port, vc);
         let buffered = ivc.fifo.pop().expect("granted VC has a flit");
         debug_assert!(buffered.ready_at <= cycle);
@@ -259,6 +299,7 @@ impl EvcRouter {
             ivc.express = false;
             self.outputs[route.port.index()].alloc.free(out_vc);
         }
+        self.in_occupancy[in_port.index()] -= 1;
         self.energy.record(EnergyEvent::BufferRead);
         out.credits.push((in_port, vc));
         let hops_flag = if express { self.l_max - 1 } else { 0 };
@@ -292,7 +333,9 @@ impl EvcRouter {
             if !port.alloc.is_free(vc) || port.credits.available(sub, vc) == 0 {
                 return false;
             }
-            self.outputs[route.port.index()].alloc.allocate(vc, (in_port, vc));
+            self.outputs[route.port.index()]
+                .alloc
+                .allocate(vc, (in_port, vc));
             if !is_tail {
                 let ivc = self.vc_mut(in_port, vc);
                 ivc.route = Some(route);
@@ -319,20 +362,16 @@ impl EvcRouter {
         self.outputs[route.port.index()].credits.consume(sub, vc);
         self.stats.express_bypasses += 1;
         out.credits.push((in_port, vc));
-        self.send(
-            flit.clone(),
-            in_port,
-            route,
-            vc,
-            flit.express_hops - 1,
-            out,
-        );
+        self.send(flit.clone(), in_port, route, vc, flit.express_hops - 1, out);
         true
     }
 
     fn accept_arrivals(&mut self, cycle: u64, out: &mut RouterOutputs) {
-        let arrivals = std::mem::take(&mut self.arrivals);
-        for (in_port, flit) in arrivals {
+        // Swap into the scratch buffer (both retain capacity) and walk by
+        // index so `self` stays free for the latch/buffer calls.
+        std::mem::swap(&mut self.arrivals, &mut self.arrivals_scratch);
+        for i in 0..self.arrivals_scratch.len() {
+            let (in_port, flit) = self.arrivals_scratch[i].clone();
             if self.try_latch(in_port, &flit, out) {
                 continue;
             }
@@ -340,23 +379,26 @@ impl EvcRouter {
             // express stream that stalls here continues hop-by-hop; its
             // pass-through claim becomes an ordinary buffered packet claim.
             self.energy.record(EnergyEvent::BufferWrite);
+            self.in_occupancy[in_port.index()] += 1;
             let ivc = self.vc_mut(in_port, flit.vc);
             ivc.pass_through = false;
             ivc.fifo
                 .push(flit, cycle + 1)
                 .expect("upstream credits bound buffer occupancy");
         }
+        self.arrivals_scratch.clear();
     }
 
     #[allow(clippy::needless_range_loop)] // index used across parallel arrays
     fn allocate_vcs(&mut self, cycle: u64) {
         let vcs = self.vcs;
-        let mut requests: Vec<Vec<(PortIndex, VcIndex)>> = vec![Vec::new(); self.outputs.len()];
+        debug_assert!(self.va_requests.iter().all(|r| r.is_empty()));
         for in_port in 0..self.inputs.len() {
+            if self.in_occupancy[in_port] == 0 {
+                continue; // only buffered headers request VA
+            }
             for vc in 0..vcs {
-                let in_port_i = PortIndex::new(in_port);
-                let vc_i = VcIndex::new(vc);
-                let ivc = self.vc(in_port_i, vc_i);
+                let ivc = &self.inputs[in_port][vc];
                 if ivc.out_vc.is_some() || ivc.route.is_some() {
                     continue;
                 }
@@ -366,19 +408,21 @@ impl EvcRouter {
                 if !flit.kind.is_head() {
                     continue;
                 }
-                requests[flit.route.port.index()].push((in_port_i, vc_i));
+                let target = flit.route.port.index();
+                self.va_requests[target].push((PortIndex::new(in_port), VcIndex::new(vc)));
             }
         }
         for out_port in 0..self.outputs.len() {
-            if requests[out_port].is_empty() {
+            if self.va_requests[out_port].is_empty() {
                 continue;
             }
-            let mut mask = vec![false; self.inputs.len() * vcs];
-            for &(p, v) in &requests[out_port] {
-                mask[p.index() * vcs + v.index()] = true;
+            self.va_mask.fill(false);
+            for i in 0..self.va_requests[out_port].len() {
+                let (p, v) = self.va_requests[out_port][i];
+                self.va_mask[p.index() * vcs + v.index()] = true;
             }
-            while let Some(slot) = self.va_arb[out_port].grant(&mask) {
-                mask[slot] = false;
+            while let Some(slot) = self.va_arb[out_port].grant(&self.va_mask) {
+                self.va_mask[slot] = false;
                 let in_port = PortIndex::new(slot / vcs);
                 let vc = VcIndex::new(slot % vcs);
                 let flit = self
@@ -398,24 +442,26 @@ impl EvcRouter {
                     self.stats.va_grants += 1;
                     self.energy.record(EnergyEvent::Arbitration);
                 }
-                if mask.iter().all(|&m| !m) {
+                if self.va_mask.iter().all(|&m| !m) {
                     break;
                 }
             }
+            self.va_requests[out_port].clear();
         }
     }
 
     #[allow(clippy::needless_range_loop)] // index used across parallel arrays
     fn arbitrate_switch(&mut self, cycle: u64) {
         let vcs = self.vcs;
-        let mut winners: Vec<Option<(VcIndex, RouteInfo, VcIndex, bool)>> =
-            vec![None; self.inputs.len()];
+        self.sa_winners.fill(None);
         for in_port in 0..self.inputs.len() {
-            let in_port_i = PortIndex::new(in_port);
-            let mut nonspec = vec![false; vcs];
-            let mut spec = vec![false; vcs];
+            if self.in_occupancy[in_port] == 0 {
+                continue; // every SA candidate needs a buffered ready flit
+            }
+            self.sa_vc_nonspec.fill(false);
+            self.sa_vc_spec.fill(false);
             for vc in 0..vcs {
-                let ivc = self.vc(in_port_i, VcIndex::new(vc));
+                let ivc = &self.inputs[in_port][vc];
                 if ivc.pass_through {
                     continue;
                 }
@@ -426,24 +472,28 @@ impl EvcRouter {
                     continue;
                 }
                 let sub = route.hops as usize - 1;
-                if self.outputs[route.port.index()].credits.available(sub, out_vc) == 0 {
+                if self.outputs[route.port.index()]
+                    .credits
+                    .available(sub, out_vc)
+                    == 0
+                {
                     continue;
                 }
                 if ivc.va_cycle == cycle {
-                    spec[vc] = true;
+                    self.sa_vc_spec[vc] = true;
                 } else {
-                    nonspec[vc] = true;
+                    self.sa_vc_nonspec[vc] = true;
                 }
             }
-            let pick = if nonspec.iter().any(|&r| r) {
-                self.in_arb[in_port].grant(&nonspec)
+            let pick = if self.sa_vc_nonspec.iter().any(|&r| r) {
+                self.in_arb[in_port].grant(&self.sa_vc_nonspec)
             } else {
-                self.in_arb[in_port].grant(&spec)
+                self.in_arb[in_port].grant(&self.sa_vc_spec)
             };
             if let Some(vc) = pick {
-                let speculative = spec[vc];
-                let ivc = self.vc(in_port_i, VcIndex::new(vc));
-                winners[in_port] = Some((
+                let speculative = self.sa_vc_spec[vc];
+                let ivc = &self.inputs[in_port][vc];
+                self.sa_winners[in_port] = Some((
                     VcIndex::new(vc),
                     ivc.route.expect("winner has route"),
                     ivc.out_vc.expect("winner has output VC"),
@@ -453,28 +503,28 @@ impl EvcRouter {
         }
         for out_port in 0..self.outputs.len() {
             let out_port_i = PortIndex::new(out_port);
-            let mut nonspec = vec![false; self.inputs.len()];
-            let mut spec = vec![false; self.inputs.len()];
-            for (in_port, w) in winners.iter().enumerate() {
-                if let Some((_, route, _, speculative)) = w {
+            self.sa_out_nonspec.fill(false);
+            self.sa_out_spec.fill(false);
+            for in_port in 0..self.sa_winners.len() {
+                if let Some((_, route, _, speculative)) = self.sa_winners[in_port] {
                     if route.port == out_port_i {
-                        if *speculative {
-                            spec[in_port] = true;
+                        if speculative {
+                            self.sa_out_spec[in_port] = true;
                         } else {
-                            nonspec[in_port] = true;
+                            self.sa_out_nonspec[in_port] = true;
                         }
                     }
                 }
             }
-            let pick = if nonspec.iter().any(|&r| r) {
-                self.out_arb[out_port].grant(&nonspec)
+            let pick = if self.sa_out_nonspec.iter().any(|&r| r) {
+                self.out_arb[out_port].grant(&self.sa_out_nonspec)
             } else {
-                self.out_arb[out_port].grant(&spec)
+                self.out_arb[out_port].grant(&self.sa_out_spec)
             };
             let Some(in_port) = pick else {
                 continue;
             };
-            let (vc, route, out_vc, _) = winners[in_port].expect("picked winner exists");
+            let (vc, route, out_vc, _) = self.sa_winners[in_port].expect("picked winner exists");
             self.outputs[out_port]
                 .credits
                 .consume(route.hops as usize - 1, out_vc);
@@ -502,13 +552,25 @@ impl RouterModel for EvcRouter {
     fn step(&mut self, cycle: u64, out: &mut RouterOutputs) {
         self.in_busy.fill(false);
         self.out_busy.fill(false);
-        let grants = std::mem::take(&mut self.st_pending);
-        for g in grants {
+        std::mem::swap(&mut self.st_pending, &mut self.st_scratch);
+        for i in 0..self.st_scratch.len() {
+            let g = self.st_scratch[i];
             self.traverse_from_buffer(cycle, g.in_port, g.vc, out);
         }
+        self.st_scratch.clear();
         self.accept_arrivals(cycle, out);
         self.allocate_vcs(cycle);
         self.arbitrate_switch(cycle);
+    }
+
+    /// Exact step-is-no-op predicate: with nothing staged or buffered, every
+    /// phase of `step` falls through without touching observable state
+    /// (pass-through VC claims are inert until a flit arrives, and arbiters
+    /// do not move on empty request masks).
+    fn is_idle(&self) -> bool {
+        self.arrivals.is_empty()
+            && self.st_pending.is_empty()
+            && self.in_occupancy.iter().all(|&c| c == 0)
     }
 
     fn stats(&self) -> RouterStats {

@@ -64,7 +64,11 @@ fn express_flit_latches_in_its_arrival_cycle() {
     assert_eq!(sent[0].out_port, EAST);
     assert_eq!(sent[0].flit.express_hops, 0, "hop count decremented");
     assert_eq!(r.stats().express_bypasses, 1);
-    assert_eq!(r.energy().buffer_writes, 0, "no buffering on the latch path");
+    assert_eq!(
+        r.energy().buffer_writes,
+        0,
+        "no buffering on the latch path"
+    );
 }
 
 #[test]
@@ -117,7 +121,11 @@ fn latch_fails_without_credit_and_falls_back() {
         sent += step(&mut r, c).len();
     }
     assert_eq!(sent, 1, "fallback flit delivered hop-by-hop");
-    assert_eq!(r.stats().express_bypasses, 4, "the stalled flit was not a bypass");
+    assert_eq!(
+        r.stats().express_bypasses,
+        4,
+        "the stalled flit was not a bypass"
+    );
 }
 
 #[test]

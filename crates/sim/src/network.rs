@@ -4,6 +4,13 @@
 //! router or network interface emits at cycle `c` is delivered at `c + 1`
 //! (one-cycle link and credit-return latency), so evaluation order within a
 //! cycle cannot leak information between components.
+//!
+//! The hot loop runs on precomputed state only. At construction every
+//! topology lookup is flattened into [`FlatWiring`] and [`DistanceMatrix`]
+//! index tables, events travel through typed double-buffered queues (no enum
+//! dispatch, capacity reused across cycles), and an active-router worklist
+//! skips the `step` of routers that are provably quiescent. In steady state
+//! the loop performs zero heap allocations.
 
 use crate::ni::{NetworkInterface, NiOutputs};
 use crate::router::{RouterBuildContext, RouterFactory, RouterModel, RouterOutputs};
@@ -12,44 +19,21 @@ use crate::{NetworkConfig, RunSpec};
 use noc_base::rng::splitmix64;
 use noc_base::{Credit, Flit, NodeId, PacketId, PortIndex, RouterId};
 use noc_energy::EnergyCounters;
-use noc_topology::SharedTopology;
+use noc_topology::{DistanceMatrix, FlatWiring, PortFeeder, SharedTopology};
 use noc_traffic::TrafficModel;
-use std::collections::HashMap;
 
-/// Where a credit emitted by a router input port must be delivered.
-#[derive(Copy, Clone, Debug)]
-enum CreditSink {
-    /// Upstream router output port, at multidrop position `sub`.
-    Router {
-        router: RouterId,
-        out_port: PortIndex,
-        sub: u8,
-    },
-    /// The network interface that injects into this input port.
-    Node(NodeId),
-}
-
-/// An event in flight on the (one-cycle) link fabric.
-#[derive(Debug)]
-enum Event {
-    FlitToRouter {
-        router: RouterId,
-        port: PortIndex,
-        flit: Flit,
-    },
-    FlitToNode {
-        node: NodeId,
-        flit: Flit,
-    },
-    CreditToRouter {
-        router: RouterId,
-        out_port: PortIndex,
-        credit: Credit,
-    },
-    CreditToNode {
-        node: NodeId,
-        credit: Credit,
-    },
+/// Events in flight on the (one-cycle) link fabric, split by kind so each is
+/// a flat tuple drained without enum dispatch. Within a delivery phase the
+/// four kinds commute (`receive_flit`/`receive_credit` only buffer and count;
+/// no component steps until every event has landed), so draining them
+/// queue-by-queue is behaviourally identical to the interleaved order in
+/// which they were emitted.
+#[derive(Default, Debug)]
+struct EventQueues {
+    router_flits: Vec<(RouterId, PortIndex, Flit)>,
+    node_flits: Vec<(NodeId, Flit)>,
+    router_credits: Vec<(RouterId, PortIndex, Credit)>,
+    node_credits: Vec<(NodeId, Credit)>,
 }
 
 /// A fully wired network plus its workload: the top-level simulation object.
@@ -59,9 +43,17 @@ pub struct Simulation {
     routers: Vec<Box<dyn RouterModel>>,
     nis: Vec<NetworkInterface>,
     traffic: Box<dyn TrafficModel>,
-    credit_sinks: HashMap<(RouterId, PortIndex), CreditSink>,
-    now: Vec<Event>,
-    next: Vec<Event>,
+    /// Flattened forward/reverse wiring (links, credit sinks, attachments).
+    wiring: FlatWiring,
+    /// All-pairs minimal hops for delivery statistics.
+    dist: DistanceMatrix,
+    /// Events being delivered this cycle (drained, capacity retained).
+    now: EventQueues,
+    /// Events emitted this cycle for delivery next cycle.
+    next: EventQueues,
+    /// Worklist flags: router received an event this cycle, so its `step`
+    /// must run even if its externally visible state looks idle.
+    active: Vec<bool>,
     cycle: u64,
     next_packet_id: u64,
     stats: SimStats,
@@ -72,7 +64,8 @@ pub struct Simulation {
 
 impl Simulation {
     /// Builds a simulation: validates the topology, constructs one router
-    /// per topology node via `factory`, and attaches network interfaces.
+    /// per topology node via `factory`, attaches network interfaces, and
+    /// precomputes the flat wiring tables the hot loop runs on.
     ///
     /// # Panics
     ///
@@ -107,34 +100,27 @@ impl Simulation {
             })
             .collect();
 
-        // Reverse wiring: which sink receives the credit emitted when an
-        // input port's buffer slot frees.
-        let mut credit_sinks = HashMap::new();
-        for r in 0..topo.num_routers() {
-            let router = RouterId::new(r);
-            for out in topo.concentration()..topo.out_ports(router) {
-                let out = PortIndex::new(out);
-                for hop in 1..=topo.channel_len(router, out) {
-                    if let Some(end) = topo.link(router, out, hop) {
-                        credit_sinks.insert(
-                            (end.router, end.port),
-                            CreditSink::Router {
-                                router,
-                                out_port: out,
-                                sub: hop - 1,
-                            },
-                        );
-                    }
-                }
-            }
-            // Local input ports return credits to the injecting interface.
-            for p in 0..topo.concentration() {
-                let port = PortIndex::new(p);
-                if let Some(node) = topo.node_at(router, port) {
-                    credit_sinks.insert((router, port), CreditSink::Node(node));
-                }
-            }
-        }
+        let wiring = FlatWiring::new(topo.as_ref());
+        let dist = DistanceMatrix::new(topo.as_ref());
+        let active = vec![false; routers.len()];
+
+        // Reserve the shared per-cycle emission buffers to their structural
+        // maxima — a router emits at most one flit per output port and one
+        // credit per (input port, VC) per cycle — so the hot loop never grows
+        // them (tests/zero_alloc.rs).
+        let max_out = (0..topo.num_routers())
+            .map(|r| topo.out_ports(RouterId::new(r)))
+            .max()
+            .unwrap_or(0);
+        let max_in = (0..topo.num_routers())
+            .map(|r| topo.in_ports(RouterId::new(r)))
+            .max()
+            .unwrap_or(0);
+        let mut router_out = RouterOutputs::default();
+        router_out.flits.reserve(max_out);
+        router_out
+            .credits
+            .reserve(max_in * config.vcs_per_port as usize);
 
         Self {
             topo,
@@ -142,13 +128,15 @@ impl Simulation {
             routers,
             nis,
             traffic,
-            credit_sinks,
-            now: Vec::new(),
-            next: Vec::new(),
+            wiring,
+            dist,
+            now: EventQueues::default(),
+            next: EventQueues::default(),
+            active,
             cycle: 0,
             next_packet_id: 0,
             stats: SimStats::new(0, u64::MAX),
-            router_out: RouterOutputs::default(),
+            router_out,
             ni_out: NiOutputs::default(),
             request_buf: Vec::new(),
         }
@@ -167,6 +155,11 @@ impl Simulation {
     /// The topology driving the wiring.
     pub fn topology(&self) -> &SharedTopology {
         &self.topo
+    }
+
+    /// The precomputed wiring tables the engine routes events through.
+    pub fn wiring(&self) -> &FlatWiring {
+        &self.wiring
     }
 
     /// Read access to one router (for white-box tests).
@@ -190,26 +183,21 @@ impl Simulation {
         let cycle = self.cycle;
         std::mem::swap(&mut self.now, &mut self.next);
 
-        // Phase 1: deliver events arriving this cycle.
-        for event in self.now.drain(..) {
-            match event {
-                Event::FlitToRouter { router, port, flit } => {
-                    self.routers[router.index()].receive_flit(port, flit);
-                }
-                Event::FlitToNode { node, flit } => {
-                    self.nis[node.index()].receive_flit(cycle, flit);
-                }
-                Event::CreditToRouter {
-                    router,
-                    out_port,
-                    credit,
-                } => {
-                    self.routers[router.index()].receive_credit(out_port, credit);
-                }
-                Event::CreditToNode { node, credit } => {
-                    self.nis[node.index()].receive_credit(credit);
-                }
-            }
+        // Phase 1: deliver events arriving this cycle. Routers receiving an
+        // event join the worklist for phase 4.
+        for (router, port, flit) in self.now.router_flits.drain(..) {
+            self.active[router.index()] = true;
+            self.routers[router.index()].receive_flit(port, flit);
+        }
+        for (node, flit) in self.now.node_flits.drain(..) {
+            self.nis[node.index()].receive_flit(cycle, flit);
+        }
+        for (router, out_port, credit) in self.now.router_credits.drain(..) {
+            self.active[router.index()] = true;
+            self.routers[router.index()].receive_credit(out_port, credit);
+        }
+        for (node, credit) in self.now.node_credits.drain(..) {
+            self.nis[node.index()].receive_credit(credit);
         }
 
         // Phase 2: workload generation into source queues.
@@ -232,86 +220,78 @@ impl Simulation {
         for ni in &mut self.nis {
             self.ni_out.clear();
             ni.step(cycle, &mut self.ni_out);
-            let node = ni.node();
-            let router = self.topo.router_of(node);
-            let local = self.topo.local_port(node);
+            let (router, local) = self.wiring.attach_of(ni.node());
             if let Some(flit) = self.ni_out.flit.take() {
-                self.next.push(Event::FlitToRouter {
-                    router,
-                    port: local,
-                    flit,
-                });
+                self.next.router_flits.push((router, local, flit));
             }
             for vc in self.ni_out.credits.drain(..) {
-                self.next.push(Event::CreditToRouter {
-                    router,
-                    out_port: local,
-                    credit: Credit::new(vc),
-                });
+                self.next
+                    .router_credits
+                    .push((router, local, Credit::new(vc)));
             }
         }
 
-        // Phase 4: routers advance and emit.
+        // Phase 4: routers advance and emit. A router is skipped only when
+        // it received no event this cycle AND its own model certifies that
+        // `step` would be a no-op — so skipping cannot change behaviour.
         for r in 0..self.routers.len() {
+            let scheduled = std::mem::replace(&mut self.active[r], false);
+            if !scheduled && self.routers[r].is_idle() {
+                continue;
+            }
             let router = RouterId::new(r);
             self.router_out.clear();
             self.routers[r].step(cycle, &mut self.router_out);
             for sent in self.router_out.flits.drain(..) {
-                if sent.out_port.index() < self.topo.concentration() {
+                if sent.out_port.index() < self.wiring.concentration() {
                     let node = self
-                        .topo
-                        .node_at(router, sent.out_port)
+                        .wiring
+                        .eject_node(router, sent.out_port)
                         .unwrap_or_else(|| panic!("{router} ejects on unattached port"));
                     debug_assert_eq!(sent.flit.dst, node, "misrouted ejection at {router}");
-                    self.next.push(Event::FlitToNode {
-                        node,
-                        flit: sent.flit,
-                    });
+                    self.next.node_flits.push((node, sent.flit));
                 } else {
-                    let end = self
-                        .topo
-                        .link(router, sent.out_port, sent.hops)
-                        .unwrap_or_else(|| {
-                            panic!(
-                                "{router} sent flit on dead channel {} hop {}",
-                                sent.out_port, sent.hops
-                            )
-                        });
-                    self.next.push(Event::FlitToRouter {
-                        router: end.router,
-                        port: end.port,
-                        flit: sent.flit,
-                    });
+                    let end = self.wiring.link(router, sent.out_port, sent.hops);
+                    self.next
+                        .router_flits
+                        .push((end.router, end.port, sent.flit));
                 }
             }
             for (in_port, vc) in self.router_out.credits.drain(..) {
-                match self.credit_sinks.get(&(router, in_port)) {
-                    Some(&CreditSink::Router {
+                match self.wiring.feeder(router, in_port) {
+                    PortFeeder::Channel {
                         router: up,
                         out_port,
                         sub,
-                    }) => self.next.push(Event::CreditToRouter {
-                        router: up,
-                        out_port,
-                        credit: Credit { vc, sub },
-                    }),
-                    Some(&CreditSink::Node(node)) => self.next.push(Event::CreditToNode {
-                        node,
-                        credit: Credit::new(vc),
-                    }),
-                    None => panic!("{router} returned credit on unwired input {in_port}"),
+                    } => self
+                        .next
+                        .router_credits
+                        .push((up, out_port, Credit { vc, sub })),
+                    PortFeeder::Node(node) => {
+                        self.next.node_credits.push((node, Credit::new(vc)));
+                    }
+                    PortFeeder::None => {
+                        panic!("{router} returned credit on unwired input {in_port}")
+                    }
                 }
             }
         }
 
         // Phase 5: completed deliveries feed statistics and the (possibly
         // closed-loop) workload.
-        for n in 0..self.nis.len() {
-            for packet in self.nis[n].drain_delivered() {
+        let Simulation {
+            nis,
+            stats,
+            traffic,
+            dist,
+            ..
+        } = self;
+        for ni in nis.iter_mut() {
+            for packet in ni.drain_delivered() {
                 // Minimal routing: actual hops equal the topological minimum.
-                let hops = self.topo.min_hops(packet.src, packet.dst);
-                self.stats.on_delivered(&packet, hops);
-                self.traffic.deliver(cycle, &packet);
+                let hops = dist.get(packet.src, packet.dst);
+                stats.on_delivered(&packet, hops);
+                traffic.deliver(cycle, &packet);
             }
         }
 

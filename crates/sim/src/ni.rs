@@ -251,9 +251,12 @@ impl NetworkInterface {
         out.flit = Some(flit);
     }
 
-    /// Removes and returns packets fully delivered this cycle.
-    pub fn drain_delivered(&mut self) -> Vec<DeliveredPacket> {
-        std::mem::take(&mut self.delivered)
+    /// Removes and returns packets fully delivered this cycle. Draining in
+    /// place (rather than handing out a fresh `Vec`) keeps the delivery
+    /// buffer's capacity across cycles, so steady-state delivery allocates
+    /// nothing.
+    pub fn drain_delivered(&mut self) -> std::vec::Drain<'_, DeliveredPacket> {
+        self.delivered.drain(..)
     }
 
     fn pick_injection_vc(&self, class: u8, dst: NodeId) -> Option<VcIndex> {
@@ -386,7 +389,7 @@ mod tests {
         ni.receive_flit(21, mk(2, 0, 2, 1));
         ni.receive_flit(22, mk(1, 1, 2, 0));
         ni.receive_flit(23, mk(2, 1, 2, 1));
-        let done = ni.drain_delivered();
+        let done: Vec<_> = ni.drain_delivered().collect();
         assert_eq!(done.len(), 2);
         assert_eq!(done[0].id, PacketId::new(1));
         assert_eq!(done[0].delivered_at, 22);

@@ -160,6 +160,16 @@ pub trait RouterModel: Send {
     /// Advances one cycle, pushing outgoing flits and credits into `out`.
     fn step(&mut self, cycle: u64, out: &mut RouterOutputs);
 
+    /// Whether `step` would be a provable no-op this cycle: no buffered or
+    /// staged flits, no in-flight internal state, and no pending state
+    /// transition (e.g. a circuit termination or speculative restore) that
+    /// would fire. The engine skips `step` for routers that are idle and
+    /// received no event this cycle, so an inexact `true` changes simulated
+    /// behaviour; the conservative default keeps every router stepping.
+    fn is_idle(&self) -> bool {
+        false
+    }
+
     /// Cumulative statistics.
     fn stats(&self) -> RouterStats;
 

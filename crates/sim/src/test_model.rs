@@ -100,6 +100,12 @@ impl RouterModel for WireRouter {
         }
     }
 
+    /// Exact step-is-no-op predicate: with nothing staged and an empty
+    /// pipeline, `step` drains nothing and emits nothing.
+    fn is_idle(&self) -> bool {
+        self.staged.is_empty() && self.pipeline.is_empty()
+    }
+
     fn stats(&self) -> RouterStats {
         self.stats
     }
@@ -174,7 +180,13 @@ mod tests {
         // (1 link + 1 router), finally NI ejection link +1.
         let topo = Arc::new(Mesh::new(4, 1, 1));
         let script = Script(vec![(0, 0, 3, 1)]);
-        let mut sim = Simulation::new(topo, config(), Box::new(script), &WireRouterFactory::default(), 1);
+        let mut sim = Simulation::new(
+            topo,
+            config(),
+            Box::new(script),
+            &WireRouterFactory::default(),
+            1,
+        );
         let report = sim.run(RunSpec::new(0, 10, 100));
         assert_eq!(report.measured_delivered, 1);
         // inject(0) -> r0 arrive 1, depart 2 -> r1 arrive 3, depart 4 ->
@@ -187,7 +199,13 @@ mod tests {
     fn same_router_delivery_works() {
         let topo = Arc::new(Mesh::new(2, 2, 2));
         let script = Script(vec![(0, 0, 1, 2)]);
-        let mut sim = Simulation::new(topo, config(), Box::new(script), &WireRouterFactory::default(), 1);
+        let mut sim = Simulation::new(
+            topo,
+            config(),
+            Box::new(script),
+            &WireRouterFactory::default(),
+            1,
+        );
         let report = sim.run(RunSpec::new(0, 10, 50));
         assert_eq!(report.measured_delivered, 1);
         // inject head 0/tail 1; tail: arrive router 2, depart 3, NI 4.
@@ -227,7 +245,13 @@ mod tests {
         // returned; delivery of a 64-flit packet proves the credit loop.
         let topo = Arc::new(Mesh::new(2, 1, 1));
         let script = Script(vec![(0, 0, 1, 64)]);
-        let mut sim = Simulation::new(topo, config(), Box::new(script), &WireRouterFactory::default(), 1);
+        let mut sim = Simulation::new(
+            topo,
+            config(),
+            Box::new(script),
+            &WireRouterFactory::default(),
+            1,
+        );
         let report = sim.run(RunSpec::new(0, 200, 600));
         assert_eq!(report.measured_delivered, 1);
         assert!(report.drained);
@@ -239,7 +263,13 @@ mod tests {
         // locality hits at intermediate routers.
         let topo = Arc::new(Mesh::new(3, 1, 1));
         let script = Script(vec![(0, 0, 2, 2), (10, 0, 2, 2)]);
-        let mut sim = Simulation::new(topo, config(), Box::new(script), &WireRouterFactory::default(), 1);
+        let mut sim = Simulation::new(
+            topo,
+            config(),
+            Box::new(script),
+            &WireRouterFactory::default(),
+            1,
+        );
         let report = sim.run(RunSpec::new(0, 40, 100));
         assert_eq!(report.measured_delivered, 2);
         let s = report.router_stats;
@@ -255,7 +285,13 @@ mod tests {
         // On MECS, 0 -> 3 in one row is a single express hop of distance 3.
         let topo = Arc::new(Mecs::new(4, 1, 1));
         let script = Script(vec![(0, 0, 3, 1)]);
-        let mut sim = Simulation::new(topo, config(), Box::new(script), &WireRouterFactory::default(), 1);
+        let mut sim = Simulation::new(
+            topo,
+            config(),
+            Box::new(script),
+            &WireRouterFactory::default(),
+            1,
+        );
         let report = sim.run(RunSpec::new(0, 10, 50));
         assert_eq!(report.measured_delivered, 1);
         // inject 0 -> r0 at 1, depart 2 -> r3 at 3, depart 4 -> NI 5.
@@ -274,7 +310,10 @@ mod tests {
             4,
         );
         let report = sim.run(RunSpec::new(100, 2000, 2_000));
-        assert!(report.throughput > 0.05 && report.throughput < 0.2,
-            "throughput {} should approximate offered load 0.1", report.throughput);
+        assert!(
+            report.throughput > 0.05 && report.throughput < 0.2,
+            "throughput {} should approximate offered load 0.1",
+            report.throughput
+        );
     }
 }

@@ -167,8 +167,8 @@ impl Topology for FlattenedButterfly {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{average_min_hops, validate, walk_route};
     use crate::Mesh;
+    use crate::{average_min_hops, validate, walk_route};
 
     #[test]
     fn wiring_is_consistent() {
@@ -221,7 +221,7 @@ mod tests {
     fn port_layout_covers_row_and_column() {
         let t = FlattenedButterfly::new(4, 4, 1);
         let r5 = RouterId::new(5); // (1,1)
-        // 1 local + 3 row + 3 column ports.
+                                   // 1 local + 3 row + 3 column ports.
         assert_eq!(t.out_ports(r5), 7);
         let mut targets = std::collections::HashSet::new();
         for p in 1..7 {

@@ -32,10 +32,12 @@
 mod fbfly;
 mod mecs;
 mod mesh;
+mod wiring;
 
 pub use fbfly::FlattenedButterfly;
 pub use mecs::Mecs;
 pub use mesh::Mesh;
+pub use wiring::{DistanceMatrix, FlatWiring, PortFeeder};
 
 use noc_base::{NodeId, PortIndex, RouteInfo, RouteMode, RouterId};
 use std::sync::Arc;
@@ -170,7 +172,10 @@ pub fn validate(topo: &dyn Topology) -> Result<(), String> {
                     ));
                 };
                 if end.router.index() >= topo.num_routers() {
-                    return Err(format!("{router} out {out} hop {hop} -> bad {0}", end.router));
+                    return Err(format!(
+                        "{router} out {out} hop {hop} -> bad {0}",
+                        end.router
+                    ));
                 }
                 if end.port.index() >= topo.in_ports(end.router) {
                     return Err(format!(

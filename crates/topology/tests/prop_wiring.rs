@@ -1,0 +1,143 @@
+//! Property-based tests for the flattened wiring tables: for every generated
+//! topology, [`FlatWiring`] and [`DistanceMatrix`] must agree with the
+//! dynamic [`Topology`] trait at every (router, port) and node pair — the
+//! tables are exactly the lookups the engine no longer performs per event,
+//! so any disagreement here is a miswired network.
+
+use noc_base::{NodeId, PortIndex, RouterId};
+use noc_topology::{
+    DistanceMatrix, FlatWiring, FlattenedButterfly, Mecs, Mesh, PortFeeder, Topology,
+};
+use proptest::prelude::*;
+
+/// Checks the forward table (`link`), the eject/attach maps, and — by
+/// inverting the topology's own link enumeration — the reverse (credit-sink)
+/// table, for every single (router, port) of `topo`.
+fn check_wiring(topo: &dyn Topology) -> Result<(), TestCaseError> {
+    let wiring = FlatWiring::new(topo);
+    prop_assert_eq!(wiring.concentration(), topo.concentration());
+
+    for r in 0..topo.num_routers() {
+        let router = RouterId::new(r);
+        prop_assert_eq!(wiring.in_ports(router), topo.in_ports(router));
+        prop_assert_eq!(wiring.out_ports(router), topo.out_ports(router));
+
+        // Forward wiring: every connected (out channel, drop position).
+        for out in topo.concentration()..topo.out_ports(router) {
+            let out_port = PortIndex::new(out);
+            for hop in 1..=topo.channel_len(router, out_port) {
+                if let Some(end) = topo.link(router, out_port, hop) {
+                    prop_assert_eq!(
+                        wiring.link(router, out_port, hop),
+                        end,
+                        "forward table diverges at {} {} hop {}",
+                        router,
+                        out_port,
+                        hop
+                    );
+                }
+            }
+        }
+
+        // Reverse wiring: every input port's feeder must be the unique
+        // channel position (or node) that the topology wires into it.
+        for p in 0..topo.in_ports(router) {
+            let in_port = PortIndex::new(p);
+            let expected = expected_feeder(topo, router, in_port);
+            prop_assert_eq!(
+                wiring.feeder(router, in_port),
+                expected,
+                "credit-sink table diverges at {} {}",
+                router,
+                in_port
+            );
+        }
+
+        // Eject map over every local port.
+        for p in 0..topo.concentration() {
+            let port = PortIndex::new(p);
+            prop_assert_eq!(wiring.eject_node(router, port), topo.node_at(router, port));
+        }
+    }
+
+    for n in 0..topo.num_nodes() {
+        let node = NodeId::new(n);
+        prop_assert_eq!(
+            wiring.attach_of(node),
+            (topo.router_of(node), topo.local_port(node))
+        );
+    }
+    Ok(())
+}
+
+/// The feeder of `(router, in_port)` derived directly from the topology, by
+/// exhaustive search over all channels (the slow ground truth the flat table
+/// must reproduce).
+fn expected_feeder(topo: &dyn Topology, router: RouterId, in_port: PortIndex) -> PortFeeder {
+    if in_port.index() < topo.concentration() {
+        if let Some(node) = topo.node_at(router, in_port) {
+            return PortFeeder::Node(node);
+        }
+    }
+    for r in 0..topo.num_routers() {
+        let up = RouterId::new(r);
+        for out in topo.concentration()..topo.out_ports(up) {
+            let out_port = PortIndex::new(out);
+            for hop in 1..=topo.channel_len(up, out_port) {
+                if let Some(end) = topo.link(up, out_port, hop) {
+                    if end.router == router && end.port == in_port {
+                        return PortFeeder::Channel {
+                            router: up,
+                            out_port,
+                            sub: hop - 1,
+                        };
+                    }
+                }
+            }
+        }
+    }
+    PortFeeder::None
+}
+
+fn check_distances(topo: &dyn Topology) -> Result<(), TestCaseError> {
+    let dist = DistanceMatrix::new(topo);
+    prop_assert_eq!(dist.num_nodes(), topo.num_nodes());
+    for s in 0..topo.num_nodes() {
+        for d in 0..topo.num_nodes() {
+            let (src, dst) = (NodeId::new(s), NodeId::new(d));
+            prop_assert_eq!(
+                dist.get(src, dst),
+                topo.min_hops(src, dst),
+                "distance matrix diverges for {} -> {}",
+                src,
+                dst
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn mesh_wiring_tables_match_topology(w in 1u16..6, h in 1u16..6, c in 1usize..5) {
+        let topo = Mesh::new(w, h, c);
+        check_wiring(&topo)?;
+        check_distances(&topo)?;
+    }
+
+    #[test]
+    fn fbfly_wiring_tables_match_topology(w in 1u16..5, h in 1u16..5, c in 1usize..4) {
+        let topo = FlattenedButterfly::new(w, h, c);
+        check_wiring(&topo)?;
+        check_distances(&topo)?;
+    }
+
+    #[test]
+    fn mecs_wiring_tables_match_topology(w in 1u16..5, h in 1u16..5, c in 1usize..4) {
+        let topo = Mecs::new(w, h, c);
+        check_wiring(&topo)?;
+        check_distances(&topo)?;
+    }
+}

@@ -558,9 +558,12 @@ mod tests {
         let mut t = small();
         let reqs = run_ideal(&mut t, 2000);
         assert!(!reqs.is_empty());
-        let outbound = reqs
-            .iter()
-            .filter(|r| matches!(r.class, PacketClass::ReadRequest | PacketClass::WriteRequest));
+        let outbound = reqs.iter().filter(|r| {
+            matches!(
+                r.class,
+                PacketClass::ReadRequest | PacketClass::WriteRequest
+            )
+        });
         for r in outbound {
             assert!(matches!(t.layout.role(r.src), NodeRole::Core(_)));
             assert!(matches!(t.layout.role(r.dst), NodeRole::Bank(_)));
@@ -629,7 +632,10 @@ mod tests {
         let mut per_bank = vec![0usize; t.layout.num_banks()];
         for r in &reqs {
             if let NodeRole::Bank(b) = t.layout.role(r.dst) {
-                if matches!(r.class, PacketClass::ReadRequest | PacketClass::WriteRequest) {
+                if matches!(
+                    r.class,
+                    PacketClass::ReadRequest | PacketClass::WriteRequest
+                ) {
                     per_bank[b] += 1;
                 }
             }
@@ -653,10 +659,12 @@ mod tests {
         // Per core, count consecutive same-bank requests.
         let mut last: std::collections::HashMap<NodeId, NodeId> = Default::default();
         let (mut hits, mut total) = (0usize, 0usize);
-        for r in reqs
-            .iter()
-            .filter(|r| matches!(r.class, PacketClass::ReadRequest | PacketClass::WriteRequest))
-        {
+        for r in reqs.iter().filter(|r| {
+            matches!(
+                r.class,
+                PacketClass::ReadRequest | PacketClass::WriteRequest
+            )
+        }) {
             if let Some(prev) = last.insert(r.src, r.dst) {
                 total += 1;
                 if prev == r.dst {

@@ -50,8 +50,7 @@ fn main() {
             .scheme(scheme)
             .phases(1_000, 20_000, 200_000)
             .run(Box::new(cmp_traffic_for(topo.as_ref(), bench, 7)));
-        let per_flit =
-            report.energy_pj() / report.router_stats.flit_traversals.max(1) as f64;
+        let per_flit = report.energy_pj() / report.router_stats.flit_traversals.max(1) as f64;
         println!(
             "{:<13} {:>7.2}  {:>8.1}%  {:>5.1}%  {:>10.1}%  {:>8.2} pJ",
             scheme.to_string(),

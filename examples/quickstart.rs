@@ -21,12 +21,8 @@ fn main() {
     for load in [0.05, 0.15, 0.25] {
         let mut baseline_latency = None;
         for scheme in Scheme::paper_lineup() {
-            let traffic =
-                SyntheticTraffic::new(SyntheticPattern::UniformRandom, 8, 8, 5, load, 42);
-            let report = builder
-                .clone()
-                .scheme(scheme)
-                .run(Box::new(traffic));
+            let traffic = SyntheticTraffic::new(SyntheticPattern::UniformRandom, 8, 8, 5, load, 42);
+            let report = builder.clone().scheme(scheme).run(Box::new(traffic));
             let base = *baseline_latency.get_or_insert(report.avg_latency);
             println!(
                 "{:<13} {:<5.2} {:>10.2}  {:>8.1}%  {:>5.1}%  {:>6.1}%",

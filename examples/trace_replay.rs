@@ -37,7 +37,10 @@ fn main() {
         recorder.generate(cycle, &mut sink);
     }
     let (_, records) = recorder.into_parts();
-    println!("captured {} packet injections over 20k cycles", records.len());
+    println!(
+        "captured {} packet injections over 20k cycles",
+        records.len()
+    );
 
     if let Some(path) = std::env::args().nth(1) {
         let file = std::fs::File::create(&path).expect("create trace file");

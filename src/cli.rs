@@ -230,7 +230,12 @@ pub fn build_traffic(
             return Err(err("transpose requires a square node grid"));
         }
         return Ok(Box::new(SyntheticTraffic::new(
-            pattern, cols, rows, args.packet, args.load, args.seed,
+            pattern,
+            cols,
+            rows,
+            args.packet,
+            args.load,
+            args.seed,
         )));
     }
     let profile = BenchmarkProfile::by_name(&name)
@@ -246,7 +251,11 @@ pub fn build_traffic(
             )))
         }
     }
-    Ok(Box::new(cmp_traffic_for(topo.as_ref(), *profile, args.seed)))
+    Ok(Box::new(cmp_traffic_for(
+        topo.as_ref(),
+        *profile,
+        args.seed,
+    )))
 }
 
 /// Runs a parsed experiment to completion.
@@ -292,7 +301,11 @@ pub fn render_report(report: &SimReport) -> String {
         report.avg_hops,
         report.measured_delivered,
         report.delivered_packets,
-        if report.drained { "" } else { "  [NOT DRAINED]" },
+        if report.drained {
+            ""
+        } else {
+            "  [NOT DRAINED]"
+        },
         report.throughput,
         report.reusability() * 100.0,
         s.header_hit_rate() * 100.0,
@@ -306,9 +319,8 @@ pub fn render_report(report: &SimReport) -> String {
 
 /// The `noc list` output: available traffic names and topology presets.
 pub fn render_list() -> String {
-    let mut out = String::from(
-        "synthetic traffic: ur, bc, bp, tornado, neighbor\nbenchmarks:        ",
-    );
+    let mut out =
+        String::from("synthetic traffic: ur, bc, bp, tornado, neighbor\nbenchmarks:        ");
     let names: Vec<&str> = BenchmarkProfile::suite().iter().map(|p| p.name).collect();
     out.push_str(&names.join(", "));
     out.push_str(
@@ -351,10 +363,32 @@ mod tests {
     #[test]
     fn full_flag_set_parses() {
         let parsed = parse_run_args(&args(&[
-            "--topology", "cmesh4x4", "--traffic", "fma3d", "--scheme", "pseudo+bb",
-            "--routing", "o1turn", "--va", "dynamic", "--vcs", "8", "--buffer", "2",
-            "--warmup", "10", "--measure", "20", "--drain", "30", "--seed", "9",
-            "--load", "0.25", "--packet", "1",
+            "--topology",
+            "cmesh4x4",
+            "--traffic",
+            "fma3d",
+            "--scheme",
+            "pseudo+bb",
+            "--routing",
+            "o1turn",
+            "--va",
+            "dynamic",
+            "--vcs",
+            "8",
+            "--buffer",
+            "2",
+            "--warmup",
+            "10",
+            "--measure",
+            "20",
+            "--drain",
+            "30",
+            "--seed",
+            "9",
+            "--load",
+            "0.25",
+            "--packet",
+            "1",
         ]))
         .unwrap();
         assert_eq!(parsed.topology, "cmesh4x4");
@@ -368,9 +402,18 @@ mod tests {
 
     #[test]
     fn errors_name_the_problem() {
-        assert!(parse_run_args(&args(&["--bogus"])).unwrap_err().0.contains("--bogus"));
-        assert!(parse_run_args(&args(&["--load"])).unwrap_err().0.contains("needs a value"));
-        assert!(parse_run_args(&args(&["--load", "abc"])).unwrap_err().0.contains("abc"));
+        assert!(parse_run_args(&args(&["--bogus"]))
+            .unwrap_err()
+            .0
+            .contains("--bogus"));
+        assert!(parse_run_args(&args(&["--load"]))
+            .unwrap_err()
+            .0
+            .contains("needs a value"));
+        assert!(parse_run_args(&args(&["--load", "abc"]))
+            .unwrap_err()
+            .0
+            .contains("abc"));
         assert!(parse_scheme("warp").is_err());
     }
 
@@ -424,8 +467,18 @@ mod tests {
     #[test]
     fn tiny_experiment_runs_end_to_end() {
         let mut run_args = parse_run_args(&args(&[
-            "--topology", "mesh2x2", "--traffic", "ur", "--load", "0.05",
-            "--measure", "500", "--warmup", "100", "--drain", "5000",
+            "--topology",
+            "mesh2x2",
+            "--traffic",
+            "ur",
+            "--load",
+            "0.05",
+            "--measure",
+            "500",
+            "--warmup",
+            "100",
+            "--drain",
+            "5000",
         ]))
         .unwrap();
         run_args.packet = 2;

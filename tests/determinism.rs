@@ -39,8 +39,7 @@ fn same_seed_same_result() {
 fn different_seed_different_result() {
     let topo: SharedTopology = Arc::new(Mesh::new(4, 4, 1));
     let run = |seed| {
-        let traffic =
-            SyntheticTraffic::new(SyntheticPattern::UniformRandom, 4, 4, 3, 0.2, seed);
+        let traffic = SyntheticTraffic::new(SyntheticPattern::UniformRandom, 4, 4, 3, 0.2, seed);
         builder(topo.clone(), seed).run(Box::new(traffic))
     };
     let a = run(1);
@@ -90,7 +89,9 @@ fn scheme_toggle_does_not_change_traffic() {
     let topo: SharedTopology = Arc::new(Mesh::new(4, 4, 1));
     let run = |scheme| {
         let traffic = SyntheticTraffic::new(SyntheticPattern::UniformRandom, 4, 4, 3, 0.1, 64);
-        builder(topo.clone(), 11).scheme(scheme).run(Box::new(traffic))
+        builder(topo.clone(), 11)
+            .scheme(scheme)
+            .run(Box::new(traffic))
     };
     let base = run(Scheme::baseline());
     let full = run(Scheme::pseudo_ps_bb());

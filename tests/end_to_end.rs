@@ -31,11 +31,7 @@ fn every_scheme_delivers_everything_on_every_topology() {
             let traffic =
                 SyntheticTraffic::new(SyntheticPattern::UniformRandom, n / 2, 2, 3, 0.08, 5);
             let report = builder(topo.clone()).scheme(scheme).run(Box::new(traffic));
-            assert!(
-                report.drained,
-                "{} / {scheme}: stuck packets",
-                topo.name()
-            );
+            assert!(report.drained, "{} / {scheme}: stuck packets", topo.name());
             assert!(report.measured_delivered > 0);
             assert_eq!(report.measured_injected, report.measured_delivered);
         }
@@ -132,7 +128,9 @@ fn multidrop_topology_carries_multiflit_packets() {
     // crossing the full row exercise the per-sub credit books.
     let topo: SharedTopology = Arc::new(Mecs::new(4, 4, 1));
     let traffic = SyntheticTraffic::new(SyntheticPattern::BitComplement, 4, 4, 5, 0.15, 77);
-    let report = builder(topo).scheme(Scheme::pseudo_ps_bb()).run(Box::new(traffic));
+    let report = builder(topo)
+        .scheme(Scheme::pseudo_ps_bb())
+        .run(Box::new(traffic));
     assert!(report.drained);
     assert!(report.measured_delivered > 100);
 }

@@ -110,5 +110,9 @@ fn throughput_reflects_measured_flits() {
         .va_policy(VaPolicy::Dynamic)
         .phases(500, 4_000, 40_000)
         .run(Box::new(traffic));
-    assert!((report.throughput - 0.12).abs() < 0.03, "{}", report.throughput);
+    assert!(
+        (report.throughput - 0.12).abs() < 0.03,
+        "{}",
+        report.throughput
+    );
 }

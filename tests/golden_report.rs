@@ -1,0 +1,65 @@
+//! Golden-report determinism test for the simulation engine.
+//!
+//! A fixed-seed paper-config CMP run (4×4 CMesh, 64 nodes, full
+//! pseudo-circuit scheme, `fft` benchmark profile) must produce a
+//! byte-identical [`noc_sim::SimReport`] — latency, throughput, energy and
+//! locality included — across engine refactors. The reference under
+//! `tests/golden/` was captured from the seed engine (pre-flattening,
+//! pre-worklist); any divergence means an engine change altered simulated
+//! behaviour rather than just its speed.
+//!
+//! Regenerate deliberately with `NOC_BLESS=1 cargo test --test golden_report`.
+
+use noc_base::{RoutingPolicy, VaPolicy};
+use noc_topology::{Mesh, SharedTopology};
+use noc_traffic::BenchmarkProfile;
+use pseudo_circuit::experiment::cmp_traffic_for;
+use pseudo_circuit::{ExperimentBuilder, Scheme};
+use std::sync::Arc;
+
+const GOLDEN_PATH: &str = "tests/golden/cmp4x4_pseudo_fft.txt";
+
+fn golden_run() -> String {
+    let topo: SharedTopology = Arc::new(Mesh::new(4, 4, 4));
+    let profile = *BenchmarkProfile::by_name("fft").expect("fft profile exists");
+    let traffic = cmp_traffic_for(topo.as_ref(), profile, 0x5eed ^ 0x77);
+    let report = ExperimentBuilder::new(topo)
+        .routing(RoutingPolicy::O1Turn)
+        .va_policy(VaPolicy::Dynamic)
+        .scheme(Scheme::pseudo_ps_bb())
+        .seed(0x5eed)
+        .phases(500, 2_000, 40_000)
+        .run(Box::new(traffic));
+    // `{:#?}` of the full report covers every field (latency, hops,
+    // throughput, per-counter energy, locality, backlog) with stable
+    // formatting; f64 Debug is shortest-roundtrip and deterministic.
+    format!("{report:#?}\n")
+}
+
+#[test]
+fn fixed_seed_cmp_run_matches_golden_report() {
+    let actual = golden_run();
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_PATH);
+    if std::env::var_os("NOC_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        std::fs::write(&path, &actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with NOC_BLESS=1",
+            GOLDEN_PATH
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "engine behaviour diverged from the golden seed-engine report"
+    );
+}
+
+#[test]
+fn golden_run_is_internally_deterministic() {
+    // Two in-process runs must agree exactly (guards against accidental
+    // global state or iteration-order nondeterminism in the engine).
+    assert_eq!(golden_run(), golden_run());
+}

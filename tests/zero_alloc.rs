@@ -1,0 +1,142 @@
+//! Verifies the engine's zero-allocation steady state: once queues, buffers
+//! and maps have grown to their working capacity, stepping the simulation
+//! performs no heap allocations at all — the property the flattened wiring
+//! tables, typed double-buffered event queues, and preallocated router
+//! scratch buffers exist to provide.
+//!
+//! A counting `#[global_allocator]` (each file under `tests/` is its own
+//! binary, so this does not leak into other tests) counts `alloc`/`realloc`
+//! calls while enabled. The run is fully deterministic (fixed seeds), so the
+//! assertion is stable: if a code change reintroduces a per-cycle
+//! allocation, this test fails every time.
+
+use noc_base::{RouterId, RoutingPolicy, VaPolicy};
+use noc_sim::{NetworkConfig, Simulation};
+use noc_topology::Mesh;
+use noc_traffic::{SyntheticPattern, SyntheticTraffic};
+use pseudo_circuit::{PcRouterFactory, Scheme};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::Arc;
+
+struct CountingAlloc;
+
+// Thread-local (const-initialized, so reading them never allocates): each
+// test thread counts only its own allocations, keeping the assertion exact
+// even though libtest runs the tests in parallel.
+thread_local! {
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+    static ALLOC_CALLS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn note_alloc() {
+    // try_with: the TLS slot may already be gone during thread teardown.
+    let _ = COUNTING.try_with(|c| {
+        if c.get() {
+            let _ = ALLOC_CALLS.try_with(|n| n.set(n.get() + 1));
+            if PANIC_ON_ALLOC.load(std::sync::atomic::Ordering::Relaxed) {
+                c.set(false); // avoid recursing through the panic machinery
+                panic!("alloc in counted region");
+            }
+        }
+    });
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        note_alloc();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        note_alloc();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+static PANIC_ON_ALLOC: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Counts heap allocations made by the current thread during `f`.
+fn count_allocs(f: impl FnOnce()) -> u64 {
+    if std::env::var_os("NOC_ALLOC_PANIC").is_some() {
+        PANIC_ON_ALLOC.store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+    ALLOC_CALLS.with(|n| n.set(0));
+    COUNTING.with(|c| c.set(true));
+    f();
+    COUNTING.with(|c| c.set(false));
+    ALLOC_CALLS.with(|n| n.get())
+}
+
+fn paper_cmesh_sim() -> Simulation {
+    let topo = Arc::new(Mesh::new(4, 4, 4));
+    let traffic = SyntheticTraffic::new(SyntheticPattern::UniformRandom, 8, 8, 5, 0.10, 7);
+    Simulation::new(
+        topo,
+        NetworkConfig::paper(),
+        Box::new(traffic),
+        &PcRouterFactory::new(Scheme::pseudo_ps_bb()),
+        9,
+    )
+}
+
+#[test]
+fn steady_state_step_does_not_allocate() {
+    let mut sim = paper_cmesh_sim();
+    // Warm up until every queue, scratch buffer, reassembly map and
+    // histogram has reached its steady-state capacity.
+    for _ in 0..20_000 {
+        sim.step();
+    }
+    let cycles = 2_000;
+    let allocs = count_allocs(|| {
+        for _ in 0..cycles {
+            sim.step();
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "engine allocated {allocs} times over {cycles} steady-state cycles"
+    );
+    // The network was genuinely busy while we counted, not quiescent.
+    let traversals: u64 = (0..sim.topology().num_routers())
+        .map(|r| sim.router(RouterId::new(r)).stats().flit_traversals)
+        .sum();
+    assert!(traversals > 100_000, "workload too light to be meaningful");
+}
+
+#[test]
+fn steady_state_step_does_not_allocate_with_baseline_router() {
+    // The baseline (non-pseudo-circuit) scheme exercises the full VA/SA
+    // pipeline every cycle; it must be allocation-free too.
+    let topo = Arc::new(Mesh::new(8, 8, 1));
+    let traffic = SyntheticTraffic::new(SyntheticPattern::UniformRandom, 8, 8, 5, 0.15, 5);
+    let config = NetworkConfig {
+        routing: RoutingPolicy::Xy,
+        va_policy: VaPolicy::Static,
+        ..NetworkConfig::paper()
+    };
+    let mut sim = Simulation::new(
+        topo,
+        config,
+        Box::new(traffic),
+        &PcRouterFactory::new(Scheme::baseline()),
+        9,
+    );
+    for _ in 0..20_000 {
+        sim.step();
+    }
+    let allocs = count_allocs(|| {
+        for _ in 0..2_000 {
+            sim.step();
+        }
+    });
+    assert_eq!(allocs, 0, "baseline engine allocated {allocs} times");
+}
