@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! Shared utilities for the figure/table harnesses.
 //!
 //! Every bench target in `benches/` regenerates one table or figure of the
@@ -13,15 +15,19 @@
 //!   use 4 or more for tighter confidence);
 //! - `NOC_BENCHMARKS` — comma-separated benchmark subset (default: all 12);
 //! - `NOC_THREADS` — worker threads for parameter sweeps (default: all
-//!   cores).
+//!   cores);
+//! - `NOC_MANIFEST_DIR` — when set, every harness run writes a reproducibility
+//!   manifest (`noc-run-manifest/1` JSON, see `docs/METRICS.md`) into this
+//!   directory, named by its configuration hash.
 
 use noc_base::{RoutingPolicy, VaPolicy};
-use noc_sim::SimReport;
+use noc_sim::{RunManifest, SimReport};
 use noc_topology::SharedTopology;
 use noc_traffic::BenchmarkProfile;
 use pseudo_circuit::experiment::cmp_traffic_for;
 use pseudo_circuit::{ExperimentBuilder, Scheme};
 use std::fmt::Write as _;
+use std::path::Path;
 
 /// Measurement-window scale factor from `NOC_SCALE`.
 pub fn scale() -> f64 {
@@ -112,17 +118,53 @@ pub struct CmpPoint {
     pub scheme: Scheme,
 }
 
-/// Runs one CMP experiment on the given topology.
+/// Runs one CMP experiment on the given topology. Writes a run manifest when
+/// `NOC_MANIFEST_DIR` is set (see [`maybe_write_manifest`]).
 pub fn run_cmp(topo: &SharedTopology, point: &CmpPoint, seed: u64) -> SimReport {
     let (warmup, measure, drain) = cmp_phases();
     let traffic = cmp_traffic_for(topo.as_ref(), point.bench, seed ^ 0x77);
-    ExperimentBuilder::new(topo.clone())
+    let builder = ExperimentBuilder::new(topo.clone())
         .routing(point.routing)
         .va_policy(point.va)
         .scheme(point.scheme)
         .seed(seed)
-        .phases(warmup, measure, drain)
-        .run(Box::new(traffic))
+        .phases(warmup, measure, drain);
+    let report = builder.run(Box::new(traffic));
+    maybe_write_manifest(&report, &builder, point.scheme.to_string());
+    report
+}
+
+/// Writes a run manifest for `report` into `NOC_MANIFEST_DIR` when that
+/// variable is set; a no-op otherwise. Write failures are reported on stderr
+/// but never abort a harness mid-sweep.
+pub fn maybe_write_manifest(report: &SimReport, builder: &ExperimentBuilder, scheme: String) {
+    if let Ok(dir) = std::env::var("NOC_MANIFEST_DIR") {
+        write_manifest_to(Path::new(&dir), report, builder, scheme);
+    }
+}
+
+/// Writes a run manifest for `report` into `dir`, named
+/// `<config_hash>.json` — identical configurations (same topology, traffic,
+/// scheme, parameters, and seed) overwrite each other, so a sweep leaves one
+/// manifest per distinct experiment point.
+pub fn write_manifest_to(
+    dir: &Path,
+    report: &SimReport,
+    builder: &ExperimentBuilder,
+    scheme: String,
+) {
+    let manifest = RunManifest::capture(
+        report,
+        &builder.config(),
+        builder.spec(),
+        builder.seed_value(),
+        builder.metrics_config().level,
+    )
+    .with_scheme(scheme);
+    let path = dir.join(format!("{}.json", manifest.config_hash));
+    if let Err(e) = manifest.write(&path) {
+        eprintln!("warning: cannot write manifest {}: {e}", path.display());
+    }
 }
 
 /// The paper's reference baseline for Fig. 8: O1TURN routing with dynamic VC
@@ -271,6 +313,37 @@ mod tests {
     fn empty_table_renders_empty() {
         let t = Table::new(Vec::<String>::new());
         assert_eq!(t.render(), "");
+    }
+
+    #[test]
+    fn write_manifest_to_names_file_by_config_hash() {
+        use noc_topology::Mesh;
+        use std::sync::Arc;
+
+        let topo: SharedTopology = Arc::new(Mesh::new(2, 2, 1));
+        let builder = ExperimentBuilder::new(topo)
+            .scheme(Scheme::pseudo())
+            .seed(11)
+            .phases(50, 200, 2_000);
+        let traffic = noc_traffic::SyntheticTraffic::new(
+            noc_traffic::SyntheticPattern::UniformRandom,
+            2,
+            2,
+            2,
+            0.05,
+            11,
+        );
+        let report = builder.run(Box::new(traffic));
+        let dir = std::env::temp_dir().join(format!("noc-bench-manifest-{}", std::process::id()));
+        write_manifest_to(&dir, &report, &builder, Scheme::pseudo().to_string());
+        let entries: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+        assert_eq!(entries.len(), 1);
+        let path = entries[0].as_ref().unwrap().path();
+        let body = std::fs::read_to_string(&path).unwrap();
+        let hash = path.file_stem().unwrap().to_string_lossy().into_owned();
+        assert!(body.contains(&format!("\"config_hash\": \"{hash}\"")));
+        assert!(body.contains("\"scheme\": \"Pseudo\""));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -4,7 +4,10 @@
 use crate::config::Scheme;
 use crate::router::PcRouterFactory;
 use noc_base::{RoutingPolicy, VaPolicy};
-use noc_sim::{NetworkConfig, RouterFactory, RunSpec, SimReport, Simulation};
+use noc_sim::{
+    MetricsConfig, MetricsLevel, NetworkConfig, RouterFactory, RunSpec, SimReport, Simulation,
+    TraceSpec,
+};
 use noc_topology::{SharedTopology, Topology};
 use noc_traffic::{BenchmarkProfile, CmpConfig, CmpLayout, CmpTraffic, TrafficModel};
 
@@ -20,6 +23,7 @@ pub struct ExperimentBuilder {
     scheme: Scheme,
     seed: u64,
     spec: RunSpec,
+    metrics: MetricsConfig,
 }
 
 impl std::fmt::Debug for ExperimentBuilder {
@@ -30,6 +34,7 @@ impl std::fmt::Debug for ExperimentBuilder {
             .field("scheme", &self.scheme)
             .field("seed", &self.seed)
             .field("spec", &self.spec)
+            .field("metrics", &self.metrics)
             .finish()
     }
 }
@@ -43,6 +48,7 @@ impl ExperimentBuilder {
             scheme: Scheme::baseline(),
             seed: 1,
             spec: RunSpec::new(1_000, 5_000, 50_000),
+            metrics: MetricsConfig::off(),
         }
     }
 
@@ -88,9 +94,39 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Sets the observability level (default [`MetricsLevel::Off`]; at
+    /// [`MetricsLevel::Full`] reports carry per-router counters and stage
+    /// histograms).
+    pub fn metrics(mut self, level: MetricsLevel) -> Self {
+        self.metrics.level = level;
+        self
+    }
+
+    /// Enables pseudo-circuit lifecycle tracing for the routers selected by
+    /// `spec` (independent of the metrics level).
+    pub fn trace(mut self, spec: TraceSpec) -> Self {
+        self.metrics.trace = Some(spec);
+        self
+    }
+
     /// The network configuration assembled so far.
     pub fn config(&self) -> NetworkConfig {
         self.config
+    }
+
+    /// The run phases assembled so far.
+    pub fn spec(&self) -> RunSpec {
+        self.spec
+    }
+
+    /// The observability configuration assembled so far.
+    pub fn metrics_config(&self) -> &MetricsConfig {
+        &self.metrics
+    }
+
+    /// The experiment seed assembled so far.
+    pub fn seed_value(&self) -> u64 {
+        self.seed
     }
 
     /// The topology of this experiment.
@@ -110,9 +146,10 @@ impl ExperimentBuilder {
         traffic: Box<dyn TrafficModel>,
         factory: &dyn RouterFactory,
     ) -> Simulation {
-        Simulation::new(
+        Simulation::with_metrics(
             self.topology.clone(),
             self.config,
+            self.metrics.clone(),
             traffic,
             factory,
             self.seed,

@@ -51,10 +51,12 @@
 
 pub mod config;
 pub mod experiment;
+pub mod probe;
 pub mod pseudo;
 pub mod router;
 
 pub use config::Scheme;
 pub use experiment::ExperimentBuilder;
-pub use pseudo::{PcRegisters, PseudoCircuitUnit, Termination};
+pub use probe::{Probe, RouterCounters};
+pub use pseudo::{EstablishOutcome, PcRegisters, PseudoCircuitUnit, Termination};
 pub use router::{PcRouter, PcRouterFactory};

@@ -24,6 +24,20 @@ pub enum Termination {
     CreditExhausted,
 }
 
+/// What an [`PseudoCircuitUnit::establish`] call did, reported so the router
+/// can fire per-port observability hooks without a callback.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct EstablishOutcome {
+    /// Whether the grant configured a connection that was not already live.
+    /// A refresh of the same `(input port, output port)` pair — even with a
+    /// new VC — is not a creation.
+    pub created: bool,
+    /// Circuits terminated by conflict, as `(input port, its output port)`:
+    /// slot 0 is the granting input's previous circuit, slot 1 the previous
+    /// holder of the granted output port.
+    pub terminated: [Option<(PortIndex, PortIndex)>; 2],
+}
+
 /// Per-input-port pseudo-circuit registers. Contents persist across
 /// invalidation (only `valid` clears).
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -105,21 +119,32 @@ impl PseudoCircuitUnit {
 
     /// Establishes (or refreshes) the pseudo-circuit for a granted crossbar
     /// connection, terminating any live circuits that conflict on the input
-    /// or output port.
-    pub fn establish(&mut self, in_port: PortIndex, in_vc: VcIndex, out_port: PortIndex, hops: u8) {
+    /// or output port. Returns what happened (conflict terminations, whether
+    /// a new connection was created) for observability.
+    pub fn establish(
+        &mut self,
+        in_port: PortIndex,
+        in_vc: VcIndex,
+        out_port: PortIndex,
+        hops: u8,
+    ) -> EstablishOutcome {
+        let mut outcome = EstablishOutcome::default();
         // Terminate the previous circuit from this input port (if any and
         // different).
         if let Some(prev) = self.live(in_port) {
             if prev.out_port != out_port {
                 self.terminate(in_port, Termination::Conflict);
+                outcome.terminated[0] = Some((in_port, prev.out_port));
             }
         }
         // Terminate whichever circuit currently holds the output port.
         if let Some(holder) = self.held[out_port.index()] {
             if holder != in_port {
                 self.terminate(holder, Termination::Conflict);
+                outcome.terminated[1] = Some((holder, out_port));
             }
         }
+        outcome.created = self.held[out_port.index()] != Some(in_port);
         self.regs[in_port.index()] = PcRegisters {
             valid: true,
             in_vc,
@@ -127,6 +152,7 @@ impl PseudoCircuitUnit {
             hops,
         };
         self.held[out_port.index()] = Some(in_port);
+        outcome
     }
 
     /// Terminates the live pseudo-circuit at `in_port` (no-op when none),
@@ -316,6 +342,27 @@ mod tests {
         assert_eq!(u.history(p(2)), Some(p(1)), "most recent wins");
         assert!(u.try_restore(p(2)));
         assert_eq!(u.holder(p(2)), Some(p(1)));
+    }
+
+    #[test]
+    fn establish_outcome_reports_creations_and_conflicts() {
+        let mut u = PseudoCircuitUnit::new(4, 4);
+        let first = u.establish(p(0), v(0), p(2), 1);
+        assert!(first.created);
+        assert_eq!(first.terminated, [None, None]);
+        // Same connection, new VC: a refresh, not a creation.
+        let refresh = u.establish(p(0), v(1), p(2), 1);
+        assert!(!refresh.created);
+        assert_eq!(refresh.terminated, [None, None]);
+        // A different input claims the output: holder terminated, created.
+        let steal = u.establish(p(1), v(0), p(2), 1);
+        assert!(steal.created);
+        assert_eq!(steal.terminated, [None, Some((p(0), p(2)))]);
+        // The thief moves to another output: its own circuit terminated.
+        let moved = u.establish(p(1), v(0), p(3), 1);
+        assert!(moved.created);
+        assert_eq!(moved.terminated, [Some((p(1), p(2))), None]);
+        u.check_invariants().unwrap();
     }
 
     #[test]

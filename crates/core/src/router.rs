@@ -36,6 +36,7 @@
 //!   flits are charged no buffer read/write energy.
 
 use crate::config::Scheme;
+use crate::probe::{Probe, RouterCounters};
 use crate::pseudo::{PseudoCircuitUnit, Termination};
 use noc_base::{
     Credit, Flit, NodeId, PortIndex, RouteInfo, RouterId, VaPolicy, VcIndex, VcPartition,
@@ -43,8 +44,9 @@ use noc_base::{
 use noc_energy::{EnergyCounters, EnergyEvent};
 use noc_sim::blocks::{CreditBook, FlitFifo, OutputVcAlloc, RrArbiter};
 use noc_sim::{
-    lookahead_route, NetworkConfig, RouterBuildContext, RouterFactory, RouterModel, RouterOutputs,
-    RouterStats, SentFlit,
+    lookahead_route, MetricsConfig, MetricsLevel, NetworkConfig, PipelineStage, RouterBuildContext,
+    RouterFactory, RouterModel, RouterObservation, RouterOutputs, RouterStats, SentFlit,
+    TraceEventKind, TraceRing,
 };
 use noc_topology::SharedTopology;
 
@@ -97,6 +99,12 @@ pub struct PcRouter {
     last_connection: Vec<Option<PortIndex>>,
     stats: RouterStats,
     energy: EnergyCounters,
+    /// Per-port observability counters; `None` (one null test per event)
+    /// unless built at [`MetricsLevel::Full`] — see `crate::probe`.
+    counters: Option<Box<RouterCounters>>,
+    /// Pseudo-circuit lifecycle tracer; `None` unless this router was
+    /// selected by a [`noc_sim::TraceSpec`].
+    tracer: Option<Box<TraceRing>>,
     /// Buffered flits per input port across all its VCs; lets the VA/SA
     /// scans and circuit reuse skip empty ports without touching their VC
     /// state (every candidate in those scans requires a buffered flit).
@@ -170,6 +178,8 @@ impl PcRouter {
             last_connection: vec![None; in_ports],
             stats: RouterStats::default(),
             energy: EnergyCounters::default(),
+            counters: None,
+            tracer: None,
             in_occupancy: vec![0; in_ports],
             st_scratch: Vec::with_capacity(in_ports),
             arrivals_scratch: Vec::with_capacity(in_ports),
@@ -188,6 +198,31 @@ impl PcRouter {
     /// The scheme this router runs.
     pub fn scheme(&self) -> Scheme {
         self.scheme
+    }
+
+    /// Enables observability per `metrics`: per-port counters at
+    /// [`MetricsLevel::Full`], and a lifecycle trace ring when this router is
+    /// selected by the trace spec. Call before the first `step`.
+    pub fn enable_metrics(&mut self, metrics: &MetricsConfig) {
+        if metrics.level == MetricsLevel::Full {
+            self.counters = Some(Box::new(RouterCounters::new(
+                self.id.index(),
+                self.inputs.len(),
+                self.outputs.len(),
+            )));
+        }
+        if let Some(spec) = &metrics.trace {
+            if spec.selects(self.id.index()) {
+                self.tracer = Some(Box::new(TraceRing::new(self.id.index(), spec.capacity)));
+            }
+        }
+    }
+
+    /// Records a pseudo-circuit lifecycle event when tracing is enabled.
+    fn trace(&mut self, cycle: u64, kind: TraceEventKind, in_port: PortIndex, out_port: PortIndex) {
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.record(cycle, kind, in_port.index(), out_port.index());
+        }
     }
 
     /// The pseudo-circuit unit (exposed for white-box tests).
@@ -259,6 +294,9 @@ impl PcRouter {
         }
         self.stats.flit_traversals += 1;
         self.energy.record(EnergyEvent::CrossbarTraversal);
+        if let Some(p) = self.counters.as_deref_mut() {
+            p.on_traversal(in_port);
+        }
         self.in_busy[in_port.index()] = true;
         self.out_busy[route.port.index()] = true;
 
@@ -301,6 +339,7 @@ impl PcRouter {
         }
         let route = ivc.route.expect("active VC has a route");
         let out_vc = ivc.out_vc.expect("active VC has an output VC");
+        let va_cycle = ivc.va_cycle;
         let is_tail = flit.kind.is_tail();
         if is_tail {
             ivc.route = None;
@@ -321,13 +360,49 @@ impl PcRouter {
         }
         self.in_occupancy[in_port.index()] -= 1;
         self.energy.record(EnergyEvent::BufferRead);
+        if let Some(p) = self.counters.as_deref_mut() {
+            // The flit was written into the buffer the cycle before it
+            // became ready (`FlitFifo::push(flit, cycle + 1)`).
+            let arrival = buffered.ready_at - 1;
+            // Inclusive per-hop router delay: 3 baseline / 2 reuse under no
+            // contention (paper Fig. 6), more under contention.
+            p.on_stage(PipelineStage::St, cycle - arrival + 1);
+            p.on_stage(PipelineStage::Bw, cycle - arrival);
+            if flit.kind.is_head() {
+                // Reuse-path headers get VA the traversal cycle itself;
+                // baseline-path headers were granted at `va_cycle`.
+                let va_at = if va_cycle == u64::MAX {
+                    cycle
+                } else {
+                    va_cycle
+                };
+                p.on_stage(PipelineStage::Va, va_at - arrival);
+            }
+            if reuse {
+                p.on_pc_hit(in_port, false);
+            } else {
+                // SA granted this traversal one cycle ago. Headers wait from
+                // their VA grant (0 = same-cycle speculative SA), body flits
+                // from buffer write.
+                let grant = cycle - 1;
+                let sa_from = if flit.kind.is_head() && va_cycle != u64::MAX {
+                    va_cycle
+                } else {
+                    arrival
+                };
+                p.on_stage(PipelineStage::Sa, grant.saturating_sub(sa_from));
+            }
+        }
+        if reuse {
+            self.trace(cycle, TraceEventKind::Hit, in_port, route.port);
+        }
         out.credits.push((in_port, vc));
         self.send(flit, in_port, route, out_vc, out);
     }
 
     /// Phase A: terminate pseudo-circuits whose output has no downstream
     /// credit at the held drop position (§III.C).
-    fn terminate_creditless_circuits(&mut self) {
+    fn terminate_creditless_circuits(&mut self, cycle: u64) {
         for out_port in 0..self.outputs.len() {
             let port = PortIndex::new(out_port);
             let Some(holder) = self.pcu.holder(port) else {
@@ -337,6 +412,10 @@ impl PcRouter {
             let sub = reg.hops as usize - 1;
             if self.outputs[out_port].credits.available_at_sub(sub) == 0 {
                 self.pcu.terminate(holder, Termination::CreditExhausted);
+                if let Some(p) = self.counters.as_deref_mut() {
+                    p.on_pc_terminated(holder, Termination::CreditExhausted);
+                }
+                self.trace(cycle, TraceEventKind::TerminateCredit, holder, port);
             }
         }
     }
@@ -385,6 +464,9 @@ impl PcRouter {
                 ivc.out_vc = Some(out_vc);
                 self.stats.va_grants += 1;
                 self.energy.record(EnergyEvent::Arbitration);
+                if let Some(p) = self.counters.as_deref_mut() {
+                    p.on_va_grant(in_port);
+                }
             } else {
                 // Mid-packet (or a header that already holds VA state): the
                 // packet's route must match the circuit.
@@ -429,7 +511,7 @@ impl PcRouter {
     /// Returns whether the flit was consumed.
     fn try_bypass(
         &mut self,
-        _cycle: u64,
+        cycle: u64,
         in_port: PortIndex,
         flit: &Flit,
         out: &mut RouterOutputs,
@@ -467,6 +549,9 @@ impl PcRouter {
             out_vc = allocated;
             self.stats.va_grants += 1;
             self.energy.record(EnergyEvent::Arbitration);
+            if let Some(p) = self.counters.as_deref_mut() {
+                p.on_va_grant(in_port);
+            }
             if !is_tail {
                 let ivc = self.vc_mut(in_port, vc);
                 ivc.route = Some(pc_route);
@@ -503,6 +588,17 @@ impl PcRouter {
             self.stats.pc_header_reuses += 1;
             self.stats.pc_header_bypasses += 1;
         }
+        if let Some(p) = self.counters.as_deref_mut() {
+            p.on_pc_hit(in_port, true);
+            // Arrival, VA (headers) and traversal all happen this cycle:
+            // the 1-cycle hop of paper Fig. 6. Bypassed flits never reside
+            // in the buffer and skip SA, so BW/SA record no sample.
+            p.on_stage(PipelineStage::St, 1);
+            if flit.kind.is_head() {
+                p.on_stage(PipelineStage::Va, 0);
+            }
+        }
+        self.trace(cycle, TraceEventKind::BypassHit, in_port, pc_route.port);
         // The write-through latch never occupies a buffer slot: the upstream
         // credit returns immediately.
         out.credits.push((in_port, vc));
@@ -565,6 +661,9 @@ impl PcRouter {
                     ivc.va_cycle = cycle;
                     self.stats.va_grants += 1;
                     self.energy.record(EnergyEvent::Arbitration);
+                    if let Some(p) = self.counters.as_deref_mut() {
+                        p.on_va_grant(in_port);
+                    }
                 }
                 if self.va_mask.iter().all(|&m| !m) {
                     break;
@@ -677,9 +776,32 @@ impl PcRouter {
             });
             self.stats.sa_grants += 1;
             self.energy.record(EnergyEvent::Arbitration);
+            if let Some(p) = self.counters.as_deref_mut() {
+                p.on_sa_grant(PortIndex::new(in_port));
+            }
             if self.scheme.pseudo_circuit {
-                self.pcu
-                    .establish(PortIndex::new(in_port), vc, route.port, route.hops);
+                let outcome =
+                    self.pcu
+                        .establish(PortIndex::new(in_port), vc, route.port, route.hops);
+                if let Some(p) = self.counters.as_deref_mut() {
+                    p.on_pc_established(PortIndex::new(in_port), outcome.created);
+                    for (victim, _) in outcome.terminated.into_iter().flatten() {
+                        p.on_pc_terminated(victim, Termination::Conflict);
+                    }
+                }
+                if self.tracer.is_some() {
+                    for (victim, victim_out) in outcome.terminated.into_iter().flatten() {
+                        self.trace(cycle, TraceEventKind::TerminateConflict, victim, victim_out);
+                    }
+                    if outcome.created {
+                        self.trace(
+                            cycle,
+                            TraceEventKind::Establish,
+                            PortIndex::new(in_port),
+                            route.port,
+                        );
+                    }
+                }
             }
         }
     }
@@ -687,7 +809,7 @@ impl PcRouter {
     /// Phase G: pseudo-circuit speculation — restore the most recently
     /// terminated circuit of every idle output port with downstream credit
     /// (§IV.A).
-    fn speculate(&mut self) {
+    fn speculate(&mut self, cycle: u64) {
         for out_port in 0..self.outputs.len() {
             let port = PortIndex::new(out_port);
             if self.pcu.holder(port).is_some() {
@@ -707,6 +829,10 @@ impl PcRouter {
             let restored = self.pcu.try_restore(port);
             debug_assert!(restored, "preconditions checked above");
             self.stats.pc_speculative_restores += 1;
+            if let Some(p) = self.counters.as_deref_mut() {
+                p.on_pc_restored(port);
+            }
+            self.trace(cycle, TraceEventKind::Restore, h, port);
         }
     }
 }
@@ -728,7 +854,7 @@ impl RouterModel for PcRouter {
         self.out_busy.fill(false);
 
         if self.scheme.pseudo_circuit {
-            self.terminate_creditless_circuits();
+            self.terminate_creditless_circuits(cycle);
         }
 
         // Switch traversal of last cycle's grants (SA has priority over
@@ -749,7 +875,7 @@ impl RouterModel for PcRouter {
         self.allocate_vcs(cycle);
         self.arbitrate_switch(cycle);
         if self.scheme.speculation {
-            self.speculate();
+            self.speculate(cycle);
         }
 
         self.stats.pc_terminations_conflict = self.pcu.terminations_conflict();
@@ -803,6 +929,14 @@ impl RouterModel for PcRouter {
     fn energy(&self) -> EnergyCounters {
         self.energy
     }
+
+    fn observation(&self) -> Option<RouterObservation> {
+        self.counters.as_ref().map(|c| c.export())
+    }
+
+    fn tracer(&self) -> Option<&TraceRing> {
+        self.tracer.as_deref()
+    }
 }
 
 /// Builds [`PcRouter`]s with a fixed scheme.
@@ -821,11 +955,8 @@ impl PcRouterFactory {
 
 impl RouterFactory for PcRouterFactory {
     fn build(&self, ctx: RouterBuildContext<'_>) -> Box<dyn RouterModel> {
-        Box::new(PcRouter::new(
-            ctx.id,
-            ctx.topology.clone(),
-            *ctx.config,
-            self.scheme,
-        ))
+        let mut router = PcRouter::new(ctx.id, ctx.topology.clone(), *ctx.config, self.scheme);
+        router.enable_metrics(ctx.metrics);
+        Box::new(router)
     }
 }

@@ -86,12 +86,14 @@ proptest! {
         let mut last = (0, 0);
         for op in ops {
             match op {
-                Op::Establish { in_port, vc, out_port } => unit.establish(
-                    PortIndex::new((in_port % 4) as usize),
-                    VcIndex::new(vc as usize),
-                    PortIndex::new((out_port % 4) as usize),
-                    1,
-                ),
+                Op::Establish { in_port, vc, out_port } => {
+                    let _ = unit.establish(
+                        PortIndex::new((in_port % 4) as usize),
+                        VcIndex::new(vc as usize),
+                        PortIndex::new((out_port % 4) as usize),
+                        1,
+                    );
+                }
                 Op::Terminate { in_port, credit } => unit.terminate(
                     PortIndex::new((in_port % 4) as usize),
                     if credit {

@@ -41,12 +41,19 @@
 //! ```
 
 pub mod blocks;
+pub mod manifest;
+pub mod metrics;
 pub mod network;
 pub mod ni;
 pub mod router;
 pub mod stats;
 pub mod test_model;
 
+pub use manifest::{git_rev, RunManifest, MANIFEST_SCHEMA};
+pub use metrics::{
+    chrome_trace_json, MetricsConfig, MetricsLevel, ObservabilityReport, PipelineStage,
+    RouterObservation, StageHistograms, TraceEvent, TraceEventKind, TraceRing, TraceSpec,
+};
 pub use network::Simulation;
 pub use ni::{NetworkInterface, NiOutputs, NiStats};
 pub use router::{

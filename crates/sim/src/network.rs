@@ -12,6 +12,7 @@
 //! skips the `step` of routers that are provably quiescent. In steady state
 //! the loop performs zero heap allocations.
 
+use crate::metrics::{chrome_trace_json, MetricsConfig, MetricsLevel, ObservabilityReport};
 use crate::ni::{NetworkInterface, NiOutputs};
 use crate::router::{RouterBuildContext, RouterFactory, RouterModel, RouterOutputs};
 use crate::stats::{energy_breakdown_of, SimReport, SimStats};
@@ -40,6 +41,7 @@ struct EventQueues {
 pub struct Simulation {
     topo: SharedTopology,
     config: NetworkConfig,
+    metrics: MetricsConfig,
     routers: Vec<Box<dyn RouterModel>>,
     nis: Vec<NetworkInterface>,
     traffic: Box<dyn TrafficModel>,
@@ -63,16 +65,31 @@ pub struct Simulation {
 }
 
 impl Simulation {
+    /// Builds a simulation with observability disabled (the default): see
+    /// [`Simulation::with_metrics`].
+    pub fn new(
+        topo: SharedTopology,
+        config: NetworkConfig,
+        traffic: Box<dyn TrafficModel>,
+        factory: &dyn RouterFactory,
+        seed: u64,
+    ) -> Self {
+        Self::with_metrics(topo, config, MetricsConfig::off(), traffic, factory, seed)
+    }
+
     /// Builds a simulation: validates the topology, constructs one router
-    /// per topology node via `factory`, attaches network interfaces, and
-    /// precomputes the flat wiring tables the hot loop runs on.
+    /// per topology node via `factory` (passing `metrics` through the build
+    /// context so instrumented models can enable their counters/tracers),
+    /// attaches network interfaces, and precomputes the flat wiring tables
+    /// the hot loop runs on.
     ///
     /// # Panics
     ///
     /// Panics if the topology fails [`noc_topology::validate`].
-    pub fn new(
+    pub fn with_metrics(
         topo: SharedTopology,
         config: NetworkConfig,
+        metrics: MetricsConfig,
         traffic: Box<dyn TrafficModel>,
         factory: &dyn RouterFactory,
         seed: u64,
@@ -86,6 +103,7 @@ impl Simulation {
                     topology: &topo,
                     config: &config,
                     seed: splitmix64(seed ^ (r as u64).wrapping_mul(0x9e37)),
+                    metrics: &metrics,
                 })
             })
             .collect();
@@ -125,6 +143,7 @@ impl Simulation {
         Self {
             topo,
             config,
+            metrics,
             routers,
             nis,
             traffic,
@@ -150,6 +169,23 @@ impl Simulation {
     /// The shared network configuration.
     pub fn config(&self) -> &NetworkConfig {
         &self.config
+    }
+
+    /// The observability configuration this simulation was built with.
+    pub fn metrics(&self) -> &MetricsConfig {
+        &self.metrics
+    }
+
+    /// Merges every traced router's event ring into one Chrome-trace-format
+    /// JSON document, or `None` when no router carries a tracer (load the
+    /// result at `chrome://tracing` or <https://ui.perfetto.dev>).
+    pub fn chrome_trace(&self) -> Option<String> {
+        if self.routers.iter().all(|r| r.tracer().is_none()) {
+            return None;
+        }
+        Some(chrome_trace_json(
+            self.routers.iter().filter_map(|r| r.tracer()),
+        ))
     }
 
     /// The topology driving the wiring.
@@ -359,6 +395,25 @@ impl Simulation {
             },
             drained: self.stats.measured_in_flight() == 0,
             final_backlog: self.nis.iter().map(|ni| ni.backlog() as u64).sum(),
+            observability: (self.metrics.level == MetricsLevel::Full).then(|| {
+                ObservabilityReport::from_routers(
+                    self.routers
+                        .iter()
+                        .enumerate()
+                        .map(|(i, r)| {
+                            r.observation().unwrap_or_else(|| {
+                                // Uninstrumented models still occupy a slot so
+                                // router indices stay aligned.
+                                crate::metrics::RouterObservation::zeroed(
+                                    i,
+                                    self.topo.in_ports(RouterId::new(i)),
+                                    self.topo.out_ports(RouterId::new(i)),
+                                )
+                            })
+                        })
+                        .collect(),
+                )
+            }),
         }
     }
 }

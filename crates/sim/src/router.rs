@@ -5,6 +5,7 @@
 //! [`RouterOutputs`]. All link latencies are one cycle: whatever a router
 //! emits during `step(cycle)` is delivered at `cycle + 1`.
 
+use crate::metrics::{MetricsConfig, RouterObservation, TraceRing};
 use noc_base::{Credit, Flit, PortIndex, RouterId, VcIndex};
 use noc_energy::EnergyCounters;
 use noc_topology::SharedTopology;
@@ -175,6 +176,19 @@ pub trait RouterModel: Send {
 
     /// Cumulative energy event counts.
     fn energy(&self) -> EnergyCounters;
+
+    /// A snapshot of this router's per-port observability counters, when the
+    /// model was built with [`crate::MetricsLevel::Full`]. Models without
+    /// per-port instrumentation return `None` (the default).
+    fn observation(&self) -> Option<RouterObservation> {
+        None
+    }
+
+    /// This router's pseudo-circuit lifecycle trace ring, when tracing was
+    /// requested for it. Models without a tracer return `None` (the default).
+    fn tracer(&self) -> Option<&TraceRing> {
+        None
+    }
 }
 
 /// Everything a factory needs to build one router.
@@ -187,6 +201,9 @@ pub struct RouterBuildContext<'a> {
     pub config: &'a crate::NetworkConfig,
     /// Per-router deterministic seed.
     pub seed: u64,
+    /// Observability configuration for the run (level + optional tracing);
+    /// factories for uninstrumented models may ignore it.
+    pub metrics: &'a MetricsConfig,
 }
 
 /// Builds router instances for a network.

@@ -1,6 +1,7 @@
 //! Simulation-level statistics: measurement windows, latency accounting, and
 //! the report consumed by the figure harnesses.
 
+use crate::metrics::ObservabilityReport;
 use crate::router::RouterStats;
 use noc_energy::{EnergyBreakdown, EnergyCounters, EnergyModel};
 use noc_traffic::DeliveredPacket;
@@ -151,7 +152,12 @@ impl SimStats {
 }
 
 /// The result of one simulation run.
-#[derive(Clone, Debug)]
+///
+/// `Debug` is implemented by hand: it matches the derived pretty-print
+/// field-for-field but appends [`observability`](Self::observability) only
+/// when present, so reports from metrics-off runs remain byte-identical to
+/// the pre-observability golden reference (`tests/golden_report.rs`).
+#[derive(Clone)]
 pub struct SimReport {
     /// Topology name.
     pub topology: String,
@@ -186,6 +192,34 @@ pub struct SimReport {
     pub drained: bool,
     /// Total source-queue backlog at the end of the run (saturation signal).
     pub final_backlog: u64,
+    /// Per-router observability payload (`--metrics=full` runs only).
+    pub observability: Option<ObservabilityReport>,
+}
+
+impl fmt::Debug for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = f.debug_struct("SimReport");
+        s.field("topology", &self.topology)
+            .field("traffic", &self.traffic)
+            .field("cycles", &self.cycles)
+            .field("avg_latency", &self.avg_latency)
+            .field("avg_hops", &self.avg_hops)
+            .field("p99_latency_bound", &self.p99_latency_bound)
+            .field("measured_injected", &self.measured_injected)
+            .field("measured_delivered", &self.measured_delivered)
+            .field("delivered_packets", &self.delivered_packets)
+            .field("throughput", &self.throughput)
+            .field("router_stats", &self.router_stats)
+            .field("energy", &self.energy)
+            .field("energy_breakdown", &self.energy_breakdown)
+            .field("end_to_end_locality", &self.end_to_end_locality)
+            .field("drained", &self.drained)
+            .field("final_backlog", &self.final_backlog);
+        if self.observability.is_some() {
+            s.field("observability", &self.observability);
+        }
+        s.finish()
+    }
 }
 
 impl SimReport {
@@ -318,11 +352,44 @@ mod tests {
             end_to_end_locality: 0.2,
             drained: true,
             final_backlog: 0,
+            observability: None,
         };
         let base = mk(40.0);
         let fast = mk(32.0);
         assert!((fast.latency_reduction_vs(&base) - 0.2).abs() < 1e-12);
         assert_eq!(fast.latency_reduction_vs(&mk(0.0)), 0.0);
         assert!(fast.to_string().contains("avg latency"));
+    }
+
+    #[test]
+    fn report_debug_hides_empty_observability() {
+        // The manual Debug impl keeps metrics-off reports byte-identical to
+        // the historical derived output (the golden-report guarantee): the
+        // `observability` field appears only when populated.
+        let mk = |latency: f64| SimReport {
+            topology: "mesh".into(),
+            traffic: "t".into(),
+            cycles: 100,
+            avg_latency: latency,
+            avg_hops: 2.0,
+            p99_latency_bound: 0,
+            measured_injected: 10,
+            measured_delivered: 10,
+            delivered_packets: 10,
+            throughput: 0.1,
+            router_stats: RouterStats::default(),
+            energy: EnergyCounters::default(),
+            energy_breakdown: EnergyBreakdown::default(),
+            end_to_end_locality: 0.2,
+            drained: true,
+            final_backlog: 0,
+            observability: None,
+        };
+        let off = mk(40.0);
+        assert!(!format!("{off:#?}").contains("observability"));
+        assert!(format!("{off:#?}").ends_with("final_backlog: 0,\n}"));
+        let mut full = mk(40.0);
+        full.observability = Some(crate::metrics::ObservabilityReport::default());
+        assert!(format!("{full:#?}").contains("observability: Some("));
     }
 }

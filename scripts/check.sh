@@ -13,6 +13,12 @@ cargo test -q --offline
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets --offline -- -D warnings
 
+echo "==> cargo doc -D warnings"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --document-private-items --offline --quiet
+
+echo "==> cargo run --example quickstart (smoke)"
+cargo run --release --offline --example quickstart >/dev/null
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -12,17 +12,27 @@
 //!         [--vcs 4] [--buffer 4]
 //!         [--warmup 1000] [--measure 10000] [--drain 100000]
 //!         [--seed 1]
+//!         [--metrics off|edge|full] [--manifest PATH]
+//!         [--trace PATH] [--trace-routers 0,5,12]
 //! noc list            # available traffic names and topologies
 //! ```
+//!
+//! `--metrics=full` attaches per-router counters and pipeline-stage
+//! histograms to the report (see `docs/METRICS.md`); `--manifest` writes the
+//! machine-readable reproducibility manifest; `--trace` writes a
+//! Chrome-trace-format JSON of pseudo-circuit lifecycle events for the
+//! routers named by `--trace-routers` (default: all).
 
 use noc_base::{RoutingPolicy, VaPolicy};
 use noc_evc::EvcRouterFactory;
-use noc_sim::SimReport;
+use noc_sim::{MetricsLevel, RunManifest, SimReport, TraceSpec};
 use noc_topology::{FlattenedButterfly, Mecs, Mesh, SharedTopology};
 use noc_traffic::{BenchmarkProfile, SyntheticPattern, SyntheticTraffic, TrafficModel};
 use pseudo_circuit::experiment::cmp_traffic_for;
 use pseudo_circuit::{ExperimentBuilder, Scheme};
 use std::fmt;
+use std::fmt::Write as _;
+use std::path::Path;
 use std::sync::Arc;
 
 /// The router scheme to run, including the EVC comparator.
@@ -63,6 +73,14 @@ pub struct RunArgs {
     pub drain: u64,
     /// Experiment seed.
     pub seed: u64,
+    /// Observability level (`--metrics off|edge|full`).
+    pub metrics: MetricsLevel,
+    /// Run-manifest output path (`--manifest`), if requested.
+    pub manifest: Option<String>,
+    /// Chrome-trace output path (`--trace`), if requested.
+    pub trace: Option<String>,
+    /// Routers selected for tracing (`--trace-routers`; empty = all).
+    pub trace_routers: Vec<usize>,
 }
 
 impl Default for RunArgs {
@@ -81,6 +99,10 @@ impl Default for RunArgs {
             measure: 10_000,
             drain: 100_000,
             seed: 1,
+            metrics: MetricsLevel::Off,
+            manifest: None,
+            trace: None,
+            trace_routers: Vec::new(),
         }
     }
 }
@@ -143,6 +165,21 @@ pub fn parse_run_args(args: &[String]) -> Result<RunArgs, CliError> {
             "--measure" => out.measure = parse_num(&value()?, flag)?,
             "--drain" => out.drain = parse_num(&value()?, flag)?,
             "--seed" => out.seed = parse_num(&value()?, flag)?,
+            "--metrics" => {
+                let v = value()?;
+                out.metrics = MetricsLevel::parse(&v)
+                    .ok_or_else(|| err(format!("unknown metrics level {v:?} (off|edge|full)")))?;
+            }
+            "--manifest" => out.manifest = Some(value()?),
+            "--trace" => out.trace = Some(value()?),
+            "--trace-routers" => {
+                let v = value()?;
+                out.trace_routers = v
+                    .split(',')
+                    .filter(|s| !s.trim().is_empty())
+                    .map(|s| parse_num(s.trim(), flag))
+                    .collect::<Result<Vec<usize>, _>>()?;
+            }
             other => return Err(err(format!("unknown flag {other:?} (see `noc help`)"))),
         }
     }
@@ -258,31 +295,57 @@ pub fn build_traffic(
     )))
 }
 
-/// Runs a parsed experiment to completion.
+/// Runs a parsed experiment to completion, writing the run manifest and
+/// Chrome trace as side effects when `--manifest` / `--trace` were given.
 ///
 /// # Errors
 ///
-/// Returns a [`CliError`] when the topology or traffic spec is invalid.
+/// Returns a [`CliError`] when the topology or traffic spec is invalid or a
+/// requested output file cannot be written.
 pub fn run(args: &RunArgs) -> Result<SimReport, CliError> {
     let topo = build_topology(&args.topology)?;
     let traffic = build_traffic(args, &topo)?;
-    let builder = ExperimentBuilder::new(topo)
+    let mut builder = ExperimentBuilder::new(topo)
         .routing(args.routing)
         .va_policy(args.va)
         .vcs(args.vcs)
         .buffer_depth(args.buffer)
         .seed(args.seed)
-        .phases(args.warmup, args.measure, args.drain);
-    Ok(match args.scheme {
-        RouterChoice::Pc(scheme) => builder.scheme(scheme).run(traffic),
-        RouterChoice::Evc => builder.run_with_factory(traffic, &EvcRouterFactory::default()),
-    })
+        .phases(args.warmup, args.measure, args.drain)
+        .metrics(args.metrics);
+    if args.trace.is_some() {
+        builder = builder.trace(TraceSpec::routers(args.trace_routers.clone()));
+    }
+    let spec = builder.spec();
+    let config = builder.config();
+    let (mut sim, scheme_label) = match args.scheme {
+        RouterChoice::Pc(scheme) => (builder.scheme(scheme).build(traffic), scheme.to_string()),
+        RouterChoice::Evc => (
+            builder.build_with_factory(traffic, &EvcRouterFactory::default()),
+            "EVC".to_string(),
+        ),
+    };
+    let report = sim.run(spec);
+    if let Some(path) = &args.manifest {
+        RunManifest::capture(&report, &config, spec, args.seed, args.metrics)
+            .with_scheme(scheme_label)
+            .write(Path::new(path))
+            .map_err(|e| err(format!("cannot write manifest {path}: {e}")))?;
+    }
+    if let Some(path) = &args.trace {
+        // EVC routers carry no tracer; emit a valid empty trace document.
+        let json = sim
+            .chrome_trace()
+            .unwrap_or_else(|| "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n]}\n".into());
+        std::fs::write(path, json).map_err(|e| err(format!("cannot write trace {path}: {e}")))?;
+    }
+    Ok(report)
 }
 
 /// Renders a report as the CLI's human-readable summary.
 pub fn render_report(report: &SimReport) -> String {
     let s = report.router_stats;
-    format!(
+    let mut out = format!(
         "topology       {}\n\
          traffic        {}\n\
          cycles         {}\n\
@@ -314,7 +377,53 @@ pub fn render_report(report: &SimReport) -> String {
         report.energy_breakdown,
         report.end_to_end_locality * 100.0,
         report.xbar_locality() * 100.0,
-    )
+    );
+    if let Some(obs) = &report.observability {
+        out.push_str(&render_observability(obs));
+    }
+    out
+}
+
+/// Renders the `--metrics=full` per-router section appended to the summary.
+fn render_observability(obs: &noc_sim::ObservabilityReport) -> String {
+    let (conflict, credit) = obs.terminations();
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "\n\nper-router metrics (--metrics full)\n\
+         network hit rate   {:.1}%\n\
+         terminations       {} ({} conflict / {} credit)\n\
+         stage p50/p99 <=   BW {}/{}  VA {}/{}  SA {}/{}  ST {}/{}",
+        obs.hit_rate() * 100.0,
+        conflict + credit,
+        conflict,
+        credit,
+        obs.stages.bw.quantile_bound(0.5),
+        obs.stages.bw.quantile_bound(0.99),
+        obs.stages.va.quantile_bound(0.5),
+        obs.stages.va.quantile_bound(0.99),
+        obs.stages.sa.quantile_bound(0.5),
+        obs.stages.sa.quantile_bound(0.99),
+        obs.stages.st.quantile_bound(0.5),
+        obs.stages.st.quantile_bound(0.99),
+    );
+    for r in &obs.routers {
+        if r.total_traversals() == 0 {
+            continue;
+        }
+        let (tc, tx) = r.terminations();
+        let _ = write!(
+            out,
+            "\n  r{:<3} traversals {:<8} hits {:>5.1}%  bypass {:>5.1}%  \
+             term {tc}c/{tx}x  restores {}",
+            r.router,
+            r.total_traversals(),
+            r.hit_rate() * 100.0,
+            r.total_bypasses() as f64 / r.total_traversals() as f64 * 100.0,
+            r.restores.iter().sum::<u64>(),
+        );
+    }
+    out
 }
 
 /// The `noc list` output: available traffic names and topology presets.
@@ -343,7 +452,14 @@ pub fn usage() -> &'static str {
        --topology mesh8x8    --traffic ur        --load 0.10    --packet 5\n\
        --scheme pseudo+ps+bb --routing xy        --va static\n\
        --vcs 4               --buffer 4\n\
-       --warmup 1000         --measure 10000     --drain 100000 --seed 1"
+       --warmup 1000         --measure 10000     --drain 100000 --seed 1\n\
+     \n\
+     OBSERVABILITY (defaults off; see docs/METRICS.md):\n\
+       --metrics off|edge|full   per-router counters + stage histograms (full)\n\
+       --manifest PATH           write the machine-readable run manifest (JSON)\n\
+       --trace PATH              write pseudo-circuit lifecycle events as\n\
+                                 Chrome-trace JSON (chrome://tracing, perfetto)\n\
+       --trace-routers 0,5,12    restrict tracing to these routers (default all)"
 }
 
 #[cfg(test)]
@@ -487,6 +603,83 @@ mod tests {
         let text = render_report(&report);
         assert!(text.contains("avg latency"));
         assert!(!text.contains("NOT DRAINED"));
+    }
+
+    #[test]
+    fn observability_flags_parse() {
+        let parsed = parse_run_args(&args(&[
+            "--metrics",
+            "full",
+            "--manifest",
+            "out/run.json",
+            "--trace",
+            "out/trace.json",
+            "--trace-routers",
+            "0, 5,12",
+        ]))
+        .unwrap();
+        assert_eq!(parsed.metrics, MetricsLevel::Full);
+        assert_eq!(parsed.manifest.as_deref(), Some("out/run.json"));
+        assert_eq!(parsed.trace.as_deref(), Some("out/trace.json"));
+        assert_eq!(parsed.trace_routers, vec![0, 5, 12]);
+        assert!(parse_run_args(&args(&["--metrics", "loud"])).is_err());
+        assert!(parse_run_args(&args(&["--trace-routers", "1,x"])).is_err());
+    }
+
+    #[test]
+    fn full_metrics_run_writes_manifest_and_trace() {
+        let dir = std::env::temp_dir().join(format!("noc-cli-obs-{}", std::process::id()));
+        let manifest_path = dir.join("run.json");
+        let trace_path = dir.join("trace.json");
+        let run_args = RunArgs {
+            topology: "mesh2x2".into(),
+            load: 0.05,
+            packet: 2,
+            warmup: 100,
+            measure: 500,
+            drain: 5_000,
+            metrics: MetricsLevel::Full,
+            manifest: Some(manifest_path.to_string_lossy().into_owned()),
+            trace: Some(trace_path.to_string_lossy().into_owned()),
+            trace_routers: vec![0, 3],
+            ..RunArgs::default()
+        };
+        let report = run(&run_args).unwrap();
+
+        let obs = report.observability.as_ref().expect("full metrics payload");
+        assert_eq!(obs.routers.len(), 4);
+        let (conflict, credit) = obs.terminations();
+        assert_eq!(
+            conflict + credit,
+            report.router_stats.pc_terminations_conflict
+                + report.router_stats.pc_terminations_credit
+        );
+        let text = render_report(&report);
+        assert!(text.contains("per-router metrics"));
+        assert!(text.contains("network hit rate"));
+
+        let manifest = std::fs::read_to_string(&manifest_path).unwrap();
+        assert!(manifest.contains("\"schema\": \"noc-run-manifest/1\""));
+        assert!(manifest.contains("\"scheme\": \"Pseudo+PS+BB\""));
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(trace.contains("\"traceEvents\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_off_report_has_no_observability_section() {
+        let run_args = RunArgs {
+            topology: "mesh2x2".into(),
+            load: 0.05,
+            packet: 2,
+            warmup: 100,
+            measure: 500,
+            drain: 5_000,
+            ..RunArgs::default()
+        };
+        let report = run(&run_args).unwrap();
+        assert!(report.observability.is_none());
+        assert!(!render_report(&report).contains("per-router metrics"));
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! Regenerate deliberately with `NOC_BLESS=1 cargo test --test golden_report`.
 
 use noc_base::{RoutingPolicy, VaPolicy};
+use noc_sim::MetricsLevel;
 use noc_topology::{Mesh, SharedTopology};
 use noc_traffic::BenchmarkProfile;
 use pseudo_circuit::experiment::cmp_traffic_for;
@@ -19,21 +20,29 @@ use std::sync::Arc;
 
 const GOLDEN_PATH: &str = "tests/golden/cmp4x4_pseudo_fft.txt";
 
-fn golden_run() -> String {
+fn golden_run_at(metrics: MetricsLevel) -> String {
     let topo: SharedTopology = Arc::new(Mesh::new(4, 4, 4));
     let profile = *BenchmarkProfile::by_name("fft").expect("fft profile exists");
     let traffic = cmp_traffic_for(topo.as_ref(), profile, 0x5eed ^ 0x77);
-    let report = ExperimentBuilder::new(topo)
+    let mut report = ExperimentBuilder::new(topo)
         .routing(RoutingPolicy::O1Turn)
         .va_policy(VaPolicy::Dynamic)
         .scheme(Scheme::pseudo_ps_bb())
         .seed(0x5eed)
         .phases(500, 2_000, 40_000)
+        .metrics(metrics)
         .run(Box::new(traffic));
+    // Observability is passive: stripping it must leave the seed-era report
+    // (the `Debug` impl omits the field when `None`).
+    report.observability = None;
     // `{:#?}` of the full report covers every field (latency, hops,
     // throughput, per-counter energy, locality, backlog) with stable
     // formatting; f64 Debug is shortest-roundtrip and deterministic.
     format!("{report:#?}\n")
+}
+
+fn golden_run() -> String {
+    golden_run_at(MetricsLevel::Off)
 }
 
 #[test]
@@ -62,4 +71,20 @@ fn golden_run_is_internally_deterministic() {
     // Two in-process runs must agree exactly (guards against accidental
     // global state or iteration-order nondeterminism in the engine).
     assert_eq!(golden_run(), golden_run());
+}
+
+#[test]
+fn full_metrics_do_not_perturb_the_simulation() {
+    // Observability counters must be read-only taps: the same run at
+    // `--metrics=full`, with the payload stripped, is byte-identical to the
+    // metrics-off golden report. Any divergence means instrumentation
+    // changed simulated behaviour.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_PATH);
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with NOC_BLESS=1",
+            GOLDEN_PATH
+        )
+    });
+    assert_eq!(golden_run_at(MetricsLevel::Full), expected);
 }
