@@ -11,9 +11,11 @@
 //! - routing and virtual-channel allocation policy enums shared between the
 //!   network interfaces and the routers ([`RouteMode`], [`RoutingPolicy`],
 //!   [`VaPolicy`], [`VcPartition`]);
-//! - a small deterministic PRNG ([`rng::Pcg32`]) so that every experiment in the
-//!   reproduction is bit-for-bit repeatable regardless of external crate
-//!   versions.
+//! - a small deterministic PRNG ([`rng::Pcg32`]) plus a seed-stream splitter
+//!   ([`rng::SeedStream`]) so that every experiment in the reproduction is
+//!   bit-for-bit repeatable regardless of external crate versions;
+//! - a persistent fork/join worker pool ([`pool::WorkerPool`]) shared by the
+//!   multi-threaded cycle loop and the bench sweep scheduler.
 //!
 //! # Example
 //!
@@ -31,6 +33,7 @@ pub mod flit;
 pub mod geom;
 pub mod ids;
 pub mod policy;
+pub mod pool;
 pub mod rng;
 
 pub use flit::{Credit, Flit, FlitKind, PacketClass, PacketDescriptor, RouteInfo};

@@ -1,0 +1,446 @@
+//! A persistent worker pool for deterministic fork/join parallelism.
+//!
+//! Both hot users of parallelism in this workspace — the sharded cycle loop
+//! in `noc-sim` (thousands of tiny fork/joins per second) and the figure
+//! harnesses' parameter sweeps in `noc-bench` (a handful of long-running
+//! jobs) — share one process-global pool of parked threads instead of
+//! spawning per call. A batch is an indexed job set `0..len`; workers claim
+//! indices dynamically (work stealing at batch-item granularity), so callers
+//! get load balancing for free while *result* placement stays index-keyed
+//! and therefore deterministic.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism is the caller's to keep, and easy to keep.** The pool
+//!    never reorders results — a job is identified by its index and writes
+//!    only to index-keyed state. Which thread runs which index is
+//!    unspecified; nothing else is.
+//! 2. **Cheap steady-state handoff.** A simulation issues one batch per
+//!    simulated cycle (tens of microseconds of work). Workers spin briefly
+//!    on an epoch word before parking on a condvar, so back-to-back batches
+//!    hand off in nanoseconds while an idle pool costs nothing.
+//! 3. **Zero allocation per batch.** All batch state lives in the pool;
+//!    submitting a batch performs no heap allocation (verified by
+//!    `tests/zero_alloc.rs` at the workspace root).
+//! 4. **No nested-submission deadlock.** A job running on a pool worker
+//!    that submits a new batch executes it inline on that worker; external
+//!    submitters serialize on a submission lock. Every batch therefore
+//!    completes with no circular waits.
+//!
+//! The per-call `max_threads` cap lets one shared pool serve callers with
+//! different parallelism budgets: a `--threads 2` simulation on a 16-core
+//! machine occupies at most 2 threads (itself plus one worker) even though
+//! more workers are parked.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+thread_local! {
+    /// Set for the lifetime of every pool worker thread.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Whether the current thread is a [`WorkerPool`] worker.
+///
+/// Used by nested submissions (which must run inline) and by the
+/// allocation-audit tests, whose counting allocator attributes worker-thread
+/// allocations to the pool.
+pub fn is_worker_thread() -> bool {
+    IN_WORKER.try_with(Cell::get).unwrap_or(false)
+}
+
+/// The worker-thread budget from the environment: `NOC_THREADS` when set to
+/// a positive integer, otherwise [`std::thread::available_parallelism`],
+/// otherwise 1.
+pub fn default_threads() -> usize {
+    env_thread_cap().unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// The explicit `NOC_THREADS` override, if set to a positive integer.
+///
+/// Callers that cache a thread count at configuration time (for example the
+/// simulation engine, whose hot loop must not re-read the environment every
+/// cycle) clamp through this so `NOC_THREADS=2 cargo test` bounds every
+/// consumer in the process.
+pub fn env_thread_cap() -> Option<usize> {
+    std::env::var("NOC_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+}
+
+/// An erased `&'scope (dyn Fn(usize) + Sync)` job pointer.
+///
+/// Safety: the pointer is only dereferenced between an index claim and the
+/// matching `remaining` decrement, and [`WorkerPool::run_limited`] does not
+/// return until `remaining` reaches zero — so the borrow it was created from
+/// is always live at every dereference.
+struct RawJob(*const (dyn Fn(usize) + Sync));
+unsafe impl Send for RawJob {}
+
+struct Batch {
+    /// Bumped once per published batch; workers use it to tell a new batch
+    /// from the one they already finished.
+    epoch: u64,
+    /// The erased job, present while a batch is in flight.
+    job: Option<RawJob>,
+    /// Number of indices in the batch.
+    len: usize,
+    /// Next unclaimed index.
+    next: usize,
+    /// Claimed-or-unclaimed indices not yet executed to completion.
+    remaining: usize,
+    /// Workers still allowed to join the current batch (enforces the
+    /// caller's `max_threads` cap on a shared pool).
+    slots: usize,
+    /// Set once, on pool drop.
+    shutdown: bool,
+}
+
+struct Shared {
+    batch: Mutex<Batch>,
+    /// Workers wait here for a new epoch.
+    work_cv: Condvar,
+    /// The submitter waits here for `remaining == 0`.
+    done_cv: Condvar,
+    /// Mirror of `batch.epoch`, for lock-free spin-watching by workers.
+    epoch_hint: AtomicU64,
+    /// Last epoch whose batch fully completed, for lock-free spin-watching
+    /// by the submitter.
+    done_hint: AtomicU64,
+}
+
+/// How many spin iterations to burn watching for state changes before
+/// falling back to the condvar. On a single-core host spinning only steals
+/// time from the thread doing the work, so the budget collapses to zero.
+fn spin_budget() -> u32 {
+    static BUDGET: OnceLock<u32> = OnceLock::new();
+    *BUDGET.get_or_init(|| {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        if cores > 1 {
+            20_000
+        } else {
+            0
+        }
+    })
+}
+
+/// A persistent pool of parked worker threads executing indexed batches.
+///
+/// See the [module docs](self) for the execution model. Most callers want
+/// the process-global instance from [`global()`] rather than a private pool.
+pub struct WorkerPool {
+    shared: &'static Shared,
+    /// Serializes batches: one in flight at a time.
+    submit: Mutex<()>,
+    /// Number of workers spawned so far (grown on demand, never shrunk).
+    workers: AtomicUsize,
+    /// Guards worker spawning.
+    spawn: Mutex<()>,
+}
+
+impl WorkerPool {
+    /// Creates an empty pool; workers are spawned on demand by
+    /// [`run_limited`](Self::run_limited).
+    ///
+    /// Worker threads are detached and live for the process lifetime, so
+    /// this is intended for the process-global pool ([`global()`]) and for
+    /// tests.
+    pub fn new() -> Self {
+        let shared = Box::leak(Box::new(Shared {
+            batch: Mutex::new(Batch {
+                epoch: 0,
+                job: None,
+                len: 0,
+                next: 0,
+                remaining: 0,
+                slots: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            epoch_hint: AtomicU64::new(0),
+            done_hint: AtomicU64::new(0),
+        }));
+        Self {
+            shared,
+            submit: Mutex::new(()),
+            workers: AtomicUsize::new(0),
+            spawn: Mutex::new(()),
+        }
+    }
+
+    /// Workers spawned so far.
+    pub fn worker_count(&self) -> usize {
+        self.workers.load(Ordering::Relaxed)
+    }
+
+    /// Runs `job(i)` for every `i in 0..len`, using at most `max_threads`
+    /// threads (the calling thread included), and returns once every index
+    /// has executed.
+    ///
+    /// Runs inline — sequentially on the calling thread — when `len <= 1`,
+    /// when `max_threads <= 1`, or when called from a pool worker (nested
+    /// submission).
+    pub fn run_limited(&self, len: usize, max_threads: usize, job: &(dyn Fn(usize) + Sync)) {
+        if len == 0 {
+            return;
+        }
+        if len == 1 || max_threads <= 1 || is_worker_thread() {
+            for i in 0..len {
+                job(i);
+            }
+            return;
+        }
+        let helpers = (max_threads - 1).min(len - 1);
+        self.ensure_workers(helpers);
+
+        let _submission = self.submit.lock().expect("pool submit lock");
+        // Erase the job's scope: sound because this function does not return
+        // until every claimed index has finished executing (see `RawJob`).
+        let raw = RawJob(unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(job)
+                as *const _
+        });
+        let my_epoch;
+        {
+            let mut b = self.shared.batch.lock().expect("pool batch lock");
+            b.epoch += 1;
+            my_epoch = b.epoch;
+            b.job = Some(raw);
+            b.len = len;
+            b.next = 0;
+            b.remaining = len;
+            b.slots = helpers;
+            self.shared.epoch_hint.store(my_epoch, Ordering::Release);
+            self.shared.work_cv.notify_all();
+        }
+
+        // Participate: the submitter is one of the batch's threads.
+        loop {
+            let mut b = self.shared.batch.lock().expect("pool batch lock");
+            if b.next >= b.len {
+                break;
+            }
+            let i = b.next;
+            b.next += 1;
+            drop(b);
+            job(i);
+            let mut b = self.shared.batch.lock().expect("pool batch lock");
+            b.remaining -= 1;
+            if b.remaining == 0 {
+                self.shared.done_hint.store(my_epoch, Ordering::Release);
+                self.shared.done_cv.notify_all();
+            }
+        }
+
+        // Wait for workers still executing claimed indices: spin briefly
+        // (back-to-back cycle batches finish in microseconds), then park.
+        let mut spins = 0u32;
+        while self.shared.done_hint.load(Ordering::Acquire) != my_epoch {
+            spins += 1;
+            if spins > spin_budget() {
+                let mut b = self.shared.batch.lock().expect("pool batch lock");
+                while b.remaining != 0 {
+                    b = self.shared.done_cv.wait(b).expect("pool done wait");
+                }
+                self.shared.done_hint.store(my_epoch, Ordering::Release);
+                break;
+            }
+            std::hint::spin_loop();
+        }
+
+        // Drop the erased pointer before the borrow it came from expires.
+        self.shared.batch.lock().expect("pool batch lock").job = None;
+    }
+
+    /// Runs `job(i)` for every `i in 0..len` with no extra thread cap beyond
+    /// the pool's worker count.
+    pub fn run_indexed(&self, len: usize, job: &(dyn Fn(usize) + Sync)) {
+        self.run_limited(len, usize::MAX, job);
+    }
+
+    /// Spawns workers until at least `n` exist.
+    fn ensure_workers(&self, n: usize) {
+        if self.workers.load(Ordering::Acquire) >= n {
+            return;
+        }
+        let _guard = self.spawn.lock().expect("pool spawn lock");
+        let current = self.workers.load(Ordering::Acquire);
+        for id in current..n {
+            let shared: &'static Shared = self.shared;
+            std::thread::Builder::new()
+                .name(format!("noc-pool-{id}"))
+                .spawn(move || worker_loop(shared))
+                .expect("spawn pool worker");
+        }
+        self.workers.store(n.max(current), Ordering::Release);
+    }
+}
+
+impl Default for WorkerPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn worker_loop(shared: &'static Shared) {
+    IN_WORKER.with(|w| w.set(true));
+    let mut seen = 0u64;
+    loop {
+        // Fast path: watch the epoch hint without the lock.
+        let mut spins = 0u32;
+        while shared.epoch_hint.load(Ordering::Acquire) == seen && spins < spin_budget() {
+            spins += 1;
+            std::hint::spin_loop();
+        }
+
+        let mut b = shared.batch.lock().expect("pool batch lock");
+        let joined = loop {
+            if b.shutdown {
+                return;
+            }
+            if b.epoch != seen {
+                seen = b.epoch;
+                if b.slots > 0 && b.job.is_some() && b.next < b.len {
+                    b.slots -= 1;
+                    break true;
+                }
+                // Batch full (thread cap) or already drained: skip it.
+                break false;
+            }
+            b = shared.work_cv.wait(b).expect("pool work wait");
+        };
+        if !joined {
+            continue;
+        }
+
+        // Claim indices until the batch drains. The job pointer is only used
+        // between a claim and the matching `remaining` decrement, while the
+        // submitter is provably still blocked in `run_limited`.
+        loop {
+            if b.next >= b.len {
+                break;
+            }
+            let i = b.next;
+            b.next += 1;
+            let job = b.job.as_ref().expect("job present while indices remain").0;
+            drop(b);
+            unsafe { (*job)(i) };
+            b = shared.batch.lock().expect("pool batch lock");
+            b.remaining -= 1;
+            if b.remaining == 0 {
+                shared.done_hint.store(b.epoch, Ordering::Release);
+                shared.done_cv.notify_all();
+            }
+        }
+    }
+}
+
+/// The process-global worker pool shared by the simulation engine's cycle
+/// loop and the bench harnesses' sweep scheduler.
+pub fn global() -> &'static WorkerPool {
+    static POOL: OnceLock<WorkerPool> = OnceLock::new();
+    POOL.get_or_init(WorkerPool::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn runs_every_index_exactly_once() {
+        let pool = WorkerPool::new();
+        let hits: Vec<AtomicU32> = (0..97).map(|_| AtomicU32::new(0)).collect();
+        pool.run_limited(hits.len(), 4, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn back_to_back_batches_stay_consistent() {
+        let pool = WorkerPool::new();
+        let sum = AtomicU64::new(0);
+        for round in 0..500u64 {
+            pool.run_limited(8, 3, &|i| {
+                sum.fetch_add(round + i as u64, Ordering::Relaxed);
+            });
+        }
+        // sum over rounds of (8*round + 0+..+7)
+        let expected: u64 = (0..500u64).map(|r| 8 * r + 28).sum();
+        assert_eq!(sum.load(Ordering::Relaxed), expected);
+    }
+
+    #[test]
+    fn thread_cap_one_runs_inline() {
+        let pool = WorkerPool::new();
+        let main = std::thread::current().id();
+        pool.run_limited(16, 1, &|_| {
+            assert_eq!(std::thread::current().id(), main, "cap 1 must run inline");
+        });
+        assert_eq!(pool.worker_count(), 0, "no workers spawned for inline runs");
+    }
+
+    #[test]
+    fn nested_submission_runs_inline() {
+        let pool = global();
+        let outer = AtomicU32::new(0);
+        let inner = AtomicU32::new(0);
+        pool.run_limited(4, 4, &|_| {
+            outer.fetch_add(1, Ordering::Relaxed);
+            // On a worker this must execute inline; on the submitting thread
+            // it re-enters the pool, which the submit lock serializes. Either
+            // way it completes without deadlock.
+            if is_worker_thread() {
+                global().run_limited(3, 4, &|_| {
+                    inner.fetch_add(1, Ordering::Relaxed);
+                });
+            } else {
+                for _ in 0..3 {
+                    inner.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+        assert_eq!(outer.load(Ordering::Relaxed), 4);
+        assert_eq!(inner.load(Ordering::Relaxed), 12);
+    }
+
+    #[test]
+    fn worker_cap_respects_max_threads() {
+        let pool = WorkerPool::new();
+        pool.run_limited(64, 3, &|_| {
+            std::thread::yield_now();
+        });
+        // At most max_threads - 1 helpers are ever spawned for a batch.
+        assert!(pool.worker_count() <= 2, "workers={}", pool.worker_count());
+    }
+
+    #[test]
+    fn default_threads_respects_env_override() {
+        // NOC_THREADS overrides the detected core count; invalid or
+        // non-positive values fall back to detection. Serialized within this
+        // test to avoid races on the process environment.
+        std::env::set_var("NOC_THREADS", "3");
+        assert_eq!(default_threads(), 3);
+        assert_eq!(env_thread_cap(), Some(3));
+        std::env::set_var("NOC_THREADS", "0");
+        assert_eq!(env_thread_cap(), None);
+        std::env::set_var("NOC_THREADS", "lots");
+        assert_eq!(env_thread_cap(), None);
+        std::env::remove_var("NOC_THREADS");
+        assert_eq!(env_thread_cap(), None);
+        let detected = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(default_threads(), detected);
+    }
+}

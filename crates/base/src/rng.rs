@@ -142,6 +142,54 @@ impl Pcg32 {
     }
 }
 
+/// Splits one experiment seed into decorrelated per-component seed streams.
+///
+/// Every generator in a simulation is derived from a single experiment seed
+/// through this splitter, so component seeds are a pure function of
+/// `(root seed, component kind, component index)` — independent of
+/// construction order, shard layout, and thread count. The derivation
+/// formulas are frozen: changing them would re-seed every component and
+/// invalidate the golden reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SeedStream {
+    root: u64,
+}
+
+impl SeedStream {
+    /// Creates a splitter over one experiment root seed.
+    pub fn new(root: u64) -> Self {
+        Self { root }
+    }
+
+    /// The root seed this splitter derives from.
+    pub fn root(self) -> u64 {
+        self.root
+    }
+
+    /// The seed for router `index`.
+    pub fn router(self, index: usize) -> u64 {
+        splitmix64(self.root ^ (index as u64).wrapping_mul(0x9e37))
+    }
+
+    /// The seed for the network interface at node `index`.
+    pub fn interface(self, index: usize) -> u64 {
+        splitmix64(self.root ^ 0xabcd ^ ((index as u64) << 17))
+    }
+
+    /// An independent generator for execution shard `index`.
+    ///
+    /// Shard streams exist for engine-internal randomized decisions (for
+    /// example tie-breaking in future schedulers) that must not perturb the
+    /// router/interface streams; they are keyed by shard index so resharding
+    /// with a different thread count yields streams from the same family.
+    pub fn shard_rng(self, index: usize) -> Pcg32 {
+        Pcg32::seed_with_stream(
+            splitmix64(self.root ^ 0x5a4d ^ (index as u64).wrapping_mul(0xc2b2_ae3d)),
+            0x70 ^ index as u64,
+        )
+    }
+}
+
 /// SplitMix64 finalizer — used to decorrelate seeds and streams.
 #[inline]
 pub fn splitmix64(mut z: u64) -> u64 {
@@ -249,6 +297,30 @@ mod tests {
     #[should_panic(expected = "nonzero")]
     fn next_below_zero_panics() {
         Pcg32::seed_from_u64(0).next_below(0);
+    }
+
+    #[test]
+    fn seed_stream_matches_frozen_formulas() {
+        // These derivations feed the golden reports; they must never change.
+        let s = SeedStream::new(0x5eed);
+        assert_eq!(s.router(7), splitmix64(0x5eed ^ 7u64.wrapping_mul(0x9e37)));
+        assert_eq!(s.interface(3), splitmix64(0x5eed ^ 0xabcd ^ (3u64 << 17)));
+        assert_eq!(s.root(), 0x5eed);
+    }
+
+    #[test]
+    fn seed_stream_components_are_decorrelated() {
+        let s = SeedStream::new(1);
+        let mut seeds: Vec<u64> = (0..64).map(|i| s.router(i)).collect();
+        seeds.extend((0..64).map(|i| s.interface(i)));
+        let len = seeds.len();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), len, "derived seeds should be distinct");
+        let mut a = s.shard_rng(0);
+        let mut b = s.shard_rng(1);
+        let same = (0..100).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 3, "shard streams should differ, {same} collisions");
     }
 
     #[test]

@@ -3,9 +3,13 @@
 //! the paper-default CMesh configuration — the regression guard for simulator
 //! performance, not a paper figure.
 //!
-//! Results are printed as a table and written to `BENCH_engine.json` at the
-//! workspace root so the performance trajectory is tracked across PRs
-//! (see EXPERIMENTS.md §"Engine throughput methodology").
+//! Every case is measured at 1, 2, 4 and 8 engine threads (a fresh
+//! simulation per point, so no case warms another's caches), making the
+//! sharded engine's scaling curve part of the tracked trajectory. Results
+//! are printed as a table and written to `BENCH_engine.json` at the
+//! workspace root so the performance trajectory is tracked across PRs (see
+//! EXPERIMENTS.md §"Engine throughput methodology"); compare two snapshots
+//! with `scripts/bench_compare.sh`.
 
 use noc_base::{RoutingPolicy, VaPolicy};
 use noc_evc::EvcRouterFactory;
@@ -17,11 +21,12 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
 
-/// One benchmarked engine configuration.
-struct Case {
+/// One benchmarked engine configuration; `build` returns a fresh simulation
+/// so each (case, threads) point starts from identical cold state.
+struct CaseSpec {
     name: &'static str,
     config: &'static str,
-    sim: Simulation,
+    build: fn() -> Simulation,
 }
 
 fn mesh8x8(factory: &dyn RouterFactory) -> Simulation {
@@ -43,9 +48,26 @@ fn cmesh4x4(factory: &dyn RouterFactory) -> Simulation {
     Simulation::new(topo, NetworkConfig::paper(), Box::new(traffic), factory, 9)
 }
 
+fn baseline_sim() -> Simulation {
+    mesh8x8(&PcRouterFactory::new(Scheme::baseline()))
+}
+
+fn pseudo_sim() -> Simulation {
+    mesh8x8(&PcRouterFactory::new(Scheme::pseudo_ps_bb()))
+}
+
+fn evc_sim() -> Simulation {
+    mesh8x8(&EvcRouterFactory::default())
+}
+
+fn paper_cmesh_sim() -> Simulation {
+    cmesh4x4(&PcRouterFactory::new(Scheme::pseudo_ps_bb()))
+}
+
 struct Measurement {
     name: String,
     config: String,
+    threads: usize,
     cycles: u64,
     secs: f64,
     cycles_per_sec: f64,
@@ -53,20 +75,23 @@ struct Measurement {
 }
 
 /// Times `cycles` engine steps after a warmup, returning throughput numbers.
-fn measure(case: &mut Case, warmup: u64, cycles: u64) -> Measurement {
+fn measure(spec: &CaseSpec, threads: usize, warmup: u64, cycles: u64) -> Measurement {
+    let mut sim = (spec.build)();
+    sim.set_threads(threads);
     for _ in 0..warmup {
-        case.sim.step();
+        sim.step();
     }
-    let flits_before = total_flits(&case.sim);
+    let flits_before = total_flits(&sim);
     let start = Instant::now();
     for _ in 0..cycles {
-        case.sim.step();
+        sim.step();
     }
     let secs = start.elapsed().as_secs_f64();
-    let flits = total_flits(&case.sim) - flits_before;
+    let flits = total_flits(&sim) - flits_before;
     Measurement {
-        name: case.name.to_string(),
-        config: case.config.to_string(),
+        name: spec.name.to_string(),
+        config: spec.config.to_string(),
+        threads,
         cycles,
         secs,
         cycles_per_sec: cycles as f64 / secs,
@@ -93,55 +118,66 @@ fn main() {
         .unwrap_or(1);
     let warmup = 2_000;
     let cycles = 50_000 * scale;
+    let thread_counts: &[usize] = &[1, 2, 4, 8];
 
-    let mut cases = vec![
-        Case {
+    let cases = [
+        CaseSpec {
             name: "baseline_router",
             config: "mesh8x8 xy static uniform@0.15",
-            sim: mesh8x8(&PcRouterFactory::new(Scheme::baseline())),
+            build: baseline_sim,
         },
-        Case {
+        CaseSpec {
             name: "pseudo_router",
             config: "mesh8x8 xy static uniform@0.15",
-            sim: mesh8x8(&PcRouterFactory::new(Scheme::pseudo_ps_bb())),
+            build: pseudo_sim,
         },
-        Case {
+        CaseSpec {
             name: "evc_router",
             config: "mesh8x8 xy static uniform@0.15",
-            sim: mesh8x8(&EvcRouterFactory::default()),
+            build: evc_sim,
         },
-        Case {
+        CaseSpec {
             name: "paper_cmesh",
             config: "cmesh4x4c4 o1turn dynamic uniform@0.10",
-            sim: cmesh4x4(&PcRouterFactory::new(Scheme::pseudo_ps_bb())),
+            build: paper_cmesh_sim,
         },
     ];
 
-    println!("engine throughput ({cycles} cycles per case after {warmup} warmup)");
     println!(
-        "{:<18} {:>14} {:>14}  config",
-        "case", "cycles/sec", "flits/sec"
+        "engine throughput ({cycles} cycles per point after {warmup} warmup; \
+         host cores: {})",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    println!(
+        "{:<18} {:>7} {:>14} {:>14}  config",
+        "case", "threads", "cycles/sec", "flits/sec"
     );
     let mut json = String::from("{\n  \"bench\": \"engine\",\n  \"cases\": [\n");
-    let n = cases.len();
-    for (i, case) in cases.iter_mut().enumerate() {
-        let m = measure(case, warmup, cycles);
-        println!(
-            "{:<18} {:>14.0} {:>14.0}  {}",
-            m.name, m.cycles_per_sec, m.flits_per_sec, m.config
-        );
-        let _ = write!(
-            json,
-            "    {{\"name\": \"{}\", \"config\": \"{}\", \"cycles\": {}, \"secs\": {:.6}, \
-             \"cycles_per_sec\": {:.1}, \"flits_per_sec\": {:.1}}}{}\n",
-            m.name,
-            m.config,
-            m.cycles,
-            m.secs,
-            m.cycles_per_sec,
-            m.flits_per_sec,
-            if i + 1 == n { "" } else { "," }
-        );
+    let total = cases.len() * thread_counts.len();
+    let mut point = 0;
+    for spec in &cases {
+        for &threads in thread_counts {
+            let m = measure(spec, threads, warmup, cycles);
+            println!(
+                "{:<18} {:>7} {:>14.0} {:>14.0}  {}",
+                m.name, m.threads, m.cycles_per_sec, m.flits_per_sec, m.config
+            );
+            point += 1;
+            let _ = writeln!(
+                json,
+                "    {{\"name\": \"{}\", \"config\": \"{}\", \"threads\": {}, \
+                 \"cycles\": {}, \"secs\": {:.6}, \"cycles_per_sec\": {:.1}, \
+                 \"flits_per_sec\": {:.1}}}{}",
+                m.name,
+                m.config,
+                m.threads,
+                m.cycles,
+                m.secs,
+                m.cycles_per_sec,
+                m.flits_per_sec,
+                if point == total { "" } else { "," }
+            );
+        }
     }
     json.push_str("  ]\n}\n");
 

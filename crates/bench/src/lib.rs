@@ -14,8 +14,8 @@
 //! - `NOC_SCALE` — multiplies the measurement-window length (default 1.0;
 //!   use 4 or more for tighter confidence);
 //! - `NOC_BENCHMARKS` — comma-separated benchmark subset (default: all 12);
-//! - `NOC_THREADS` — worker threads for parameter sweeps (default: all
-//!   cores);
+//! - `NOC_THREADS` — process-wide thread budget: sets the sweep worker count
+//!   and caps the engine's per-simulation thread budget (default: all cores);
 //! - `NOC_MANIFEST_DIR` — when set, every harness run writes a reproducibility
 //!   manifest (`noc-run-manifest/1` JSON, see `docs/METRICS.md`) into this
 //!   directory, named by its configuration hash.
@@ -62,42 +62,58 @@ pub fn benchmarks() -> Vec<BenchmarkProfile> {
     }
 }
 
-/// Runs `f` over `items` on a bounded set of scoped threads, preserving
-/// order. Each worker owns one contiguous chunk of the items and writes into
-/// the matching disjoint chunk of the result vector, so no locking (and no
-/// per-cell `Mutex`) is needed: the chunks never alias, and the thread-scope
-/// join publishes every write before the results are read.
+/// The sweep thread budget: `NOC_THREADS` when set to a positive integer,
+/// otherwise every available core ([`std::thread::available_parallelism`]).
+pub fn sweep_threads() -> usize {
+    noc_base::pool::default_threads()
+}
+
+/// Index-keyed result slots written concurrently by pool workers. Each batch
+/// index writes its own slot exactly once, so the cells never alias.
+struct ResultSlots<R>(*mut Option<R>);
+unsafe impl<R: Send> Sync for ResultSlots<R> {}
+
+impl<R> ResultSlots<R> {
+    /// Pointer to slot `i`. A method (not direct field access) so closures
+    /// capture the `Sync` wrapper rather than the raw pointer field.
+    fn slot(&self, i: usize) -> *mut Option<R> {
+        // Safety contract is the caller's: `i` must be in bounds.
+        unsafe { self.0.add(i) }
+    }
+}
+
+/// Runs `f` over `items` on the process-global worker pool
+/// ([`noc_base::pool::global`]), preserving order. Items are claimed
+/// dynamically, so a sweep whose points have wildly different runtimes (a
+/// saturated config next to a light one) stays load-balanced; results land
+/// in index-keyed slots, so ordering is independent of which worker ran
+/// what. The thread budget comes from [`sweep_threads`] (`NOC_THREADS`
+/// override, all cores by default).
+///
+/// The pool is shared with the simulation engine's sharded cycle loop: a
+/// sweep point that itself runs a multi-threaded simulation executes its
+/// shards inline on the sweep worker (nested submissions never deadlock).
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send + Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let threads = std::env::var("NOC_THREADS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4)
-        })
-        .max(1);
     let n = items.len();
     if n == 0 {
         return Vec::new();
     }
-    let chunk = n.div_ceil(threads.min(n));
     let mut results: Vec<Option<R>> = Vec::with_capacity(n);
     results.resize_with(n, || None);
+    let slots = ResultSlots(results.as_mut_ptr());
+    let items = &items;
     let f = &f;
-    std::thread::scope(|scope| {
-        for (out_chunk, in_chunk) in results.chunks_mut(chunk).zip(items.chunks(chunk)) {
-            scope.spawn(move || {
-                for (slot, item) in out_chunk.iter_mut().zip(in_chunk) {
-                    *slot = Some(f(item));
-                }
-            });
-        }
+    noc_base::pool::global().run_limited(n, sweep_threads(), &|i| {
+        let value = f(&items[i]);
+        // Safety: index i is claimed by exactly one worker per batch, and
+        // run_limited does not return until every index completed, so each
+        // slot is written once with no concurrent access.
+        unsafe { slots.slot(i).write(Some(value)) };
     });
     results
         .into_iter()
@@ -283,9 +299,24 @@ mod tests {
     #[test]
     fn parallel_map_handles_empty_and_tiny_inputs() {
         assert_eq!(parallel_map(Vec::<u64>::new(), |&x| x), Vec::<u64>::new());
-        // Fewer items than threads: every chunk is a single item.
+        // Fewer items than threads: excess workers simply never join.
         assert_eq!(parallel_map(vec![7u64], |&x| x + 1), vec![8]);
         assert_eq!(parallel_map(vec![1u64, 2, 3], |&x| x * x), vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn sweep_threads_respects_noc_threads_override() {
+        // A positive NOC_THREADS overrides core detection; unset falls back
+        // to available_parallelism. Concurrent tests only ever *read* the
+        // variable (any positive budget is valid for them), so this
+        // temporary override is race-benign.
+        std::env::set_var("NOC_THREADS", "5");
+        assert_eq!(sweep_threads(), 5);
+        std::env::remove_var("NOC_THREADS");
+        let detected = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(sweep_threads(), detected);
     }
 
     #[test]

@@ -24,6 +24,7 @@ pub struct ExperimentBuilder {
     seed: u64,
     spec: RunSpec,
     metrics: MetricsConfig,
+    threads: usize,
 }
 
 impl std::fmt::Debug for ExperimentBuilder {
@@ -35,6 +36,7 @@ impl std::fmt::Debug for ExperimentBuilder {
             .field("seed", &self.seed)
             .field("spec", &self.spec)
             .field("metrics", &self.metrics)
+            .field("threads", &self.threads)
             .finish()
     }
 }
@@ -49,6 +51,7 @@ impl ExperimentBuilder {
             seed: 1,
             spec: RunSpec::new(1_000, 5_000, 50_000),
             metrics: MetricsConfig::off(),
+            threads: 1,
         }
     }
 
@@ -109,6 +112,15 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Sets the engine thread budget (default 1). Thread count never affects
+    /// results — the golden `SimReport` is byte-identical for any value — so
+    /// it is an execution knob, not part of the experiment configuration
+    /// (and is excluded from the manifest config hash).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
     /// The network configuration assembled so far.
     pub fn config(&self) -> NetworkConfig {
         self.config
@@ -146,14 +158,16 @@ impl ExperimentBuilder {
         traffic: Box<dyn TrafficModel>,
         factory: &dyn RouterFactory,
     ) -> Simulation {
-        Simulation::with_metrics(
+        let mut sim = Simulation::with_metrics(
             self.topology.clone(),
             self.config,
             self.metrics.clone(),
             traffic,
             factory,
             self.seed,
-        )
+        );
+        sim.set_threads(self.threads);
+        sim
     }
 
     /// Builds and runs the experiment.

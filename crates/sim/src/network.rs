@@ -11,30 +11,276 @@
 //! dispatch, capacity reused across cycles), and an active-router worklist
 //! skips the `step` of routers that are provably quiescent. In steady state
 //! the loop performs zero heap allocations.
+//!
+//! # Sharded parallel stepping
+//!
+//! Because every link carries one cycle of latency, a cycle's router
+//! computation depends only on the *previous* cycle's inboxes — there are no
+//! intra-cycle dependencies between routers. The engine exploits this by
+//! partitioning routers into contiguous index shards ([`ShardLayout`]) and
+//! stepping the shards in parallel on a persistent worker pool
+//! ([`noc_base::pool`]). Each shard owns an outbox ([`ShardOutbox`]) whose
+//! router-bound lanes are bucketed by *destination* shard, so next cycle
+//! every shard drains exactly the lanes addressed to it — in ascending
+//! source-shard order, which reproduces the serial engine's ascending
+//! router-index emission order event for event. The result is byte-identical
+//! to the single-threaded engine for any shard count and any thread count
+//! (see DESIGN.md §12 for the full determinism argument).
 
 use crate::metrics::{chrome_trace_json, MetricsConfig, MetricsLevel, ObservabilityReport};
 use crate::ni::{NetworkInterface, NiOutputs};
 use crate::router::{RouterBuildContext, RouterFactory, RouterModel, RouterOutputs};
 use crate::stats::{energy_breakdown_of, SimReport, SimStats};
 use crate::{NetworkConfig, RunSpec};
-use noc_base::rng::splitmix64;
+use noc_base::rng::{Pcg32, SeedStream};
 use noc_base::{Credit, Flit, NodeId, PacketId, PortIndex, RouterId};
 use noc_energy::EnergyCounters;
 use noc_topology::{DistanceMatrix, FlatWiring, PortFeeder, SharedTopology};
 use noc_traffic::TrafficModel;
+use std::ops::Range;
 
-/// Events in flight on the (one-cycle) link fabric, split by kind so each is
-/// a flat tuple drained without enum dispatch. Within a delivery phase the
-/// four kinds commute (`receive_flit`/`receive_credit` only buffer and count;
-/// no component steps until every event has landed), so draining them
-/// queue-by-queue is behaviourally identical to the interleaved order in
-/// which they were emitted.
+/// One shard's emissions for delivery next cycle, split by event kind so each
+/// lane is a flat tuple vector drained without enum dispatch. Within a
+/// delivery phase the kinds commute (`receive_flit`/`receive_credit` only
+/// buffer and count; no component steps until every event has landed), so
+/// draining lane by lane is behaviourally identical to the interleaved order
+/// in which the events were emitted.
+///
+/// Router-bound lanes are bucketed by destination shard so that next cycle
+/// each shard consumes exactly the buckets addressed to it without scanning
+/// or locking. Interface emissions and node-bound events never cross shards
+/// — an interface's attached router, and the router that ejects to or
+/// returns credits to a node, are by construction in the node's own shard —
+/// so those lanes need no bucketing.
 #[derive(Default, Debug)]
-struct EventQueues {
-    router_flits: Vec<(RouterId, PortIndex, Flit)>,
+struct ShardOutbox {
+    /// Interface-emitted flits entering this shard's own routers.
+    ni_flits: Vec<(RouterId, PortIndex, Flit)>,
+    /// Interface-returned credits for this shard's own routers.
+    ni_credits: Vec<(RouterId, PortIndex, Credit)>,
+    /// Router-emitted link flits, bucketed by destination shard.
+    router_flits: Vec<Vec<(RouterId, PortIndex, Flit)>>,
+    /// Router-returned upstream credits, bucketed by destination shard.
+    router_credits: Vec<Vec<(RouterId, PortIndex, Credit)>>,
+    /// Ejections to this shard's own interfaces.
     node_flits: Vec<(NodeId, Flit)>,
-    router_credits: Vec<(RouterId, PortIndex, Credit)>,
+    /// Credit returns to this shard's own interfaces.
     node_credits: Vec<(NodeId, Credit)>,
+}
+
+impl ShardOutbox {
+    fn new(shards: usize) -> Self {
+        Self {
+            router_flits: (0..shards).map(|_| Vec::new()).collect(),
+            router_credits: (0..shards).map(|_| Vec::new()).collect(),
+            ..Self::default()
+        }
+    }
+
+    /// Empties every lane, retaining capacity for the next cycle.
+    fn clear(&mut self) {
+        self.ni_flits.clear();
+        self.ni_credits.clear();
+        for lane in &mut self.router_flits {
+            lane.clear();
+        }
+        for lane in &mut self.router_credits {
+            lane.clear();
+        }
+        self.node_flits.clear();
+        self.node_credits.clear();
+    }
+
+    fn is_empty(&self) -> bool {
+        self.ni_flits.is_empty()
+            && self.ni_credits.is_empty()
+            && self.router_flits.iter().all(Vec::is_empty)
+            && self.router_credits.iter().all(Vec::is_empty)
+            && self.node_flits.is_empty()
+            && self.node_credits.is_empty()
+    }
+}
+
+/// Contiguous-index partition of routers (and their attached interfaces)
+/// into execution shards.
+#[derive(Debug)]
+struct ShardLayout {
+    /// Routers per shard (the last shard may be short).
+    chunk: usize,
+    /// Router-index range of each shard.
+    ranges: Vec<Range<usize>>,
+    /// Node indices whose attached router lies in each shard, ascending.
+    ni_lists: Vec<Vec<usize>>,
+}
+
+impl ShardLayout {
+    fn new(shards: usize, num_routers: usize, num_nodes: usize, wiring: &FlatWiring) -> Self {
+        let shards = shards.clamp(1, num_routers.max(1));
+        let chunk = num_routers.max(1).div_ceil(shards);
+        let ranges: Vec<Range<usize>> = (0..shards)
+            .map(|s| (s * chunk).min(num_routers)..((s + 1) * chunk).min(num_routers))
+            .take_while(|r| !r.is_empty())
+            .collect();
+        let mut ni_lists: Vec<Vec<usize>> = (0..ranges.len()).map(|_| Vec::new()).collect();
+        for n in 0..num_nodes {
+            let (router, _) = wiring.attach_of(NodeId::new(n));
+            ni_lists[router.index() / chunk].push(n);
+        }
+        Self {
+            chunk,
+            ranges,
+            ni_lists,
+        }
+    }
+
+    #[inline]
+    fn dest_shard(&self, router: usize) -> usize {
+        router / self.chunk
+    }
+
+    fn shards(&self) -> usize {
+        self.ranges.len()
+    }
+}
+
+/// Per-shard mutable scratch: reusable emission buffers plus an independent
+/// RNG stream for engine-internal randomized decisions.
+struct ShardScratch {
+    router_out: RouterOutputs,
+    ni_out: NiOutputs,
+    rng: Pcg32,
+}
+
+/// Everything one shard job needs, erased to raw pointers where shards touch
+/// disjoint elements of a shared vector.
+///
+/// Safety: shard `s` dereferences `routers[r]`/`active[r]` only for `r` in
+/// `layout.ranges[s]`, `nis[n]` only for `n` in `layout.ni_lists[s]`, and
+/// `next[s]`/`scratch[s]` only at its own index — and every event lane it
+/// reads from `now` is read by shard `s` alone (own-shard lanes plus the
+/// `[s]` bucket of every router lane) — so no element is aliased across
+/// concurrently running shards.
+struct ShardCtx<'a> {
+    layout: &'a ShardLayout,
+    wiring: &'a FlatWiring,
+    now: &'a [ShardOutbox],
+    cycle: u64,
+    routers: *mut Box<dyn RouterModel>,
+    nis: *mut NetworkInterface,
+    active: *mut bool,
+    next: *mut ShardOutbox,
+    scratch: *mut ShardScratch,
+}
+
+// Safety: see the disjointness argument on `ShardCtx`; all shared references
+// inside point to `Sync` data read-only during the parallel phase.
+unsafe impl Sync for ShardCtx<'_> {}
+
+/// Runs one shard's slice of a cycle: delivers the shard's inbound events,
+/// steps its interfaces, then steps its routers, writing all emissions into
+/// the shard's own outbox.
+///
+/// Per-receiver event order is identical to the serial engine: interface
+/// emissions land before router emissions, and router emissions land in
+/// ascending source-shard order, which (shards being contiguous index
+/// ranges) is ascending router-index order.
+///
+/// # Safety
+///
+/// Caller must guarantee `s < ctx.layout.shards()`, that every raw pointer in
+/// `ctx` is valid for the vectors described on [`ShardCtx`], and that no two
+/// concurrent calls share a shard index.
+unsafe fn step_shard(ctx: &ShardCtx<'_>, s: usize) {
+    let layout = ctx.layout;
+    let wiring = ctx.wiring;
+    let cycle = ctx.cycle;
+    let next = &mut *ctx.next.add(s);
+    let scratch = &mut *ctx.scratch.add(s);
+
+    // Inbound flits: interface emissions first, then router emissions in
+    // ascending source-shard order. Receiving routers join the worklist.
+    for (router, port, flit) in &ctx.now[s].ni_flits {
+        *ctx.active.add(router.index()) = true;
+        (*ctx.routers.add(router.index())).receive_flit(*port, flit.clone());
+    }
+    for src in ctx.now {
+        for (router, port, flit) in &src.router_flits[s] {
+            *ctx.active.add(router.index()) = true;
+            (*ctx.routers.add(router.index())).receive_flit(*port, flit.clone());
+        }
+    }
+
+    // Inbound credits, same ordering.
+    for (router, out_port, credit) in &ctx.now[s].ni_credits {
+        *ctx.active.add(router.index()) = true;
+        (*ctx.routers.add(router.index())).receive_credit(*out_port, *credit);
+    }
+    for src in ctx.now {
+        for (router, out_port, credit) in &src.router_credits[s] {
+            *ctx.active.add(router.index()) = true;
+            (*ctx.routers.add(router.index())).receive_credit(*out_port, *credit);
+        }
+    }
+
+    // Interface injection and ejection-credit return for this shard's nodes.
+    for &n in &layout.ni_lists[s] {
+        let ni = &mut *ctx.nis.add(n);
+        scratch.ni_out.clear();
+        ni.step(cycle, &mut scratch.ni_out);
+        let (router, local) = wiring.attach_of(ni.node());
+        if let Some(flit) = scratch.ni_out.flit.take() {
+            next.ni_flits.push((router, local, flit));
+        }
+        for vc in scratch.ni_out.credits.drain(..) {
+            next.ni_credits.push((router, local, Credit::new(vc)));
+        }
+    }
+
+    // Routers advance and emit. A router is skipped only when it received no
+    // event this cycle AND its own model certifies that `step` would be a
+    // no-op — so skipping cannot change behaviour.
+    for r in layout.ranges[s].clone() {
+        let scheduled = std::mem::replace(&mut *ctx.active.add(r), false);
+        let model = &mut *ctx.routers.add(r);
+        if !scheduled && model.is_idle() {
+            continue;
+        }
+        let router = RouterId::new(r);
+        scratch.router_out.clear();
+        model.step(cycle, &mut scratch.router_out);
+        for sent in scratch.router_out.flits.drain(..) {
+            if sent.out_port.index() < wiring.concentration() {
+                let node = wiring
+                    .eject_node(router, sent.out_port)
+                    .unwrap_or_else(|| panic!("{router} ejects on unattached port"));
+                debug_assert_eq!(sent.flit.dst, node, "misrouted ejection at {router}");
+                next.node_flits.push((node, sent.flit));
+            } else {
+                let end = wiring.link(router, sent.out_port, sent.hops);
+                next.router_flits[layout.dest_shard(end.router.index())]
+                    .push((end.router, end.port, sent.flit));
+            }
+        }
+        for (in_port, vc) in scratch.router_out.credits.drain(..) {
+            match wiring.feeder(router, in_port) {
+                PortFeeder::Channel {
+                    router: up,
+                    out_port,
+                    sub,
+                } => next.router_credits[layout.dest_shard(up.index())].push((
+                    up,
+                    out_port,
+                    Credit { vc, sub },
+                )),
+                PortFeeder::Node(node) => {
+                    next.node_credits.push((node, Credit::new(vc)));
+                }
+                PortFeeder::None => {
+                    panic!("{router} returned credit on unwired input {in_port}")
+                }
+            }
+        }
+    }
 }
 
 /// A fully wired network plus its workload: the top-level simulation object.
@@ -49,18 +295,24 @@ pub struct Simulation {
     wiring: FlatWiring,
     /// All-pairs minimal hops for delivery statistics.
     dist: DistanceMatrix,
-    /// Events being delivered this cycle (drained, capacity retained).
-    now: EventQueues,
-    /// Events emitted this cycle for delivery next cycle.
-    next: EventQueues,
+    /// Per-component seed derivation from the experiment seed.
+    seeds: SeedStream,
+    /// Thread budget for the parallel stepping phase (1 = fully serial).
+    threads: usize,
+    /// Router/interface partition driving the parallel phase.
+    layout: ShardLayout,
+    /// Outboxes being delivered this cycle (drained, capacity retained).
+    now: Vec<ShardOutbox>,
+    /// Outboxes filled this cycle for delivery next cycle.
+    next: Vec<ShardOutbox>,
+    /// Per-shard reusable emission buffers and RNG streams.
+    scratch: Vec<ShardScratch>,
     /// Worklist flags: router received an event this cycle, so its `step`
     /// must run even if its externally visible state looks idle.
     active: Vec<bool>,
     cycle: u64,
     next_packet_id: u64,
     stats: SimStats,
-    router_out: RouterOutputs,
-    ni_out: NiOutputs,
     request_buf: Vec<noc_traffic::PacketRequest>,
 }
 
@@ -83,6 +335,9 @@ impl Simulation {
     /// attaches network interfaces, and precomputes the flat wiring tables
     /// the hot loop runs on.
     ///
+    /// The engine starts single-threaded; call
+    /// [`set_threads`](Self::set_threads) to enable parallel stepping.
+    ///
     /// # Panics
     ///
     /// Panics if the topology fails [`noc_topology::validate`].
@@ -96,51 +351,30 @@ impl Simulation {
     ) -> Self {
         noc_topology::validate(topo.as_ref())
             .unwrap_or_else(|e| panic!("invalid topology {}: {e}", topo.name()));
+        let seeds = SeedStream::new(seed);
         let routers: Vec<Box<dyn RouterModel>> = (0..topo.num_routers())
             .map(|r| {
                 factory.build(RouterBuildContext {
                     id: RouterId::new(r),
                     topology: &topo,
                     config: &config,
-                    seed: splitmix64(seed ^ (r as u64).wrapping_mul(0x9e37)),
+                    seed: seeds.router(r),
                     metrics: &metrics,
                 })
             })
             .collect();
         let nis: Vec<NetworkInterface> = (0..topo.num_nodes())
             .map(|n| {
-                NetworkInterface::new(
-                    NodeId::new(n),
-                    topo.clone(),
-                    config,
-                    splitmix64(seed ^ 0xabcd ^ (n as u64) << 17),
-                )
+                NetworkInterface::new(NodeId::new(n), topo.clone(), config, seeds.interface(n))
             })
             .collect();
 
         let wiring = FlatWiring::new(topo.as_ref());
         let dist = DistanceMatrix::new(topo.as_ref());
         let active = vec![false; routers.len()];
+        let layout = ShardLayout::new(1, routers.len(), nis.len(), &wiring);
 
-        // Reserve the shared per-cycle emission buffers to their structural
-        // maxima — a router emits at most one flit per output port and one
-        // credit per (input port, VC) per cycle — so the hot loop never grows
-        // them (tests/zero_alloc.rs).
-        let max_out = (0..topo.num_routers())
-            .map(|r| topo.out_ports(RouterId::new(r)))
-            .max()
-            .unwrap_or(0);
-        let max_in = (0..topo.num_routers())
-            .map(|r| topo.in_ports(RouterId::new(r)))
-            .max()
-            .unwrap_or(0);
-        let mut router_out = RouterOutputs::default();
-        router_out.flits.reserve(max_out);
-        router_out
-            .credits
-            .reserve(max_in * config.vcs_per_port as usize);
-
-        Self {
+        let mut sim = Self {
             topo,
             config,
             metrics,
@@ -149,16 +383,138 @@ impl Simulation {
             traffic,
             wiring,
             dist,
-            now: EventQueues::default(),
-            next: EventQueues::default(),
+            seeds,
+            threads: 1,
+            layout,
+            now: Vec::new(),
+            next: Vec::new(),
+            scratch: Vec::new(),
             active,
             cycle: 0,
             next_packet_id: 0,
             stats: SimStats::new(0, u64::MAX),
-            router_out,
-            ni_out: NiOutputs::default(),
             request_buf: Vec::new(),
+        };
+        sim.rebuild_shards();
+        sim
+    }
+
+    /// Rebuilds the shard partition, outboxes and scratch for the current
+    /// thread budget. Cold path: runs at construction and on
+    /// [`set_threads`](Self::set_threads), never per cycle.
+    fn rebuild_shards(&mut self) {
+        // 2x over-partitioning gives the pool's dynamic index claiming room
+        // to balance uneven shards (work stealing at shard granularity).
+        let shards = if self.threads <= 1 {
+            1
+        } else {
+            (self.threads * 2).min(self.routers.len().max(1))
+        };
+        self.layout = ShardLayout::new(shards, self.routers.len(), self.nis.len(), &self.wiring);
+        let shards = self.layout.shards();
+        self.now = (0..shards).map(|_| ShardOutbox::new(shards)).collect();
+        self.next = (0..shards).map(|_| ShardOutbox::new(shards)).collect();
+
+        // Reserve the per-shard emission buffers to their structural maxima
+        // — a router emits at most one flit per output port and one credit
+        // per (input port, VC) per cycle — so the hot loop never grows them
+        // (tests/zero_alloc.rs).
+        let max_out = (0..self.routers.len())
+            .map(|r| self.topo.out_ports(RouterId::new(r)))
+            .max()
+            .unwrap_or(0);
+        let max_in = (0..self.routers.len())
+            .map(|r| self.topo.in_ports(RouterId::new(r)))
+            .max()
+            .unwrap_or(0);
+        let vcs = self.config.vcs_per_port as usize;
+        self.scratch = (0..shards)
+            .map(|s| {
+                let mut router_out = RouterOutputs::default();
+                router_out.flits.reserve(max_out);
+                router_out.credits.reserve(max_in * vcs);
+                ShardScratch {
+                    router_out,
+                    ni_out: NiOutputs::default(),
+                    rng: self.seeds.shard_rng(s),
+                }
+            })
+            .collect();
+
+        // Reserve every outbox lane to its structural maximum as well, so no
+        // worker thread ever grows a lane mid-run: per cycle a router emits
+        // at most one flit per output port and one credit per (input port,
+        // VC), an interface injects at most one flit and returns at most one
+        // ejection credit. Multidrop channels can land a given port's flit
+        // in different shards on different cycles, so each per-destination
+        // bucket is sized for the whole shard's emission capacity.
+        let conc = self.wiring.concentration();
+        for s in 0..shards {
+            let ni_count = self.layout.ni_lists[s].len();
+            let mut net_out = 0usize;
+            let mut credit_cap = 0usize;
+            let mut node_credit_cap = 0usize;
+            for r in self.layout.ranges[s].clone() {
+                let out = self.topo.out_ports(RouterId::new(r));
+                let inp = self.topo.in_ports(RouterId::new(r));
+                net_out += out.saturating_sub(conc);
+                credit_cap += inp * vcs;
+                node_credit_cap += conc.min(inp) * vcs;
+            }
+            for buffer in [&mut self.now[s], &mut self.next[s]] {
+                buffer.ni_flits.reserve(ni_count);
+                buffer.ni_credits.reserve(ni_count);
+                buffer.node_flits.reserve(ni_count);
+                buffer.node_credits.reserve(node_credit_cap);
+                for lane in &mut buffer.router_flits {
+                    lane.reserve(net_out);
+                }
+                for lane in &mut buffer.router_credits {
+                    lane.reserve(credit_cap);
+                }
+            }
         }
+    }
+
+    /// Sets the thread budget for the parallel stepping phase and re-shards
+    /// the network accordingly. A `NOC_THREADS` environment override caps the
+    /// budget process-wide (read once here — never in the hot loop). Thread
+    /// count never affects results: the golden `SimReport` is byte-identical
+    /// for any value, including 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics when events are in flight — call between runs, not mid-cycle.
+    pub fn set_threads(&mut self, threads: usize) {
+        assert!(
+            self.now.iter().all(ShardOutbox::is_empty)
+                && self.next.iter().all(ShardOutbox::is_empty),
+            "set_threads requires no in-flight events (call it between runs)"
+        );
+        let cap = noc_base::pool::env_thread_cap().unwrap_or(usize::MAX);
+        self.threads = threads.clamp(1, cap);
+        self.rebuild_shards();
+    }
+
+    /// The thread budget for the parallel stepping phase.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The number of execution shards the routers are partitioned into.
+    pub fn shards(&self) -> usize {
+        self.layout.shards()
+    }
+
+    /// The independent RNG stream owned by execution shard `shard`, for
+    /// engine-internal randomized decisions that must not perturb the
+    /// per-router and per-interface streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= self.shards()`.
+    pub fn shard_rng(&mut self, shard: usize) -> &mut Pcg32 {
+        &mut self.scratch[shard].rng
     }
 
     /// The current cycle.
@@ -219,24 +575,26 @@ impl Simulation {
         let cycle = self.cycle;
         std::mem::swap(&mut self.now, &mut self.next);
 
-        // Phase 1: deliver events arriving this cycle. Routers receiving an
-        // event join the worklist for phase 4.
-        for (router, port, flit) in self.now.router_flits.drain(..) {
-            self.active[router.index()] = true;
-            self.routers[router.index()].receive_flit(port, flit);
-        }
-        for (node, flit) in self.now.node_flits.drain(..) {
-            self.nis[node.index()].receive_flit(cycle, flit);
-        }
-        for (router, out_port, credit) in self.now.router_credits.drain(..) {
-            self.active[router.index()] = true;
-            self.routers[router.index()].receive_credit(out_port, credit);
-        }
-        for (node, credit) in self.now.node_credits.drain(..) {
-            self.nis[node.index()].receive_credit(credit);
+        // Phase 1 (serial): deliver interface-bound events. These lanes are
+        // intra-shard, but interface receipt feeds reassembly and delivery
+        // statistics, so they stay on the driver thread; scanning shards
+        // ascending reproduces the serial engine's ascending router-index
+        // emission order.
+        {
+            let nis = &mut self.nis;
+            for outbox in self.now.iter_mut() {
+                for (node, flit) in outbox.node_flits.drain(..) {
+                    nis[node.index()].receive_flit(cycle, flit);
+                }
+            }
+            for outbox in self.now.iter_mut() {
+                for (node, credit) in outbox.node_credits.drain(..) {
+                    nis[node.index()].receive_credit(credit);
+                }
+            }
         }
 
-        // Phase 2: workload generation into source queues.
+        // Phase 2 (serial): workload generation into source queues.
         let requests = &mut self.request_buf;
         debug_assert!(requests.is_empty());
         self.traffic.generate(cycle, &mut |r| requests.push(r));
@@ -252,69 +610,38 @@ impl Simulation {
             self.stats.on_injected(cycle);
         }
 
-        // Phase 3: interface injection and ejection-credit return.
-        for ni in &mut self.nis {
-            self.ni_out.clear();
-            ni.step(cycle, &mut self.ni_out);
-            let (router, local) = self.wiring.attach_of(ni.node());
-            if let Some(flit) = self.ni_out.flit.take() {
-                self.next.router_flits.push((router, local, flit));
-            }
-            for vc in self.ni_out.credits.drain(..) {
-                self.next
-                    .router_credits
-                    .push((router, local, Credit::new(vc)));
-            }
+        // Phase 3 (parallel over shards): deliver router-bound events, step
+        // interfaces, step routers. Every shard touches only its own routers,
+        // interfaces, outbox and scratch, and reads only the event lanes
+        // addressed to it, so the shards are data-independent; with one shard
+        // or one thread the pool runs this inline on the driver thread.
+        {
+            let ctx = ShardCtx {
+                layout: &self.layout,
+                wiring: &self.wiring,
+                now: &self.now,
+                cycle,
+                routers: self.routers.as_mut_ptr(),
+                nis: self.nis.as_mut_ptr(),
+                active: self.active.as_mut_ptr(),
+                next: self.next.as_mut_ptr(),
+                scratch: self.scratch.as_mut_ptr(),
+            };
+            let shards = self.layout.shards();
+            // Safety: shard indices 0..shards are distinct per job index and
+            // ctx's pointers cover the full vectors; see `ShardCtx`.
+            let job = |s: usize| unsafe { step_shard(&ctx, s) };
+            noc_base::pool::global().run_limited(shards, self.threads, &job);
         }
 
-        // Phase 4: routers advance and emit. A router is skipped only when
-        // it received no event this cycle AND its own model certifies that
-        // `step` would be a no-op — so skipping cannot change behaviour.
-        for r in 0..self.routers.len() {
-            let scheduled = std::mem::replace(&mut self.active[r], false);
-            if !scheduled && self.routers[r].is_idle() {
-                continue;
-            }
-            let router = RouterId::new(r);
-            self.router_out.clear();
-            self.routers[r].step(cycle, &mut self.router_out);
-            for sent in self.router_out.flits.drain(..) {
-                if sent.out_port.index() < self.wiring.concentration() {
-                    let node = self
-                        .wiring
-                        .eject_node(router, sent.out_port)
-                        .unwrap_or_else(|| panic!("{router} ejects on unattached port"));
-                    debug_assert_eq!(sent.flit.dst, node, "misrouted ejection at {router}");
-                    self.next.node_flits.push((node, sent.flit));
-                } else {
-                    let end = self.wiring.link(router, sent.out_port, sent.hops);
-                    self.next
-                        .router_flits
-                        .push((end.router, end.port, sent.flit));
-                }
-            }
-            for (in_port, vc) in self.router_out.credits.drain(..) {
-                match self.wiring.feeder(router, in_port) {
-                    PortFeeder::Channel {
-                        router: up,
-                        out_port,
-                        sub,
-                    } => self
-                        .next
-                        .router_credits
-                        .push((up, out_port, Credit { vc, sub })),
-                    PortFeeder::Node(node) => {
-                        self.next.node_credits.push((node, Credit::new(vc)));
-                    }
-                    PortFeeder::None => {
-                        panic!("{router} returned credit on unwired input {in_port}")
-                    }
-                }
-            }
+        // Retire this cycle's delivered lanes (capacity retained).
+        for outbox in self.now.iter_mut() {
+            outbox.clear();
         }
 
-        // Phase 5: completed deliveries feed statistics and the (possibly
-        // closed-loop) workload.
+        // Phase 4 (serial): completed deliveries feed statistics and the
+        // (possibly closed-loop) workload, in ascending node order — the
+        // floating-point accumulation order is part of the golden contract.
         let Simulation {
             nis,
             stats,
@@ -354,7 +681,9 @@ impl Simulation {
         self.report(spec)
     }
 
-    /// Builds a report from the current statistics.
+    /// Builds a report from the current statistics. Per-router counters and
+    /// energy are merged here in ascending router-index order, regardless of
+    /// which shard (and thread) accumulated them.
     fn report(&self, spec: RunSpec) -> SimReport {
         let router_stats = self
             .routers

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Compares two engine-bench snapshots (BENCH_engine.json format) and fails
+# when any single-threaded case regresses by more than 10% in cycles_per_sec.
+#
+#   scripts/bench_compare.sh <old.json> <new.json>
+#
+# Multi-threaded points are reported for information only — their wall-clock
+# depends on host core count and load — while threads=1 is the engine's
+# serial-speed contract across PRs. Snapshots from before the engine grew a
+# thread budget carry no "threads" field; their cases count as threads=1.
+set -euo pipefail
+
+if [ $# -ne 2 ]; then
+    echo "usage: $0 <old.json> <new.json>" >&2
+    exit 2
+fi
+old=$1
+new=$2
+for f in "$old" "$new"; do
+    if [ ! -f "$f" ]; then
+        echo "bench_compare: no such file: $f" >&2
+        exit 2
+    fi
+done
+
+awk -v old_file="$old" '
+function getstr(line, k,    re, s) {
+    re = "\"" k "\": *\"[^\"]*\""
+    if (match(line, re)) {
+        s = substr(line, RSTART, RLENGTH)
+        sub("^\"" k "\": *\"", "", s)
+        sub("\"$", "", s)
+        return s
+    }
+    return ""
+}
+function getnum(line, k,    re, s) {
+    re = "\"" k "\": *-?[0-9.eE+]+"
+    if (match(line, re)) {
+        s = substr(line, RSTART, RLENGTH)
+        sub("^\"" k "\": *", "", s)
+        return s + 0
+    }
+    return ""
+}
+/"name":/ {
+    name = getstr($0, "name")
+    if (name == "") next
+    threads = getnum($0, "threads")
+    if (threads == "") threads = 1   # pre-threading snapshots
+    cps = getnum($0, "cycles_per_sec")
+    key = name "@" threads
+    if (FILENAME == old_file) {
+        before[key] = cps
+    } else {
+        after[key] = cps
+        order[++n] = key
+    }
+}
+END {
+    printf "%-28s %14s %14s %9s\n", "case@threads", "old c/s", "new c/s", "delta"
+    fail = 0
+    for (i = 1; i <= n; i++) {
+        key = order[i]
+        if (!(key in before)) {
+            printf "%-28s %14s %14.0f %9s\n", key, "-", after[key], "new"
+            continue
+        }
+        delta = (after[key] - before[key]) / before[key] * 100
+        flag = ""
+        if (key ~ /@1$/ && after[key] < before[key] * 0.9) {
+            flag = "  << REGRESSION"
+            fail = 1
+        }
+        printf "%-28s %14.0f %14.0f %+8.1f%%%s\n", key, before[key], after[key], delta, flag
+    }
+    for (key in before) {
+        if (!(key in after)) {
+            printf "%-28s %14.0f %14s %9s\n", key, before[key], "-", "gone"
+        }
+    }
+    if (fail) {
+        print "FAIL: threads=1 cycles_per_sec regressed by more than 10%"
+        exit 1
+    }
+    print "OK: no threads=1 regression beyond 10%"
+}
+' "$old" "$new"

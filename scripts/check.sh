@@ -10,8 +10,21 @@ cargo build --release --offline
 echo "==> cargo test -q"
 cargo test -q --offline
 
+# Second pass with a capped thread budget: every test that builds a
+# simulation or calls parallel_map now runs through the sharded engine and
+# worker pool (NOC_THREADS caps both), so the determinism matrix in
+# tests/determinism_threads.rs and the golden report are exercised with the
+# pool genuinely engaged.
+echo "==> NOC_THREADS=2 cargo test -q"
+NOC_THREADS=2 cargo test -q --offline
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets --offline -- -D warnings
+
+# The worker pool's unsafe lifetime erasure lives in noc-base; lint it
+# explicitly so a partial workspace build never skips it.
+echo "==> cargo clippy -p noc-base --all-targets -- -D warnings"
+cargo clippy -p noc-base --all-targets --offline -- -D warnings
 
 echo "==> cargo doc -D warnings"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --document-private-items --offline --quiet

@@ -11,7 +11,7 @@
 //!         [--routing xy|yx|o1turn] [--va static|dynamic]
 //!         [--vcs 4] [--buffer 4]
 //!         [--warmup 1000] [--measure 10000] [--drain 100000]
-//!         [--seed 1]
+//!         [--seed 1] [--threads N]
 //!         [--metrics off|edge|full] [--manifest PATH]
 //!         [--trace PATH] [--trace-routers 0,5,12]
 //! noc list            # available traffic names and topologies
@@ -73,6 +73,10 @@ pub struct RunArgs {
     pub drain: u64,
     /// Experiment seed.
     pub seed: u64,
+    /// Engine thread budget (`--threads`; default: all physical cores, with
+    /// a `NOC_THREADS` environment override). Never affects results — the
+    /// report is byte-identical for any value.
+    pub threads: usize,
     /// Observability level (`--metrics off|edge|full`).
     pub metrics: MetricsLevel,
     /// Run-manifest output path (`--manifest`), if requested.
@@ -99,6 +103,7 @@ impl Default for RunArgs {
             measure: 10_000,
             drain: 100_000,
             seed: 1,
+            threads: noc_base::pool::default_threads(),
             metrics: MetricsLevel::Off,
             manifest: None,
             trace: None,
@@ -165,6 +170,12 @@ pub fn parse_run_args(args: &[String]) -> Result<RunArgs, CliError> {
             "--measure" => out.measure = parse_num(&value()?, flag)?,
             "--drain" => out.drain = parse_num(&value()?, flag)?,
             "--seed" => out.seed = parse_num(&value()?, flag)?,
+            "--threads" => {
+                out.threads = parse_num(&value()?, flag)?;
+                if out.threads == 0 {
+                    return Err(err("--threads must be at least 1"));
+                }
+            }
             "--metrics" => {
                 let v = value()?;
                 out.metrics = MetricsLevel::parse(&v)
@@ -312,6 +323,7 @@ pub fn run(args: &RunArgs) -> Result<SimReport, CliError> {
         .buffer_depth(args.buffer)
         .seed(args.seed)
         .phases(args.warmup, args.measure, args.drain)
+        .threads(args.threads)
         .metrics(args.metrics);
     if args.trace.is_some() {
         builder = builder.trace(TraceSpec::routers(args.trace_routers.clone()));
@@ -453,6 +465,8 @@ pub fn usage() -> &'static str {
        --scheme pseudo+ps+bb --routing xy        --va static\n\
        --vcs 4               --buffer 4\n\
        --warmup 1000         --measure 10000     --drain 100000 --seed 1\n\
+       --threads <cores>     engine thread budget (results are identical for\n\
+                             any value; NOC_THREADS caps it process-wide)\n\
      \n\
      OBSERVABILITY (defaults off; see docs/METRICS.md):\n\
        --metrics off|edge|full   per-router counters + stage histograms (full)\n\
@@ -514,6 +528,21 @@ mod tests {
         assert_eq!((parsed.vcs, parsed.buffer), (8, 2));
         assert_eq!((parsed.warmup, parsed.measure, parsed.drain), (10, 20, 30));
         assert_eq!(parsed.load, 0.25);
+    }
+
+    #[test]
+    fn threads_flag_parses_and_rejects_zero() {
+        let parsed = parse_run_args(&args(&["--threads", "4"])).unwrap();
+        assert_eq!(parsed.threads, 4);
+        assert_eq!(
+            RunArgs::default().threads,
+            noc_base::pool::default_threads(),
+            "default thread budget comes from the pool's core detection"
+        );
+        assert!(parse_run_args(&args(&["--threads", "0"]))
+            .unwrap_err()
+            .0
+            .contains("at least 1"));
     }
 
     #[test]

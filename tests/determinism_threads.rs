@@ -1,0 +1,86 @@
+//! Thread-count invariance: the multi-threaded sharded engine must produce a
+//! byte-identical `SimReport` — and an identical manifest configuration hash
+//! — for any thread budget, including non-power-of-two counts whose shard
+//! partition has a short tail shard.
+//!
+//! This is the determinism contract of DESIGN.md §12: because every link
+//! carries one cycle of latency, a cycle's router computation depends only
+//! on the previous cycle's inboxes, and the per-shard outbox merge replays
+//! the serial engine's per-receiver event order exactly.
+
+use noc_base::{RoutingPolicy, VaPolicy};
+use noc_sim::{MetricsLevel, RunManifest};
+use noc_topology::{Mesh, SharedTopology};
+use noc_traffic::BenchmarkProfile;
+use pseudo_circuit::experiment::cmp_traffic_for;
+use pseudo_circuit::{ExperimentBuilder, Scheme};
+use std::sync::Arc;
+
+/// The golden-report configuration (tests/golden_report.rs), parameterized
+/// by thread budget.
+fn golden_builder(threads: usize) -> (ExperimentBuilder, SharedTopology) {
+    let topo: SharedTopology = Arc::new(Mesh::new(4, 4, 4));
+    let b = ExperimentBuilder::new(topo.clone())
+        .routing(RoutingPolicy::O1Turn)
+        .va_policy(VaPolicy::Dynamic)
+        .scheme(Scheme::pseudo_ps_bb())
+        .seed(0x5eed)
+        .phases(500, 2_000, 40_000)
+        .threads(threads);
+    (b, topo)
+}
+
+fn golden_run(threads: usize) -> (String, String) {
+    let (b, topo) = golden_builder(threads);
+    let profile = *BenchmarkProfile::by_name("fft").unwrap();
+    let traffic = cmp_traffic_for(topo.as_ref(), profile, 0x5eed ^ 0x77);
+    let report = b.run(Box::new(traffic));
+    let manifest = RunManifest::capture(
+        &report,
+        &b.config(),
+        b.spec(),
+        b.seed_value(),
+        MetricsLevel::Off,
+    )
+    .with_scheme("pseudo+ps+bb");
+    (format!("{report:#?}\n"), manifest.config_hash)
+}
+
+#[test]
+fn golden_report_is_byte_identical_across_thread_counts() {
+    let (serial, serial_hash) = golden_run(1);
+    // 7 threads on 16 routers is deliberate: ceil-division sharding leaves a
+    // short tail shard, exercising uneven ranges and the inline fast path of
+    // partially-filled batches.
+    for threads in [2usize, 4, 7] {
+        let (report, hash) = golden_run(threads);
+        assert_eq!(
+            serial, report,
+            "SimReport diverged between 1 and {threads} threads"
+        );
+        assert_eq!(
+            serial_hash, hash,
+            "manifest config hash must not depend on thread count"
+        );
+    }
+}
+
+#[test]
+fn set_threads_between_runs_is_transparent() {
+    // Re-sharding an existing simulation between runs must not perturb the
+    // next run relative to a freshly built simulation at that thread count.
+    let profile = *BenchmarkProfile::by_name("fft").unwrap();
+    let (b, topo) = golden_builder(1);
+    let traffic = cmp_traffic_for(topo.as_ref(), profile, 0x5eed ^ 0x77);
+    let mut sim = b.build(Box::new(traffic));
+    sim.set_threads(4);
+    assert_eq!(
+        sim.threads(),
+        noc_base::pool::env_thread_cap().map_or(4, |c| c.min(4))
+    );
+    assert!(sim.shards() >= 1);
+    let report = sim.run(b.spec());
+
+    let (fresh, _) = golden_run(4);
+    assert_eq!(format!("{report:#?}\n"), fresh);
+}

@@ -29,6 +29,13 @@ thread_local! {
     static ALLOC_CALLS: Cell<u64> = const { Cell::new(0) };
 }
 
+// Worker-pool threads are not test threads, so their allocations are counted
+// globally: while WORKER_COUNTING is set, any allocation made on a
+// `noc_base::pool` worker increments WORKER_ALLOCS. Both checks read only
+// const-initialized TLS and atomics, so counting itself never allocates.
+static WORKER_COUNTING: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+static WORKER_ALLOCS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
 fn note_alloc() {
     // try_with: the TLS slot may already be gone during thread teardown.
     let _ = COUNTING.try_with(|c| {
@@ -40,6 +47,11 @@ fn note_alloc() {
             }
         }
     });
+    if WORKER_COUNTING.load(std::sync::atomic::Ordering::Relaxed)
+        && noc_base::pool::is_worker_thread()
+    {
+        WORKER_ALLOCS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
 }
 
 unsafe impl GlobalAlloc for CountingAlloc {
@@ -110,6 +122,41 @@ fn steady_state_step_does_not_allocate() {
         .map(|r| sim.router(RouterId::new(r)).stats().flit_traversals)
         .sum();
     assert!(traversals > 100_000, "workload too light to be meaningful");
+}
+
+#[test]
+fn multi_threaded_steady_state_does_not_allocate_on_any_thread() {
+    use std::sync::atomic::Ordering;
+
+    // The sharded engine must stay allocation-free on every thread: the
+    // driver (counted thread-locally, including its inline share of shard
+    // jobs) and each pool worker (counted globally via WORKER_ALLOCS).
+    // Pool startup and shard-outbox growth happen during set_threads and
+    // warmup, before counting begins.
+    let mut sim = paper_cmesh_sim();
+    sim.set_threads(4);
+    assert!(sim.shards() > 1, "expected a multi-shard partition");
+    for _ in 0..20_000 {
+        sim.step();
+    }
+    WORKER_ALLOCS.store(0, Ordering::Relaxed);
+    WORKER_COUNTING.store(true, Ordering::Relaxed);
+    let cycles = 2_000;
+    let allocs = count_allocs(|| {
+        for _ in 0..cycles {
+            sim.step();
+        }
+    });
+    WORKER_COUNTING.store(false, Ordering::Relaxed);
+    let worker_allocs = WORKER_ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        allocs, 0,
+        "driver thread allocated {allocs} times over {cycles} threaded cycles"
+    );
+    assert_eq!(
+        worker_allocs, 0,
+        "pool workers allocated {worker_allocs} times over {cycles} threaded cycles"
+    );
 }
 
 #[test]
