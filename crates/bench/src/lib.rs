@@ -92,7 +92,8 @@ impl<R> ResultSlots<R> {
 ///
 /// The pool is shared with the simulation engine's sharded cycle loop: a
 /// sweep point that itself runs a multi-threaded simulation executes its
-/// shards inline on the sweep worker (nested submissions never deadlock).
+/// shards inline on whichever thread runs the sweep point — a pool worker
+/// or the submitting thread itself — so nested submissions never deadlock.
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send + Sync,
@@ -306,17 +307,16 @@ mod tests {
 
     #[test]
     fn sweep_threads_respects_noc_threads_override() {
-        // A positive NOC_THREADS overrides core detection; unset falls back
-        // to available_parallelism. Concurrent tests only ever *read* the
-        // variable (any positive budget is valid for them), so this
-        // temporary override is race-benign.
-        std::env::set_var("NOC_THREADS", "5");
-        assert_eq!(sweep_threads(), 5);
-        std::env::remove_var("NOC_THREADS");
-        let detected = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        assert_eq!(sweep_threads(), detected);
+        // The override rules are asserted through the pure parser — mutating
+        // NOC_THREADS here would race other tests' getenv calls in this
+        // binary (undefined behavior on glibc). sweep_threads delegates to
+        // default_threads, so checking that delegation plus the parser
+        // covers the override path without touching the environment.
+        assert_eq!(noc_base::pool::parse_thread_cap(Some("5")), Some(5));
+        assert_eq!(noc_base::pool::parse_thread_cap(Some("0")), None);
+        assert_eq!(noc_base::pool::parse_thread_cap(None), None);
+        assert_eq!(sweep_threads(), noc_base::pool::default_threads());
+        assert!(sweep_threads() >= 1);
     }
 
     #[test]
