@@ -9,6 +9,7 @@
 //! the serial engine's per-receiver event order exactly.
 
 use noc_base::{RoutingPolicy, VaPolicy};
+use noc_evc::EvcRouterFactory;
 use noc_sim::{MetricsLevel, RunManifest};
 use noc_topology::{Mesh, SharedTopology};
 use noc_traffic::BenchmarkProfile;
@@ -46,6 +47,31 @@ fn golden_run(threads: usize) -> (String, String) {
     (format!("{report:#?}\n"), manifest.config_hash)
 }
 
+/// The EVC golden-report configuration (tests/golden_report.rs),
+/// parameterized by thread budget. EVC routers must satisfy the same
+/// thread-count-invariance contract as the pseudo-circuit scheme.
+fn evc_run(threads: usize) -> (String, String) {
+    let topo: SharedTopology = Arc::new(Mesh::new(4, 4, 1));
+    let b = ExperimentBuilder::new(topo.clone())
+        .routing(RoutingPolicy::Xy)
+        .va_policy(VaPolicy::Dynamic)
+        .seed(0x5eed)
+        .phases(500, 2_000, 40_000)
+        .threads(threads);
+    let profile = *BenchmarkProfile::by_name("fft").unwrap();
+    let traffic = cmp_traffic_for(topo.as_ref(), profile, 0x5eed ^ 0x77);
+    let report = b.run_with_factory(Box::new(traffic), &EvcRouterFactory::default());
+    let manifest = RunManifest::capture(
+        &report,
+        &b.config(),
+        b.spec(),
+        b.seed_value(),
+        MetricsLevel::Off,
+    )
+    .with_scheme("evc");
+    (format!("{report:#?}\n"), manifest.config_hash)
+}
+
 #[test]
 fn golden_report_is_byte_identical_across_thread_counts() {
     let (serial, serial_hash) = golden_run(1);
@@ -57,6 +83,23 @@ fn golden_report_is_byte_identical_across_thread_counts() {
         assert_eq!(
             serial, report,
             "SimReport diverged between 1 and {threads} threads"
+        );
+        assert_eq!(
+            serial_hash, hash,
+            "manifest config hash must not depend on thread count"
+        );
+    }
+}
+
+#[test]
+fn evc_report_is_byte_identical_across_thread_counts() {
+    let (serial, serial_hash) = evc_run(1);
+    // 7 threads over 16 routers leaves a short tail shard (see above).
+    for threads in [2usize, 4, 7] {
+        let (report, hash) = evc_run(threads);
+        assert_eq!(
+            serial, report,
+            "EVC SimReport diverged between 1 and {threads} threads"
         );
         assert_eq!(
             serial_hash, hash,

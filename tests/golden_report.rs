@@ -11,6 +11,7 @@
 //! Regenerate deliberately with `NOC_BLESS=1 cargo test --test golden_report`.
 
 use noc_base::{RoutingPolicy, VaPolicy};
+use noc_evc::EvcRouterFactory;
 use noc_sim::MetricsLevel;
 use noc_topology::{Mesh, SharedTopology};
 use noc_traffic::BenchmarkProfile;
@@ -19,6 +20,21 @@ use pseudo_circuit::{ExperimentBuilder, Scheme};
 use std::sync::Arc;
 
 const GOLDEN_PATH: &str = "tests/golden/cmp4x4_pseudo_fft.txt";
+const EVC_GOLDEN_PATH: &str = "tests/golden/mesh4x4_evc_fft.txt";
+
+/// Reads a golden file, or blesses `actual` into it under `NOC_BLESS=1`.
+/// Returns `None` when the file was just (re)written.
+fn golden_expectation(rel_path: &str, actual: &str) -> Option<String> {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(rel_path);
+    if std::env::var_os("NOC_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        std::fs::write(&path, actual).expect("write golden");
+        return None;
+    }
+    Some(std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden file {rel_path} ({e}); run with NOC_BLESS=1")
+    }))
+}
 
 fn golden_run_at(metrics: MetricsLevel) -> String {
     let topo: SharedTopology = Arc::new(Mesh::new(4, 4, 4));
@@ -45,24 +61,50 @@ fn golden_run() -> String {
     golden_run_at(MetricsLevel::Off)
 }
 
+/// A fixed-seed EVC run on a 4×4 mesh (16 nodes, checkerboard CMP layout,
+/// `fft` profile, XY routing — EVC requires a single-class routing policy).
+/// Pinned *before* the shared pipeline-kernel extraction so the refactor's
+/// equivalence is provable for the EVC router too, not just pseudo-circuit.
+fn evc_golden_run_at(metrics: MetricsLevel) -> String {
+    let topo: SharedTopology = Arc::new(Mesh::new(4, 4, 1));
+    let profile = *BenchmarkProfile::by_name("fft").expect("fft profile exists");
+    let traffic = cmp_traffic_for(topo.as_ref(), profile, 0x5eed ^ 0x77);
+    let mut report = ExperimentBuilder::new(topo)
+        .routing(RoutingPolicy::Xy)
+        .va_policy(VaPolicy::Dynamic)
+        .seed(0x5eed)
+        .phases(500, 2_000, 40_000)
+        .metrics(metrics)
+        .run_with_factory(Box::new(traffic), &EvcRouterFactory::default());
+    report.observability = None;
+    format!("{report:#?}\n")
+}
+
+fn evc_golden_run() -> String {
+    evc_golden_run_at(MetricsLevel::Off)
+}
+
 #[test]
 fn fixed_seed_cmp_run_matches_golden_report() {
     let actual = golden_run();
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_PATH);
-    if std::env::var_os("NOC_BLESS").is_some() {
-        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
-        std::fs::write(&path, &actual).expect("write golden");
+    let Some(expected) = golden_expectation(GOLDEN_PATH, &actual) else {
         return;
-    }
-    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-        panic!(
-            "missing golden file {} ({e}); run with NOC_BLESS=1",
-            GOLDEN_PATH
-        )
-    });
+    };
     assert_eq!(
         actual, expected,
         "engine behaviour diverged from the golden seed-engine report"
+    );
+}
+
+#[test]
+fn fixed_seed_evc_run_matches_golden_report() {
+    let actual = evc_golden_run();
+    let Some(expected) = golden_expectation(EVC_GOLDEN_PATH, &actual) else {
+        return;
+    };
+    assert_eq!(
+        actual, expected,
+        "EVC router behaviour diverged from its pre-kernel golden report"
     );
 }
 
@@ -71,6 +113,7 @@ fn golden_run_is_internally_deterministic() {
     // Two in-process runs must agree exactly (guards against accidental
     // global state or iteration-order nondeterminism in the engine).
     assert_eq!(golden_run(), golden_run());
+    assert_eq!(evc_golden_run(), evc_golden_run());
 }
 
 #[test]
@@ -79,12 +122,16 @@ fn full_metrics_do_not_perturb_the_simulation() {
     // `--metrics=full`, with the payload stripped, is byte-identical to the
     // metrics-off golden report. Any divergence means instrumentation
     // changed simulated behaviour.
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_PATH);
-    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-        panic!(
-            "missing golden file {} ({e}); run with NOC_BLESS=1",
-            GOLDEN_PATH
-        )
-    });
-    assert_eq!(golden_run_at(MetricsLevel::Full), expected);
+    let actual = golden_run();
+    if let Some(expected) = golden_expectation(GOLDEN_PATH, &actual) {
+        assert_eq!(golden_run_at(MetricsLevel::Full), expected);
+    }
+}
+
+#[test]
+fn full_metrics_do_not_perturb_the_evc_simulation() {
+    let actual = evc_golden_run();
+    if let Some(expected) = golden_expectation(EVC_GOLDEN_PATH, &actual) {
+        assert_eq!(evc_golden_run_at(MetricsLevel::Full), expected);
+    }
 }

@@ -14,6 +14,7 @@ use noc_base::{RouterId, RoutingPolicy, VaPolicy};
 use noc_sim::{NetworkConfig, Simulation};
 use noc_topology::Mesh;
 use noc_traffic::{SyntheticPattern, SyntheticTraffic};
+use noc_evc::EvcRouterFactory;
 use pseudo_circuit::{PcRouterFactory, Scheme};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
@@ -186,4 +187,39 @@ fn steady_state_step_does_not_allocate_with_baseline_router() {
         }
     });
     assert_eq!(allocs, 0, "baseline engine allocated {allocs} times");
+}
+
+#[test]
+fn steady_state_step_does_not_allocate_with_evc_router() {
+    // The EVC router adds the express-latch path (try_latch) on top of the
+    // two-stage pipeline; its steady state must be allocation-free too.
+    let topo = Arc::new(Mesh::new(8, 8, 1));
+    let traffic = SyntheticTraffic::new(SyntheticPattern::UniformRandom, 8, 8, 5, 0.15, 5);
+    let config = NetworkConfig {
+        routing: RoutingPolicy::Xy,
+        va_policy: VaPolicy::Static,
+        ..NetworkConfig::paper()
+    };
+    let mut sim = Simulation::new(
+        topo,
+        config,
+        Box::new(traffic),
+        &EvcRouterFactory::default(),
+        9,
+    );
+    for _ in 0..20_000 {
+        sim.step();
+    }
+    let allocs = count_allocs(|| {
+        for _ in 0..2_000 {
+            sim.step();
+        }
+    });
+    assert_eq!(allocs, 0, "EVC engine allocated {allocs} times");
+    // Express latching actually fired: the workload really exercised the
+    // EVC-specific path while we counted, not just the shared pipeline.
+    let bypasses: u64 = (0..sim.topology().num_routers())
+        .map(|r| sim.router(RouterId::new(r)).stats().express_bypasses)
+        .sum();
+    assert!(bypasses > 0, "no express bypasses — EVC path never exercised");
 }
