@@ -1,22 +1,14 @@
-//! The speculative two-stage baseline router and the pseudo-circuit scheme
-//! layered on it.
+//! The pseudo-circuit scheme as hooks over the shared pipeline kernel
+//! (also the baseline router when the scheme is [`Scheme::baseline`]).
 //!
-//! # Pipeline (paper Figs. 2 and 6)
-//!
-//! The baseline is the state-of-the-art router of Peh & Dally (HPCA 2001)
-//! with lookahead routing (Galles, Hot Interconnects 1996):
-//!
-//! | cycle | stage |
-//! |-------|-------|
-//! | t     | **BW** — arriving flit written into its input-VC buffer |
-//! | t + 1 | **VA ∥ SA** — headers get an output VC; switch arbitration runs speculatively in parallel |
-//! | t + 2 | **ST** — granted flit traverses the crossbar (lookahead RC folded in) |
-//!
-//! Per-hop router delay: 3 cycles, plus one cycle of link traversal.
-//!
-//! With a matching **pseudo-circuit**, the flit skips VA∥SA (the route
-//! comparison fits inside ST, §III.B): BW at `t`, ST at `t + 1` — 2 cycles.
-//! With **buffer bypassing** it also skips BW: ST at `t` — 1 cycle.
+//! The speculative two-stage pipeline itself — BW, VA∥SA, ST, the separable
+//! round-robin allocators, credit bookkeeping and observability plumbing —
+//! lives in [`noc_sim::pipeline`]; this module plugs the paper's scheme into
+//! its [`SchemeHooks`] extension points. Per-hop router delay: 3 cycles
+//! baseline, plus one cycle of link traversal. With a matching
+//! **pseudo-circuit**, the flit skips VA∥SA (the route comparison fits
+//! inside ST, §III.B): BW at `t`, ST at `t + 1` — 2 cycles. With **buffer
+//! bypassing** it also skips BW: ST at `t` — 1 cycle.
 //!
 //! # Scheme mechanics implemented here
 //!
@@ -36,213 +28,35 @@
 //!   flits are charged no buffer read/write energy.
 
 use crate::config::Scheme;
-use crate::probe::{Probe, RouterCounters};
+use crate::probe::Probe;
 use crate::pseudo::{PseudoCircuitUnit, Termination};
 use noc_base::{
     Credit, Flit, NodeId, PortIndex, RouteInfo, RouterId, VaPolicy, VcIndex, VcPartition,
 };
 use noc_energy::{EnergyCounters, EnergyEvent};
-use noc_sim::blocks::{CreditBook, FlitFifo, OutputVcAlloc, RrArbiter};
 use noc_sim::{
-    lookahead_route, MetricsConfig, MetricsLevel, NetworkConfig, PipelineStage, RouterBuildContext,
-    RouterFactory, RouterModel, RouterObservation, RouterOutputs, RouterStats, SentFlit,
-    TraceEventKind, TraceRing,
+    MetricsConfig, NetworkConfig, PipelineKernel, PipelineStage, RouterBuildContext, RouterFactory,
+    RouterModel, RouterObservation, RouterOutputs, RouterStats, SchemeHooks, TraceEventKind,
+    TraceRing,
 };
 use noc_topology::SharedTopology;
 
-/// One input virtual channel: buffer plus per-packet wormhole state.
-#[derive(Debug)]
-struct InputVc {
-    fifo: FlitFifo,
-    /// Route of the packet currently holding this VC (set when its header
-    /// traverses or is granted VA; cleared at the tail).
-    route: Option<RouteInfo>,
-    /// Output VC allocated to the current packet.
-    out_vc: Option<VcIndex>,
-    /// Cycle at which VA was granted (used to mark same-cycle SA requests as
-    /// speculative).
-    va_cycle: u64,
-}
-
-#[derive(Debug)]
-struct OutputPort {
-    alloc: OutputVcAlloc,
-    credits: CreditBook,
-}
-
-/// A switch-arbitration grant waiting for its switch-traversal cycle.
-#[derive(Copy, Clone, Debug)]
-struct StGrant {
-    in_port: PortIndex,
-    vc: VcIndex,
-}
-
-/// The pseudo-circuit router (also the baseline router when the scheme is
-/// [`Scheme::baseline`]).
-pub struct PcRouter {
-    id: RouterId,
-    topo: SharedTopology,
+/// The pseudo-circuit scheme state and hook implementations: the circuit
+/// registers plus the policy knobs the hooks consult.
+struct PcHooks {
     scheme: Scheme,
     va_policy: VaPolicy,
     partition: VcPartition,
-    concentration: usize,
-    inputs: Vec<Vec<InputVc>>,
-    outputs: Vec<OutputPort>,
     pcu: PseudoCircuitUnit,
-    st_pending: Vec<StGrant>,
-    arrivals: Vec<(PortIndex, Flit)>,
-    in_busy: Vec<bool>,
-    out_busy: Vec<bool>,
-    in_arb: Vec<RrArbiter>,
-    va_arb: Vec<RrArbiter>,
-    out_arb: Vec<RrArbiter>,
-    last_connection: Vec<Option<PortIndex>>,
-    stats: RouterStats,
-    energy: EnergyCounters,
-    /// Per-port observability counters; `None` (one null test per event)
-    /// unless built at [`MetricsLevel::Full`] — see `crate::probe`.
-    counters: Option<Box<RouterCounters>>,
-    /// Pseudo-circuit lifecycle tracer; `None` unless this router was
-    /// selected by a [`noc_sim::TraceSpec`].
-    tracer: Option<Box<TraceRing>>,
-    /// Buffered flits per input port across all its VCs; lets the VA/SA
-    /// scans and circuit reuse skip empty ports without touching their VC
-    /// state (every candidate in those scans requires a buffered flit).
-    in_occupancy: Vec<u32>,
-    // Reusable per-cycle working storage, so `step` never allocates once the
-    // queues reach steady-state capacity.
-    st_scratch: Vec<StGrant>,
-    arrivals_scratch: Vec<(PortIndex, Flit)>,
-    va_requests: Vec<Vec<(PortIndex, VcIndex)>>,
-    va_mask: Vec<bool>,
-    sa_winners: Vec<Option<(VcIndex, RouteInfo, VcIndex, bool)>>,
-    sa_vc_nonspec: Vec<bool>,
-    sa_vc_spec: Vec<bool>,
-    sa_out_nonspec: Vec<bool>,
-    sa_out_spec: Vec<bool>,
 }
 
-impl PcRouter {
-    /// Builds a router.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the scheme is inconsistent (see [`Scheme::validate`]).
-    pub fn new(id: RouterId, topo: SharedTopology, config: NetworkConfig, scheme: Scheme) -> Self {
-        scheme.validate().unwrap_or_else(|e| panic!("{e}"));
-        let in_ports = topo.in_ports(id);
-        let out_ports = topo.out_ports(id);
-        let vcs = config.vcs_per_port as usize;
-        let inputs = (0..in_ports)
-            .map(|_| {
-                (0..vcs)
-                    .map(|_| InputVc {
-                        fifo: FlitFifo::new(config.buffer_depth as usize),
-                        route: None,
-                        out_vc: None,
-                        va_cycle: u64::MAX,
-                    })
-                    .collect()
-            })
-            .collect();
-        let outputs = (0..out_ports)
-            .map(|p| {
-                let subs = topo.channel_len(id, PortIndex::new(p)) as usize;
-                OutputPort {
-                    alloc: OutputVcAlloc::new(vcs),
-                    credits: CreditBook::new(subs, vcs, config.buffer_depth),
-                }
-            })
-            .collect();
-        Self {
-            id,
-            concentration: topo.concentration(),
-            topo,
-            scheme,
-            va_policy: config.va_policy,
-            partition: config.partition(),
-            inputs,
-            outputs,
-            pcu: PseudoCircuitUnit::new(in_ports, out_ports),
-            // All per-cycle queues are reserved to their structural maxima so
-            // steady-state stepping never allocates (tests/zero_alloc.rs).
-            st_pending: Vec::with_capacity(in_ports),
-            arrivals: Vec::with_capacity(in_ports),
-            in_busy: vec![false; in_ports],
-            out_busy: vec![false; out_ports],
-            in_arb: (0..in_ports).map(|_| RrArbiter::new(vcs)).collect(),
-            va_arb: (0..out_ports)
-                .map(|_| RrArbiter::new(in_ports * vcs))
-                .collect(),
-            out_arb: (0..out_ports).map(|_| RrArbiter::new(in_ports)).collect(),
-            last_connection: vec![None; in_ports],
-            stats: RouterStats::default(),
-            energy: EnergyCounters::default(),
-            counters: None,
-            tracer: None,
-            in_occupancy: vec![0; in_ports],
-            st_scratch: Vec::with_capacity(in_ports),
-            arrivals_scratch: Vec::with_capacity(in_ports),
-            va_requests: (0..out_ports)
-                .map(|_| Vec::with_capacity(in_ports * vcs))
-                .collect(),
-            va_mask: vec![false; in_ports * vcs],
-            sa_winners: vec![None; in_ports],
-            sa_vc_nonspec: vec![false; vcs],
-            sa_vc_spec: vec![false; vcs],
-            sa_out_nonspec: vec![false; in_ports],
-            sa_out_spec: vec![false; in_ports],
-        }
-    }
-
-    /// The scheme this router runs.
-    pub fn scheme(&self) -> Scheme {
-        self.scheme
-    }
-
-    /// Enables observability per `metrics`: per-port counters at
-    /// [`MetricsLevel::Full`], and a lifecycle trace ring when this router is
-    /// selected by the trace spec. Call before the first `step`.
-    pub fn enable_metrics(&mut self, metrics: &MetricsConfig) {
-        if metrics.level == MetricsLevel::Full {
-            self.counters = Some(Box::new(RouterCounters::new(
-                self.id.index(),
-                self.inputs.len(),
-                self.outputs.len(),
-            )));
-        }
-        if let Some(spec) = &metrics.trace {
-            if spec.selects(self.id.index()) {
-                self.tracer = Some(Box::new(TraceRing::new(self.id.index(), spec.capacity)));
-            }
-        }
-    }
-
-    /// Records a pseudo-circuit lifecycle event when tracing is enabled.
-    fn trace(&mut self, cycle: u64, kind: TraceEventKind, in_port: PortIndex, out_port: PortIndex) {
-        if let Some(t) = self.tracer.as_deref_mut() {
-            t.record(cycle, kind, in_port.index(), out_port.index());
-        }
-    }
-
-    /// The pseudo-circuit unit (exposed for white-box tests).
-    pub fn pseudo_unit(&self) -> &PseudoCircuitUnit {
-        &self.pcu
-    }
-
-    fn vc(&self, in_port: PortIndex, vc: VcIndex) -> &InputVc {
-        &self.inputs[in_port.index()][vc.index()]
-    }
-
-    fn vc_mut(&mut self, in_port: PortIndex, vc: VcIndex) -> &mut InputVc {
-        &mut self.inputs[in_port.index()][vc.index()]
-    }
-
+impl PcHooks {
     /// Allocates an output VC for a header (VA). `require_credit` makes the
     /// allocation fail unless the chosen VC has a downstream credit — used by
     /// the pseudo-circuit reuse/bypass paths that traverse the same cycle.
-    fn allocate_out_vc(
-        &mut self,
+    fn allocate_vc(
+        &self,
+        k: &mut PipelineKernel,
         route: RouteInfo,
         class: u8,
         dst: NodeId,
@@ -250,7 +64,7 @@ impl PcRouter {
         require_credit: bool,
     ) -> Option<VcIndex> {
         let sub = route.hops as usize - 1;
-        let port = &mut self.outputs[route.port.index()];
+        let port = &mut k.outputs[route.port.index()];
         let chosen = match self.va_policy {
             VaPolicy::Static => {
                 let vc = self.partition.static_vc(class, dst);
@@ -269,153 +83,22 @@ impl PcRouter {
         Some(chosen)
     }
 
-    /// Sends a flit out of the crossbar: records locality, fills in the
-    /// downstream VC and the lookahead route, and queues the emission.
-    fn send(
-        &mut self,
-        mut flit: Flit,
-        in_port: PortIndex,
-        route: RouteInfo,
-        out_vc: VcIndex,
-        out: &mut RouterOutputs,
-    ) {
-        if flit.kind.is_head() {
-            // Packet-granularity crossbar-connection locality (Fig. 1):
-            // body/tail flits trivially follow their header, so only
-            // consecutive packets are compared.
-            if let Some(prev) = self.last_connection[in_port.index()] {
-                self.stats.xbar_locality_total += 1;
-                if prev == route.port {
-                    self.stats.xbar_locality_hits += 1;
-                }
-            }
-            self.last_connection[in_port.index()] = Some(route.port);
-            self.stats.header_traversals += 1;
-        }
-        self.stats.flit_traversals += 1;
-        self.energy.record(EnergyEvent::CrossbarTraversal);
-        if let Some(p) = self.counters.as_deref_mut() {
-            p.on_traversal(in_port);
-        }
-        self.in_busy[in_port.index()] = true;
-        self.out_busy[route.port.index()] = true;
-
-        flit.vc = out_vc;
-        if route.port.index() >= self.concentration {
-            flit.route = lookahead_route(
-                self.topo.as_ref(),
-                self.id,
-                route.port,
-                route.hops,
-                flit.dst,
-                flit.mode,
-            );
-        }
-        out.flits.push(SentFlit {
-            out_port: route.port,
-            hops: route.hops,
-            flit,
-        });
-    }
-
-    /// Pops the head flit of `(in_port, vc)` and sends it through the held
-    /// route of that VC. `reuse` marks a pseudo-circuit traversal (skipped
-    /// SA); credits were pre-reserved for granted traversals and are consumed
-    /// here for reuse traversals.
-    fn traverse_from_buffer(
-        &mut self,
-        cycle: u64,
-        in_port: PortIndex,
-        vc: VcIndex,
-        reuse: bool,
-        out: &mut RouterOutputs,
-    ) {
-        let ivc = self.vc_mut(in_port, vc);
-        let buffered = ivc.fifo.pop().expect("granted VC has a flit");
-        debug_assert!(buffered.ready_at <= cycle, "flit traversed before ready");
-        let flit = buffered.flit;
-        if flit.kind.is_head() {
-            debug_assert!(ivc.route.is_some(), "header traversing without a route");
-        }
-        let route = ivc.route.expect("active VC has a route");
-        let out_vc = ivc.out_vc.expect("active VC has an output VC");
-        let va_cycle = ivc.va_cycle;
-        let is_tail = flit.kind.is_tail();
-        if is_tail {
-            ivc.route = None;
-            ivc.out_vc = None;
-            ivc.va_cycle = u64::MAX;
-        }
-        if is_tail {
-            self.outputs[route.port.index()].alloc.free(out_vc);
-        }
-        if reuse {
-            self.outputs[route.port.index()]
-                .credits
-                .consume(route.hops as usize - 1, out_vc);
-            self.stats.pc_reuses += 1;
-            if flit.kind.is_head() {
-                self.stats.pc_header_reuses += 1;
-            }
-        }
-        self.in_occupancy[in_port.index()] -= 1;
-        self.energy.record(EnergyEvent::BufferRead);
-        if let Some(p) = self.counters.as_deref_mut() {
-            // The flit was written into the buffer the cycle before it
-            // became ready (`FlitFifo::push(flit, cycle + 1)`).
-            let arrival = buffered.ready_at - 1;
-            // Inclusive per-hop router delay: 3 baseline / 2 reuse under no
-            // contention (paper Fig. 6), more under contention.
-            p.on_stage(PipelineStage::St, cycle - arrival + 1);
-            p.on_stage(PipelineStage::Bw, cycle - arrival);
-            if flit.kind.is_head() {
-                // Reuse-path headers get VA the traversal cycle itself;
-                // baseline-path headers were granted at `va_cycle`.
-                let va_at = if va_cycle == u64::MAX {
-                    cycle
-                } else {
-                    va_cycle
-                };
-                p.on_stage(PipelineStage::Va, va_at - arrival);
-            }
-            if reuse {
-                p.on_pc_hit(in_port, false);
-            } else {
-                // SA granted this traversal one cycle ago. Headers wait from
-                // their VA grant (0 = same-cycle speculative SA), body flits
-                // from buffer write.
-                let grant = cycle - 1;
-                let sa_from = if flit.kind.is_head() && va_cycle != u64::MAX {
-                    va_cycle
-                } else {
-                    arrival
-                };
-                p.on_stage(PipelineStage::Sa, grant.saturating_sub(sa_from));
-            }
-        }
-        if reuse {
-            self.trace(cycle, TraceEventKind::Hit, in_port, route.port);
-        }
-        out.credits.push((in_port, vc));
-        self.send(flit, in_port, route, out_vc, out);
-    }
-
     /// Phase A: terminate pseudo-circuits whose output has no downstream
     /// credit at the held drop position (§III.C).
-    fn terminate_creditless_circuits(&mut self, cycle: u64) {
-        for out_port in 0..self.outputs.len() {
+    fn terminate_creditless_circuits(&mut self, k: &mut PipelineKernel, cycle: u64) {
+        for out_port in 0..k.outputs.len() {
             let port = PortIndex::new(out_port);
             let Some(holder) = self.pcu.holder(port) else {
                 continue;
             };
             let reg = self.pcu.registers(holder);
             let sub = reg.hops as usize - 1;
-            if self.outputs[out_port].credits.available_at_sub(sub) == 0 {
+            if k.outputs[out_port].credits.available_at_sub(sub) == 0 {
                 self.pcu.terminate(holder, Termination::CreditExhausted);
-                if let Some(p) = self.counters.as_deref_mut() {
+                if let Some(p) = k.counters.as_deref_mut() {
                     p.on_pc_terminated(holder, Termination::CreditExhausted);
                 }
-                self.trace(cycle, TraceEventKind::TerminateCredit, holder, port);
+                k.trace(cycle, TraceEventKind::TerminateCredit, holder, port);
             }
         }
     }
@@ -423,23 +106,23 @@ impl PcRouter {
     /// Phase C: pseudo-circuit reuse from the input buffers. A buffered,
     /// ready head-of-VC flit whose route matches the live circuit traverses
     /// immediately, bypassing SA.
-    fn reuse_circuits(&mut self, cycle: u64, out: &mut RouterOutputs) {
-        for in_port in 0..self.inputs.len() {
-            if self.in_occupancy[in_port] == 0 {
+    fn reuse_circuits(&mut self, k: &mut PipelineKernel, cycle: u64, out: &mut RouterOutputs) {
+        for in_port in 0..k.inputs.len() {
+            if k.in_occupancy[in_port] == 0 {
                 continue; // reuse only drains buffered flits
             }
             let in_port = PortIndex::new(in_port);
-            if self.in_busy[in_port.index()] {
+            if k.in_busy[in_port.index()] {
                 continue;
             }
             let Some(pc) = self.pcu.live(in_port) else {
                 continue;
             };
-            if self.out_busy[pc.out_port.index()] {
+            if k.out_busy[pc.out_port.index()] {
                 continue;
             }
             let vc = pc.in_vc;
-            let ivc = self.vc(in_port, vc);
+            let ivc = &k.inputs[in_port.index()][vc.index()];
             let Some(flit) = ivc.fifo.head_ready(cycle) else {
                 continue;
             };
@@ -455,16 +138,16 @@ impl PcRouter {
                     continue; // mismatch: the flit takes the baseline pipeline
                 }
                 let (class, dst) = (flit.class, flit.dst);
-                let Some(out_vc) = self.allocate_out_vc(pc_route, class, dst, (in_port, vc), true)
+                let Some(out_vc) = self.allocate_vc(k, pc_route, class, dst, (in_port, vc), true)
                 else {
                     continue; // VA failed: baseline pipeline, no penalty
                 };
-                let ivc = self.vc_mut(in_port, vc);
+                let ivc = &mut k.inputs[in_port.index()][vc.index()];
                 ivc.route = Some(pc_route);
                 ivc.out_vc = Some(out_vc);
-                self.stats.va_grants += 1;
-                self.energy.record(EnergyEvent::Arbitration);
-                if let Some(p) = self.counters.as_deref_mut() {
+                k.stats.va_grants += 1;
+                k.energy.record(EnergyEvent::Arbitration);
+                if let Some(p) = k.counters.as_deref_mut() {
                     p.on_va_grant(in_port);
                 }
             } else {
@@ -474,7 +157,7 @@ impl PcRouter {
                     continue;
                 }
                 let out_vc = ivc.out_vc.expect("routed VC has an output VC");
-                if self.outputs[pc.out_port.index()]
+                if k.outputs[pc.out_port.index()]
                     .credits
                     .available(sub, out_vc)
                     == 0
@@ -482,51 +165,31 @@ impl PcRouter {
                     continue; // per-VC back-pressure; port-level handled in phase A
                 }
             }
-            self.traverse_from_buffer(cycle, in_port, vc, true, out);
+            k.traverse_from_buffer(cycle, in_port, vc, true, out);
         }
     }
 
-    /// Phase D: arriving flits either take the bypass latch straight to the
-    /// crossbar (§IV.B) or are written into their VC buffer.
-    fn accept_arrivals(&mut self, cycle: u64, out: &mut RouterOutputs) {
-        // Swap into the scratch buffer (both retain capacity) and walk by
-        // index so `self` stays free for the bypass/buffer calls.
-        std::mem::swap(&mut self.arrivals, &mut self.arrivals_scratch);
-        for i in 0..self.arrivals_scratch.len() {
-            let (in_port, flit) = self.arrivals_scratch[i].clone();
-            if self.try_bypass(cycle, in_port, &flit, out) {
-                continue;
-            }
-            self.energy.record(EnergyEvent::BufferWrite);
-            self.in_occupancy[in_port.index()] += 1;
-            self.vc_mut(in_port, flit.vc)
-                .fifo
-                .push(flit, cycle + 1)
-                .expect("upstream credits bound buffer occupancy");
-        }
-        self.arrivals_scratch.clear();
-    }
-
-    /// Attempts to forward an arriving flit through the bypass latch.
-    /// Returns whether the flit was consumed.
+    /// Attempts to forward an arriving flit through the bypass latch
+    /// (§IV.B). Returns whether the flit was consumed.
     fn try_bypass(
         &mut self,
+        k: &mut PipelineKernel,
         cycle: u64,
         in_port: PortIndex,
         flit: &Flit,
         out: &mut RouterOutputs,
     ) -> bool {
-        if !self.scheme.buffer_bypass || self.in_busy[in_port.index()] {
+        if !self.scheme.buffer_bypass || k.in_busy[in_port.index()] {
             return false;
         }
         let Some(pc) = self.pcu.live(in_port) else {
             return false;
         };
-        if pc.in_vc != flit.vc || self.out_busy[pc.out_port.index()] {
+        if pc.in_vc != flit.vc || k.out_busy[pc.out_port.index()] {
             return false;
         }
         let vc = flit.vc;
-        let ivc = self.vc(in_port, vc);
+        let ivc = &k.inputs[in_port.index()][vc.index()];
         if !ivc.fifo.is_empty() {
             return false;
         }
@@ -542,29 +205,29 @@ impl PcRouter {
                 return false;
             }
             let Some(allocated) =
-                self.allocate_out_vc(pc_route, flit.class, flit.dst, (in_port, vc), true)
+                self.allocate_vc(k, pc_route, flit.class, flit.dst, (in_port, vc), true)
             else {
                 return false;
             };
             out_vc = allocated;
-            self.stats.va_grants += 1;
-            self.energy.record(EnergyEvent::Arbitration);
-            if let Some(p) = self.counters.as_deref_mut() {
+            k.stats.va_grants += 1;
+            k.energy.record(EnergyEvent::Arbitration);
+            if let Some(p) = k.counters.as_deref_mut() {
                 p.on_va_grant(in_port);
             }
             if !is_tail {
-                let ivc = self.vc_mut(in_port, vc);
+                let ivc = &mut k.inputs[in_port.index()][vc.index()];
                 ivc.route = Some(pc_route);
                 ivc.out_vc = Some(out_vc);
             } else {
-                self.outputs[pc_route.port.index()].alloc.free(allocated);
+                k.outputs[pc_route.port.index()].alloc.free(allocated);
             }
         } else {
             if ivc.route != Some(pc_route) {
                 return false;
             }
             out_vc = ivc.out_vc.expect("routed VC has an output VC");
-            if self.outputs[pc.out_port.index()]
+            if k.outputs[pc.out_port.index()]
                 .credits
                 .available(sub, out_vc)
                 == 0
@@ -572,23 +235,23 @@ impl PcRouter {
                 return false;
             }
             if is_tail {
-                let ivc = self.vc_mut(in_port, vc);
+                let ivc = &mut k.inputs[in_port.index()][vc.index()];
                 ivc.route = None;
                 ivc.out_vc = None;
                 ivc.va_cycle = u64::MAX;
-                self.outputs[pc_route.port.index()].alloc.free(out_vc);
+                k.outputs[pc_route.port.index()].alloc.free(out_vc);
             }
         }
-        self.outputs[pc_route.port.index()]
+        k.outputs[pc_route.port.index()]
             .credits
             .consume(sub, out_vc);
-        self.stats.pc_reuses += 1;
-        self.stats.buffer_bypasses += 1;
+        k.stats.pc_reuses += 1;
+        k.stats.buffer_bypasses += 1;
         if flit.kind.is_head() {
-            self.stats.pc_header_reuses += 1;
-            self.stats.pc_header_bypasses += 1;
+            k.stats.pc_header_reuses += 1;
+            k.stats.pc_header_bypasses += 1;
         }
-        if let Some(p) = self.counters.as_deref_mut() {
+        if let Some(p) = k.counters.as_deref_mut() {
             p.on_pc_hit(in_port, true);
             // Arrival, VA (headers) and traversal all happen this cycle:
             // the 1-cycle hop of paper Fig. 6. Bypassed flits never reside
@@ -598,219 +261,19 @@ impl PcRouter {
                 p.on_stage(PipelineStage::Va, 0);
             }
         }
-        self.trace(cycle, TraceEventKind::BypassHit, in_port, pc_route.port);
+        k.trace(cycle, TraceEventKind::BypassHit, in_port, pc_route.port);
         // The write-through latch never occupies a buffer slot: the upstream
         // credit returns immediately.
         out.credits.push((in_port, vc));
-        self.send(flit.clone(), in_port, pc_route, out_vc, out);
+        k.send_flit(flit.clone(), in_port, pc_route, out_vc, 0, out);
         true
-    }
-
-    /// Phase E: VC allocation for ready headers (separable, per output VC,
-    /// round-robin across requesters).
-    #[allow(clippy::needless_range_loop)] // index used across parallel arrays
-    fn allocate_vcs(&mut self, cycle: u64) {
-        let vcs = self.partition.total_vcs() as usize;
-        // Gather requests grouped by output port (into reused buffers).
-        debug_assert!(self.va_requests.iter().all(|r| r.is_empty()));
-        for in_port in 0..self.inputs.len() {
-            if self.in_occupancy[in_port] == 0 {
-                continue; // only buffered headers request VA
-            }
-            for vc in 0..vcs {
-                let ivc = &self.inputs[in_port][vc];
-                if ivc.out_vc.is_some() || ivc.route.is_some() {
-                    continue;
-                }
-                let Some(flit) = ivc.fifo.head_ready(cycle) else {
-                    continue;
-                };
-                if !flit.kind.is_head() {
-                    continue;
-                }
-                let target = flit.route.port.index();
-                self.va_requests[target].push((PortIndex::new(in_port), VcIndex::new(vc)));
-            }
-        }
-        for out_port in 0..self.outputs.len() {
-            if self.va_requests[out_port].is_empty() {
-                continue;
-            }
-            // Round-robin over the flattened (input port, VC) space.
-            self.va_mask.fill(false);
-            for i in 0..self.va_requests[out_port].len() {
-                let (p, v) = self.va_requests[out_port][i];
-                self.va_mask[p.index() * vcs + v.index()] = true;
-            }
-            while let Some(slot) = self.va_arb[out_port].grant(&self.va_mask) {
-                self.va_mask[slot] = false;
-                let in_port = PortIndex::new(slot / vcs);
-                let vc = VcIndex::new(slot % vcs);
-                let flit = self
-                    .vc(in_port, vc)
-                    .fifo
-                    .head_ready(cycle)
-                    .expect("request implies ready head")
-                    .clone();
-                if let Some(out_vc) =
-                    self.allocate_out_vc(flit.route, flit.class, flit.dst, (in_port, vc), false)
-                {
-                    let ivc = self.vc_mut(in_port, vc);
-                    ivc.route = Some(flit.route);
-                    ivc.out_vc = Some(out_vc);
-                    ivc.va_cycle = cycle;
-                    self.stats.va_grants += 1;
-                    self.energy.record(EnergyEvent::Arbitration);
-                    if let Some(p) = self.counters.as_deref_mut() {
-                        p.on_va_grant(in_port);
-                    }
-                }
-                if self.va_mask.iter().all(|&m| !m) {
-                    break;
-                }
-            }
-            self.va_requests[out_port].clear();
-        }
-    }
-
-    /// Phase F: separable switch arbitration. Non-speculative requests (VC
-    /// held before this cycle) beat speculative ones (VC granted this cycle,
-    /// Peh & Dally HPCA 2001). Grants reserve a credit and traverse next
-    /// cycle; each grant (re)establishes the pseudo-circuit of its
-    /// connection.
-    #[allow(clippy::needless_range_loop)] // index used across parallel arrays
-    fn arbitrate_switch(&mut self, cycle: u64) {
-        let vcs = self.partition.total_vcs() as usize;
-        // Input-first stage: one winning VC per input port.
-        self.sa_winners.fill(None);
-        for in_port in 0..self.inputs.len() {
-            if self.in_occupancy[in_port] == 0 {
-                continue; // every SA candidate needs a buffered ready flit
-            }
-            let in_port_i = PortIndex::new(in_port);
-            self.sa_vc_nonspec.fill(false);
-            self.sa_vc_spec.fill(false);
-            for vc in 0..vcs {
-                let ivc = &self.inputs[in_port][vc];
-                let (Some(route), Some(out_vc)) = (ivc.route, ivc.out_vc) else {
-                    continue;
-                };
-                if ivc.fifo.head_ready(cycle).is_none() {
-                    continue;
-                }
-                // Flits covered by a live matching pseudo-circuit bypass SA
-                // entirely: they drain through the held connection (§III.B,
-                // "the following flits coming to the same VC can bypass SA
-                // ... until the pseudo-circuit is terminated").
-                if self.scheme.pseudo_circuit {
-                    if let Some(pc) = self.pcu.live(in_port_i) {
-                        if pc.in_vc.index() == vc
-                            && pc.out_port == route.port
-                            && pc.hops == route.hops
-                        {
-                            continue;
-                        }
-                    }
-                }
-                let sub = route.hops as usize - 1;
-                if self.outputs[route.port.index()]
-                    .credits
-                    .available(sub, out_vc)
-                    == 0
-                {
-                    continue;
-                }
-                if ivc.va_cycle == cycle {
-                    self.sa_vc_spec[vc] = true;
-                } else {
-                    self.sa_vc_nonspec[vc] = true;
-                }
-            }
-            let pick = if self.sa_vc_nonspec.iter().any(|&r| r) {
-                self.in_arb[in_port].grant(&self.sa_vc_nonspec)
-            } else {
-                self.in_arb[in_port].grant(&self.sa_vc_spec)
-            };
-            if let Some(vc) = pick {
-                let speculative = self.sa_vc_spec[vc];
-                let ivc = &self.inputs[in_port][vc];
-                self.sa_winners[in_port] = Some((
-                    VcIndex::new(vc),
-                    ivc.route.expect("winner has route"),
-                    ivc.out_vc.expect("winner has output VC"),
-                    speculative,
-                ));
-            }
-        }
-        // Output stage: one winner per output port, non-speculative first.
-        for out_port in 0..self.outputs.len() {
-            let out_port_i = PortIndex::new(out_port);
-            self.sa_out_nonspec.fill(false);
-            self.sa_out_spec.fill(false);
-            for in_port in 0..self.sa_winners.len() {
-                if let Some((_, route, _, speculative)) = self.sa_winners[in_port] {
-                    if route.port == out_port_i {
-                        if speculative {
-                            self.sa_out_spec[in_port] = true;
-                        } else {
-                            self.sa_out_nonspec[in_port] = true;
-                        }
-                    }
-                }
-            }
-            let pick = if self.sa_out_nonspec.iter().any(|&r| r) {
-                self.out_arb[out_port].grant(&self.sa_out_nonspec)
-            } else {
-                self.out_arb[out_port].grant(&self.sa_out_spec)
-            };
-            let Some(in_port) = pick else {
-                continue;
-            };
-            let (vc, route, out_vc, _) = self.sa_winners[in_port].expect("picked winner exists");
-            self.outputs[out_port]
-                .credits
-                .consume(route.hops as usize - 1, out_vc);
-            self.st_pending.push(StGrant {
-                in_port: PortIndex::new(in_port),
-                vc,
-            });
-            self.stats.sa_grants += 1;
-            self.energy.record(EnergyEvent::Arbitration);
-            if let Some(p) = self.counters.as_deref_mut() {
-                p.on_sa_grant(PortIndex::new(in_port));
-            }
-            if self.scheme.pseudo_circuit {
-                let outcome =
-                    self.pcu
-                        .establish(PortIndex::new(in_port), vc, route.port, route.hops);
-                if let Some(p) = self.counters.as_deref_mut() {
-                    p.on_pc_established(PortIndex::new(in_port), outcome.created);
-                    for (victim, _) in outcome.terminated.into_iter().flatten() {
-                        p.on_pc_terminated(victim, Termination::Conflict);
-                    }
-                }
-                if self.tracer.is_some() {
-                    for (victim, victim_out) in outcome.terminated.into_iter().flatten() {
-                        self.trace(cycle, TraceEventKind::TerminateConflict, victim, victim_out);
-                    }
-                    if outcome.created {
-                        self.trace(
-                            cycle,
-                            TraceEventKind::Establish,
-                            PortIndex::new(in_port),
-                            route.port,
-                        );
-                    }
-                }
-            }
-        }
     }
 
     /// Phase G: pseudo-circuit speculation — restore the most recently
     /// terminated circuit of every idle output port with downstream credit
     /// (§IV.A).
-    fn speculate(&mut self, cycle: u64) {
-        for out_port in 0..self.outputs.len() {
+    fn speculate(&mut self, k: &mut PipelineKernel, cycle: u64) {
+        for out_port in 0..k.outputs.len() {
             let port = PortIndex::new(out_port);
             if self.pcu.holder(port).is_some() {
                 continue;
@@ -823,96 +286,194 @@ impl PcRouter {
                 continue;
             }
             let sub = reg.hops as usize - 1;
-            if self.outputs[out_port].credits.available_at_sub(sub) == 0 {
+            if k.outputs[out_port].credits.available_at_sub(sub) == 0 {
                 continue;
             }
             let restored = self.pcu.try_restore(port);
             debug_assert!(restored, "preconditions checked above");
-            self.stats.pc_speculative_restores += 1;
-            if let Some(p) = self.counters.as_deref_mut() {
+            k.stats.pc_speculative_restores += 1;
+            if let Some(p) = k.counters.as_deref_mut() {
                 p.on_pc_restored(port);
             }
-            self.trace(cycle, TraceEventKind::Restore, h, port);
+            k.trace(cycle, TraceEventKind::Restore, h, port);
         }
+    }
+}
+
+impl SchemeHooks for PcHooks {
+    fn begin_cycle(&mut self, k: &mut PipelineKernel, cycle: u64) {
+        if self.scheme.pseudo_circuit {
+            self.terminate_creditless_circuits(k, cycle);
+        }
+    }
+
+    fn drain_reuse(&mut self, k: &mut PipelineKernel, cycle: u64, out: &mut RouterOutputs) {
+        if self.scheme.pseudo_circuit {
+            self.reuse_circuits(k, cycle, out);
+        }
+    }
+
+    fn try_arrival_intercept(
+        &mut self,
+        k: &mut PipelineKernel,
+        cycle: u64,
+        in_port: PortIndex,
+        flit: &Flit,
+        out: &mut RouterOutputs,
+    ) -> bool {
+        self.try_bypass(k, cycle, in_port, flit, out)
+    }
+
+    fn allocate_out_vc(
+        &mut self,
+        k: &mut PipelineKernel,
+        flit: &Flit,
+        owner: (PortIndex, VcIndex),
+    ) -> Option<(VcIndex, u8)> {
+        self.allocate_vc(k, flit.route, flit.class, flit.dst, owner, false)
+            .map(|vc| (vc, 0))
+    }
+
+    /// Flits covered by a live matching pseudo-circuit bypass SA entirely:
+    /// they drain through the held connection (§III.B, "the following flits
+    /// coming to the same VC can bypass SA ... until the pseudo-circuit is
+    /// terminated").
+    fn sa_skip(&self, in_port: PortIndex, vc: VcIndex, route: RouteInfo) -> bool {
+        if !self.scheme.pseudo_circuit {
+            return false;
+        }
+        self.pcu
+            .live(in_port)
+            .is_some_and(|pc| pc.in_vc == vc && pc.out_port == route.port && pc.hops == route.hops)
+    }
+
+    /// Each grant (re)establishes the pseudo-circuit of its connection.
+    fn on_sa_grant(
+        &mut self,
+        k: &mut PipelineKernel,
+        cycle: u64,
+        in_port: PortIndex,
+        vc: VcIndex,
+        route: RouteInfo,
+    ) {
+        if !self.scheme.pseudo_circuit {
+            return;
+        }
+        let outcome = self.pcu.establish(in_port, vc, route.port, route.hops);
+        if let Some(p) = k.counters.as_deref_mut() {
+            p.on_pc_established(in_port, outcome.created);
+            for (victim, _) in outcome.terminated.into_iter().flatten() {
+                p.on_pc_terminated(victim, Termination::Conflict);
+            }
+        }
+        if k.tracer.is_some() {
+            for (victim, victim_out) in outcome.terminated.into_iter().flatten() {
+                k.trace(cycle, TraceEventKind::TerminateConflict, victim, victim_out);
+            }
+            if outcome.created {
+                k.trace(cycle, TraceEventKind::Establish, in_port, route.port);
+            }
+        }
+    }
+
+    fn end_cycle(&mut self, k: &mut PipelineKernel, cycle: u64) {
+        if self.scheme.speculation {
+            self.speculate(k, cycle);
+        }
+        k.stats.pc_terminations_conflict = self.pcu.terminations_conflict();
+        k.stats.pc_terminations_credit = self.pcu.terminations_credit();
+        debug_assert!(self.pcu.check_invariants().is_ok());
+    }
+}
+
+/// The pseudo-circuit router (also the baseline router when the scheme is
+/// [`Scheme::baseline`]): the shared [`PipelineKernel`] plus the scheme's
+/// [`SchemeHooks`] implementation.
+pub struct PcRouter {
+    kernel: PipelineKernel,
+    hooks: PcHooks,
+}
+
+impl PcRouter {
+    /// Builds a router.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheme is inconsistent (see [`Scheme::validate`]).
+    pub fn new(id: RouterId, topo: SharedTopology, config: NetworkConfig, scheme: Scheme) -> Self {
+        scheme.validate().unwrap_or_else(|e| panic!("{e}"));
+        let in_ports = topo.in_ports(id);
+        let out_ports = topo.out_ports(id);
+        Self {
+            kernel: PipelineKernel::new(id, topo, config, true),
+            hooks: PcHooks {
+                scheme,
+                va_policy: config.va_policy,
+                partition: config.partition(),
+                pcu: PseudoCircuitUnit::new(in_ports, out_ports),
+            },
+        }
+    }
+
+    /// The scheme this router runs.
+    pub fn scheme(&self) -> Scheme {
+        self.hooks.scheme
+    }
+
+    /// Enables observability per `metrics`: per-port counters at
+    /// [`noc_sim::MetricsLevel::Full`], and a lifecycle trace ring when this
+    /// router is selected by the trace spec. Call before the first `step`.
+    pub fn enable_metrics(&mut self, metrics: &MetricsConfig) {
+        self.kernel.enable_metrics(metrics);
+    }
+
+    /// The pseudo-circuit unit (exposed for white-box tests).
+    pub fn pseudo_unit(&self) -> &PseudoCircuitUnit {
+        &self.hooks.pcu
     }
 }
 
 impl RouterModel for PcRouter {
     fn receive_flit(&mut self, in_port: PortIndex, flit: Flit) {
-        debug_assert!(in_port.index() < self.inputs.len(), "bad input port");
-        self.arrivals.push((in_port, flit));
+        self.kernel.receive_flit(in_port, flit);
     }
 
     fn receive_credit(&mut self, out_port: PortIndex, credit: Credit) {
-        self.outputs[out_port.index()]
-            .credits
-            .refill(credit.sub as usize, credit.vc);
+        self.kernel.receive_credit(out_port, credit);
     }
 
     fn step(&mut self, cycle: u64, out: &mut RouterOutputs) {
-        self.in_busy.fill(false);
-        self.out_busy.fill(false);
-
-        if self.scheme.pseudo_circuit {
-            self.terminate_creditless_circuits(cycle);
-        }
-
-        // Switch traversal of last cycle's grants (SA has priority over
-        // reuse: its connections were established at grant time, so no live
-        // circuit can conflict with these traversals). Swapped through the
-        // scratch buffer so both vectors retain their capacity.
-        std::mem::swap(&mut self.st_pending, &mut self.st_scratch);
-        for i in 0..self.st_scratch.len() {
-            let g = self.st_scratch[i];
-            self.traverse_from_buffer(cycle, g.in_port, g.vc, false, out);
-        }
-        self.st_scratch.clear();
-
-        if self.scheme.pseudo_circuit {
-            self.reuse_circuits(cycle, out);
-        }
-        self.accept_arrivals(cycle, out);
-        self.allocate_vcs(cycle);
-        self.arbitrate_switch(cycle);
-        if self.scheme.speculation {
-            self.speculate(cycle);
-        }
-
-        self.stats.pc_terminations_conflict = self.pcu.terminations_conflict();
-        self.stats.pc_terminations_credit = self.pcu.terminations_credit();
-        debug_assert!(self.pcu.check_invariants().is_ok());
+        self.kernel.step(&mut self.hooks, cycle, out);
     }
 
     /// Exact step-is-no-op predicate, mirroring every phase of `step`:
-    /// nothing staged or buffered (phases B–F have no work), no live circuit
-    /// that phase A would terminate for credit exhaustion, and no history
-    /// register that phase G would speculatively restore. Arbiters do not
-    /// move on empty request masks, so a skipped step is bit-identical to an
-    /// executed one.
+    /// nothing staged or buffered (the kernel phases have no work), no live
+    /// circuit that phase A would terminate for credit exhaustion, and no
+    /// history register that phase G would speculatively restore. Arbiters do
+    /// not move on empty request masks, so a skipped step is bit-identical to
+    /// an executed one.
     fn is_idle(&self) -> bool {
-        if !self.arrivals.is_empty() || !self.st_pending.is_empty() {
+        if !self.kernel.is_idle_base() {
             return false;
         }
-        if self.in_occupancy.iter().any(|&c| c > 0) {
-            return false;
-        }
-        for out_port in 0..self.outputs.len() {
+        let (k, h) = (&self.kernel, &self.hooks);
+        for out_port in 0..k.outputs.len() {
             let port = PortIndex::new(out_port);
-            if self.scheme.pseudo_circuit {
-                if let Some(holder) = self.pcu.holder(port) {
-                    let reg = self.pcu.registers(holder);
+            if h.scheme.pseudo_circuit {
+                if let Some(holder) = h.pcu.holder(port) {
+                    let reg = h.pcu.registers(holder);
                     let sub = reg.hops as usize - 1;
-                    if self.outputs[out_port].credits.available_at_sub(sub) == 0 {
+                    if k.outputs[out_port].credits.available_at_sub(sub) == 0 {
                         return false; // phase A would terminate this circuit
                     }
                 }
             }
-            if self.scheme.speculation && self.pcu.holder(port).is_none() {
-                if let Some(h) = self.pcu.history(port) {
-                    let reg = self.pcu.registers(h);
+            if h.scheme.speculation && h.pcu.holder(port).is_none() {
+                if let Some(hist) = h.pcu.history(port) {
+                    let reg = h.pcu.registers(hist);
                     if !reg.valid && reg.out_port == port {
                         let sub = reg.hops as usize - 1;
-                        if self.outputs[out_port].credits.available_at_sub(sub) > 0 {
+                        if k.outputs[out_port].credits.available_at_sub(sub) > 0 {
                             return false; // phase G would restore this circuit
                         }
                     }
@@ -923,19 +484,19 @@ impl RouterModel for PcRouter {
     }
 
     fn stats(&self) -> RouterStats {
-        self.stats
+        self.kernel.stats
     }
 
     fn energy(&self) -> EnergyCounters {
-        self.energy
+        self.kernel.energy
     }
 
     fn observation(&self) -> Option<RouterObservation> {
-        self.counters.as_ref().map(|c| c.export())
+        self.kernel.observation()
     }
 
     fn tracer(&self) -> Option<&TraceRing> {
-        self.tracer.as_deref()
+        self.kernel.trace_ring()
     }
 }
 

@@ -1,77 +1,201 @@
-//! The EVC router: a speculative two-stage baseline pipeline plus the
-//! express-latch path.
+//! The EVC router: the shared speculative two-stage pipeline kernel
+//! ([`noc_sim::pipeline`]) plus the express-latch path and the NVC/EVC
+//! split, plugged in through [`SchemeHooks`].
+//!
+//! Riding on the kernel gives the EVC comparator the same observability the
+//! pseudo-circuit router has: per-stage latency histograms and per-port
+//! counters at `--metrics=full`, lifecycle tracing (express latches record
+//! [`TraceEventKind::ExpressLatch`]), and manifest router dumps.
 
 use noc_base::{Credit, Flit, NodeId, PortIndex, RouteInfo, RouterId, VaPolicy, VcIndex};
-use noc_energy::{EnergyCounters, EnergyEvent};
-use noc_sim::blocks::{CreditBook, FlitFifo, OutputVcAlloc, RrArbiter};
+use noc_energy::EnergyCounters;
+use noc_sim::probe::Probe;
 use noc_sim::{
-    lookahead_route, NetworkConfig, RouterBuildContext, RouterFactory, RouterModel, RouterOutputs,
-    RouterStats, SentFlit,
+    MetricsConfig, NetworkConfig, PipelineKernel, PipelineStage, RouterBuildContext, RouterFactory,
+    RouterModel, RouterObservation, RouterOutputs, RouterStats, SchemeHooks, TraceEventKind,
+    TraceRing,
 };
 use noc_topology::SharedTopology;
 
-#[derive(Debug)]
-struct InputVc {
-    fifo: FlitFifo,
-    route: Option<RouteInfo>,
-    out_vc: Option<VcIndex>,
-    va_cycle: u64,
-    /// Whether the packet holding this VC travels an express segment from
-    /// this router (decided at VA).
-    express: bool,
-    /// Whether the VC state was claimed by an express stream latching
-    /// through (no flits buffered, but the output VC is held).
-    pass_through: bool,
-}
-
-#[derive(Debug)]
-struct OutputPort {
-    alloc: OutputVcAlloc,
-    credits: CreditBook,
-}
-
-#[derive(Copy, Clone, Debug)]
-struct StGrant {
-    in_port: PortIndex,
-    vc: VcIndex,
-}
-
-/// The Express-Virtual-Channel router (dynamic EVCs, configurable `l_max`).
-pub struct EvcRouter {
-    id: RouterId,
-    topo: SharedTopology,
+/// The EVC scheme state and hook implementations: the NVC/EVC split plus the
+/// express-segment length bound.
+struct EvcHooks {
     va_policy: VaPolicy,
     vcs: usize,
     nvcs: usize,
     l_max: u8,
-    concentration: usize,
-    inputs: Vec<Vec<InputVc>>,
-    outputs: Vec<OutputPort>,
-    st_pending: Vec<StGrant>,
-    arrivals: Vec<(PortIndex, Flit)>,
-    in_busy: Vec<bool>,
-    out_busy: Vec<bool>,
-    in_arb: Vec<RrArbiter>,
-    va_arb: Vec<RrArbiter>,
-    out_arb: Vec<RrArbiter>,
-    last_connection: Vec<Option<PortIndex>>,
-    stats: RouterStats,
-    energy: EnergyCounters,
-    /// Buffered flits per input port across all its VCs; lets the VA/SA
-    /// scans skip empty ports (every candidate there requires a buffered
-    /// flit).
-    in_occupancy: Vec<u32>,
-    // Reusable per-cycle working storage, so `step` never allocates once the
-    // queues reach steady-state capacity.
-    st_scratch: Vec<StGrant>,
-    arrivals_scratch: Vec<(PortIndex, Flit)>,
-    va_requests: Vec<Vec<(PortIndex, VcIndex)>>,
-    va_mask: Vec<bool>,
-    sa_winners: Vec<Option<(VcIndex, RouteInfo, VcIndex, bool)>>,
-    sa_vc_nonspec: Vec<bool>,
-    sa_vc_spec: Vec<bool>,
-    sa_out_nonspec: Vec<bool>,
-    sa_out_spec: Vec<bool>,
+}
+
+impl EvcHooks {
+    fn is_evc(&self, vc: VcIndex) -> bool {
+        vc.index() >= self.nvcs
+    }
+
+    /// Whether a packet leaving through `route` continues for at least
+    /// `l_max` hops in the same direction (same output-port index at each
+    /// router along the way) — the express-eligibility test.
+    fn express_eligible(
+        &self,
+        k: &PipelineKernel,
+        route: RouteInfo,
+        dst: NodeId,
+        mode: noc_base::RouteMode,
+    ) -> bool {
+        if route.port.index() < k.concentration {
+            return false;
+        }
+        let mut router = k.id;
+        let mut step = route;
+        for _ in 0..self.l_max - 1 {
+            let Some(end) = k.topo.link(router, step.port, step.hops) else {
+                return false;
+            };
+            let next = k.topo.route(end.router, dst, mode);
+            if next.port != step.port || next.hops != step.hops {
+                return false;
+            }
+            router = end.router;
+            step = next;
+        }
+        true
+    }
+
+    /// Attempts the express latch for an arriving flit with remaining
+    /// express hops. Returns whether the flit was consumed.
+    fn try_latch(
+        &mut self,
+        k: &mut PipelineKernel,
+        cycle: u64,
+        in_port: PortIndex,
+        flit: &Flit,
+        out: &mut RouterOutputs,
+    ) -> bool {
+        if flit.express_hops == 0 || k.in_busy[in_port.index()] {
+            return false;
+        }
+        let route = flit.route;
+        if route.port.index() < k.concentration || k.out_busy[route.port.index()] {
+            return false;
+        }
+        let vc = flit.vc;
+        debug_assert!(self.is_evc(vc), "express flit on a normal VC");
+        let ivc = &k.inputs[in_port.index()][vc.index()];
+        if !ivc.fifo.is_empty() {
+            return false;
+        }
+        let sub = route.hops as usize - 1;
+        let is_head = flit.kind.is_head();
+        let is_tail = flit.kind.is_tail();
+        if is_head {
+            if ivc.route.is_some() {
+                return false;
+            }
+            let port = &k.outputs[route.port.index()];
+            if !port.alloc.is_free(vc) || port.credits.available(sub, vc) == 0 {
+                return false;
+            }
+            k.outputs[route.port.index()]
+                .alloc
+                .allocate(vc, (in_port, vc));
+            if !is_tail {
+                let ivc = &mut k.inputs[in_port.index()][vc.index()];
+                ivc.route = Some(route);
+                ivc.out_vc = Some(vc);
+                ivc.pass_through = true;
+            } else {
+                k.outputs[route.port.index()].alloc.free(vc);
+            }
+        } else {
+            if !ivc.pass_through || ivc.route != Some(route) || ivc.out_vc != Some(vc) {
+                return false;
+            }
+            if k.outputs[route.port.index()].credits.available(sub, vc) == 0 {
+                return false;
+            }
+            if is_tail {
+                let ivc = &mut k.inputs[in_port.index()][vc.index()];
+                ivc.route = None;
+                ivc.out_vc = None;
+                ivc.pass_through = false;
+                k.outputs[route.port.index()].alloc.free(vc);
+            }
+        }
+        k.outputs[route.port.index()].credits.consume(sub, vc);
+        k.stats.express_bypasses += 1;
+        if let Some(p) = k.counters.as_deref_mut() {
+            // Arrival and traversal happen this cycle: a 1-cycle latch hop.
+            // Latched flits never reside in the buffer and skip VA/SA, so
+            // those stages record no sample.
+            p.on_stage(PipelineStage::St, 1);
+        }
+        k.trace(cycle, TraceEventKind::ExpressLatch, in_port, route.port);
+        out.credits.push((in_port, vc));
+        k.send_flit(flit.clone(), in_port, route, vc, flit.express_hops - 1, out);
+        true
+    }
+}
+
+impl SchemeHooks for EvcHooks {
+    fn try_arrival_intercept(
+        &mut self,
+        k: &mut PipelineKernel,
+        cycle: u64,
+        in_port: PortIndex,
+        flit: &Flit,
+        out: &mut RouterOutputs,
+    ) -> bool {
+        self.try_latch(k, cycle, in_port, flit, out)
+    }
+
+    /// VC allocation for one header: express packets take EVCs, others NVCs.
+    /// Falls back from EVC to NVC when no express VC is free. Returns the VC
+    /// and the express-hop budget the packet's flits will carry.
+    fn allocate_out_vc(
+        &mut self,
+        k: &mut PipelineKernel,
+        flit: &Flit,
+        owner: (PortIndex, VcIndex),
+    ) -> Option<(VcIndex, u8)> {
+        let route = flit.route;
+        let dst = flit.dst;
+        let sub = route.hops as usize - 1;
+        let express = self.express_eligible(k, route, dst, flit.mode);
+        let port = &mut k.outputs[route.port.index()];
+        let pick = |range: std::ops::Range<usize>, port: &noc_sim::OutputPort, policy: VaPolicy| {
+            match policy {
+                VaPolicy::Static => {
+                    let vc = VcIndex::new(range.start + dst.index() % range.len());
+                    port.alloc.is_free(vc).then_some(vc)
+                }
+                VaPolicy::Dynamic => range
+                    .map(VcIndex::new)
+                    .filter(|&v| port.alloc.is_free(v))
+                    .max_by_key(|&v| port.credits.available(sub, v)),
+            }
+        };
+        // Local (ejection) ports have no express discipline: any VC.
+        if route.port.index() < k.concentration {
+            let vc = pick(0..self.vcs, port, self.va_policy)?;
+            port.alloc.allocate(vc, owner);
+            return Some((vc, 0));
+        }
+        if express {
+            if let Some(vc) = pick(self.nvcs..self.vcs, port, self.va_policy) {
+                port.alloc.allocate(vc, owner);
+                return Some((vc, self.l_max - 1));
+            }
+        }
+        let vc = pick(0..self.nvcs, port, self.va_policy)?;
+        port.alloc.allocate(vc, owner);
+        Some((vc, 0))
+    }
+}
+
+/// The Express-Virtual-Channel router (dynamic EVCs, configurable `l_max`):
+/// the shared [`PipelineKernel`] plus the EVC [`SchemeHooks`].
+pub struct EvcRouter {
+    kernel: PipelineKernel,
+    hooks: EvcHooks,
 }
 
 impl EvcRouter {
@@ -93,492 +217,60 @@ impl EvcRouter {
             "EVC splits VCs in half"
         );
         assert!(l_max >= 2, "express segments span at least two hops");
-        let in_ports = topo.in_ports(id);
-        let out_ports = topo.out_ports(id);
         let vcs = config.vcs_per_port as usize;
-        let inputs = (0..in_ports)
-            .map(|_| {
-                (0..vcs)
-                    .map(|_| InputVc {
-                        fifo: FlitFifo::new(config.buffer_depth as usize),
-                        route: None,
-                        out_vc: None,
-                        va_cycle: u64::MAX,
-                        express: false,
-                        pass_through: false,
-                    })
-                    .collect()
-            })
-            .collect();
-        let outputs = (0..out_ports)
-            .map(|p| {
-                let subs = topo.channel_len(id, PortIndex::new(p)) as usize;
-                OutputPort {
-                    alloc: OutputVcAlloc::new(vcs),
-                    credits: CreditBook::new(subs, vcs, config.buffer_depth),
-                }
-            })
-            .collect();
         Self {
-            id,
-            concentration: topo.concentration(),
-            topo,
-            va_policy: config.va_policy,
-            vcs,
-            nvcs: vcs / 2,
-            l_max,
-            inputs,
-            outputs,
-            // Reserved to structural maxima so steady-state stepping never
-            // allocates (tests/zero_alloc.rs).
-            st_pending: Vec::with_capacity(in_ports),
-            arrivals: Vec::with_capacity(in_ports),
-            in_busy: vec![false; in_ports],
-            out_busy: vec![false; out_ports],
-            in_arb: (0..in_ports).map(|_| RrArbiter::new(vcs)).collect(),
-            va_arb: (0..out_ports)
-                .map(|_| RrArbiter::new(in_ports * vcs))
-                .collect(),
-            out_arb: (0..out_ports).map(|_| RrArbiter::new(in_ports)).collect(),
-            last_connection: vec![None; in_ports],
-            stats: RouterStats::default(),
-            energy: EnergyCounters::default(),
-            in_occupancy: vec![0; in_ports],
-            st_scratch: Vec::with_capacity(in_ports),
-            arrivals_scratch: Vec::with_capacity(in_ports),
-            va_requests: (0..out_ports)
-                .map(|_| Vec::with_capacity(in_ports * vcs))
-                .collect(),
-            va_mask: vec![false; in_ports * vcs],
-            sa_winners: vec![None; in_ports],
-            sa_vc_nonspec: vec![false; vcs],
-            sa_vc_spec: vec![false; vcs],
-            sa_out_nonspec: vec![false; in_ports],
-            sa_out_spec: vec![false; in_ports],
+            kernel: PipelineKernel::new(id, topo, config, false),
+            hooks: EvcHooks {
+                va_policy: config.va_policy,
+                vcs,
+                nvcs: vcs / 2,
+                l_max,
+            },
         }
     }
 
-    fn is_evc(&self, vc: VcIndex) -> bool {
-        vc.index() >= self.nvcs
-    }
-
-    fn vc(&self, in_port: PortIndex, vc: VcIndex) -> &InputVc {
-        &self.inputs[in_port.index()][vc.index()]
-    }
-
-    fn vc_mut(&mut self, in_port: PortIndex, vc: VcIndex) -> &mut InputVc {
-        &mut self.inputs[in_port.index()][vc.index()]
-    }
-
-    /// Whether a packet leaving through `route` continues for at least
-    /// `l_max` hops in the same direction (same output-port index at each
-    /// router along the way) — the express-eligibility test.
-    fn express_eligible(&self, route: RouteInfo, dst: NodeId, mode: noc_base::RouteMode) -> bool {
-        if route.port.index() < self.concentration {
-            return false;
-        }
-        let mut router = self.id;
-        let mut step = route;
-        for _ in 0..self.l_max - 1 {
-            let Some(end) = self.topo.link(router, step.port, step.hops) else {
-                return false;
-            };
-            let next = self.topo.route(end.router, dst, mode);
-            if next.port != step.port || next.hops != step.hops {
-                return false;
-            }
-            router = end.router;
-            step = next;
-        }
-        true
-    }
-
-    /// VC allocation for one header: express packets take EVCs, others NVCs.
-    /// Falls back from EVC to NVC when no express VC is free. Returns the VC
-    /// and whether the packet goes express.
-    fn allocate_out_vc(
-        &mut self,
-        route: RouteInfo,
-        dst: NodeId,
-        mode: noc_base::RouteMode,
-        owner: (PortIndex, VcIndex),
-    ) -> Option<(VcIndex, bool)> {
-        let sub = route.hops as usize - 1;
-        let express = self.express_eligible(route, dst, mode);
-        let port = &mut self.outputs[route.port.index()];
-        let pick = |range: std::ops::Range<usize>, port: &OutputPort, policy: VaPolicy| match policy
-        {
-            VaPolicy::Static => {
-                let vc = VcIndex::new(range.start + dst.index() % range.len());
-                port.alloc.is_free(vc).then_some(vc)
-            }
-            VaPolicy::Dynamic => range
-                .map(VcIndex::new)
-                .filter(|&v| port.alloc.is_free(v))
-                .max_by_key(|&v| port.credits.available(sub, v)),
-        };
-        // Local (ejection) ports have no express discipline: any VC.
-        if route.port.index() < self.concentration {
-            let vc = pick(0..self.vcs, port, self.va_policy)?;
-            port.alloc.allocate(vc, owner);
-            return Some((vc, false));
-        }
-        if express {
-            if let Some(vc) = pick(self.nvcs..self.vcs, port, self.va_policy) {
-                port.alloc.allocate(vc, owner);
-                return Some((vc, true));
-            }
-        }
-        let vc = pick(0..self.nvcs, port, self.va_policy)?;
-        port.alloc.allocate(vc, owner);
-        Some((vc, false))
-    }
-
-    fn send(
-        &mut self,
-        mut flit: Flit,
-        in_port: PortIndex,
-        route: RouteInfo,
-        out_vc: VcIndex,
-        express_hops: u8,
-        out: &mut RouterOutputs,
-    ) {
-        if flit.kind.is_head() {
-            // Packet-granularity crossbar-connection locality (Fig. 1):
-            // body/tail flits trivially follow their header, so only
-            // consecutive packets are compared.
-            if let Some(prev) = self.last_connection[in_port.index()] {
-                self.stats.xbar_locality_total += 1;
-                if prev == route.port {
-                    self.stats.xbar_locality_hits += 1;
-                }
-            }
-            self.last_connection[in_port.index()] = Some(route.port);
-        }
-        self.stats.flit_traversals += 1;
-        self.energy.record(EnergyEvent::CrossbarTraversal);
-        self.in_busy[in_port.index()] = true;
-        self.out_busy[route.port.index()] = true;
-        flit.vc = out_vc;
-        flit.express_hops = express_hops;
-        if route.port.index() >= self.concentration {
-            flit.route = lookahead_route(
-                self.topo.as_ref(),
-                self.id,
-                route.port,
-                route.hops,
-                flit.dst,
-                flit.mode,
-            );
-        }
-        out.flits.push(SentFlit {
-            out_port: route.port,
-            hops: route.hops,
-            flit,
-        });
-    }
-
-    fn traverse_from_buffer(
-        &mut self,
-        cycle: u64,
-        in_port: PortIndex,
-        vc: VcIndex,
-        out: &mut RouterOutputs,
-    ) {
-        let ivc = self.vc_mut(in_port, vc);
-        let buffered = ivc.fifo.pop().expect("granted VC has a flit");
-        debug_assert!(buffered.ready_at <= cycle);
-        let flit = buffered.flit;
-        let route = ivc.route.expect("active VC has a route");
-        let out_vc = ivc.out_vc.expect("active VC has an output VC");
-        let express = ivc.express;
-        if flit.kind.is_tail() {
-            ivc.route = None;
-            ivc.out_vc = None;
-            ivc.va_cycle = u64::MAX;
-            ivc.express = false;
-            self.outputs[route.port.index()].alloc.free(out_vc);
-        }
-        self.in_occupancy[in_port.index()] -= 1;
-        self.energy.record(EnergyEvent::BufferRead);
-        out.credits.push((in_port, vc));
-        let hops_flag = if express { self.l_max - 1 } else { 0 };
-        self.send(flit, in_port, route, out_vc, hops_flag, out);
-    }
-
-    /// Attempts the express latch for an arriving flit with remaining
-    /// express hops. Returns whether the flit was consumed.
-    fn try_latch(&mut self, in_port: PortIndex, flit: &Flit, out: &mut RouterOutputs) -> bool {
-        if flit.express_hops == 0 || self.in_busy[in_port.index()] {
-            return false;
-        }
-        let route = flit.route;
-        if route.port.index() < self.concentration || self.out_busy[route.port.index()] {
-            return false;
-        }
-        let vc = flit.vc;
-        debug_assert!(self.is_evc(vc), "express flit on a normal VC");
-        let ivc = self.vc(in_port, vc);
-        if !ivc.fifo.is_empty() {
-            return false;
-        }
-        let sub = route.hops as usize - 1;
-        let is_head = flit.kind.is_head();
-        let is_tail = flit.kind.is_tail();
-        if is_head {
-            if ivc.route.is_some() {
-                return false;
-            }
-            let port = &self.outputs[route.port.index()];
-            if !port.alloc.is_free(vc) || port.credits.available(sub, vc) == 0 {
-                return false;
-            }
-            self.outputs[route.port.index()]
-                .alloc
-                .allocate(vc, (in_port, vc));
-            if !is_tail {
-                let ivc = self.vc_mut(in_port, vc);
-                ivc.route = Some(route);
-                ivc.out_vc = Some(vc);
-                ivc.pass_through = true;
-            } else {
-                self.outputs[route.port.index()].alloc.free(vc);
-            }
-        } else {
-            if !ivc.pass_through || ivc.route != Some(route) || ivc.out_vc != Some(vc) {
-                return false;
-            }
-            if self.outputs[route.port.index()].credits.available(sub, vc) == 0 {
-                return false;
-            }
-            if is_tail {
-                let ivc = self.vc_mut(in_port, vc);
-                ivc.route = None;
-                ivc.out_vc = None;
-                ivc.pass_through = false;
-                self.outputs[route.port.index()].alloc.free(vc);
-            }
-        }
-        self.outputs[route.port.index()].credits.consume(sub, vc);
-        self.stats.express_bypasses += 1;
-        out.credits.push((in_port, vc));
-        self.send(flit.clone(), in_port, route, vc, flit.express_hops - 1, out);
-        true
-    }
-
-    fn accept_arrivals(&mut self, cycle: u64, out: &mut RouterOutputs) {
-        // Swap into the scratch buffer (both retain capacity) and walk by
-        // index so `self` stays free for the latch/buffer calls.
-        std::mem::swap(&mut self.arrivals, &mut self.arrivals_scratch);
-        for i in 0..self.arrivals_scratch.len() {
-            let (in_port, flit) = self.arrivals_scratch[i].clone();
-            if self.try_latch(in_port, &flit, out) {
-                continue;
-            }
-            // Fallback: the flit (express or not) enters the buffer. An
-            // express stream that stalls here continues hop-by-hop; its
-            // pass-through claim becomes an ordinary buffered packet claim.
-            self.energy.record(EnergyEvent::BufferWrite);
-            self.in_occupancy[in_port.index()] += 1;
-            let ivc = self.vc_mut(in_port, flit.vc);
-            ivc.pass_through = false;
-            ivc.fifo
-                .push(flit, cycle + 1)
-                .expect("upstream credits bound buffer occupancy");
-        }
-        self.arrivals_scratch.clear();
-    }
-
-    #[allow(clippy::needless_range_loop)] // index used across parallel arrays
-    fn allocate_vcs(&mut self, cycle: u64) {
-        let vcs = self.vcs;
-        debug_assert!(self.va_requests.iter().all(|r| r.is_empty()));
-        for in_port in 0..self.inputs.len() {
-            if self.in_occupancy[in_port] == 0 {
-                continue; // only buffered headers request VA
-            }
-            for vc in 0..vcs {
-                let ivc = &self.inputs[in_port][vc];
-                if ivc.out_vc.is_some() || ivc.route.is_some() {
-                    continue;
-                }
-                let Some(flit) = ivc.fifo.head_ready(cycle) else {
-                    continue;
-                };
-                if !flit.kind.is_head() {
-                    continue;
-                }
-                let target = flit.route.port.index();
-                self.va_requests[target].push((PortIndex::new(in_port), VcIndex::new(vc)));
-            }
-        }
-        for out_port in 0..self.outputs.len() {
-            if self.va_requests[out_port].is_empty() {
-                continue;
-            }
-            self.va_mask.fill(false);
-            for i in 0..self.va_requests[out_port].len() {
-                let (p, v) = self.va_requests[out_port][i];
-                self.va_mask[p.index() * vcs + v.index()] = true;
-            }
-            while let Some(slot) = self.va_arb[out_port].grant(&self.va_mask) {
-                self.va_mask[slot] = false;
-                let in_port = PortIndex::new(slot / vcs);
-                let vc = VcIndex::new(slot % vcs);
-                let flit = self
-                    .vc(in_port, vc)
-                    .fifo
-                    .head_ready(cycle)
-                    .expect("request implies ready head")
-                    .clone();
-                if let Some((out_vc, express)) =
-                    self.allocate_out_vc(flit.route, flit.dst, flit.mode, (in_port, vc))
-                {
-                    let ivc = self.vc_mut(in_port, vc);
-                    ivc.route = Some(flit.route);
-                    ivc.out_vc = Some(out_vc);
-                    ivc.va_cycle = cycle;
-                    ivc.express = express;
-                    self.stats.va_grants += 1;
-                    self.energy.record(EnergyEvent::Arbitration);
-                }
-                if self.va_mask.iter().all(|&m| !m) {
-                    break;
-                }
-            }
-            self.va_requests[out_port].clear();
-        }
-    }
-
-    #[allow(clippy::needless_range_loop)] // index used across parallel arrays
-    fn arbitrate_switch(&mut self, cycle: u64) {
-        let vcs = self.vcs;
-        self.sa_winners.fill(None);
-        for in_port in 0..self.inputs.len() {
-            if self.in_occupancy[in_port] == 0 {
-                continue; // every SA candidate needs a buffered ready flit
-            }
-            self.sa_vc_nonspec.fill(false);
-            self.sa_vc_spec.fill(false);
-            for vc in 0..vcs {
-                let ivc = &self.inputs[in_port][vc];
-                if ivc.pass_through {
-                    continue;
-                }
-                let (Some(route), Some(out_vc)) = (ivc.route, ivc.out_vc) else {
-                    continue;
-                };
-                if ivc.fifo.head_ready(cycle).is_none() {
-                    continue;
-                }
-                let sub = route.hops as usize - 1;
-                if self.outputs[route.port.index()]
-                    .credits
-                    .available(sub, out_vc)
-                    == 0
-                {
-                    continue;
-                }
-                if ivc.va_cycle == cycle {
-                    self.sa_vc_spec[vc] = true;
-                } else {
-                    self.sa_vc_nonspec[vc] = true;
-                }
-            }
-            let pick = if self.sa_vc_nonspec.iter().any(|&r| r) {
-                self.in_arb[in_port].grant(&self.sa_vc_nonspec)
-            } else {
-                self.in_arb[in_port].grant(&self.sa_vc_spec)
-            };
-            if let Some(vc) = pick {
-                let speculative = self.sa_vc_spec[vc];
-                let ivc = &self.inputs[in_port][vc];
-                self.sa_winners[in_port] = Some((
-                    VcIndex::new(vc),
-                    ivc.route.expect("winner has route"),
-                    ivc.out_vc.expect("winner has output VC"),
-                    speculative,
-                ));
-            }
-        }
-        for out_port in 0..self.outputs.len() {
-            let out_port_i = PortIndex::new(out_port);
-            self.sa_out_nonspec.fill(false);
-            self.sa_out_spec.fill(false);
-            for in_port in 0..self.sa_winners.len() {
-                if let Some((_, route, _, speculative)) = self.sa_winners[in_port] {
-                    if route.port == out_port_i {
-                        if speculative {
-                            self.sa_out_spec[in_port] = true;
-                        } else {
-                            self.sa_out_nonspec[in_port] = true;
-                        }
-                    }
-                }
-            }
-            let pick = if self.sa_out_nonspec.iter().any(|&r| r) {
-                self.out_arb[out_port].grant(&self.sa_out_nonspec)
-            } else {
-                self.out_arb[out_port].grant(&self.sa_out_spec)
-            };
-            let Some(in_port) = pick else {
-                continue;
-            };
-            let (vc, route, out_vc, _) = self.sa_winners[in_port].expect("picked winner exists");
-            self.outputs[out_port]
-                .credits
-                .consume(route.hops as usize - 1, out_vc);
-            self.st_pending.push(StGrant {
-                in_port: PortIndex::new(in_port),
-                vc,
-            });
-            self.stats.sa_grants += 1;
-            self.energy.record(EnergyEvent::Arbitration);
-        }
+    /// Enables observability per `metrics` (counters at
+    /// [`noc_sim::MetricsLevel::Full`], tracing when selected). Call before
+    /// the first `step`.
+    pub fn enable_metrics(&mut self, metrics: &MetricsConfig) {
+        self.kernel.enable_metrics(metrics);
     }
 }
 
 impl RouterModel for EvcRouter {
     fn receive_flit(&mut self, in_port: PortIndex, flit: Flit) {
-        self.arrivals.push((in_port, flit));
+        self.kernel.receive_flit(in_port, flit);
     }
 
     fn receive_credit(&mut self, out_port: PortIndex, credit: Credit) {
-        self.outputs[out_port.index()]
-            .credits
-            .refill(credit.sub as usize, credit.vc);
+        self.kernel.receive_credit(out_port, credit);
     }
 
     fn step(&mut self, cycle: u64, out: &mut RouterOutputs) {
-        self.in_busy.fill(false);
-        self.out_busy.fill(false);
-        std::mem::swap(&mut self.st_pending, &mut self.st_scratch);
-        for i in 0..self.st_scratch.len() {
-            let g = self.st_scratch[i];
-            self.traverse_from_buffer(cycle, g.in_port, g.vc, out);
-        }
-        self.st_scratch.clear();
-        self.accept_arrivals(cycle, out);
-        self.allocate_vcs(cycle);
-        self.arbitrate_switch(cycle);
+        self.kernel.step(&mut self.hooks, cycle, out);
     }
 
-    /// Exact step-is-no-op predicate: with nothing staged or buffered, every
-    /// phase of `step` falls through without touching observable state
-    /// (pass-through VC claims are inert until a flit arrives, and arbiters
-    /// do not move on empty request masks).
+    /// Exact step-is-no-op predicate: the EVC hooks carry no cycle-driven
+    /// state of their own, so the kernel's base predicate is the whole
+    /// answer.
     fn is_idle(&self) -> bool {
-        self.arrivals.is_empty()
-            && self.st_pending.is_empty()
-            && self.in_occupancy.iter().all(|&c| c == 0)
+        self.kernel.is_idle_base()
     }
 
     fn stats(&self) -> RouterStats {
-        self.stats
+        self.kernel.stats
     }
 
     fn energy(&self) -> EnergyCounters {
-        self.energy
+        self.kernel.energy
+    }
+
+    fn observation(&self) -> Option<RouterObservation> {
+        self.kernel.observation()
+    }
+
+    fn tracer(&self) -> Option<&TraceRing> {
+        self.kernel.trace_ring()
     }
 }
 
@@ -598,11 +290,8 @@ impl Default for EvcRouterFactory {
 
 impl RouterFactory for EvcRouterFactory {
     fn build(&self, ctx: RouterBuildContext<'_>) -> Box<dyn RouterModel> {
-        Box::new(EvcRouter::new(
-            ctx.id,
-            ctx.topology.clone(),
-            *ctx.config,
-            self.l_max,
-        ))
+        let mut router = EvcRouter::new(ctx.id, ctx.topology.clone(), *ctx.config, self.l_max);
+        router.enable_metrics(ctx.metrics);
+        Box::new(router)
     }
 }

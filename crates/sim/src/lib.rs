@@ -7,6 +7,11 @@
 //!
 //! - [`blocks`] — reusable microarchitecture primitives (input-VC FIFOs,
 //!   round-robin arbiters, credit books, output-VC allocation state);
+//! - [`pipeline`] — the speculative two-stage pipeline kernel
+//!   ([`PipelineKernel`]) every router scheme shares, parameterized by
+//!   [`SchemeHooks`];
+//! - [`probe`] — observability hooks ([`Probe`]) and the per-port
+//!   [`RouterCounters`] the kernel drives at `--metrics=full`;
 //! - [`RouterModel`] / [`RouterFactory`] — the cycle-level router interface
 //!   the engine drives (the pseudo-circuit router lives in the
 //!   `pseudo-circuit` crate, the EVC comparator in `noc-evc`);
@@ -45,6 +50,8 @@ pub mod manifest;
 pub mod metrics;
 pub mod network;
 pub mod ni;
+pub mod pipeline;
+pub mod probe;
 pub mod router;
 pub mod stats;
 pub mod test_model;
@@ -56,6 +63,8 @@ pub use metrics::{
 };
 pub use network::Simulation;
 pub use ni::{NetworkInterface, NiOutputs, NiStats};
+pub use pipeline::{InputVc, OutputPort, PipelineKernel, SchemeHooks};
+pub use probe::{Probe, RouterCounters, Termination};
 pub use router::{
     RouterBuildContext, RouterFactory, RouterModel, RouterOutputs, RouterStats, SentFlit,
 };

@@ -12,10 +12,11 @@
 //! The full contract — every counter's name, unit, increment site, and which
 //! paper figure it validates — lives in `docs/METRICS.md`.
 //!
-//! Layering: this crate defines the *data* types (snapshots, histograms, the
-//! trace ring) that the engine aggregates; the router-side recording hooks
-//! (the `Probe` trait and its `RouterCounters` implementation) live in the
-//! `pseudo-circuit` crate next to the increment sites.
+//! Layering: this module defines the *data* types (snapshots, histograms,
+//! the trace ring) that the engine aggregates; the router-side recording
+//! hooks (the [`crate::Probe`] trait and its [`crate::RouterCounters`]
+//! implementation) live in [`crate::probe`], next to the pipeline kernel
+//! ([`crate::pipeline`]) whose increment sites fire them.
 
 use crate::stats::LatencyHistogram;
 use std::fmt;
@@ -294,7 +295,8 @@ impl ObservabilityReport {
     }
 }
 
-/// A pseudo-circuit lifecycle event recorded by the tracer.
+/// A router lifecycle event recorded by the tracer (pseudo-circuit or EVC
+/// scheme).
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum TraceEventKind {
     /// A switch-arbitration grant configured a new circuit (`arg` = output
@@ -315,6 +317,9 @@ pub enum TraceEventKind {
     /// An arriving flit reused the circuit through the bypass latch,
     /// skipping BW and SA (`arg` = output port).
     BypassHit,
+    /// An arriving express flit latched straight through without stopping
+    /// (EVC scheme, `arg` = output port).
+    ExpressLatch,
 }
 
 impl TraceEventKind {
@@ -326,6 +331,7 @@ impl TraceEventKind {
             Self::Restore => "restore",
             Self::Hit => "hit",
             Self::BypassHit => "bypass-hit",
+            Self::ExpressLatch => "express-latch",
         }
     }
 }

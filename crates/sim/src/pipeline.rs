@@ -1,0 +1,731 @@
+//! The generic speculative two-stage pipeline kernel shared by every router
+//! scheme in the workspace.
+//!
+//! # Pipeline (Peh & Dally, HPCA 2001; paper Figs. 2 and 6)
+//!
+//! | cycle | stage |
+//! |-------|-------|
+//! | t     | **BW** — arriving flit written into its input-VC buffer |
+//! | t + 1 | **VA ∥ SA** — headers get an output VC; switch arbitration runs speculatively in parallel |
+//! | t + 2 | **ST** — granted flit traverses the crossbar (lookahead RC folded in) |
+//!
+//! [`PipelineKernel`] owns everything the paper's schemes have in common:
+//! input-VC state, output-port credit books and VC allocation, the separable
+//! round-robin VA and SA allocators with their per-port occupancy skip,
+//! ST-grant queues, the zero-allocation scratch storage, and the full
+//! stats/energy/metrics/trace plumbing. A scheme plugs in through
+//! [`SchemeHooks`]: the pseudo-circuit router (`pseudo-circuit` crate)
+//! implements circuit termination/reuse/bypass/speculation on top of the
+//! kernel, the EVC router (`noc-evc` crate) the express latch and the
+//! NVC/EVC split — each as a thin hook set rather than a second copy of the
+//! pipeline.
+//!
+//! Kernel state is deliberately `pub`: hook implementations live in other
+//! crates and manipulate ports, buffers, stats and trace state directly,
+//! exactly as the pre-kernel routers did. The contract for that surface is
+//! documented per field; behavioral equivalence with the pre-kernel routers
+//! is pinned by the byte-identical golden reports under `tests/golden/`.
+
+use crate::blocks::{CreditBook, FlitFifo, OutputVcAlloc, RrArbiter};
+use crate::metrics::RouterObservation;
+use crate::metrics::{MetricsConfig, MetricsLevel, PipelineStage, TraceEventKind, TraceRing};
+use crate::probe::{Probe, RouterCounters};
+use crate::router::{RouterOutputs, RouterStats, SentFlit};
+use crate::{lookahead_route, NetworkConfig};
+use noc_base::{Credit, Flit, PortIndex, RouteInfo, RouterId, VcIndex};
+use noc_energy::{EnergyCounters, EnergyEvent};
+use noc_topology::SharedTopology;
+
+/// One input virtual channel: buffer plus per-packet wormhole state.
+#[derive(Debug)]
+pub struct InputVc {
+    /// The VC's flit buffer.
+    pub fifo: FlitFifo,
+    /// Route of the packet currently holding this VC (set when its header
+    /// traverses or is granted VA; cleared at the tail).
+    pub route: Option<RouteInfo>,
+    /// Output VC allocated to the current packet.
+    pub out_vc: Option<VcIndex>,
+    /// Cycle at which VA was granted (used to mark same-cycle SA requests as
+    /// speculative); `u64::MAX` when no grant is pending.
+    pub va_cycle: u64,
+    /// Express-hop budget the packet's flits carry out of this router
+    /// (EVC: `l_max - 1` for an express segment, 0 otherwise; decided at VA
+    /// by [`SchemeHooks::allocate_out_vc`]).
+    pub express_hops: u8,
+    /// Whether the VC state was claimed by an express stream latching
+    /// through (no flits buffered, but the output VC is held). Cleared
+    /// whenever a flit is buffered into this VC.
+    pub pass_through: bool,
+}
+
+/// Output-port state: VC allocation plus per-(drop, VC) credit counters.
+#[derive(Debug)]
+pub struct OutputPort {
+    /// Which input VC owns each output VC.
+    pub alloc: OutputVcAlloc,
+    /// Downstream credits per (drop position, VC).
+    pub credits: CreditBook,
+}
+
+/// A switch-arbitration grant waiting for its switch-traversal cycle.
+#[derive(Copy, Clone, Debug)]
+struct StGrant {
+    in_port: PortIndex,
+    vc: VcIndex,
+}
+
+/// Scheme-specific extension points of the pipeline kernel.
+///
+/// [`PipelineKernel::step`] calls these in a fixed order (the phase letters
+/// mirror the pre-kernel routers):
+///
+/// 1. [`begin_cycle`](Self::begin_cycle) — before any traversal (phase A:
+///    pseudo-circuit credit-exhaustion termination);
+/// 2. ST drain of last cycle's SA grants (kernel);
+/// 3. [`drain_reuse`](Self::drain_reuse) — scheme-driven traversals from the
+///    buffers (phase C: pseudo-circuit reuse);
+/// 4. arrival acceptance (kernel), each arrival first offered to
+///    [`try_arrival_intercept`](Self::try_arrival_intercept) (phase D:
+///    buffer bypass / express latch);
+/// 5. VC allocation (kernel), candidate classification via
+///    [`allocate_out_vc`](Self::allocate_out_vc) (phase E);
+/// 6. switch arbitration (kernel), with
+///    [`sa_skip`](Self::sa_skip) filtering candidates and
+///    [`on_sa_grant`](Self::on_sa_grant) fired per grant (phase F);
+/// 7. [`end_cycle`](Self::end_cycle) — after all allocation (phase G:
+///    speculation, stat mirrors, invariant checks).
+///
+/// Hooks receive `&mut PipelineKernel` and may use its public state and
+/// helper methods ([`PipelineKernel::send_flit`],
+/// [`PipelineKernel::traverse_from_buffer`], [`PipelineKernel::trace`])
+/// freely; the kernel guarantees no internal borrow is held across a hook
+/// call.
+pub trait SchemeHooks {
+    /// Runs before any traversal of the cycle.
+    fn begin_cycle(&mut self, _k: &mut PipelineKernel, _cycle: u64) {}
+
+    /// Runs after the ST drain, before arrivals: scheme-driven buffer
+    /// traversals that skip switch arbitration.
+    fn drain_reuse(&mut self, _k: &mut PipelineKernel, _cycle: u64, _out: &mut RouterOutputs) {}
+
+    /// Offered each arriving flit before it is buffered. Returning `true`
+    /// consumes the flit (it was forwarded through a latch and must not be
+    /// written to the buffer).
+    fn try_arrival_intercept(
+        &mut self,
+        _k: &mut PipelineKernel,
+        _cycle: u64,
+        _in_port: PortIndex,
+        _flit: &Flit,
+        _out: &mut RouterOutputs,
+    ) -> bool {
+        false
+    }
+
+    /// VC allocation for one header that won the VA arbitration: choose and
+    /// claim an output VC on `flit.route.port` for `owner`, or decline.
+    /// Returns the VC and the express-hop budget to store in
+    /// [`InputVc::express_hops`] (0 for non-express schemes).
+    fn allocate_out_vc(
+        &mut self,
+        k: &mut PipelineKernel,
+        flit: &Flit,
+        owner: (PortIndex, VcIndex),
+    ) -> Option<(VcIndex, u8)>;
+
+    /// Whether an otherwise-eligible SA candidate must not request the
+    /// switch this cycle (pseudo-circuit: flits covered by a live matching
+    /// circuit drain through the held connection instead, §III.B).
+    fn sa_skip(&self, _in_port: PortIndex, _vc: VcIndex, _route: RouteInfo) -> bool {
+        false
+    }
+
+    /// Fired for every switch-arbitration grant, after the kernel has
+    /// reserved the credit and queued the traversal (pseudo-circuit:
+    /// (re)establish the connection's circuit).
+    fn on_sa_grant(
+        &mut self,
+        _k: &mut PipelineKernel,
+        _cycle: u64,
+        _in_port: PortIndex,
+        _vc: VcIndex,
+        _route: RouteInfo,
+    ) {
+    }
+
+    /// Runs after all allocation of the cycle (pseudo-circuit: speculation,
+    /// termination-counter mirrors, invariant checks).
+    fn end_cycle(&mut self, _k: &mut PipelineKernel, _cycle: u64) {}
+}
+
+/// The shared speculative two-stage pipeline core. See the module docs for
+/// the kernel/hooks split.
+pub struct PipelineKernel {
+    /// This router's id.
+    pub id: RouterId,
+    /// The network topology (for lookahead routing and express walks).
+    pub topo: SharedTopology,
+    /// Local (injection/ejection) ports per router.
+    pub concentration: usize,
+    /// Input-VC state, indexed `[in_port][vc]`.
+    pub inputs: Vec<Vec<InputVc>>,
+    /// Output-port state, indexed by output port.
+    pub outputs: Vec<OutputPort>,
+    /// Whether each input port's crossbar connection is taken this cycle.
+    pub in_busy: Vec<bool>,
+    /// Whether each output port's crossbar connection is taken this cycle.
+    pub out_busy: Vec<bool>,
+    /// Buffered flits per input port across all its VCs; lets the VA/SA
+    /// scans and scheme hooks skip empty ports without touching their VC
+    /// state (every candidate in those scans requires a buffered flit).
+    pub in_occupancy: Vec<u32>,
+    /// Aggregate router statistics.
+    pub stats: RouterStats,
+    /// Energy event counters.
+    pub energy: EnergyCounters,
+    /// Per-port observability counters; `None` (one null test per event)
+    /// unless built at [`MetricsLevel::Full`] — see [`crate::probe`].
+    pub counters: Option<Box<RouterCounters>>,
+    /// Lifecycle tracer; `None` unless this router was selected by a
+    /// [`crate::TraceSpec`].
+    pub tracer: Option<Box<TraceRing>>,
+    /// Whether `send_flit` counts header crossbar traversals into
+    /// [`RouterStats::header_traversals`] (the pseudo-circuit reuse-rate
+    /// denominator; schemes without that stat leave it 0).
+    count_header_traversals: bool,
+    vcs: usize,
+    arrivals: Vec<(PortIndex, Flit)>,
+    st_pending: Vec<StGrant>,
+    last_connection: Vec<Option<PortIndex>>,
+    in_arb: Vec<RrArbiter>,
+    va_arb: Vec<RrArbiter>,
+    out_arb: Vec<RrArbiter>,
+    // Reusable per-cycle working storage, so `step` never allocates once the
+    // queues reach steady-state capacity.
+    st_scratch: Vec<StGrant>,
+    arrivals_scratch: Vec<(PortIndex, Flit)>,
+    va_requests: Vec<Vec<(PortIndex, VcIndex)>>,
+    va_mask: Vec<bool>,
+    sa_winners: Vec<Option<(VcIndex, RouteInfo, VcIndex, bool)>>,
+    sa_picks: Vec<(PortIndex, VcIndex, RouteInfo, VcIndex)>,
+    sa_vc_nonspec: Vec<bool>,
+    sa_vc_spec: Vec<bool>,
+    sa_out_nonspec: Vec<bool>,
+    sa_out_spec: Vec<bool>,
+}
+
+impl PipelineKernel {
+    /// Builds the kernel for one router. `count_header_traversals` selects
+    /// whether header crossbar traversals feed
+    /// [`RouterStats::header_traversals`].
+    pub fn new(
+        id: RouterId,
+        topo: SharedTopology,
+        config: NetworkConfig,
+        count_header_traversals: bool,
+    ) -> Self {
+        let in_ports = topo.in_ports(id);
+        let out_ports = topo.out_ports(id);
+        let vcs = config.vcs_per_port as usize;
+        let inputs = (0..in_ports)
+            .map(|_| {
+                (0..vcs)
+                    .map(|_| InputVc {
+                        fifo: FlitFifo::new(config.buffer_depth as usize),
+                        route: None,
+                        out_vc: None,
+                        va_cycle: u64::MAX,
+                        express_hops: 0,
+                        pass_through: false,
+                    })
+                    .collect()
+            })
+            .collect();
+        let outputs = (0..out_ports)
+            .map(|p| {
+                let subs = topo.channel_len(id, PortIndex::new(p)) as usize;
+                OutputPort {
+                    alloc: OutputVcAlloc::new(vcs),
+                    credits: CreditBook::new(subs, vcs, config.buffer_depth),
+                }
+            })
+            .collect();
+        Self {
+            id,
+            concentration: topo.concentration(),
+            topo,
+            inputs,
+            outputs,
+            // All per-cycle queues are reserved to their structural maxima so
+            // steady-state stepping never allocates (tests/zero_alloc.rs).
+            in_busy: vec![false; in_ports],
+            out_busy: vec![false; out_ports],
+            in_occupancy: vec![0; in_ports],
+            stats: RouterStats::default(),
+            energy: EnergyCounters::default(),
+            counters: None,
+            tracer: None,
+            count_header_traversals,
+            vcs,
+            arrivals: Vec::with_capacity(in_ports),
+            st_pending: Vec::with_capacity(in_ports),
+            last_connection: vec![None; in_ports],
+            in_arb: (0..in_ports).map(|_| RrArbiter::new(vcs)).collect(),
+            va_arb: (0..out_ports)
+                .map(|_| RrArbiter::new(in_ports * vcs))
+                .collect(),
+            out_arb: (0..out_ports).map(|_| RrArbiter::new(in_ports)).collect(),
+            st_scratch: Vec::with_capacity(in_ports),
+            arrivals_scratch: Vec::with_capacity(in_ports),
+            va_requests: (0..out_ports)
+                .map(|_| Vec::with_capacity(in_ports * vcs))
+                .collect(),
+            va_mask: vec![false; in_ports * vcs],
+            sa_winners: vec![None; in_ports],
+            sa_picks: Vec::with_capacity(out_ports),
+            sa_vc_nonspec: vec![false; vcs],
+            sa_vc_spec: vec![false; vcs],
+            sa_out_nonspec: vec![false; in_ports],
+            sa_out_spec: vec![false; in_ports],
+        }
+    }
+
+    /// Virtual channels per port.
+    pub fn vcs(&self) -> usize {
+        self.vcs
+    }
+
+    /// Enables observability per `metrics`: per-port counters at
+    /// [`MetricsLevel::Full`], and a lifecycle trace ring when this router is
+    /// selected by the trace spec. Call before the first `step`.
+    pub fn enable_metrics(&mut self, metrics: &MetricsConfig) {
+        if metrics.level == MetricsLevel::Full {
+            self.counters = Some(Box::new(RouterCounters::new(
+                self.id.index(),
+                self.inputs.len(),
+                self.outputs.len(),
+            )));
+        }
+        if let Some(spec) = &metrics.trace {
+            if spec.selects(self.id.index()) {
+                self.tracer = Some(Box::new(TraceRing::new(self.id.index(), spec.capacity)));
+            }
+        }
+    }
+
+    /// Records a lifecycle event when tracing is enabled.
+    pub fn trace(
+        &mut self,
+        cycle: u64,
+        kind: TraceEventKind,
+        in_port: PortIndex,
+        out_port: PortIndex,
+    ) {
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.record(cycle, kind, in_port.index(), out_port.index());
+        }
+    }
+
+    /// Exports the observability counters, if enabled.
+    pub fn observation(&self) -> Option<RouterObservation> {
+        self.counters.as_ref().map(|c| c.export())
+    }
+
+    /// The lifecycle tracer, if enabled.
+    pub fn trace_ring(&self) -> Option<&TraceRing> {
+        self.tracer.as_deref()
+    }
+
+    /// Queues an arriving flit for this cycle's arrival phase.
+    pub fn receive_flit(&mut self, in_port: PortIndex, flit: Flit) {
+        debug_assert!(in_port.index() < self.inputs.len(), "bad input port");
+        self.arrivals.push((in_port, flit));
+    }
+
+    /// Returns a downstream credit to its (sub, VC) counter.
+    pub fn receive_credit(&mut self, out_port: PortIndex, credit: Credit) {
+        self.outputs[out_port.index()]
+            .credits
+            .refill(credit.sub as usize, credit.vc);
+    }
+
+    /// The kernel part of the step-is-no-op predicate: nothing staged or
+    /// buffered, so every kernel phase falls through without touching
+    /// observable state (pass-through VC claims are inert until a flit
+    /// arrives, and arbiters do not move on empty request masks). Schemes
+    /// with cycle-driven state of their own AND their conditions on top.
+    pub fn is_idle_base(&self) -> bool {
+        self.arrivals.is_empty()
+            && self.st_pending.is_empty()
+            && self.in_occupancy.iter().all(|&c| c == 0)
+    }
+
+    /// Sends a flit out of the crossbar: records locality, fills in the
+    /// downstream VC, the express-hop budget and the lookahead route, and
+    /// queues the emission.
+    pub fn send_flit(
+        &mut self,
+        mut flit: Flit,
+        in_port: PortIndex,
+        route: RouteInfo,
+        out_vc: VcIndex,
+        express_hops: u8,
+        out: &mut RouterOutputs,
+    ) {
+        if flit.kind.is_head() {
+            // Packet-granularity crossbar-connection locality (Fig. 1):
+            // body/tail flits trivially follow their header, so only
+            // consecutive packets are compared.
+            if let Some(prev) = self.last_connection[in_port.index()] {
+                self.stats.xbar_locality_total += 1;
+                if prev == route.port {
+                    self.stats.xbar_locality_hits += 1;
+                }
+            }
+            self.last_connection[in_port.index()] = Some(route.port);
+            if self.count_header_traversals {
+                self.stats.header_traversals += 1;
+            }
+        }
+        self.stats.flit_traversals += 1;
+        self.energy.record(EnergyEvent::CrossbarTraversal);
+        if let Some(p) = self.counters.as_deref_mut() {
+            p.on_traversal(in_port);
+        }
+        self.in_busy[in_port.index()] = true;
+        self.out_busy[route.port.index()] = true;
+
+        flit.vc = out_vc;
+        flit.express_hops = express_hops;
+        if route.port.index() >= self.concentration {
+            flit.route = lookahead_route(
+                self.topo.as_ref(),
+                self.id,
+                route.port,
+                route.hops,
+                flit.dst,
+                flit.mode,
+            );
+        }
+        out.flits.push(SentFlit {
+            out_port: route.port,
+            hops: route.hops,
+            flit,
+        });
+    }
+
+    /// Pops the head flit of `(in_port, vc)` and sends it through the held
+    /// route of that VC. `reuse` marks a pseudo-circuit traversal (skipped
+    /// SA); credits were pre-reserved for granted traversals and are consumed
+    /// here for reuse traversals.
+    pub fn traverse_from_buffer(
+        &mut self,
+        cycle: u64,
+        in_port: PortIndex,
+        vc: VcIndex,
+        reuse: bool,
+        out: &mut RouterOutputs,
+    ) {
+        let ivc = &mut self.inputs[in_port.index()][vc.index()];
+        let buffered = ivc.fifo.pop().expect("granted VC has a flit");
+        debug_assert!(buffered.ready_at <= cycle, "flit traversed before ready");
+        let flit = buffered.flit;
+        if flit.kind.is_head() {
+            debug_assert!(ivc.route.is_some(), "header traversing without a route");
+        }
+        let route = ivc.route.expect("active VC has a route");
+        let out_vc = ivc.out_vc.expect("active VC has an output VC");
+        let va_cycle = ivc.va_cycle;
+        let express_hops = ivc.express_hops;
+        if flit.kind.is_tail() {
+            ivc.route = None;
+            ivc.out_vc = None;
+            ivc.va_cycle = u64::MAX;
+            ivc.express_hops = 0;
+            self.outputs[route.port.index()].alloc.free(out_vc);
+        }
+        if reuse {
+            self.outputs[route.port.index()]
+                .credits
+                .consume(route.hops as usize - 1, out_vc);
+            self.stats.pc_reuses += 1;
+            if flit.kind.is_head() {
+                self.stats.pc_header_reuses += 1;
+            }
+        }
+        self.in_occupancy[in_port.index()] -= 1;
+        self.energy.record(EnergyEvent::BufferRead);
+        if let Some(p) = self.counters.as_deref_mut() {
+            // The flit was written into the buffer the cycle before it
+            // became ready (`FlitFifo::push(flit, cycle + 1)`).
+            let arrival = buffered.ready_at - 1;
+            // Inclusive per-hop router delay: 3 baseline / 2 reuse under no
+            // contention (paper Fig. 6), more under contention.
+            p.on_stage(PipelineStage::St, cycle - arrival + 1);
+            p.on_stage(PipelineStage::Bw, cycle - arrival);
+            if flit.kind.is_head() {
+                // Reuse-path headers get VA the traversal cycle itself;
+                // baseline-path headers were granted at `va_cycle`.
+                let va_at = if va_cycle == u64::MAX {
+                    cycle
+                } else {
+                    va_cycle
+                };
+                p.on_stage(PipelineStage::Va, va_at - arrival);
+            }
+            if reuse {
+                p.on_pc_hit(in_port, false);
+            } else {
+                // SA granted this traversal one cycle ago. Headers wait from
+                // their VA grant (0 = same-cycle speculative SA), body flits
+                // from buffer write.
+                let grant = cycle - 1;
+                let sa_from = if flit.kind.is_head() && va_cycle != u64::MAX {
+                    va_cycle
+                } else {
+                    arrival
+                };
+                p.on_stage(PipelineStage::Sa, grant.saturating_sub(sa_from));
+            }
+        }
+        if reuse {
+            self.trace(cycle, TraceEventKind::Hit, in_port, route.port);
+        }
+        out.credits.push((in_port, vc));
+        self.send_flit(flit, in_port, route, out_vc, express_hops, out);
+    }
+
+    /// Runs one cycle of the shared pipeline, dispatching to `hooks` at each
+    /// scheme extension point (see [`SchemeHooks`] for the phase order).
+    pub fn step<H: SchemeHooks>(&mut self, hooks: &mut H, cycle: u64, out: &mut RouterOutputs) {
+        self.in_busy.fill(false);
+        self.out_busy.fill(false);
+
+        hooks.begin_cycle(self, cycle);
+
+        // Switch traversal of last cycle's grants (SA has priority over any
+        // scheme reuse path: its resources were reserved at grant time).
+        // Swapped through the scratch buffer so both vectors retain their
+        // capacity.
+        std::mem::swap(&mut self.st_pending, &mut self.st_scratch);
+        for i in 0..self.st_scratch.len() {
+            let g = self.st_scratch[i];
+            self.traverse_from_buffer(cycle, g.in_port, g.vc, false, out);
+        }
+        self.st_scratch.clear();
+
+        hooks.drain_reuse(self, cycle, out);
+        self.accept_arrivals(hooks, cycle, out);
+        self.allocate_vcs(hooks, cycle);
+        self.arbitrate_switch(hooks, cycle);
+        hooks.end_cycle(self, cycle);
+    }
+
+    /// Arrival phase: each flit is offered to the scheme's intercept hook
+    /// (bypass latch, express latch) and otherwise written into its VC
+    /// buffer, becoming ready next cycle (the BW stage).
+    fn accept_arrivals<H: SchemeHooks>(
+        &mut self,
+        hooks: &mut H,
+        cycle: u64,
+        out: &mut RouterOutputs,
+    ) {
+        // Swap into the scratch buffer (both retain capacity) and walk by
+        // index so `self` stays free for the intercept/buffer calls.
+        std::mem::swap(&mut self.arrivals, &mut self.arrivals_scratch);
+        for i in 0..self.arrivals_scratch.len() {
+            let (in_port, flit) = self.arrivals_scratch[i].clone();
+            if hooks.try_arrival_intercept(self, cycle, in_port, &flit, out) {
+                continue;
+            }
+            self.energy.record(EnergyEvent::BufferWrite);
+            self.in_occupancy[in_port.index()] += 1;
+            let ivc = &mut self.inputs[in_port.index()][flit.vc.index()];
+            // An express stream that stalls into the buffer continues
+            // hop-by-hop; its pass-through claim becomes an ordinary
+            // buffered packet claim.
+            ivc.pass_through = false;
+            ivc.fifo
+                .push(flit, cycle + 1)
+                .expect("upstream credits bound buffer occupancy");
+        }
+        self.arrivals_scratch.clear();
+    }
+
+    /// VC allocation for ready headers (separable, per output VC,
+    /// round-robin across requesters); the winning header's VC choice is
+    /// delegated to [`SchemeHooks::allocate_out_vc`].
+    fn allocate_vcs<H: SchemeHooks>(&mut self, hooks: &mut H, cycle: u64) {
+        let vcs = self.vcs;
+        // Gather requests grouped by output port (into reused buffers).
+        debug_assert!(self.va_requests.iter().all(|r| r.is_empty()));
+        for (in_port, (input, &occ)) in self.inputs.iter().zip(&self.in_occupancy).enumerate() {
+            if occ == 0 {
+                continue; // only buffered headers request VA
+            }
+            for (vc, ivc) in input.iter().enumerate() {
+                if ivc.out_vc.is_some() || ivc.route.is_some() {
+                    continue;
+                }
+                let Some(flit) = ivc.fifo.head_ready(cycle) else {
+                    continue;
+                };
+                if !flit.kind.is_head() {
+                    continue;
+                }
+                self.va_requests[flit.route.port.index()]
+                    .push((PortIndex::new(in_port), VcIndex::new(vc)));
+            }
+        }
+        // Taken out of `self` so the grant loop can hand `&mut self` to the
+        // scheme hook; both vectors keep their capacity (`Vec::new` does not
+        // allocate, and the buffers are restored below).
+        let mut requests = std::mem::take(&mut self.va_requests);
+        for (out_port, reqs) in requests.iter_mut().enumerate() {
+            if reqs.is_empty() {
+                continue;
+            }
+            // Round-robin over the flattened (input port, VC) space.
+            self.va_mask.fill(false);
+            for &(p, v) in reqs.iter() {
+                self.va_mask[p.index() * vcs + v.index()] = true;
+            }
+            while let Some(slot) = self.va_arb[out_port].grant(&self.va_mask) {
+                self.va_mask[slot] = false;
+                let in_port = PortIndex::new(slot / vcs);
+                let vc = VcIndex::new(slot % vcs);
+                let flit = self.inputs[in_port.index()][vc.index()]
+                    .fifo
+                    .head_ready(cycle)
+                    .expect("request implies ready head")
+                    .clone();
+                if let Some((out_vc, express_hops)) =
+                    hooks.allocate_out_vc(self, &flit, (in_port, vc))
+                {
+                    let ivc = &mut self.inputs[in_port.index()][vc.index()];
+                    ivc.route = Some(flit.route);
+                    ivc.out_vc = Some(out_vc);
+                    ivc.va_cycle = cycle;
+                    ivc.express_hops = express_hops;
+                    self.stats.va_grants += 1;
+                    self.energy.record(EnergyEvent::Arbitration);
+                    if let Some(p) = self.counters.as_deref_mut() {
+                        p.on_va_grant(in_port);
+                    }
+                }
+                if self.va_mask.iter().all(|&m| !m) {
+                    break;
+                }
+            }
+            reqs.clear();
+        }
+        self.va_requests = requests;
+    }
+
+    /// Separable switch arbitration. Non-speculative requests (VC held
+    /// before this cycle) beat speculative ones (VC granted this cycle, Peh &
+    /// Dally HPCA 2001). Grants reserve a credit, traverse next cycle, and
+    /// fire [`SchemeHooks::on_sa_grant`].
+    fn arbitrate_switch<H: SchemeHooks>(&mut self, hooks: &mut H, cycle: u64) {
+        // Input-first stage: one winning VC per input port.
+        self.sa_winners.fill(None);
+        for (in_port, (input, &occ)) in self.inputs.iter().zip(&self.in_occupancy).enumerate() {
+            if occ == 0 {
+                continue; // every SA candidate needs a buffered ready flit
+            }
+            let in_port_i = PortIndex::new(in_port);
+            self.sa_vc_nonspec.fill(false);
+            self.sa_vc_spec.fill(false);
+            for (vc, ivc) in input.iter().enumerate() {
+                if ivc.pass_through {
+                    continue; // claimed by an express stream, nothing buffered
+                }
+                let (Some(route), Some(out_vc)) = (ivc.route, ivc.out_vc) else {
+                    continue;
+                };
+                if ivc.fifo.head_ready(cycle).is_none() {
+                    continue;
+                }
+                if hooks.sa_skip(in_port_i, VcIndex::new(vc), route) {
+                    continue;
+                }
+                let sub = route.hops as usize - 1;
+                if self.outputs[route.port.index()]
+                    .credits
+                    .available(sub, out_vc)
+                    == 0
+                {
+                    continue;
+                }
+                if ivc.va_cycle == cycle {
+                    self.sa_vc_spec[vc] = true;
+                } else {
+                    self.sa_vc_nonspec[vc] = true;
+                }
+            }
+            let pick = if self.sa_vc_nonspec.iter().any(|&r| r) {
+                self.in_arb[in_port].grant(&self.sa_vc_nonspec)
+            } else {
+                self.in_arb[in_port].grant(&self.sa_vc_spec)
+            };
+            if let Some(vc) = pick {
+                let speculative = self.sa_vc_spec[vc];
+                let ivc = &input[vc];
+                self.sa_winners[in_port] = Some((
+                    VcIndex::new(vc),
+                    ivc.route.expect("winner has route"),
+                    ivc.out_vc.expect("winner has output VC"),
+                    speculative,
+                ));
+            }
+        }
+        // Output stage: one winner per output port, non-speculative first.
+        // Decisions depend only on `sa_winners` and each port's own arbiter,
+        // so they are computed for every port first and their effects (credit
+        // reservation, grant queueing, scheme hook) applied after — which
+        // lets the hook borrow the whole kernel.
+        debug_assert!(self.sa_picks.is_empty());
+        let mut picks = std::mem::take(&mut self.sa_picks);
+        for (out_port, arb) in self.out_arb.iter_mut().enumerate() {
+            let out_port_i = PortIndex::new(out_port);
+            self.sa_out_nonspec.fill(false);
+            self.sa_out_spec.fill(false);
+            for (in_port, winner) in self.sa_winners.iter().enumerate() {
+                if let Some((_, route, _, speculative)) = winner {
+                    if route.port == out_port_i {
+                        if *speculative {
+                            self.sa_out_spec[in_port] = true;
+                        } else {
+                            self.sa_out_nonspec[in_port] = true;
+                        }
+                    }
+                }
+            }
+            let pick = if self.sa_out_nonspec.iter().any(|&r| r) {
+                arb.grant(&self.sa_out_nonspec)
+            } else {
+                arb.grant(&self.sa_out_spec)
+            };
+            if let Some(in_port) = pick {
+                let (vc, route, out_vc, _) =
+                    self.sa_winners[in_port].expect("picked winner exists");
+                picks.push((PortIndex::new(in_port), vc, route, out_vc));
+            }
+        }
+        for &(in_port, vc, route, out_vc) in picks.iter() {
+            self.outputs[route.port.index()]
+                .credits
+                .consume(route.hops as usize - 1, out_vc);
+            self.st_pending.push(StGrant { in_port, vc });
+            self.stats.sa_grants += 1;
+            self.energy.record(EnergyEvent::Arbitration);
+            if let Some(p) = self.counters.as_deref_mut() {
+                p.on_sa_grant(in_port);
+            }
+            hooks.on_sa_grant(self, cycle, in_port, vc, route);
+        }
+        picks.clear();
+        self.sa_picks = picks;
+    }
+}

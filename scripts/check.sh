@@ -26,11 +26,23 @@ cargo clippy --all-targets --offline -- -D warnings
 echo "==> cargo clippy -p noc-base --all-targets -- -D warnings"
 cargo clippy -p noc-base --all-targets --offline -- -D warnings
 
+# Both router crates are thin hook layers over the shared pipeline kernel;
+# lint them explicitly so a partial workspace build never skips either side
+# of the kernel contract.
+echo "==> cargo clippy -p pseudo-circuit -p noc-evc --all-targets -- -D warnings"
+cargo clippy -p pseudo-circuit -p noc-evc --all-targets --offline -- -D warnings
+
 echo "==> cargo doc -D warnings"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --document-private-items --offline --quiet
 
 echo "==> cargo run --example quickstart (smoke)"
 cargo run --release --offline --example quickstart >/dev/null
+
+# EVC smoke: the comparator scheme must run end-to-end through the CLI,
+# including the kernel-provided observability surface.
+echo "==> noc run --scheme evc (smoke)"
+./target/release/noc run --topology mesh4x4 --scheme evc --routing xy \
+    --warmup 200 --measure 1000 --drain 10000 --metrics full >/dev/null
 
 echo "==> cargo fmt --check"
 cargo fmt --check

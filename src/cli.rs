@@ -20,8 +20,11 @@
 //! `--metrics=full` attaches per-router counters and pipeline-stage
 //! histograms to the report (see `docs/METRICS.md`); `--manifest` writes the
 //! machine-readable reproducibility manifest; `--trace` writes a
-//! Chrome-trace-format JSON of pseudo-circuit lifecycle events for the
-//! routers named by `--trace-routers` (default: all).
+//! Chrome-trace-format JSON of router lifecycle events (pseudo-circuit
+//! establish/terminate/hit, EVC express latches) for the routers named by
+//! `--trace-routers` (default: all). All three apply to every scheme,
+//! including `--scheme evc` — both router families run on the shared
+//! pipeline kernel and carry the same observability plumbing.
 
 use noc_base::{RoutingPolicy, VaPolicy};
 use noc_evc::EvcRouterFactory;
@@ -345,7 +348,8 @@ pub fn run(args: &RunArgs) -> Result<SimReport, CliError> {
             .map_err(|e| err(format!("cannot write manifest {path}: {e}")))?;
     }
     if let Some(path) = &args.trace {
-        // EVC routers carry no tracer; emit a valid empty trace document.
+        // Every scheme's routers carry the kernel tracer; the empty-document
+        // fallback only covers a trace spec that selected no live router.
         let json = sim
             .chrome_trace()
             .unwrap_or_else(|| "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n]}\n".into());
@@ -471,8 +475,8 @@ pub fn usage() -> &'static str {
      OBSERVABILITY (defaults off; see docs/METRICS.md):\n\
        --metrics off|edge|full   per-router counters + stage histograms (full)\n\
        --manifest PATH           write the machine-readable run manifest (JSON)\n\
-       --trace PATH              write pseudo-circuit lifecycle events as\n\
-                                 Chrome-trace JSON (chrome://tracing, perfetto)\n\
+       --trace PATH              write router lifecycle events (circuit + EVC\n\
+                                 latch) as Chrome-trace JSON (chrome://tracing)\n\
        --trace-routers 0,5,12    restrict tracing to these routers (default all)"
 }
 
@@ -724,6 +728,46 @@ mod tests {
         run_args.load = 0.05;
         let report = run(&run_args).unwrap();
         assert!(report.measured_delivered > 0);
+    }
+
+    #[test]
+    fn evc_full_metrics_and_trace_work() {
+        // EVC rides the shared pipeline kernel, so `--metrics=full`,
+        // `--trace` and `--manifest` must produce real payloads for it —
+        // per-stage histograms, express-latch trace events, router dumps.
+        let dir = std::env::temp_dir().join(format!("noc-cli-evc-obs-{}", std::process::id()));
+        let manifest_path = dir.join("run.json");
+        let trace_path = dir.join("trace.json");
+        let run_args = RunArgs {
+            topology: "mesh4x4".into(),
+            scheme: RouterChoice::Evc,
+            load: 0.10,
+            packet: 5,
+            warmup: 200,
+            measure: 2_000,
+            drain: 20_000,
+            metrics: MetricsLevel::Full,
+            manifest: Some(manifest_path.to_string_lossy().into_owned()),
+            trace: Some(trace_path.to_string_lossy().into_owned()),
+            ..RunArgs::default()
+        };
+        let report = run(&run_args).unwrap();
+        assert!(
+            report.router_stats.express_bypasses > 0,
+            "no express traffic"
+        );
+        let obs = report.observability.as_ref().expect("full metrics payload");
+        assert_eq!(obs.routers.len(), 16);
+        assert!(obs.stages.st.count() > 0, "no ST-stage samples recorded");
+        assert!(obs.stages.sa.count() > 0, "no SA-stage samples recorded");
+        let text = render_report(&report);
+        assert!(text.contains("per-router metrics"));
+
+        let manifest = std::fs::read_to_string(&manifest_path).unwrap();
+        assert!(manifest.contains("\"scheme\": \"EVC\""));
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(trace.contains("\"express-latch\""), "no latch trace events");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

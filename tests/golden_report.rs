@@ -31,9 +31,11 @@ fn golden_expectation(rel_path: &str, actual: &str) -> Option<String> {
         std::fs::write(&path, actual).expect("write golden");
         return None;
     }
-    Some(std::fs::read_to_string(&path).unwrap_or_else(|e| {
-        panic!("missing golden file {rel_path} ({e}); run with NOC_BLESS=1")
-    }))
+    Some(
+        std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!("missing golden file {rel_path} ({e}); run with NOC_BLESS=1")
+        }),
+    )
 }
 
 fn golden_run_at(metrics: MetricsLevel) -> String {

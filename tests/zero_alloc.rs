@@ -11,10 +11,10 @@
 //! allocation, this test fails every time.
 
 use noc_base::{RouterId, RoutingPolicy, VaPolicy};
+use noc_evc::EvcRouterFactory;
 use noc_sim::{NetworkConfig, Simulation};
 use noc_topology::Mesh;
 use noc_traffic::{SyntheticPattern, SyntheticTraffic};
-use noc_evc::EvcRouterFactory;
 use pseudo_circuit::{PcRouterFactory, Scheme};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
@@ -221,5 +221,8 @@ fn steady_state_step_does_not_allocate_with_evc_router() {
     let bypasses: u64 = (0..sim.topology().num_routers())
         .map(|r| sim.router(RouterId::new(r)).stats().express_bypasses)
         .sum();
-    assert!(bypasses > 0, "no express bypasses — EVC path never exercised");
+    assert!(
+        bypasses > 0,
+        "no express bypasses — EVC path never exercised"
+    );
 }
