@@ -11,6 +11,9 @@
 //! - routing and virtual-channel allocation policy enums shared between the
 //!   network interfaces and the routers ([`RouteMode`], [`RoutingPolicy`],
 //!   [`VaPolicy`], [`VcPartition`]);
+//! - word-packed bitsets and the bit-parallel round-robin arbiter built on
+//!   them ([`bitset::WordMask`], [`bitset::BitArbiter`]) — the request-vector
+//!   representation of the router pipeline's hot path;
 //! - a small deterministic PRNG ([`rng::Pcg32`]) plus a seed-stream splitter
 //!   ([`rng::SeedStream`]) so that every experiment in the reproduction is
 //!   bit-for-bit repeatable regardless of external crate versions;
@@ -29,6 +32,7 @@
 //! assert_eq!(src.index(), 3);
 //! ```
 
+pub mod bitset;
 pub mod flit;
 pub mod geom;
 pub mod ids;
@@ -36,6 +40,7 @@ pub mod policy;
 pub mod pool;
 pub mod rng;
 
+pub use bitset::{BitArbiter, WordMask};
 pub use flit::{Credit, Flit, FlitKind, PacketClass, PacketDescriptor, RouteInfo};
 pub use geom::Coord;
 pub use ids::{NodeId, PacketId, PortIndex, RouterId, VcIndex};

@@ -145,6 +145,7 @@ impl PcHooks {
                 let ivc = &mut k.inputs[in_port.index()][vc.index()];
                 ivc.route = Some(pc_route);
                 ivc.out_vc = Some(out_vc);
+                k.refresh_vc_masks(in_port, vc);
                 k.stats.va_grants += 1;
                 k.energy.record(EnergyEvent::Arbitration);
                 if let Some(p) = k.counters.as_deref_mut() {
@@ -219,6 +220,7 @@ impl PcHooks {
                 let ivc = &mut k.inputs[in_port.index()][vc.index()];
                 ivc.route = Some(pc_route);
                 ivc.out_vc = Some(out_vc);
+                k.refresh_vc_masks(in_port, vc);
             } else {
                 k.outputs[pc_route.port.index()].alloc.free(allocated);
             }
@@ -239,6 +241,7 @@ impl PcHooks {
                 ivc.route = None;
                 ivc.out_vc = None;
                 ivc.va_cycle = u64::MAX;
+                k.refresh_vc_masks(in_port, vc);
                 k.outputs[pc_route.port.index()].alloc.free(out_vc);
             }
         }

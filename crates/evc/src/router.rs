@@ -102,6 +102,7 @@ impl EvcHooks {
                 ivc.route = Some(route);
                 ivc.out_vc = Some(vc);
                 ivc.pass_through = true;
+                k.refresh_vc_masks(in_port, vc);
             } else {
                 k.outputs[route.port.index()].alloc.free(vc);
             }
@@ -117,6 +118,7 @@ impl EvcHooks {
                 ivc.route = None;
                 ivc.out_vc = None;
                 ivc.pass_through = false;
+                k.refresh_vc_masks(in_port, vc);
                 k.outputs[route.port.index()].alloc.free(vc);
             }
         }

@@ -151,6 +151,13 @@ impl RrArbiter {
     pub fn is_empty(&self) -> bool {
         false
     }
+
+    /// The rotating-priority pointer. `RrArbiter` is the behavioural
+    /// reference for [`noc_base::BitArbiter`]; the equivalence property
+    /// tests compare this state, not just the grant sequences.
+    pub fn pointer(&self) -> usize {
+        self.next
+    }
 }
 
 /// Per-output-channel credit counters: one counter per (drop position, VC).

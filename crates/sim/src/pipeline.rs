@@ -26,12 +26,13 @@
 //! documented per field; behavioral equivalence with the pre-kernel routers
 //! is pinned by the byte-identical golden reports under `tests/golden/`.
 
-use crate::blocks::{CreditBook, FlitFifo, OutputVcAlloc, RrArbiter};
+use crate::blocks::{CreditBook, FlitFifo, OutputVcAlloc};
 use crate::metrics::RouterObservation;
 use crate::metrics::{MetricsConfig, MetricsLevel, PipelineStage, TraceEventKind, TraceRing};
 use crate::probe::{Probe, RouterCounters};
 use crate::router::{RouterOutputs, RouterStats, SentFlit};
 use crate::{lookahead_route, NetworkConfig};
+use noc_base::{BitArbiter, WordMask};
 use noc_base::{Credit, Flit, PortIndex, RouteInfo, RouterId, VcIndex};
 use noc_energy::{EnergyCounters, EnergyEvent};
 use noc_topology::SharedTopology;
@@ -198,21 +199,39 @@ pub struct PipelineKernel {
     arrivals: Vec<(PortIndex, Flit)>,
     st_pending: Vec<StGrant>,
     last_connection: Vec<Option<PortIndex>>,
-    in_arb: Vec<RrArbiter>,
-    va_arb: Vec<RrArbiter>,
-    out_arb: Vec<RrArbiter>,
+    in_arb: Vec<BitArbiter>,
+    va_arb: Vec<BitArbiter>,
+    out_arb: Vec<BitArbiter>,
+    // Incremental candidate masks (DESIGN.md §14). Maintained by
+    // `refresh_vc_masks` at every VC state transition, NOT rebuilt per
+    // cycle; the VA/SA scans iterate only their set bits. A stale bit here
+    // is a correctness bug (a candidate the allocators never see), which is
+    // why all writes to the tracked fields funnel through the kernel helpers
+    // or are followed by an explicit `refresh_vc_masks` in the scheme hooks.
+    //
+    // Bit `in_port * vcs + vc`: the VC holds flits and no route/output VC —
+    // it may request VA once its head is ready.
+    va_cand: WordMask,
+    // Per input port, bit `vc`: the VC holds flits, has route + output VC,
+    // and is not an express pass-through claim — it may request SA.
+    sa_cand: Vec<WordMask>,
     // Reusable per-cycle working storage, so `step` never allocates once the
     // queues reach steady-state capacity.
     st_scratch: Vec<StGrant>,
     arrivals_scratch: Vec<(PortIndex, Flit)>,
-    va_requests: Vec<Vec<(PortIndex, VcIndex)>>,
-    va_mask: Vec<bool>,
+    // Per output port, this cycle's VA request mask over `in_ports * vcs`
+    // flattened slots, plus the mask of output ports with any request.
+    va_req: Vec<WordMask>,
+    va_out_pending: WordMask,
     sa_winners: Vec<Option<(VcIndex, RouteInfo, VcIndex, bool)>>,
     sa_picks: Vec<(PortIndex, VcIndex, RouteInfo, VcIndex)>,
-    sa_vc_nonspec: Vec<bool>,
-    sa_vc_spec: Vec<bool>,
-    sa_out_nonspec: Vec<bool>,
-    sa_out_spec: Vec<bool>,
+    sa_vc_nonspec: WordMask,
+    sa_vc_spec: WordMask,
+    // Per output port, this cycle's second-stage SA request masks over input
+    // ports, plus the mask of output ports with any first-stage winner.
+    sa_out_nonspec: Vec<WordMask>,
+    sa_out_spec: Vec<WordMask>,
+    sa_out_pending: WordMask,
 }
 
 impl PipelineKernel {
@@ -271,24 +290,47 @@ impl PipelineKernel {
             arrivals: Vec::with_capacity(in_ports),
             st_pending: Vec::with_capacity(in_ports),
             last_connection: vec![None; in_ports],
-            in_arb: (0..in_ports).map(|_| RrArbiter::new(vcs)).collect(),
+            in_arb: (0..in_ports).map(|_| BitArbiter::new(vcs)).collect(),
             va_arb: (0..out_ports)
-                .map(|_| RrArbiter::new(in_ports * vcs))
+                .map(|_| BitArbiter::new(in_ports * vcs))
                 .collect(),
-            out_arb: (0..out_ports).map(|_| RrArbiter::new(in_ports)).collect(),
+            out_arb: (0..out_ports).map(|_| BitArbiter::new(in_ports)).collect(),
+            va_cand: WordMask::new(in_ports * vcs),
+            sa_cand: (0..in_ports).map(|_| WordMask::new(vcs)).collect(),
             st_scratch: Vec::with_capacity(in_ports),
             arrivals_scratch: Vec::with_capacity(in_ports),
-            va_requests: (0..out_ports)
-                .map(|_| Vec::with_capacity(in_ports * vcs))
+            va_req: (0..out_ports)
+                .map(|_| WordMask::new(in_ports * vcs))
                 .collect(),
-            va_mask: vec![false; in_ports * vcs],
+            va_out_pending: WordMask::new(out_ports),
             sa_winners: vec![None; in_ports],
             sa_picks: Vec::with_capacity(out_ports),
-            sa_vc_nonspec: vec![false; vcs],
-            sa_vc_spec: vec![false; vcs],
-            sa_out_nonspec: vec![false; in_ports],
-            sa_out_spec: vec![false; in_ports],
+            sa_vc_nonspec: WordMask::new(vcs),
+            sa_vc_spec: WordMask::new(vcs),
+            sa_out_nonspec: (0..out_ports).map(|_| WordMask::new(in_ports)).collect(),
+            sa_out_spec: (0..out_ports).map(|_| WordMask::new(in_ports)).collect(),
+            sa_out_pending: WordMask::new(out_ports),
         }
+    }
+
+    /// Re-derives the VA/SA candidate-mask bits of one input VC from its
+    /// current state (DESIGN.md §14). The kernel calls this after every state
+    /// transition it owns (buffer push, buffer pop, VA grant, tail release);
+    /// scheme hooks MUST call it after directly mutating any tracked field of
+    /// [`InputVc`] (`route`, `out_vc`, `pass_through`, or buffer contents) —
+    /// a missed refresh silently hides the VC from the allocators, which is a
+    /// correctness bug, not a performance bug.
+    #[inline]
+    pub fn refresh_vc_masks(&mut self, in_port: PortIndex, vc: VcIndex) {
+        let ivc = &self.inputs[in_port.index()][vc.index()];
+        let has_flits = !ivc.fifo.is_empty();
+        let unclaimed = ivc.route.is_none() && ivc.out_vc.is_none();
+        let slot = in_port.index() * self.vcs + vc.index();
+        self.va_cand.assign(slot, has_flits && unclaimed);
+        self.sa_cand[in_port.index()].assign(
+            vc.index(),
+            has_flits && ivc.route.is_some() && ivc.out_vc.is_some() && !ivc.pass_through,
+        );
     }
 
     /// Virtual channels per port.
@@ -445,6 +487,7 @@ impl PipelineKernel {
             ivc.express_hops = 0;
             self.outputs[route.port.index()].alloc.free(out_vc);
         }
+        self.refresh_vc_masks(in_port, vc);
         if reuse {
             self.outputs[route.port.index()]
                 .credits
@@ -541,7 +584,8 @@ impl PipelineKernel {
             }
             self.energy.record(EnergyEvent::BufferWrite);
             self.in_occupancy[in_port.index()] += 1;
-            let ivc = &mut self.inputs[in_port.index()][flit.vc.index()];
+            let vc = flit.vc;
+            let ivc = &mut self.inputs[in_port.index()][vc.index()];
             // An express stream that stalls into the buffer continues
             // hop-by-hop; its pass-through claim becomes an ordinary
             // buffered packet claim.
@@ -549,6 +593,7 @@ impl PipelineKernel {
             ivc.fifo
                 .push(flit, cycle + 1)
                 .expect("upstream credits bound buffer occupancy");
+            self.refresh_vc_masks(in_port, vc);
         }
         self.arrivals_scratch.clear();
     }
@@ -558,69 +603,75 @@ impl PipelineKernel {
     /// delegated to [`SchemeHooks::allocate_out_vc`].
     fn allocate_vcs<H: SchemeHooks>(&mut self, hooks: &mut H, cycle: u64) {
         let vcs = self.vcs;
-        // Gather requests grouped by output port (into reused buffers).
-        debug_assert!(self.va_requests.iter().all(|r| r.is_empty()));
-        for (in_port, (input, &occ)) in self.inputs.iter().zip(&self.in_occupancy).enumerate() {
-            if occ == 0 {
-                continue; // only buffered headers request VA
-            }
-            for (vc, ivc) in input.iter().enumerate() {
-                if ivc.out_vc.is_some() || ivc.route.is_some() {
-                    continue;
-                }
+        // Gather requests grouped by output port. Only the set bits of the
+        // incremental candidate mask are visited; the per-cycle conditions
+        // (ready head, header kind) are the only ones re-checked here —
+        // the stable part of the predicate (buffered flits, no route, no
+        // output VC) is the mask invariant itself.
+        debug_assert!(!self.va_out_pending.any());
+        debug_assert!(self.va_req.iter().all(|r| !r.any()));
+        for wi in 0..self.va_cand.num_words() {
+            // Word copied out so no borrow of the mask is held while the
+            // request masks are written.
+            let mut word = self.va_cand.word(wi);
+            while word != 0 {
+                let slot = wi * 64 + word.trailing_zeros() as usize;
+                word &= word - 1;
+                let ivc = &self.inputs[slot / vcs][slot % vcs];
+                debug_assert!(
+                    !ivc.fifo.is_empty() && ivc.route.is_none() && ivc.out_vc.is_none(),
+                    "stale VA candidate bit (missed refresh_vc_masks)"
+                );
                 let Some(flit) = ivc.fifo.head_ready(cycle) else {
                     continue;
                 };
                 if !flit.kind.is_head() {
                     continue;
                 }
-                self.va_requests[flit.route.port.index()]
-                    .push((PortIndex::new(in_port), VcIndex::new(vc)));
+                let out_port = flit.route.port.index();
+                self.va_req[out_port].set(slot);
+                self.va_out_pending.set(out_port);
             }
         }
         // Taken out of `self` so the grant loop can hand `&mut self` to the
-        // scheme hook; both vectors keep their capacity (`Vec::new` does not
-        // allocate, and the buffers are restored below).
-        let mut requests = std::mem::take(&mut self.va_requests);
-        for (out_port, reqs) in requests.iter_mut().enumerate() {
-            if reqs.is_empty() {
-                continue;
-            }
-            // Round-robin over the flattened (input port, VC) space.
-            self.va_mask.fill(false);
-            for &(p, v) in reqs.iter() {
-                self.va_mask[p.index() * vcs + v.index()] = true;
-            }
-            while let Some(slot) = self.va_arb[out_port].grant(&self.va_mask) {
-                self.va_mask[slot] = false;
-                let in_port = PortIndex::new(slot / vcs);
-                let vc = VcIndex::new(slot % vcs);
-                let flit = self.inputs[in_port.index()][vc.index()]
-                    .fifo
-                    .head_ready(cycle)
-                    .expect("request implies ready head")
-                    .clone();
-                if let Some((out_vc, express_hops)) =
-                    hooks.allocate_out_vc(self, &flit, (in_port, vc))
-                {
-                    let ivc = &mut self.inputs[in_port.index()][vc.index()];
-                    ivc.route = Some(flit.route);
-                    ivc.out_vc = Some(out_vc);
-                    ivc.va_cycle = cycle;
-                    ivc.express_hops = express_hops;
-                    self.stats.va_grants += 1;
-                    self.energy.record(EnergyEvent::Arbitration);
-                    if let Some(p) = self.counters.as_deref_mut() {
-                        p.on_va_grant(in_port);
+        // scheme hook; the masks keep their storage (`Vec::new` does not
+        // allocate, and the buffer is restored below).
+        let mut requests = std::mem::take(&mut self.va_req);
+        for wi in 0..self.va_out_pending.num_words() {
+            let mut word = self.va_out_pending.word(wi);
+            while word != 0 {
+                let out_port = wi * 64 + word.trailing_zeros() as usize;
+                word &= word - 1;
+                // Round-robin over the flattened (input port, VC) space.
+                while let Some(slot) = self.va_arb[out_port].grant(&requests[out_port]) {
+                    requests[out_port].clear(slot);
+                    let in_port = PortIndex::new(slot / vcs);
+                    let vc = VcIndex::new(slot % vcs);
+                    let flit = self.inputs[in_port.index()][vc.index()]
+                        .fifo
+                        .head_ready(cycle)
+                        .expect("request implies ready head")
+                        .clone();
+                    if let Some((out_vc, express_hops)) =
+                        hooks.allocate_out_vc(self, &flit, (in_port, vc))
+                    {
+                        let ivc = &mut self.inputs[in_port.index()][vc.index()];
+                        ivc.route = Some(flit.route);
+                        ivc.out_vc = Some(out_vc);
+                        ivc.va_cycle = cycle;
+                        ivc.express_hops = express_hops;
+                        self.refresh_vc_masks(in_port, vc);
+                        self.stats.va_grants += 1;
+                        self.energy.record(EnergyEvent::Arbitration);
+                        if let Some(p) = self.counters.as_deref_mut() {
+                            p.on_va_grant(in_port);
+                        }
                     }
                 }
-                if self.va_mask.iter().all(|&m| !m) {
-                    break;
-                }
             }
-            reqs.clear();
         }
-        self.va_requests = requests;
+        self.va_req = requests;
+        self.va_out_pending.clear_all();
     }
 
     /// Separable switch arbitration. Non-speculative requests (VC held
@@ -628,91 +679,106 @@ impl PipelineKernel {
     /// Dally HPCA 2001). Grants reserve a credit, traverse next cycle, and
     /// fire [`SchemeHooks::on_sa_grant`].
     fn arbitrate_switch<H: SchemeHooks>(&mut self, hooks: &mut H, cycle: u64) {
-        // Input-first stage: one winning VC per input port.
+        // Input-first stage: one winning VC per input port. Only ports with
+        // SA-eligible VCs (per the incremental eligibility masks) are
+        // visited, and within a port only the set bits; the per-cycle
+        // conditions — ready head, scheme skip, downstream credit — are the
+        // only ones re-checked per bit.
         self.sa_winners.fill(None);
-        for (in_port, (input, &occ)) in self.inputs.iter().zip(&self.in_occupancy).enumerate() {
-            if occ == 0 {
-                continue; // every SA candidate needs a buffered ready flit
+        debug_assert!(!self.sa_out_pending.any());
+        for in_port in 0..self.inputs.len() {
+            if !self.sa_cand[in_port].any() {
+                continue; // every SA candidate needs a buffered flit
             }
             let in_port_i = PortIndex::new(in_port);
-            self.sa_vc_nonspec.fill(false);
-            self.sa_vc_spec.fill(false);
-            for (vc, ivc) in input.iter().enumerate() {
-                if ivc.pass_through {
-                    continue; // claimed by an express stream, nothing buffered
-                }
-                let (Some(route), Some(out_vc)) = (ivc.route, ivc.out_vc) else {
-                    continue;
-                };
-                if ivc.fifo.head_ready(cycle).is_none() {
-                    continue;
-                }
-                if hooks.sa_skip(in_port_i, VcIndex::new(vc), route) {
-                    continue;
-                }
-                let sub = route.hops as usize - 1;
-                if self.outputs[route.port.index()]
-                    .credits
-                    .available(sub, out_vc)
-                    == 0
-                {
-                    continue;
-                }
-                if ivc.va_cycle == cycle {
-                    self.sa_vc_spec[vc] = true;
-                } else {
-                    self.sa_vc_nonspec[vc] = true;
+            self.sa_vc_nonspec.clear_all();
+            self.sa_vc_spec.clear_all();
+            for wi in 0..self.sa_cand[in_port].num_words() {
+                let mut word = self.sa_cand[in_port].word(wi);
+                while word != 0 {
+                    let vc = wi * 64 + word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    let ivc = &self.inputs[in_port][vc];
+                    debug_assert!(
+                        !ivc.fifo.is_empty() && !ivc.pass_through,
+                        "stale SA candidate bit (missed refresh_vc_masks)"
+                    );
+                    let (Some(route), Some(out_vc)) = (ivc.route, ivc.out_vc) else {
+                        unreachable!("SA candidate bit requires route and output VC")
+                    };
+                    if ivc.fifo.head_ready(cycle).is_none() {
+                        continue;
+                    }
+                    if hooks.sa_skip(in_port_i, VcIndex::new(vc), route) {
+                        continue;
+                    }
+                    let sub = route.hops as usize - 1;
+                    if self.outputs[route.port.index()]
+                        .credits
+                        .available(sub, out_vc)
+                        == 0
+                    {
+                        continue;
+                    }
+                    if ivc.va_cycle == cycle {
+                        self.sa_vc_spec.set(vc);
+                    } else {
+                        self.sa_vc_nonspec.set(vc);
+                    }
                 }
             }
-            let pick = if self.sa_vc_nonspec.iter().any(|&r| r) {
+            let pick = if self.sa_vc_nonspec.any() {
                 self.in_arb[in_port].grant(&self.sa_vc_nonspec)
             } else {
                 self.in_arb[in_port].grant(&self.sa_vc_spec)
             };
             if let Some(vc) = pick {
-                let speculative = self.sa_vc_spec[vc];
-                let ivc = &input[vc];
+                let speculative = self.sa_vc_spec.get(vc);
+                let ivc = &self.inputs[in_port][vc];
+                let route = ivc.route.expect("winner has route");
                 self.sa_winners[in_port] = Some((
                     VcIndex::new(vc),
-                    ivc.route.expect("winner has route"),
+                    route,
                     ivc.out_vc.expect("winner has output VC"),
                     speculative,
                 ));
+                let out_port = route.port.index();
+                if speculative {
+                    self.sa_out_spec[out_port].set(in_port);
+                } else {
+                    self.sa_out_nonspec[out_port].set(in_port);
+                }
+                self.sa_out_pending.set(out_port);
             }
         }
         // Output stage: one winner per output port, non-speculative first.
         // Decisions depend only on `sa_winners` and each port's own arbiter,
         // so they are computed for every port first and their effects (credit
         // reservation, grant queueing, scheme hook) applied after — which
-        // lets the hook borrow the whole kernel.
+        // lets the hook borrow the whole kernel. Only output ports with a
+        // first-stage winner are visited.
         debug_assert!(self.sa_picks.is_empty());
         let mut picks = std::mem::take(&mut self.sa_picks);
-        for (out_port, arb) in self.out_arb.iter_mut().enumerate() {
-            let out_port_i = PortIndex::new(out_port);
-            self.sa_out_nonspec.fill(false);
-            self.sa_out_spec.fill(false);
-            for (in_port, winner) in self.sa_winners.iter().enumerate() {
-                if let Some((_, route, _, speculative)) = winner {
-                    if route.port == out_port_i {
-                        if *speculative {
-                            self.sa_out_spec[in_port] = true;
-                        } else {
-                            self.sa_out_nonspec[in_port] = true;
-                        }
-                    }
+        for wi in 0..self.sa_out_pending.num_words() {
+            let mut word = self.sa_out_pending.word(wi);
+            while word != 0 {
+                let out_port = wi * 64 + word.trailing_zeros() as usize;
+                word &= word - 1;
+                let pick = if self.sa_out_nonspec[out_port].any() {
+                    self.out_arb[out_port].grant(&self.sa_out_nonspec[out_port])
+                } else {
+                    self.out_arb[out_port].grant(&self.sa_out_spec[out_port])
+                };
+                if let Some(in_port) = pick {
+                    let (vc, route, out_vc, _) =
+                        self.sa_winners[in_port].expect("picked winner exists");
+                    picks.push((PortIndex::new(in_port), vc, route, out_vc));
                 }
-            }
-            let pick = if self.sa_out_nonspec.iter().any(|&r| r) {
-                arb.grant(&self.sa_out_nonspec)
-            } else {
-                arb.grant(&self.sa_out_spec)
-            };
-            if let Some(in_port) = pick {
-                let (vc, route, out_vc, _) =
-                    self.sa_winners[in_port].expect("picked winner exists");
-                picks.push((PortIndex::new(in_port), vc, route, out_vc));
+                self.sa_out_nonspec[out_port].clear_all();
+                self.sa_out_spec[out_port].clear_all();
             }
         }
+        self.sa_out_pending.clear_all();
         for &(in_port, vc, route, out_vc) in picks.iter() {
             self.outputs[route.port.index()]
                 .credits

@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
 # Compares two engine-bench snapshots (BENCH_engine.json format) and fails
-# when any single-threaded case regresses by more than 10% in cycles_per_sec.
+# when any single-threaded case regresses by more than 10% in cycles/sec.
 #
 #   scripts/bench_compare.sh <old.json> <new.json>
+#
+# Each case is compared on its *median* cycles/sec: when a snapshot carries a
+# "cps_samples" array (median-of-N harness) the median is recomputed from the
+# samples; older single-sample snapshots fall back to "cycles_per_sec".
 #
 # Multi-threaded points are reported for information only — their wall-clock
 # depends on host core count and load — while threads=1 is the engine's
@@ -43,12 +47,31 @@ function getnum(line, k,    re, s) {
     }
     return ""
 }
+# Median cycles/sec for one case line: recomputed from the "cps_samples"
+# array when present, else the scalar "cycles_per_sec" (single-sample
+# snapshots). Odd counts take the true median; even counts the lower
+# middle — matching the harness.
+function median_cps(line,    re, s, m, i, j, tmp, vals) {
+    re = "\"cps_samples\": *\\[[^]]*\\]"
+    if (!match(line, re)) return getnum(line, "cycles_per_sec")
+    s = substr(line, RSTART, RLENGTH)
+    sub("^\"cps_samples\": *\\[", "", s)
+    sub("\\]$", "", s)
+    m = split(s, vals, /, */)
+    if (m == 0) return getnum(line, "cycles_per_sec")
+    for (i = 2; i <= m; i++) {          # insertion sort: m is tiny
+        tmp = vals[i] + 0
+        for (j = i - 1; j >= 1 && vals[j] + 0 > tmp; j--) vals[j + 1] = vals[j]
+        vals[j + 1] = tmp
+    }
+    return vals[int((m + 1) / 2)] + 0
+}
 /"name":/ {
     name = getstr($0, "name")
     if (name == "") next
     threads = getnum($0, "threads")
     if (threads == "") threads = 1   # pre-threading snapshots
-    cps = getnum($0, "cycles_per_sec")
+    cps = median_cps($0)
     key = name "@" threads
     if (FILENAME == old_file) {
         before[key] = cps

@@ -21,8 +21,10 @@ NOC_THREADS=2 cargo test -q --offline
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets --offline -- -D warnings
 
-# The worker pool's unsafe lifetime erasure lives in noc-base; lint it
-# explicitly so a partial workspace build never skips it.
+# The worker pool's unsafe lifetime erasure and the word-packed bitset
+# arbitration primitives (noc_base::bitset — the VA/SA hot path's grant
+# machinery) live in noc-base; lint it explicitly so a partial workspace
+# build never skips either.
 echo "==> cargo clippy -p noc-base --all-targets -- -D warnings"
 cargo clippy -p noc-base --all-targets --offline -- -D warnings
 
@@ -43,6 +45,12 @@ cargo run --release --offline --example quickstart >/dev/null
 echo "==> noc run --scheme evc (smoke)"
 ./target/release/noc run --topology mesh4x4 --scheme evc --routing xy \
     --warmup 200 --measure 1000 --drain 10000 --metrics full >/dev/null
+
+# Engine-bench smoke: one short release-mode single-threaded sample per
+# case, no snapshot write — proves the benched hot path (bitset VA/SA,
+# incremental masks) executes in release mode; it is not a measurement.
+echo "==> NOC_BENCH_SMOKE=1 cargo bench --bench engine (smoke)"
+NOC_BENCH_SMOKE=1 cargo bench -q -p noc-bench --bench engine --offline >/dev/null
 
 echo "==> cargo fmt --check"
 cargo fmt --check

@@ -13,7 +13,7 @@
 use noc_base::{RoutingPolicy, VaPolicy};
 use noc_evc::EvcRouterFactory;
 use noc_sim::MetricsLevel;
-use noc_topology::{Mesh, SharedTopology};
+use noc_topology::{FlattenedButterfly, Mecs, Mesh, SharedTopology};
 use noc_traffic::BenchmarkProfile;
 use pseudo_circuit::experiment::cmp_traffic_for;
 use pseudo_circuit::{ExperimentBuilder, Scheme};
@@ -21,6 +21,8 @@ use std::sync::Arc;
 
 const GOLDEN_PATH: &str = "tests/golden/cmp4x4_pseudo_fft.txt";
 const EVC_GOLDEN_PATH: &str = "tests/golden/mesh4x4_evc_fft.txt";
+const FBFLY_GOLDEN_PATH: &str = "tests/golden/fbfly4x4_pseudo_fft.txt";
+const MECS_GOLDEN_PATH: &str = "tests/golden/mecs4x4_pseudo_fft.txt";
 
 /// Reads a golden file, or blesses `actual` into it under `NOC_BLESS=1`.
 /// Returns `None` when the file was just (re)written.
@@ -86,6 +88,33 @@ fn evc_golden_run() -> String {
     evc_golden_run_at(MetricsLevel::Off)
 }
 
+/// A fixed-seed pseudo-circuit run on a hop-reducing topology (XY + static
+/// VA, the fig. 13 configuration). Pinned *before* the bitset/incremental-
+/// mask rewrite of the pipeline kernel so its equivalence argument covers
+/// the port asymmetries of MECS (input ports ≫ output ports) and the
+/// high-radix flattened butterfly, not just mesh/CMesh.
+fn topo_golden_run(topo: SharedTopology) -> String {
+    let profile = *BenchmarkProfile::by_name("fft").expect("fft profile exists");
+    let traffic = cmp_traffic_for(topo.as_ref(), profile, 0x5eed ^ 0x77);
+    let mut report = ExperimentBuilder::new(topo)
+        .routing(RoutingPolicy::Xy)
+        .va_policy(VaPolicy::Static)
+        .scheme(Scheme::pseudo_ps_bb())
+        .seed(0x5eed)
+        .phases(500, 2_000, 40_000)
+        .run(Box::new(traffic));
+    report.observability = None;
+    format!("{report:#?}\n")
+}
+
+fn fbfly_golden_run() -> String {
+    topo_golden_run(Arc::new(FlattenedButterfly::new(4, 4, 4)))
+}
+
+fn mecs_golden_run() -> String {
+    topo_golden_run(Arc::new(Mecs::new(4, 4, 4)))
+}
+
 #[test]
 fn fixed_seed_cmp_run_matches_golden_report() {
     let actual = golden_run();
@@ -107,6 +136,30 @@ fn fixed_seed_evc_run_matches_golden_report() {
     assert_eq!(
         actual, expected,
         "EVC router behaviour diverged from its pre-kernel golden report"
+    );
+}
+
+#[test]
+fn fixed_seed_fbfly_run_matches_golden_report() {
+    let actual = fbfly_golden_run();
+    let Some(expected) = golden_expectation(FBFLY_GOLDEN_PATH, &actual) else {
+        return;
+    };
+    assert_eq!(
+        actual, expected,
+        "flattened-butterfly behaviour diverged from its golden report"
+    );
+}
+
+#[test]
+fn fixed_seed_mecs_run_matches_golden_report() {
+    let actual = mecs_golden_run();
+    let Some(expected) = golden_expectation(MECS_GOLDEN_PATH, &actual) else {
+        return;
+    };
+    assert_eq!(
+        actual, expected,
+        "MECS behaviour diverged from its golden report"
     );
 }
 
