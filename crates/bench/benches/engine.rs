@@ -23,7 +23,7 @@ use noc_base::{RoutingPolicy, VaPolicy};
 use noc_evc::EvcRouterFactory;
 use noc_sim::{NetworkConfig, RouterFactory, Simulation};
 use noc_topology::Mesh;
-use noc_traffic::{SyntheticPattern, SyntheticTraffic};
+use noc_traffic::{SyntheticPattern, SyntheticTraffic, TraceRecorder, TraceReplay, TrafficModel};
 use pseudo_circuit::{PcRouterFactory, Scheme};
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -35,6 +35,20 @@ struct CaseSpec {
     name: &'static str,
     config: &'static str,
     build: fn() -> Simulation,
+    /// Measure through `Simulation::advance` (the run-loop path, including
+    /// quiescence fast-forwarding) instead of raw `step` calls. The loaded
+    /// cases keep raw stepping so their number isolates per-cycle engine
+    /// speed; the `lowload_` cases measure `advance` because skipping
+    /// quiescent cycles IS the optimization under test there.
+    advance: bool,
+    /// Per-case warmup override (`None` = the harness default). The
+    /// drain-phase case uses 0 so the measured window covers the burst, the
+    /// drain, and the quiescent tail rather than an already-empty network.
+    warmup: Option<u64>,
+    /// Restrict this case to threads=1. Quiescence fast-forwarding is a
+    /// serial-path optimization; its cases' multi-thread points would only
+    /// measure shard-handoff overhead on an empty network.
+    serial_only: bool,
 }
 
 fn mesh8x8(factory: &dyn RouterFactory) -> Simulation {
@@ -72,6 +86,62 @@ fn paper_cmesh_sim() -> Simulation {
     cmesh4x4(&PcRouterFactory::new(Scheme::pseudo_ps_bb()))
 }
 
+/// Low-load regime: the same 8×8 mesh at 0.02 flits/node/cycle. Individual
+/// cycles are mostly idle but full network quiescence is still rare (packets
+/// are in flight most of the time), so this tracks the engine's idle-cycle
+/// cost with fast-forwarding only occasionally applicable.
+fn lowload_uniform_sim() -> Simulation {
+    let topo = Arc::new(Mesh::new(8, 8, 1));
+    let traffic = SyntheticTraffic::new(SyntheticPattern::UniformRandom, 8, 8, 5, 0.02, 5);
+    let config = NetworkConfig {
+        routing: RoutingPolicy::Xy,
+        va_policy: VaPolicy::Static,
+        ..NetworkConfig::paper()
+    };
+    Simulation::new(
+        topo,
+        config,
+        Box::new(traffic),
+        &PcRouterFactory::new(Scheme::pseudo_ps_bb()),
+        9,
+    )
+}
+
+/// Drain-phase-heavy run: a recorded 400-cycle burst of uniform@0.10 traffic
+/// replayed from a trace, then nothing. After the burst drains the network is
+/// fully quiescent and the replay's record peek reports no further
+/// injections, so `advance` jumps straight to the horizon — the measured
+/// window is dominated by the drain phase plus the fast-forwarded tail,
+/// exactly the shape of a trace run's end-of-input.
+fn lowload_drain_sim() -> Simulation {
+    let mut recorder = TraceRecorder::new(SyntheticTraffic::new(
+        SyntheticPattern::UniformRandom,
+        8,
+        8,
+        5,
+        0.10,
+        5,
+    ));
+    for cycle in 0..400 {
+        recorder.generate(cycle, &mut |_| {});
+    }
+    let (_, records) = recorder.into_parts();
+    let traffic = TraceReplay::new("burst400", records);
+    let topo = Arc::new(Mesh::new(8, 8, 1));
+    let config = NetworkConfig {
+        routing: RoutingPolicy::Xy,
+        va_policy: VaPolicy::Static,
+        ..NetworkConfig::paper()
+    };
+    Simulation::new(
+        topo,
+        config,
+        Box::new(traffic),
+        &PcRouterFactory::new(Scheme::pseudo_ps_bb()),
+        9,
+    )
+}
+
 struct Measurement {
     name: String,
     config: String,
@@ -85,17 +155,28 @@ struct Measurement {
     cps_samples: Vec<f64>,
 }
 
-/// Times `cycles` engine steps after a warmup, returning throughput numbers.
+/// Times `cycles` engine cycles after a warmup, returning throughput
+/// numbers. Raw `step` loops isolate per-cycle speed; `advance` cases go
+/// through the run-loop path with quiescence fast-forwarding.
 fn measure_once(spec: &CaseSpec, threads: usize, warmup: u64, cycles: u64) -> (f64, f64, f64) {
     let mut sim = (spec.build)();
     sim.set_threads(threads);
-    for _ in 0..warmup {
-        sim.step();
+    let warmup = spec.warmup.unwrap_or(warmup);
+    if spec.advance {
+        sim.advance(warmup);
+    } else {
+        for _ in 0..warmup {
+            sim.step();
+        }
     }
     let flits_before = total_flits(&sim);
     let start = Instant::now();
-    for _ in 0..cycles {
-        sim.step();
+    if spec.advance {
+        sim.advance(cycles);
+    } else {
+        for _ in 0..cycles {
+            sim.step();
+        }
     }
     let secs = start.elapsed().as_secs_f64();
     let flits = total_flits(&sim) - flits_before;
@@ -170,21 +251,49 @@ fn main() {
             name: "baseline_router",
             config: "mesh8x8 xy static uniform@0.15",
             build: baseline_sim,
+            advance: false,
+            warmup: None,
+            serial_only: false,
         },
         CaseSpec {
             name: "pseudo_router",
             config: "mesh8x8 xy static uniform@0.15",
             build: pseudo_sim,
+            advance: false,
+            warmup: None,
+            serial_only: false,
         },
         CaseSpec {
             name: "evc_router",
             config: "mesh8x8 xy static uniform@0.15",
             build: evc_sim,
+            advance: false,
+            warmup: None,
+            serial_only: false,
         },
         CaseSpec {
             name: "paper_cmesh",
             config: "cmesh4x4c4 o1turn dynamic uniform@0.10",
             build: paper_cmesh_sim,
+            advance: false,
+            warmup: None,
+            serial_only: false,
+        },
+        CaseSpec {
+            name: "lowload_uniform",
+            config: "mesh8x8 xy static uniform@0.02 via advance",
+            build: lowload_uniform_sim,
+            advance: true,
+            warmup: None,
+            serial_only: true,
+        },
+        CaseSpec {
+            name: "lowload_drain",
+            config: "mesh8x8 xy static burst400@0.10-replay via advance",
+            build: lowload_drain_sim,
+            advance: true,
+            warmup: Some(0),
+            serial_only: true,
         },
     ];
 
@@ -202,10 +311,17 @@ fn main() {
         "{{\n  \"bench\": \"engine\",\n  \"host_cpus\": {host_cpus},\n  \
          \"git_rev\": \"{rev}\",\n  \"samples\": {samples},\n  \"cases\": [\n"
     );
-    let total = cases.len() * thread_counts.len();
+    let case_threads = |spec: &CaseSpec| -> &[usize] {
+        if spec.serial_only {
+            &thread_counts[..1]
+        } else {
+            thread_counts
+        }
+    };
+    let total: usize = cases.iter().map(|c| case_threads(c).len()).sum();
     let mut point = 0;
     for spec in &cases {
-        for &threads in thread_counts {
+        for &threads in case_threads(spec) {
             let m = measure(spec, threads, warmup, cycles, samples);
             println!(
                 "{:<18} {:>7} {:>14.0} {:>14.0}  {}",

@@ -64,36 +64,37 @@ impl PcHooks {
         require_credit: bool,
     ) -> Option<VcIndex> {
         let sub = route.hops as usize - 1;
-        let port = &mut k.outputs[route.port.index()];
+        let port = route.port;
         let chosen = match self.va_policy {
             VaPolicy::Static => {
                 let vc = self.partition.static_vc(class, dst);
-                (port.alloc.is_free(vc) && (!require_credit || port.credits.available(sub, vc) > 0))
+                (k.out_vc_is_free(port, vc)
+                    && (!require_credit || k.credits_available(port, sub, vc) > 0))
                     .then_some(vc)
             }
             VaPolicy::Dynamic => self
                 .partition
                 .class_range(class)
                 .map(|v| VcIndex::new(v as usize))
-                .filter(|&v| port.alloc.is_free(v))
-                .filter(|&v| !require_credit || port.credits.available(sub, v) > 0)
-                .max_by_key(|&v| port.credits.available(sub, v)),
+                .filter(|&v| k.out_vc_is_free(port, v))
+                .filter(|&v| !require_credit || k.credits_available(port, sub, v) > 0)
+                .max_by_key(|&v| k.credits_available(port, sub, v)),
         }?;
-        port.alloc.allocate(chosen, owner);
+        k.claim_out_vc(port, chosen, owner);
         Some(chosen)
     }
 
     /// Phase A: terminate pseudo-circuits whose output has no downstream
     /// credit at the held drop position (§III.C).
     fn terminate_creditless_circuits(&mut self, k: &mut PipelineKernel, cycle: u64) {
-        for out_port in 0..k.outputs.len() {
+        for out_port in 0..k.num_out_ports() {
             let port = PortIndex::new(out_port);
             let Some(holder) = self.pcu.holder(port) else {
                 continue;
             };
             let reg = self.pcu.registers(holder);
             let sub = reg.hops as usize - 1;
-            if k.outputs[out_port].credits.available_at_sub(sub) == 0 {
+            if k.credits_at_sub(port, sub) == 0 {
                 self.pcu.terminate(holder, Termination::CreditExhausted);
                 if let Some(p) = k.counters.as_deref_mut() {
                     p.on_pc_terminated(holder, Termination::CreditExhausted);
@@ -107,7 +108,7 @@ impl PcHooks {
     /// ready head-of-VC flit whose route matches the live circuit traverses
     /// immediately, bypassing SA.
     fn reuse_circuits(&mut self, k: &mut PipelineKernel, cycle: u64, out: &mut RouterOutputs) {
-        for in_port in 0..k.inputs.len() {
+        for in_port in 0..k.num_in_ports() {
             if k.in_occupancy[in_port] == 0 {
                 continue; // reuse only drains buffered flits
             }
@@ -122,30 +123,27 @@ impl PcHooks {
                 continue;
             }
             let vc = pc.in_vc;
-            let ivc = &k.inputs[in_port.index()][vc.index()];
-            let Some(flit) = ivc.fifo.head_ready(cycle) else {
+            let Some(flit) = k.input_head_ready(in_port, vc, cycle) else {
                 continue;
             };
+            let (is_head, flit_route) = (flit.kind.is_head(), flit.route);
+            let (class, dst) = (flit.class, flit.dst);
             let pc_route = RouteInfo {
                 port: pc.out_port,
                 hops: pc.hops,
             };
             let sub = pc.hops as usize - 1;
-            if flit.kind.is_head() && ivc.route.is_none() {
+            if is_head && k.input_route(in_port, vc).is_none() {
                 // A new packet: compare its routing information against the
                 // circuit (§III.B) and acquire an output VC in parallel.
-                if flit.route != pc_route {
+                if flit_route != pc_route {
                     continue; // mismatch: the flit takes the baseline pipeline
                 }
-                let (class, dst) = (flit.class, flit.dst);
                 let Some(out_vc) = self.allocate_vc(k, pc_route, class, dst, (in_port, vc), true)
                 else {
                     continue; // VA failed: baseline pipeline, no penalty
                 };
-                let ivc = &mut k.inputs[in_port.index()][vc.index()];
-                ivc.route = Some(pc_route);
-                ivc.out_vc = Some(out_vc);
-                k.refresh_vc_masks(in_port, vc);
+                k.claim_input_vc(in_port, vc, pc_route, out_vc);
                 k.stats.va_grants += 1;
                 k.energy.record(EnergyEvent::Arbitration);
                 if let Some(p) = k.counters.as_deref_mut() {
@@ -154,15 +152,13 @@ impl PcHooks {
             } else {
                 // Mid-packet (or a header that already holds VA state): the
                 // packet's route must match the circuit.
-                if ivc.route != Some(pc_route) {
+                if k.input_route(in_port, vc) != Some(pc_route) {
                     continue;
                 }
-                let out_vc = ivc.out_vc.expect("routed VC has an output VC");
-                if k.outputs[pc.out_port.index()]
-                    .credits
-                    .available(sub, out_vc)
-                    == 0
-                {
+                let out_vc = k
+                    .input_out_vc(in_port, vc)
+                    .expect("routed VC has an output VC");
+                if k.credits_available(pc.out_port, sub, out_vc) == 0 {
                     continue; // per-VC back-pressure; port-level handled in phase A
                 }
             }
@@ -190,8 +186,7 @@ impl PcHooks {
             return false;
         }
         let vc = flit.vc;
-        let ivc = &k.inputs[in_port.index()][vc.index()];
-        if !ivc.fifo.is_empty() {
+        if !k.input_empty(in_port, vc) {
             return false;
         }
         let pc_route = RouteInfo {
@@ -201,7 +196,7 @@ impl PcHooks {
         let sub = pc.hops as usize - 1;
         let out_vc;
         let is_tail = flit.kind.is_tail();
-        if flit.kind.is_head() && ivc.route.is_none() {
+        if flit.kind.is_head() && k.input_route(in_port, vc).is_none() {
             if flit.route != pc_route {
                 return false;
             }
@@ -217,37 +212,26 @@ impl PcHooks {
                 p.on_va_grant(in_port);
             }
             if !is_tail {
-                let ivc = &mut k.inputs[in_port.index()][vc.index()];
-                ivc.route = Some(pc_route);
-                ivc.out_vc = Some(out_vc);
-                k.refresh_vc_masks(in_port, vc);
+                k.claim_input_vc(in_port, vc, pc_route, out_vc);
             } else {
-                k.outputs[pc_route.port.index()].alloc.free(allocated);
+                k.release_out_vc(pc_route.port, allocated);
             }
         } else {
-            if ivc.route != Some(pc_route) {
+            if k.input_route(in_port, vc) != Some(pc_route) {
                 return false;
             }
-            out_vc = ivc.out_vc.expect("routed VC has an output VC");
-            if k.outputs[pc.out_port.index()]
-                .credits
-                .available(sub, out_vc)
-                == 0
-            {
+            out_vc = k
+                .input_out_vc(in_port, vc)
+                .expect("routed VC has an output VC");
+            if k.credits_available(pc.out_port, sub, out_vc) == 0 {
                 return false;
             }
             if is_tail {
-                let ivc = &mut k.inputs[in_port.index()][vc.index()];
-                ivc.route = None;
-                ivc.out_vc = None;
-                ivc.va_cycle = u64::MAX;
-                k.refresh_vc_masks(in_port, vc);
-                k.outputs[pc_route.port.index()].alloc.free(out_vc);
+                k.release_input_vc(in_port, vc);
+                k.release_out_vc(pc_route.port, out_vc);
             }
         }
-        k.outputs[pc_route.port.index()]
-            .credits
-            .consume(sub, out_vc);
+        k.consume_credit(pc_route.port, sub, out_vc);
         k.stats.pc_reuses += 1;
         k.stats.buffer_bypasses += 1;
         if flit.kind.is_head() {
@@ -276,7 +260,7 @@ impl PcHooks {
     /// terminated circuit of every idle output port with downstream credit
     /// (§IV.A).
     fn speculate(&mut self, k: &mut PipelineKernel, cycle: u64) {
-        for out_port in 0..k.outputs.len() {
+        for out_port in 0..k.num_out_ports() {
             let port = PortIndex::new(out_port);
             if self.pcu.holder(port).is_some() {
                 continue;
@@ -289,7 +273,7 @@ impl PcHooks {
                 continue;
             }
             let sub = reg.hops as usize - 1;
-            if k.outputs[out_port].credits.available_at_sub(sub) == 0 {
+            if k.credits_at_sub(port, sub) == 0 {
                 continue;
             }
             let restored = self.pcu.try_restore(port);
@@ -460,13 +444,13 @@ impl RouterModel for PcRouter {
             return false;
         }
         let (k, h) = (&self.kernel, &self.hooks);
-        for out_port in 0..k.outputs.len() {
+        for out_port in 0..k.num_out_ports() {
             let port = PortIndex::new(out_port);
             if h.scheme.pseudo_circuit {
                 if let Some(holder) = h.pcu.holder(port) {
                     let reg = h.pcu.registers(holder);
                     let sub = reg.hops as usize - 1;
-                    if k.outputs[out_port].credits.available_at_sub(sub) == 0 {
+                    if k.credits_at_sub(port, sub) == 0 {
                         return false; // phase A would terminate this circuit
                     }
                 }
@@ -476,7 +460,7 @@ impl RouterModel for PcRouter {
                     let reg = h.pcu.registers(hist);
                     if !reg.valid && reg.out_port == port {
                         let sub = reg.hops as usize - 1;
-                        if k.outputs[out_port].credits.available_at_sub(sub) > 0 {
+                        if k.credits_at_sub(port, sub) > 0 {
                             return false; // phase G would restore this circuit
                         }
                     }

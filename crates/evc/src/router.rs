@@ -79,50 +79,41 @@ impl EvcHooks {
         }
         let vc = flit.vc;
         debug_assert!(self.is_evc(vc), "express flit on a normal VC");
-        let ivc = &k.inputs[in_port.index()][vc.index()];
-        if !ivc.fifo.is_empty() {
+        if !k.input_empty(in_port, vc) {
             return false;
         }
         let sub = route.hops as usize - 1;
         let is_head = flit.kind.is_head();
         let is_tail = flit.kind.is_tail();
         if is_head {
-            if ivc.route.is_some() {
+            if k.input_route(in_port, vc).is_some() {
                 return false;
             }
-            let port = &k.outputs[route.port.index()];
-            if !port.alloc.is_free(vc) || port.credits.available(sub, vc) == 0 {
+            if !k.out_vc_is_free(route.port, vc) || k.credits_available(route.port, sub, vc) == 0 {
                 return false;
             }
-            k.outputs[route.port.index()]
-                .alloc
-                .allocate(vc, (in_port, vc));
+            k.claim_out_vc(route.port, vc, (in_port, vc));
             if !is_tail {
-                let ivc = &mut k.inputs[in_port.index()][vc.index()];
-                ivc.route = Some(route);
-                ivc.out_vc = Some(vc);
-                ivc.pass_through = true;
-                k.refresh_vc_masks(in_port, vc);
+                k.claim_pass_through(in_port, vc, route, vc);
             } else {
-                k.outputs[route.port.index()].alloc.free(vc);
+                k.release_out_vc(route.port, vc);
             }
         } else {
-            if !ivc.pass_through || ivc.route != Some(route) || ivc.out_vc != Some(vc) {
+            if !k.input_pass_through(in_port, vc)
+                || k.input_route(in_port, vc) != Some(route)
+                || k.input_out_vc(in_port, vc) != Some(vc)
+            {
                 return false;
             }
-            if k.outputs[route.port.index()].credits.available(sub, vc) == 0 {
+            if k.credits_available(route.port, sub, vc) == 0 {
                 return false;
             }
             if is_tail {
-                let ivc = &mut k.inputs[in_port.index()][vc.index()];
-                ivc.route = None;
-                ivc.out_vc = None;
-                ivc.pass_through = false;
-                k.refresh_vc_masks(in_port, vc);
-                k.outputs[route.port.index()].alloc.free(vc);
+                k.release_input_vc(in_port, vc);
+                k.release_out_vc(route.port, vc);
             }
         }
-        k.outputs[route.port.index()].credits.consume(sub, vc);
+        k.consume_credit(route.port, sub, vc);
         k.stats.express_bypasses += 1;
         if let Some(p) = k.counters.as_deref_mut() {
             // Arrival and traversal happen this cycle: a 1-cycle latch hop.
@@ -162,33 +153,32 @@ impl SchemeHooks for EvcHooks {
         let dst = flit.dst;
         let sub = route.hops as usize - 1;
         let express = self.express_eligible(k, route, dst, flit.mode);
-        let port = &mut k.outputs[route.port.index()];
-        let pick = |range: std::ops::Range<usize>, port: &noc_sim::OutputPort, policy: VaPolicy| {
-            match policy {
-                VaPolicy::Static => {
-                    let vc = VcIndex::new(range.start + dst.index() % range.len());
-                    port.alloc.is_free(vc).then_some(vc)
-                }
-                VaPolicy::Dynamic => range
-                    .map(VcIndex::new)
-                    .filter(|&v| port.alloc.is_free(v))
-                    .max_by_key(|&v| port.credits.available(sub, v)),
+        let port = route.port;
+        let policy = self.va_policy;
+        let pick = |k: &PipelineKernel, range: std::ops::Range<usize>| match policy {
+            VaPolicy::Static => {
+                let vc = VcIndex::new(range.start + dst.index() % range.len());
+                k.out_vc_is_free(port, vc).then_some(vc)
             }
+            VaPolicy::Dynamic => range
+                .map(VcIndex::new)
+                .filter(|&v| k.out_vc_is_free(port, v))
+                .max_by_key(|&v| k.credits_available(port, sub, v)),
         };
         // Local (ejection) ports have no express discipline: any VC.
         if route.port.index() < k.concentration {
-            let vc = pick(0..self.vcs, port, self.va_policy)?;
-            port.alloc.allocate(vc, owner);
+            let vc = pick(k, 0..self.vcs)?;
+            k.claim_out_vc(port, vc, owner);
             return Some((vc, 0));
         }
         if express {
-            if let Some(vc) = pick(self.nvcs..self.vcs, port, self.va_policy) {
-                port.alloc.allocate(vc, owner);
+            if let Some(vc) = pick(k, self.nvcs..self.vcs) {
+                k.claim_out_vc(port, vc, owner);
                 return Some((vc, self.l_max - 1));
             }
         }
-        let vc = pick(0..self.nvcs, port, self.va_policy)?;
-        port.alloc.allocate(vc, owner);
+        let vc = pick(k, 0..self.nvcs)?;
+        k.claim_out_vc(port, vc, owner);
         Some((vc, 0))
     }
 }

@@ -61,9 +61,9 @@ pub use metrics::{
     chrome_trace_json, MetricsConfig, MetricsLevel, ObservabilityReport, PipelineStage,
     RouterObservation, StageHistograms, TraceEvent, TraceEventKind, TraceRing, TraceSpec,
 };
-pub use network::Simulation;
+pub use network::{auto_threads, Simulation, ThreadDecision, MIN_ROUTERS_PER_SHARD};
 pub use ni::{NetworkInterface, NiOutputs, NiStats};
-pub use pipeline::{InputVc, OutputPort, PipelineKernel, SchemeHooks};
+pub use pipeline::{PipelineKernel, SchemeHooks};
 pub use probe::{Probe, RouterCounters, Termination};
 pub use router::{
     RouterBuildContext, RouterFactory, RouterModel, RouterOutputs, RouterStats, SentFlit,

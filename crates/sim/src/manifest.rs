@@ -9,6 +9,7 @@
 //! via the `"schema"` field; see `docs/METRICS.md` for the field contract.
 
 use crate::metrics::{MetricsLevel, RouterObservation};
+use crate::network::ThreadDecision;
 use crate::{NetworkConfig, RunSpec, SimReport};
 use std::fmt::Write as _;
 use std::io;
@@ -39,6 +40,10 @@ pub struct RunManifest {
     pub config: NetworkConfig,
     /// Run phases (warmup / measure / drain).
     pub spec: RunSpec,
+    /// Thread-count decision the runner applied ([`crate::auto_threads`]),
+    /// when the caller recorded one. Execution-only — excluded from the
+    /// config hash like the thread count itself.
+    pub threads: Option<ThreadDecision>,
     /// Headline results copied from the report.
     pub summary: ManifestSummary,
     /// Per-router counter dump (present only at [`MetricsLevel::Full`]).
@@ -95,6 +100,7 @@ impl RunManifest {
             metrics,
             config: *config,
             spec,
+            threads: None,
             summary: ManifestSummary {
                 cycles: report.cycles,
                 avg_latency: report.avg_latency,
@@ -117,6 +123,13 @@ impl RunManifest {
     pub fn with_scheme(mut self, scheme: impl Into<String>) -> Self {
         self.scheme = Some(scheme.into());
         self.config_hash = self.compute_config_hash();
+        self
+    }
+
+    /// Attaches the runner's thread-count decision. Thread counts never
+    /// affect results, so this does NOT rehash the configuration.
+    pub fn with_threads(mut self, decision: ThreadDecision) -> Self {
+        self.threads = Some(decision);
         self
     }
 
@@ -156,6 +169,12 @@ impl RunManifest {
         json_u64(&mut s, "buffer_depth", self.config.buffer_depth as u64);
         json_str(&mut s, "routing", &format!("{:?}", self.config.routing));
         json_str(&mut s, "va_policy", &format!("{:?}", self.config.va_policy));
+        if let Some(t) = &self.threads {
+            json_u64(&mut s, "threads_requested", t.requested as u64);
+            json_u64(&mut s, "threads_effective", t.effective as u64);
+            json_u64(&mut s, "host_cpus", t.host_cpus as u64);
+            json_str(&mut s, "threads_reason", t.reason);
+        }
         json_u64(&mut s, "warmup", self.spec.warmup);
         json_u64(&mut s, "measure", self.spec.measure);
         json_u64(&mut s, "drain", self.spec.drain);
@@ -401,6 +420,26 @@ mod tests {
         assert!(json.contains("\"traversals\": [8,2]"));
         assert!(json.contains("\"hit_rate\": 0.4"));
         assert!(json.contains("\"terminations_conflict\": 1"));
+    }
+
+    #[test]
+    fn thread_decision_is_recorded_but_never_hashed() {
+        let cfg = NetworkConfig::paper();
+        let spec = RunSpec::new(0, 10, 10);
+        let plain = RunManifest::capture(&report(None), &cfg, spec, 7, MetricsLevel::Off);
+        assert!(!plain.to_json().contains("threads_requested"));
+        let decided = plain
+            .clone()
+            .with_threads(crate::network::auto_threads(8, 4, 64));
+        assert_eq!(
+            plain.config_hash, decided.config_hash,
+            "thread decision is execution-only"
+        );
+        let json = decided.to_json();
+        assert!(json.contains("\"threads_requested\": 8"));
+        assert!(json.contains("\"threads_effective\": 4"));
+        assert!(json.contains("\"host_cpus\": 4"));
+        assert!(json.contains("\"threads_reason\": \"capped to host cpus\""));
     }
 
     #[test]

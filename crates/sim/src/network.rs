@@ -314,6 +314,13 @@ pub struct Simulation {
     next_packet_id: u64,
     stats: SimStats,
     request_buf: Vec<noc_traffic::PacketRequest>,
+    /// Whether quiescence-driven cycle fast-forwarding is enabled (the
+    /// `NOC_NO_FASTFWD` environment knob disables it at construction; tests
+    /// override via [`set_fast_forward`](Self::set_fast_forward)).
+    fast_forward: bool,
+    /// Cycles skipped by fast-forwarding since construction (diagnostics
+    /// only; never part of the report).
+    fast_forwarded: u64,
 }
 
 impl Simulation {
@@ -394,6 +401,8 @@ impl Simulation {
             next_packet_id: 0,
             stats: SimStats::new(0, u64::MAX),
             request_buf: Vec::new(),
+            fast_forward: std::env::var_os("NOC_NO_FASTFWD").is_none(),
+            fast_forwarded: 0,
         };
         sim.rebuild_shards();
         sim
@@ -661,18 +670,94 @@ impl Simulation {
         self.cycle += 1;
     }
 
+    /// Enables or disables quiescence-driven cycle fast-forwarding. The
+    /// default is on unless the `NOC_NO_FASTFWD` environment variable is set
+    /// at construction. Fast-forwarding never changes results — the on/off
+    /// report identity is pinned by tests/prop_fastforward.rs — only how
+    /// fast provably idle cycles pass.
+    pub fn set_fast_forward(&mut self, enabled: bool) {
+        self.fast_forward = enabled;
+    }
+
+    /// Cycles skipped by fast-forwarding since construction.
+    pub fn fast_forwarded_cycles(&self) -> u64 {
+        self.fast_forwarded
+    }
+
+    /// Whether the network is provably quiescent: stepping it (without new
+    /// injections) would change nothing but the clock. Checked between
+    /// cycles, cheapest condition first:
+    ///
+    /// - no event is in flight (every outbox lane of both double-buffer
+    ///   halves is empty — no flit or credit awaits delivery);
+    /// - every interface is idle (nothing queued, serializing, reassembling
+    ///   or awaiting drain);
+    /// - every router certifies `is_idle` (the same exact step-is-no-op
+    ///   predicates the active-router worklist relies on).
+    fn is_quiescent(&self) -> bool {
+        self.next.iter().all(ShardOutbox::is_empty)
+            && self.now.iter().all(ShardOutbox::is_empty)
+            && self.nis.iter().all(NetworkInterface::is_idle)
+            && self.routers.iter().all(|r| r.is_idle())
+    }
+
+    /// Attempts to jump the clock over provably idle cycles. Returns how
+    /// many cycles were skipped (0..=`limit`).
+    ///
+    /// A skip is taken only when the network [is
+    /// quiescent](Self::is_quiescent) AND the traffic model guarantees (via
+    /// [`TrafficModel::next_injection_cycle`]) that it emits nothing before
+    /// the target cycle. Every skipped cycle would have been a full no-op
+    /// step: no event delivery, no injection, no router or interface state
+    /// change, no stats/energy/histogram/trace event — those are all
+    /// event-driven, and there are no events. Only `self.cycle` advances,
+    /// exactly as it would have.
+    fn try_fast_forward(&mut self, limit: u64) -> u64 {
+        if !self.fast_forward || limit == 0 || !self.is_quiescent() {
+            return 0;
+        }
+        let horizon = self.cycle + limit;
+        let Some(t) = self.traffic.next_injection_cycle(self.cycle, horizon) else {
+            return 0;
+        };
+        debug_assert!(
+            t >= self.cycle && t <= horizon,
+            "traffic model predicted outside [from, horizon]"
+        );
+        let skipped = t.clamp(self.cycle, horizon) - self.cycle;
+        self.cycle += skipped;
+        self.fast_forwarded += skipped;
+        skipped
+    }
+
+    /// Advances the simulation by `cycles` cycles, fast-forwarding through
+    /// quiescent stretches when enabled. Equivalent to `cycles` calls to
+    /// [`step`](Self::step) in every observable respect.
+    pub fn advance(&mut self, cycles: u64) {
+        let mut remaining = cycles;
+        while remaining > 0 {
+            remaining -= self.try_fast_forward(remaining);
+            if remaining == 0 {
+                break;
+            }
+            self.step();
+            remaining -= 1;
+        }
+    }
+
     /// Runs warmup + measurement + drain and produces the report.
     ///
     /// Measurement covers packets created in
     /// `[spec.warmup, spec.warmup + spec.measure)`. After the window closes
     /// the simulation keeps stepping until every measured packet is delivered
-    /// or `spec.drain` extra cycles elapse.
+    /// or `spec.drain` extra cycles elapse. (The drain loop needs no
+    /// fast-forward path: a measured packet still in flight keeps some
+    /// interface or router non-quiescent until it is delivered, at which
+    /// point the loop exits.)
     pub fn run(&mut self, spec: RunSpec) -> SimReport {
         let start = self.cycle;
         self.stats = SimStats::new(start + spec.warmup, start + spec.warmup + spec.measure);
-        for _ in 0..spec.warmup + spec.measure {
-            self.step();
-        }
+        self.advance(spec.warmup + spec.measure);
         let mut drained_cycles = 0;
         while self.stats.measured_in_flight() > 0 && drained_cycles < spec.drain {
             self.step();
@@ -744,5 +829,95 @@ impl Simulation {
                 )
             }),
         }
+    }
+}
+
+/// Fewest routers a shard should hold before parallel stepping pays for its
+/// coordination overhead (2× over-partitioned shards, so at `t` threads a
+/// router count below `2 t × this` triggers the serial clamp).
+pub const MIN_ROUTERS_PER_SHARD: usize = 4;
+
+/// Outcome of the automatic thread-budget selection, recorded in the run
+/// manifest so every artifact states how its thread count was chosen.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ThreadDecision {
+    /// The budget the caller asked for (`--threads`).
+    pub requested: usize,
+    /// The budget actually applied.
+    pub effective: usize,
+    /// Host CPUs observed at decision time.
+    pub host_cpus: usize,
+    /// Routers in the network the decision was sized against.
+    pub routers: usize,
+    /// Why `effective` differs from (or equals) `requested`.
+    pub reason: &'static str,
+}
+
+/// Picks the thread budget to actually run with instead of trusting the
+/// requested count verbatim (ROADMAP item 5, first slice).
+///
+/// Two clamps apply, in order: the budget never exceeds `host_cpus`
+/// (oversubscription only adds scheduler churn), and when the resulting 2×
+/// over-partitioned shards would each hold fewer than
+/// [`MIN_ROUTERS_PER_SHARD`] routers the decision falls back to fully serial
+/// — per-shard coordination would cost more than the parallelism returns on
+/// a network that small. Thread count never affects simulation results
+/// (tests/determinism_threads.rs), so the clamp is always safe.
+pub fn auto_threads(requested: usize, host_cpus: usize, num_routers: usize) -> ThreadDecision {
+    let requested = requested.max(1);
+    let host_cpus = host_cpus.max(1);
+    let capped = requested.min(host_cpus);
+    let (effective, reason) = if capped > 1 {
+        let shards = (capped * 2).min(num_routers.max(1));
+        if num_routers.div_ceil(shards) < MIN_ROUTERS_PER_SHARD {
+            (1, "network too small for parallel shards")
+        } else if capped < requested {
+            (capped, "capped to host cpus")
+        } else {
+            (capped, "as requested")
+        }
+    } else if capped < requested {
+        (capped, "capped to host cpus")
+    } else {
+        (capped, "as requested")
+    };
+    ThreadDecision {
+        requested,
+        effective,
+        host_cpus,
+        routers: num_routers,
+        reason,
+    }
+}
+
+#[cfg(test)]
+mod auto_thread_tests {
+    use super::*;
+
+    #[test]
+    fn small_networks_clamp_to_serial() {
+        // 16 routers at 4 threads -> 8 shards -> 2 routers/shard: serial.
+        let d = auto_threads(4, 16, 16);
+        assert_eq!(d.effective, 1);
+        assert_eq!(d.reason, "network too small for parallel shards");
+        // 16 routers at 2 threads -> 4 shards -> 4 routers/shard: allowed.
+        assert_eq!(auto_threads(2, 16, 16).effective, 2);
+    }
+
+    #[test]
+    fn large_networks_keep_the_request_up_to_host_cpus() {
+        let d = auto_threads(4, 16, 64);
+        assert_eq!(d.effective, 4);
+        assert_eq!(d.reason, "as requested");
+        let d = auto_threads(32, 8, 1024);
+        assert_eq!(d.effective, 8);
+        assert_eq!(d.reason, "capped to host cpus");
+    }
+
+    #[test]
+    fn degenerate_inputs_normalize() {
+        let d = auto_threads(0, 0, 0);
+        assert_eq!(d.effective, 1);
+        assert_eq!(d.requested, 1);
     }
 }

@@ -133,6 +133,19 @@ impl NetworkInterface {
         self.queue.len() + usize::from(self.current.is_some())
     }
 
+    /// Exact step-is-no-op predicate for the fast-forward quiescence check:
+    /// nothing queued or serializing (no injection), no ejection credits
+    /// waiting to return, no partially reassembled packet expecting flits,
+    /// and no delivered packet awaiting the driver's drain. A `step` in this
+    /// state emits nothing and changes no observable state.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+            && self.current.is_none()
+            && self.pending_ejection_credits.is_empty()
+            && self.reassembly.is_empty()
+            && self.delivered.is_empty()
+    }
+
     /// Accepts a packet request at `cycle`, assigning it `id`.
     ///
     /// # Panics

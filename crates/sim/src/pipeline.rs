@@ -20,13 +20,20 @@
 //! NVC/EVC split — each as a thin hook set rather than a second copy of the
 //! pipeline.
 //!
-//! Kernel state is deliberately `pub`: hook implementations live in other
-//! crates and manipulate ports, buffers, stats and trace state directly,
-//! exactly as the pre-kernel routers did. The contract for that surface is
-//! documented per field; behavioral equivalence with the pre-kernel routers
+//! # Structure-of-arrays state (DESIGN.md §15)
+//!
+//! Per-VC and per-output-VC state is stored in flat parallel arrays indexed
+//! by `in_port * vcs + vc` (and `out_port * vcs + vc` on the output side),
+//! not in nested per-port structs: the VA/SA mask loops re-check candidates
+//! by walking set bits of word-packed masks whose bit positions ARE those
+//! slot indices, so each re-check is a couple of contiguous array loads
+//! instead of two pointer chases. The layout is private; scheme hooks go
+//! through the accessor methods (`input_route`, `claim_input_vc`,
+//! `credits_available`, `claim_out_vc`, …), which also keep the incremental
+//! candidate masks coherent. Behavioral equivalence with the pre-SoA kernel
 //! is pinned by the byte-identical golden reports under `tests/golden/`.
 
-use crate::blocks::{CreditBook, FlitFifo, OutputVcAlloc};
+use crate::blocks::FlitFifo;
 use crate::metrics::RouterObservation;
 use crate::metrics::{MetricsConfig, MetricsLevel, PipelineStage, TraceEventKind, TraceRing};
 use crate::probe::{Probe, RouterCounters};
@@ -36,38 +43,6 @@ use noc_base::{BitArbiter, WordMask};
 use noc_base::{Credit, Flit, PortIndex, RouteInfo, RouterId, VcIndex};
 use noc_energy::{EnergyCounters, EnergyEvent};
 use noc_topology::SharedTopology;
-
-/// One input virtual channel: buffer plus per-packet wormhole state.
-#[derive(Debug)]
-pub struct InputVc {
-    /// The VC's flit buffer.
-    pub fifo: FlitFifo,
-    /// Route of the packet currently holding this VC (set when its header
-    /// traverses or is granted VA; cleared at the tail).
-    pub route: Option<RouteInfo>,
-    /// Output VC allocated to the current packet.
-    pub out_vc: Option<VcIndex>,
-    /// Cycle at which VA was granted (used to mark same-cycle SA requests as
-    /// speculative); `u64::MAX` when no grant is pending.
-    pub va_cycle: u64,
-    /// Express-hop budget the packet's flits carry out of this router
-    /// (EVC: `l_max - 1` for an express segment, 0 otherwise; decided at VA
-    /// by [`SchemeHooks::allocate_out_vc`]).
-    pub express_hops: u8,
-    /// Whether the VC state was claimed by an express stream latching
-    /// through (no flits buffered, but the output VC is held). Cleared
-    /// whenever a flit is buffered into this VC.
-    pub pass_through: bool,
-}
-
-/// Output-port state: VC allocation plus per-(drop, VC) credit counters.
-#[derive(Debug)]
-pub struct OutputPort {
-    /// Which input VC owns each output VC.
-    pub alloc: OutputVcAlloc,
-    /// Downstream credits per (drop position, VC).
-    pub credits: CreditBook,
-}
 
 /// A switch-arbitration grant waiting for its switch-traversal cycle.
 #[derive(Copy, Clone, Debug)]
@@ -97,11 +72,12 @@ struct StGrant {
 /// 7. [`end_cycle`](Self::end_cycle) — after all allocation (phase G:
 ///    speculation, stat mirrors, invariant checks).
 ///
-/// Hooks receive `&mut PipelineKernel` and may use its public state and
-/// helper methods ([`PipelineKernel::send_flit`],
+/// Hooks receive `&mut PipelineKernel` and use its accessor methods and
+/// helpers ([`PipelineKernel::send_flit`],
 /// [`PipelineKernel::traverse_from_buffer`], [`PipelineKernel::trace`])
 /// freely; the kernel guarantees no internal borrow is held across a hook
-/// call.
+/// call. The claim/release accessors refresh the incremental candidate masks
+/// themselves, so hooks never touch tracked VC state behind the masks' back.
 pub trait SchemeHooks {
     /// Runs before any traversal of the cycle.
     fn begin_cycle(&mut self, _k: &mut PipelineKernel, _cycle: u64) {}
@@ -126,8 +102,8 @@ pub trait SchemeHooks {
 
     /// VC allocation for one header that won the VA arbitration: choose and
     /// claim an output VC on `flit.route.port` for `owner`, or decline.
-    /// Returns the VC and the express-hop budget to store in
-    /// [`InputVc::express_hops`] (0 for non-express schemes).
+    /// Returns the VC and the express-hop budget to store in the input VC's
+    /// state (0 for non-express schemes).
     fn allocate_out_vc(
         &mut self,
         k: &mut PipelineKernel,
@@ -161,7 +137,7 @@ pub trait SchemeHooks {
 }
 
 /// The shared speculative two-stage pipeline core. See the module docs for
-/// the kernel/hooks split.
+/// the kernel/hooks split and the structure-of-arrays layout.
 pub struct PipelineKernel {
     /// This router's id.
     pub id: RouterId,
@@ -169,10 +145,6 @@ pub struct PipelineKernel {
     pub topo: SharedTopology,
     /// Local (injection/ejection) ports per router.
     pub concentration: usize,
-    /// Input-VC state, indexed `[in_port][vc]`.
-    pub inputs: Vec<Vec<InputVc>>,
-    /// Output-port state, indexed by output port.
-    pub outputs: Vec<OutputPort>,
     /// Whether each input port's crossbar connection is taken this cycle.
     pub in_busy: Vec<bool>,
     /// Whether each output port's crossbar connection is taken this cycle.
@@ -196,6 +168,38 @@ pub struct PipelineKernel {
     /// denominator; schemes without that stat leave it 0).
     count_header_traversals: bool,
     vcs: usize,
+    in_ports: usize,
+    out_ports: usize,
+    // Input-VC state, structure-of-arrays over slot `in_port * vcs + vc`
+    // (DESIGN.md §15). Each array holds one field for every input VC, so
+    // the mask-loop re-checks touch only the arrays they need.
+    //
+    // The VC's flit buffer.
+    fifos: Vec<FlitFifo>,
+    // Route of the packet currently holding the VC (set when its header
+    // traverses or is granted VA; cleared at the tail).
+    routes: Vec<Option<RouteInfo>>,
+    // Output VC allocated to the current packet.
+    out_vcs: Vec<Option<VcIndex>>,
+    // Cycle at which VA was granted (marks same-cycle SA requests as
+    // speculative); `u64::MAX` when no grant is pending.
+    va_cycles: Vec<u64>,
+    // Express-hop budget the packet's flits carry out of this router (EVC:
+    // `l_max - 1` for an express segment, 0 otherwise; decided at VA).
+    express: Vec<u8>,
+    // Whether the VC was claimed by an express stream latching through (no
+    // flits buffered, but the output VC is held). Cleared whenever a flit
+    // is buffered into the VC.
+    pass_through: Vec<bool>,
+    // Output-side state, flattened. `out_owners` is indexed
+    // `out_port * vcs + vc`; the credit counters are indexed
+    // `credit_base[out_port] + sub * vcs + vc` (ports have differing
+    // sub-channel counts, so a per-port base offset replaces a fixed
+    // stride), with `credit_base[out_ports]` the total length.
+    out_owners: Vec<Option<(PortIndex, VcIndex)>>,
+    credits: Vec<u32>,
+    credit_base: Vec<usize>,
+    credit_capacity: u32,
     arrivals: Vec<(PortIndex, Flit)>,
     st_pending: Vec<StGrant>,
     last_connection: Vec<Option<PortIndex>>,
@@ -207,7 +211,7 @@ pub struct PipelineKernel {
     // cycle; the VA/SA scans iterate only their set bits. A stale bit here
     // is a correctness bug (a candidate the allocators never see), which is
     // why all writes to the tracked fields funnel through the kernel helpers
-    // or are followed by an explicit `refresh_vc_masks` in the scheme hooks.
+    // and claim/release accessors.
     //
     // Bit `in_port * vcs + vc`: the VC holds flits and no route/output VC —
     // it may request VA once its head is ready.
@@ -247,35 +251,20 @@ impl PipelineKernel {
         let in_ports = topo.in_ports(id);
         let out_ports = topo.out_ports(id);
         let vcs = config.vcs_per_port as usize;
-        let inputs = (0..in_ports)
-            .map(|_| {
-                (0..vcs)
-                    .map(|_| InputVc {
-                        fifo: FlitFifo::new(config.buffer_depth as usize),
-                        route: None,
-                        out_vc: None,
-                        va_cycle: u64::MAX,
-                        express_hops: 0,
-                        pass_through: false,
-                    })
-                    .collect()
-            })
-            .collect();
-        let outputs = (0..out_ports)
-            .map(|p| {
-                let subs = topo.channel_len(id, PortIndex::new(p)) as usize;
-                OutputPort {
-                    alloc: OutputVcAlloc::new(vcs),
-                    credits: CreditBook::new(subs, vcs, config.buffer_depth),
-                }
-            })
-            .collect();
+        let slots = in_ports * vcs;
+        // Per-port credit regions: `channel_len` sub-channels × `vcs`
+        // counters each, laid out back to back in output-port order.
+        let mut credit_base = Vec::with_capacity(out_ports + 1);
+        let mut total_credits = 0usize;
+        credit_base.push(0);
+        for p in 0..out_ports {
+            total_credits += topo.channel_len(id, PortIndex::new(p)) as usize * vcs;
+            credit_base.push(total_credits);
+        }
         Self {
             id,
             concentration: topo.concentration(),
             topo,
-            inputs,
-            outputs,
             // All per-cycle queues are reserved to their structural maxima so
             // steady-state stepping never allocates (tests/zero_alloc.rs).
             in_busy: vec![false; in_ports],
@@ -287,6 +276,20 @@ impl PipelineKernel {
             tracer: None,
             count_header_traversals,
             vcs,
+            in_ports,
+            out_ports,
+            fifos: (0..slots)
+                .map(|_| FlitFifo::new(config.buffer_depth as usize))
+                .collect(),
+            routes: vec![None; slots],
+            out_vcs: vec![None; slots],
+            va_cycles: vec![u64::MAX; slots],
+            express: vec![0; slots],
+            pass_through: vec![false; slots],
+            out_owners: vec![None; out_ports * vcs],
+            credits: vec![config.buffer_depth; total_credits],
+            credit_base,
+            credit_capacity: config.buffer_depth,
             arrivals: Vec::with_capacity(in_ports),
             st_pending: Vec::with_capacity(in_ports),
             last_connection: vec![None; in_ports],
@@ -313,29 +316,196 @@ impl PipelineKernel {
         }
     }
 
+    /// The flat slot of input VC `(in_port, vc)`: `in_port * vcs + vc`, the
+    /// same index the VA candidate mask uses for its bits.
+    #[inline]
+    fn slot(&self, in_port: PortIndex, vc: VcIndex) -> usize {
+        debug_assert!(in_port.index() < self.in_ports && vc.index() < self.vcs);
+        in_port.index() * self.vcs + vc.index()
+    }
+
+    /// The flat slot of output VC `(out_port, vc)` in the owner table.
+    #[inline]
+    fn out_slot(&self, out_port: PortIndex, vc: VcIndex) -> usize {
+        debug_assert!(out_port.index() < self.out_ports && vc.index() < self.vcs);
+        out_port.index() * self.vcs + vc.index()
+    }
+
+    /// The flat index of the `(out_port, sub, vc)` credit counter.
+    #[inline]
+    fn credit_slot(&self, out_port: PortIndex, sub: usize, vc: VcIndex) -> usize {
+        let idx = self.credit_base[out_port.index()] + sub * self.vcs + vc.index();
+        debug_assert!(
+            idx < self.credit_base[out_port.index() + 1],
+            "sub-channel {sub} out of range on {out_port}"
+        );
+        idx
+    }
+
     /// Re-derives the VA/SA candidate-mask bits of one input VC from its
     /// current state (DESIGN.md §14). The kernel calls this after every state
     /// transition it owns (buffer push, buffer pop, VA grant, tail release);
-    /// scheme hooks MUST call it after directly mutating any tracked field of
-    /// [`InputVc`] (`route`, `out_vc`, `pass_through`, or buffer contents) —
-    /// a missed refresh silently hides the VC from the allocators, which is a
-    /// correctness bug, not a performance bug.
+    /// the claim/release accessors scheme hooks mutate VC state through call
+    /// it internally — a missed refresh silently hides the VC from the
+    /// allocators, which is a correctness bug, not a performance bug.
     #[inline]
     pub fn refresh_vc_masks(&mut self, in_port: PortIndex, vc: VcIndex) {
-        let ivc = &self.inputs[in_port.index()][vc.index()];
-        let has_flits = !ivc.fifo.is_empty();
-        let unclaimed = ivc.route.is_none() && ivc.out_vc.is_none();
-        let slot = in_port.index() * self.vcs + vc.index();
+        let slot = self.slot(in_port, vc);
+        let has_flits = !self.fifos[slot].is_empty();
+        let claimed = self.routes[slot].is_some() && self.out_vcs[slot].is_some();
+        let unclaimed = self.routes[slot].is_none() && self.out_vcs[slot].is_none();
         self.va_cand.assign(slot, has_flits && unclaimed);
-        self.sa_cand[in_port.index()].assign(
-            vc.index(),
-            has_flits && ivc.route.is_some() && ivc.out_vc.is_some() && !ivc.pass_through,
-        );
+        self.sa_cand[in_port.index()]
+            .assign(vc.index(), has_flits && claimed && !self.pass_through[slot]);
     }
 
     /// Virtual channels per port.
     pub fn vcs(&self) -> usize {
         self.vcs
+    }
+
+    /// Input ports of this router.
+    pub fn num_in_ports(&self) -> usize {
+        self.in_ports
+    }
+
+    /// Output ports of this router.
+    pub fn num_out_ports(&self) -> usize {
+        self.out_ports
+    }
+
+    /// Route held by input VC `(in_port, vc)`, if any.
+    #[inline]
+    pub fn input_route(&self, in_port: PortIndex, vc: VcIndex) -> Option<RouteInfo> {
+        self.routes[self.slot(in_port, vc)]
+    }
+
+    /// Output VC held by input VC `(in_port, vc)`, if any.
+    #[inline]
+    pub fn input_out_vc(&self, in_port: PortIndex, vc: VcIndex) -> Option<VcIndex> {
+        self.out_vcs[self.slot(in_port, vc)]
+    }
+
+    /// Whether `(in_port, vc)` is held by an express pass-through claim.
+    #[inline]
+    pub fn input_pass_through(&self, in_port: PortIndex, vc: VcIndex) -> bool {
+        self.pass_through[self.slot(in_port, vc)]
+    }
+
+    /// Whether the buffer of `(in_port, vc)` is empty.
+    #[inline]
+    pub fn input_empty(&self, in_port: PortIndex, vc: VcIndex) -> bool {
+        self.fifos[self.slot(in_port, vc)].is_empty()
+    }
+
+    /// The head flit of `(in_port, vc)` if it is ready at `cycle`.
+    #[inline]
+    pub fn input_head_ready(&self, in_port: PortIndex, vc: VcIndex, cycle: u64) -> Option<&Flit> {
+        self.fifos[self.slot(in_port, vc)].head_ready(cycle)
+    }
+
+    /// Claims input VC `(in_port, vc)` for a packet: stores its route and
+    /// output VC and refreshes the candidate masks. Used by scheme paths
+    /// that grant VA outside the kernel's VA phase (pseudo-circuit reuse and
+    /// bypass); the VA-grant cycle stays unset, marking later SA requests
+    /// non-speculative.
+    pub fn claim_input_vc(
+        &mut self,
+        in_port: PortIndex,
+        vc: VcIndex,
+        route: RouteInfo,
+        out_vc: VcIndex,
+    ) {
+        let slot = self.slot(in_port, vc);
+        self.routes[slot] = Some(route);
+        self.out_vcs[slot] = Some(out_vc);
+        self.refresh_vc_masks(in_port, vc);
+    }
+
+    /// Claims input VC `(in_port, vc)` for an express stream latching
+    /// through (EVC): like [`claim_input_vc`](Self::claim_input_vc) but
+    /// marks the claim pass-through, which keeps the VC out of the SA
+    /// candidate mask until a flit actually buffers.
+    pub fn claim_pass_through(
+        &mut self,
+        in_port: PortIndex,
+        vc: VcIndex,
+        route: RouteInfo,
+        out_vc: VcIndex,
+    ) {
+        let slot = self.slot(in_port, vc);
+        self.routes[slot] = Some(route);
+        self.out_vcs[slot] = Some(out_vc);
+        self.pass_through[slot] = true;
+        self.refresh_vc_masks(in_port, vc);
+    }
+
+    /// Releases every per-packet claim of input VC `(in_port, vc)` (route,
+    /// output VC, VA cycle, express budget, pass-through) and refreshes the
+    /// candidate masks. The tail-flit counterpart of the claim accessors;
+    /// the output-VC allocation itself is released separately via
+    /// [`release_out_vc`](Self::release_out_vc).
+    pub fn release_input_vc(&mut self, in_port: PortIndex, vc: VcIndex) {
+        let slot = self.slot(in_port, vc);
+        self.routes[slot] = None;
+        self.out_vcs[slot] = None;
+        self.va_cycles[slot] = u64::MAX;
+        self.express[slot] = 0;
+        self.pass_through[slot] = false;
+        self.refresh_vc_masks(in_port, vc);
+    }
+
+    /// Whether output VC `(out_port, vc)` is unallocated.
+    #[inline]
+    pub fn out_vc_is_free(&self, out_port: PortIndex, vc: VcIndex) -> bool {
+        self.out_owners[self.out_slot(out_port, vc)].is_none()
+    }
+
+    /// Allocates output VC `(out_port, vc)` to `owner`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VC is already allocated.
+    pub fn claim_out_vc(&mut self, out_port: PortIndex, vc: VcIndex, owner: (PortIndex, VcIndex)) {
+        let slot = self.out_slot(out_port, vc);
+        assert!(
+            self.out_owners[slot].is_none(),
+            "output VC {vc} on {out_port} already allocated"
+        );
+        self.out_owners[slot] = Some(owner);
+    }
+
+    /// Frees output VC `(out_port, vc)` (idempotent).
+    pub fn release_out_vc(&mut self, out_port: PortIndex, vc: VcIndex) {
+        let slot = self.out_slot(out_port, vc);
+        self.out_owners[slot] = None;
+    }
+
+    /// Downstream credits of `(out_port, sub, vc)`.
+    #[inline]
+    pub fn credits_available(&self, out_port: PortIndex, sub: usize, vc: VcIndex) -> u32 {
+        self.credits[self.credit_slot(out_port, sub, vc)]
+    }
+
+    /// Total downstream credits across all VCs of `(out_port, sub)`.
+    #[inline]
+    pub fn credits_at_sub(&self, out_port: PortIndex, sub: usize) -> u32 {
+        let start = self.credit_base[out_port.index()] + sub * self.vcs;
+        self.credits[start..start + self.vcs].iter().sum()
+    }
+
+    /// Reserves one downstream credit of `(out_port, sub, vc)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on credit underflow (a flow-control bug).
+    pub fn consume_credit(&mut self, out_port: PortIndex, sub: usize, vc: VcIndex) {
+        let slot = self.credit_slot(out_port, sub, vc);
+        assert!(
+            self.credits[slot] > 0,
+            "credit underflow at {out_port} sub {sub} {vc}"
+        );
+        self.credits[slot] -= 1;
     }
 
     /// Enables observability per `metrics`: per-port counters at
@@ -345,8 +515,8 @@ impl PipelineKernel {
         if metrics.level == MetricsLevel::Full {
             self.counters = Some(Box::new(RouterCounters::new(
                 self.id.index(),
-                self.inputs.len(),
-                self.outputs.len(),
+                self.in_ports,
+                self.out_ports,
             )));
         }
         if let Some(spec) = &metrics.trace {
@@ -381,15 +551,20 @@ impl PipelineKernel {
 
     /// Queues an arriving flit for this cycle's arrival phase.
     pub fn receive_flit(&mut self, in_port: PortIndex, flit: Flit) {
-        debug_assert!(in_port.index() < self.inputs.len(), "bad input port");
+        debug_assert!(in_port.index() < self.in_ports, "bad input port");
         self.arrivals.push((in_port, flit));
     }
 
     /// Returns a downstream credit to its (sub, VC) counter.
     pub fn receive_credit(&mut self, out_port: PortIndex, credit: Credit) {
-        self.outputs[out_port.index()]
-            .credits
-            .refill(credit.sub as usize, credit.vc);
+        let slot = self.credit_slot(out_port, credit.sub as usize, credit.vc);
+        assert!(
+            self.credits[slot] < self.credit_capacity,
+            "credit overflow at {out_port} sub {} {}",
+            credit.sub,
+            credit.vc
+        );
+        self.credits[slot] += 1;
     }
 
     /// The kernel part of the step-is-no-op predicate: nothing staged or
@@ -469,29 +644,30 @@ impl PipelineKernel {
         reuse: bool,
         out: &mut RouterOutputs,
     ) {
-        let ivc = &mut self.inputs[in_port.index()][vc.index()];
-        let buffered = ivc.fifo.pop().expect("granted VC has a flit");
+        let slot = self.slot(in_port, vc);
+        let buffered = self.fifos[slot].pop().expect("granted VC has a flit");
         debug_assert!(buffered.ready_at <= cycle, "flit traversed before ready");
         let flit = buffered.flit;
         if flit.kind.is_head() {
-            debug_assert!(ivc.route.is_some(), "header traversing without a route");
+            debug_assert!(
+                self.routes[slot].is_some(),
+                "header traversing without a route"
+            );
         }
-        let route = ivc.route.expect("active VC has a route");
-        let out_vc = ivc.out_vc.expect("active VC has an output VC");
-        let va_cycle = ivc.va_cycle;
-        let express_hops = ivc.express_hops;
+        let route = self.routes[slot].expect("active VC has a route");
+        let out_vc = self.out_vcs[slot].expect("active VC has an output VC");
+        let va_cycle = self.va_cycles[slot];
+        let express_hops = self.express[slot];
         if flit.kind.is_tail() {
-            ivc.route = None;
-            ivc.out_vc = None;
-            ivc.va_cycle = u64::MAX;
-            ivc.express_hops = 0;
-            self.outputs[route.port.index()].alloc.free(out_vc);
+            self.routes[slot] = None;
+            self.out_vcs[slot] = None;
+            self.va_cycles[slot] = u64::MAX;
+            self.express[slot] = 0;
+            self.release_out_vc(route.port, out_vc);
         }
         self.refresh_vc_masks(in_port, vc);
         if reuse {
-            self.outputs[route.port.index()]
-                .credits
-                .consume(route.hops as usize - 1, out_vc);
+            self.consume_credit(route.port, route.hops as usize - 1, out_vc);
             self.stats.pc_reuses += 1;
             if flit.kind.is_head() {
                 self.stats.pc_header_reuses += 1;
@@ -585,12 +761,12 @@ impl PipelineKernel {
             self.energy.record(EnergyEvent::BufferWrite);
             self.in_occupancy[in_port.index()] += 1;
             let vc = flit.vc;
-            let ivc = &mut self.inputs[in_port.index()][vc.index()];
+            let slot = self.slot(in_port, vc);
             // An express stream that stalls into the buffer continues
             // hop-by-hop; its pass-through claim becomes an ordinary
             // buffered packet claim.
-            ivc.pass_through = false;
-            ivc.fifo
+            self.pass_through[slot] = false;
+            self.fifos[slot]
                 .push(flit, cycle + 1)
                 .expect("upstream credits bound buffer occupancy");
             self.refresh_vc_masks(in_port, vc);
@@ -607,7 +783,8 @@ impl PipelineKernel {
         // incremental candidate mask are visited; the per-cycle conditions
         // (ready head, header kind) are the only ones re-checked here —
         // the stable part of the predicate (buffered flits, no route, no
-        // output VC) is the mask invariant itself.
+        // output VC) is the mask invariant itself. The mask's bit index IS
+        // the SoA slot, so each re-check is a handful of flat array loads.
         debug_assert!(!self.va_out_pending.any());
         debug_assert!(self.va_req.iter().all(|r| !r.any()));
         for wi in 0..self.va_cand.num_words() {
@@ -617,12 +794,13 @@ impl PipelineKernel {
             while word != 0 {
                 let slot = wi * 64 + word.trailing_zeros() as usize;
                 word &= word - 1;
-                let ivc = &self.inputs[slot / vcs][slot % vcs];
                 debug_assert!(
-                    !ivc.fifo.is_empty() && ivc.route.is_none() && ivc.out_vc.is_none(),
+                    !self.fifos[slot].is_empty()
+                        && self.routes[slot].is_none()
+                        && self.out_vcs[slot].is_none(),
                     "stale VA candidate bit (missed refresh_vc_masks)"
                 );
-                let Some(flit) = ivc.fifo.head_ready(cycle) else {
+                let Some(flit) = self.fifos[slot].head_ready(cycle) else {
                     continue;
                 };
                 if !flit.kind.is_head() {
@@ -647,19 +825,17 @@ impl PipelineKernel {
                     requests[out_port].clear(slot);
                     let in_port = PortIndex::new(slot / vcs);
                     let vc = VcIndex::new(slot % vcs);
-                    let flit = self.inputs[in_port.index()][vc.index()]
-                        .fifo
+                    let flit = self.fifos[slot]
                         .head_ready(cycle)
                         .expect("request implies ready head")
                         .clone();
                     if let Some((out_vc, express_hops)) =
                         hooks.allocate_out_vc(self, &flit, (in_port, vc))
                     {
-                        let ivc = &mut self.inputs[in_port.index()][vc.index()];
-                        ivc.route = Some(flit.route);
-                        ivc.out_vc = Some(out_vc);
-                        ivc.va_cycle = cycle;
-                        ivc.express_hops = express_hops;
+                        self.routes[slot] = Some(flit.route);
+                        self.out_vcs[slot] = Some(out_vc);
+                        self.va_cycles[slot] = cycle;
+                        self.express[slot] = express_hops;
                         self.refresh_vc_masks(in_port, vc);
                         self.stats.va_grants += 1;
                         self.energy.record(EnergyEvent::Arbitration);
@@ -683,10 +859,10 @@ impl PipelineKernel {
         // SA-eligible VCs (per the incremental eligibility masks) are
         // visited, and within a port only the set bits; the per-cycle
         // conditions — ready head, scheme skip, downstream credit — are the
-        // only ones re-checked per bit.
+        // only ones re-checked per bit, against the flat SoA arrays.
         self.sa_winners.fill(None);
         debug_assert!(!self.sa_out_pending.any());
-        for in_port in 0..self.inputs.len() {
+        for in_port in 0..self.in_ports {
             if !self.sa_cand[in_port].any() {
                 continue; // every SA candidate needs a buffered flit
             }
@@ -698,29 +874,26 @@ impl PipelineKernel {
                 while word != 0 {
                     let vc = wi * 64 + word.trailing_zeros() as usize;
                     word &= word - 1;
-                    let ivc = &self.inputs[in_port][vc];
+                    let slot = in_port * self.vcs + vc;
                     debug_assert!(
-                        !ivc.fifo.is_empty() && !ivc.pass_through,
+                        !self.fifos[slot].is_empty() && !self.pass_through[slot],
                         "stale SA candidate bit (missed refresh_vc_masks)"
                     );
-                    let (Some(route), Some(out_vc)) = (ivc.route, ivc.out_vc) else {
+                    let (Some(route), Some(out_vc)) = (self.routes[slot], self.out_vcs[slot])
+                    else {
                         unreachable!("SA candidate bit requires route and output VC")
                     };
-                    if ivc.fifo.head_ready(cycle).is_none() {
+                    if self.fifos[slot].head_ready(cycle).is_none() {
                         continue;
                     }
                     if hooks.sa_skip(in_port_i, VcIndex::new(vc), route) {
                         continue;
                     }
                     let sub = route.hops as usize - 1;
-                    if self.outputs[route.port.index()]
-                        .credits
-                        .available(sub, out_vc)
-                        == 0
-                    {
+                    if self.credits_available(route.port, sub, out_vc) == 0 {
                         continue;
                     }
-                    if ivc.va_cycle == cycle {
+                    if self.va_cycles[slot] == cycle {
                         self.sa_vc_spec.set(vc);
                     } else {
                         self.sa_vc_nonspec.set(vc);
@@ -734,12 +907,12 @@ impl PipelineKernel {
             };
             if let Some(vc) = pick {
                 let speculative = self.sa_vc_spec.get(vc);
-                let ivc = &self.inputs[in_port][vc];
-                let route = ivc.route.expect("winner has route");
+                let slot = in_port * self.vcs + vc;
+                let route = self.routes[slot].expect("winner has route");
                 self.sa_winners[in_port] = Some((
                     VcIndex::new(vc),
                     route,
-                    ivc.out_vc.expect("winner has output VC"),
+                    self.out_vcs[slot].expect("winner has output VC"),
                     speculative,
                 ));
                 let out_port = route.port.index();
@@ -780,9 +953,7 @@ impl PipelineKernel {
         }
         self.sa_out_pending.clear_all();
         for &(in_port, vc, route, out_vc) in picks.iter() {
-            self.outputs[route.port.index()]
-                .credits
-                .consume(route.hops as usize - 1, out_vc);
+            self.consume_credit(route.port, route.hops as usize - 1, out_vc);
             self.st_pending.push(StGrant { in_port, vc });
             self.stats.sa_grants += 1;
             self.energy.record(EnergyEvent::Arbitration);

@@ -73,9 +73,34 @@ pub trait TrafficModel: Send {
 
     /// Produces this cycle's injection requests through `sink`.
     ///
-    /// Called exactly once per simulated cycle with non-decreasing `cycle`
-    /// values.
+    /// Called with non-decreasing `cycle` values. The simulator calls this
+    /// once per simulated cycle, except that it may skip cycles the model
+    /// itself declared empty via
+    /// [`next_injection_cycle`](Self::next_injection_cycle) — a model that
+    /// never returns `Some` from that query is called exactly once per cycle.
     fn generate(&mut self, cycle: u64, sink: &mut dyn FnMut(PacketRequest));
+
+    /// Fast-forward query: the earliest cycle in `[from, horizon]` at which
+    /// this model may emit an injection request.
+    ///
+    /// Returning `Some(t)` is a guarantee that [`generate`](Self::generate)
+    /// emits nothing for any cycle in `[from, t)`, which lets the simulator
+    /// skip those cycles entirely (their `generate` calls included) when the
+    /// network is otherwise quiescent. `Some(horizon)` means "nothing before
+    /// the horizon". `t == from` means an injection is due immediately.
+    ///
+    /// The default `None` opts out: the model cannot predict its own future
+    /// (e.g. closed-loop models whose next injection depends on deliveries),
+    /// and the simulator must call `generate` every cycle.
+    ///
+    /// Implementations that consume randomness to answer (RNG lookahead)
+    /// must buffer the drawn requests and replay them from `generate`, so
+    /// the emitted request stream is identical whether or not this query is
+    /// ever called.
+    fn next_injection_cycle(&mut self, from: u64, horizon: u64) -> Option<u64> {
+        let _ = (from, horizon);
+        None
+    }
 
     /// Notifies the model that a packet finished delivery (tail ejected).
     fn deliver(&mut self, cycle: u64, packet: &DeliveredPacket) {
@@ -112,6 +137,7 @@ mod tests {
     fn default_trait_methods_are_inert() {
         let mut model = Null;
         assert!(!model.has_pending_work());
+        assert_eq!(model.next_injection_cycle(0, 100), None);
         let pkt = DeliveredPacket {
             id: PacketId::new(1),
             src: NodeId::new(0),

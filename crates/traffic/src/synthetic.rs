@@ -116,6 +116,16 @@ pub struct SyntheticTraffic {
     start_prob: f64,
     rng: Pcg32,
     name: String,
+    // Fast-forward lookahead state (`TrafficModel::next_injection_cycle`).
+    // The lookahead answers by actually drawing future cycles with the same
+    // RNG calls `generate` would make, so the consumed random stream — and
+    // therefore every emitted request — is identical whether or not the
+    // query is used. Cycles `< advanced_to` have had their draws consumed;
+    // `pending` holds the requests drawn for cycle `pending_cycle`, replayed
+    // when `generate(pending_cycle)` is eventually called.
+    pending: Vec<PacketRequest>,
+    pending_cycle: u64,
+    advanced_to: u64,
 }
 
 impl SyntheticTraffic {
@@ -157,6 +167,29 @@ impl SyntheticTraffic {
             start_prob: offered_load / packet_len as f64,
             rng: Pcg32::seed_with_stream(seed, 0x7ea),
             name,
+            pending: Vec::new(),
+            pending_cycle: 0,
+            advanced_to: 0,
+        }
+    }
+
+    /// Performs the per-cycle Bernoulli/destination draws for one cycle, in
+    /// ascending node order — the single source of the RNG call sequence for
+    /// both `generate` and the fast-forward lookahead.
+    fn draw_cycle(&mut self, sink: &mut dyn FnMut(PacketRequest)) {
+        for src in 0..self.num_nodes() {
+            if self.rng.next_bool(self.start_prob) {
+                let dst = self
+                    .pattern
+                    .destination(src, self.cols, self.rows, &mut self.rng);
+                debug_assert_ne!(dst, src, "synthetic pattern self-send");
+                sink(PacketRequest {
+                    src: NodeId::new(src),
+                    dst: NodeId::new(dst),
+                    len: self.packet_len,
+                    class: PacketClass::Data,
+                });
+            }
         }
     }
 
@@ -176,21 +209,38 @@ impl TrafficModel for SyntheticTraffic {
         &self.name
     }
 
-    fn generate(&mut self, _cycle: u64, sink: &mut dyn FnMut(PacketRequest)) {
-        for src in 0..self.num_nodes() {
-            if self.rng.next_bool(self.start_prob) {
-                let dst = self
-                    .pattern
-                    .destination(src, self.cols, self.rows, &mut self.rng);
-                debug_assert_ne!(dst, src, "synthetic pattern self-send");
-                sink(PacketRequest {
-                    src: NodeId::new(src),
-                    dst: NodeId::new(dst),
-                    len: self.packet_len,
-                    class: PacketClass::Data,
-                });
+    fn generate(&mut self, cycle: u64, sink: &mut dyn FnMut(PacketRequest)) {
+        if cycle < self.advanced_to {
+            // The lookahead already drew this cycle: replay its (possibly
+            // empty) result without touching the RNG again.
+            if cycle == self.pending_cycle {
+                for r in self.pending.drain(..) {
+                    sink(r);
+                }
             }
+            return;
         }
+        self.advanced_to = cycle + 1;
+        self.draw_cycle(sink);
+    }
+
+    fn next_injection_cycle(&mut self, from: u64, horizon: u64) -> Option<u64> {
+        if !self.pending.is_empty() {
+            return Some(self.pending_cycle.clamp(from, horizon));
+        }
+        let mut t = self.advanced_to.max(from);
+        while t < horizon {
+            let mut pending = std::mem::take(&mut self.pending);
+            self.draw_cycle(&mut |r| pending.push(r));
+            self.pending = pending;
+            self.advanced_to = t + 1;
+            if !self.pending.is_empty() {
+                self.pending_cycle = t;
+                return Some(t);
+            }
+            t += 1;
+        }
+        Some(horizon)
     }
 }
 
@@ -322,6 +372,55 @@ mod tests {
     #[should_panic(expected = "offered load")]
     fn zero_load_rejected() {
         let _ = SyntheticTraffic::new(SyntheticPattern::UniformRandom, 4, 4, 1, 0.0, 0);
+    }
+
+    #[test]
+    fn lookahead_preserves_the_request_stream() {
+        // Interleaving next_injection_cycle queries with generate must yield
+        // exactly the stream a plain per-cycle generate loop yields: the
+        // lookahead consumes the same RNG draws in the same order and
+        // replays its buffered requests.
+        let mut plain = SyntheticTraffic::new(SyntheticPattern::UniformRandom, 4, 4, 3, 0.02, 11);
+        let mut skipping = plain.clone();
+        let reference = collect(&mut plain, 2_000);
+
+        let mut seen = Vec::new();
+        let mut cycle = 0u64;
+        while cycle < 2_000 {
+            let t = skipping
+                .next_injection_cycle(cycle, 2_000)
+                .expect("synthetic traffic always predicts");
+            assert!(t >= cycle && t <= 2_000, "lookahead out of range: {t}");
+            // Skip straight to t without calling generate for [cycle, t).
+            cycle = t;
+            if cycle >= 2_000 {
+                break;
+            }
+            skipping.generate(cycle, &mut |r| seen.push(r));
+            cycle += 1;
+        }
+        assert_eq!(seen, reference);
+    }
+
+    #[test]
+    fn generate_after_partial_lookahead_replays_drawn_cycles() {
+        // When the engine does NOT skip (e.g. the network was busy), the
+        // cycles the lookahead pre-drew must still replay correctly through
+        // per-cycle generate calls.
+        let mut plain = SyntheticTraffic::new(SyntheticPattern::Transpose, 4, 4, 2, 0.05, 3);
+        let mut peeked = plain.clone();
+        let reference = collect(&mut plain, 500);
+
+        let _ = peeked.next_injection_cycle(0, 500);
+        let mut seen = Vec::new();
+        for c in 0..500 {
+            peeked.generate(c, &mut |r| seen.push(r));
+            if c == 100 {
+                // Query again mid-run; must not disturb the stream.
+                let _ = peeked.next_injection_cycle(101, 500);
+            }
+        }
+        assert_eq!(seen, reference);
     }
 
     #[test]

@@ -228,6 +228,12 @@ impl<T: TrafficModel> TrafficModel for TraceRecorder<T> {
     fn has_pending_work(&self) -> bool {
         self.inner.has_pending_work()
     }
+
+    fn next_injection_cycle(&mut self, from: u64, horizon: u64) -> Option<u64> {
+        // Recording is passive: skipped cycles emit nothing, so there is
+        // nothing to record and the inner model's prediction stands.
+        self.inner.next_injection_cycle(from, horizon)
+    }
 }
 
 /// Replays a recorded trace, open-loop.
@@ -283,6 +289,15 @@ impl TrafficModel for TraceReplay {
 
     fn has_pending_work(&self) -> bool {
         self.next < self.records.len()
+    }
+
+    fn next_injection_cycle(&mut self, from: u64, horizon: u64) -> Option<u64> {
+        match self.records.get(self.next) {
+            // An overdue record (cycle < from) is emitted by the next
+            // `generate` call, so the clamp reports "due immediately".
+            Some(r) => Some(r.cycle.clamp(from, horizon)),
+            None => Some(horizon),
+        }
     }
 }
 
@@ -388,6 +403,23 @@ mod tests {
         // Jump straight to cycle 10: all three records must be emitted.
         replay.generate(10, &mut |r| seen.push(r));
         assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn replay_predicts_next_injection_from_the_records() {
+        let mut replay = TraceReplay::new("t", sample_records());
+        // First record is at cycle 0: due immediately.
+        assert_eq!(replay.next_injection_cycle(0, 100), Some(0));
+        let mut n = 0;
+        replay.generate(0, &mut |_| n += 1);
+        assert_eq!(n, 1);
+        // Next records are at cycle 3; horizon clamps the answer.
+        assert_eq!(replay.next_injection_cycle(1, 100), Some(3));
+        assert_eq!(replay.next_injection_cycle(1, 2), Some(2));
+        replay.generate(3, &mut |_| n += 1);
+        assert_eq!(n, 3);
+        // Exhausted trace: nothing before any horizon.
+        assert_eq!(replay.next_injection_cycle(4, 100), Some(100));
     }
 
     #[test]

@@ -18,6 +18,14 @@ cargo test -q --offline
 echo "==> NOC_THREADS=2 cargo test -q"
 NOC_THREADS=2 cargo test -q --offline
 
+# Third pass over the goldens with quiescence fast-forwarding disabled:
+# the pinned reports must be byte-identical whether or not the engine is
+# allowed to skip provably-empty cycles (DESIGN.md §15). The goldens use
+# closed-loop CMP traffic where fast-forwarding never fires, so this pass
+# is the explicit witness that the default-on path changes nothing.
+echo "==> NOC_NO_FASTFWD=1 cargo test -q --test golden_report"
+NOC_NO_FASTFWD=1 cargo test -q --offline --test golden_report
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets --offline -- -D warnings
 
@@ -33,6 +41,12 @@ cargo clippy -p noc-base --all-targets --offline -- -D warnings
 # of the kernel contract.
 echo "==> cargo clippy -p pseudo-circuit -p noc-evc --all-targets -- -D warnings"
 cargo clippy -p pseudo-circuit -p noc-evc --all-targets --offline -- -D warnings
+
+# The SoA kernel state and the quiescence fast-forward path (injection
+# lookahead in noc-traffic, advance()/is_quiescent in noc-sim) carry the
+# engine's perf-critical invariants; lint both crates explicitly.
+echo "==> cargo clippy -p noc-traffic -p noc-sim --all-targets -- -D warnings"
+cargo clippy -p noc-traffic -p noc-sim --all-targets --offline -- -D warnings
 
 echo "==> cargo doc -D warnings"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --document-private-items --offline --quiet

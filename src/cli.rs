@@ -28,7 +28,7 @@
 
 use noc_base::{RoutingPolicy, VaPolicy};
 use noc_evc::EvcRouterFactory;
-use noc_sim::{MetricsLevel, RunManifest, SimReport, TraceSpec};
+use noc_sim::{auto_threads, MetricsLevel, RunManifest, SimReport, TraceSpec};
 use noc_topology::{FlattenedButterfly, Mecs, Mesh, SharedTopology};
 use noc_traffic::{BenchmarkProfile, SyntheticPattern, SyntheticTraffic, TrafficModel};
 use pseudo_circuit::experiment::cmp_traffic_for;
@@ -78,7 +78,9 @@ pub struct RunArgs {
     pub seed: u64,
     /// Engine thread budget (`--threads`; default: all physical cores, with
     /// a `NOC_THREADS` environment override). Never affects results — the
-    /// report is byte-identical for any value.
+    /// report is byte-identical for any value. Treated as a budget, not a
+    /// command: [`run`] clamps it through [`noc_sim::auto_threads`] and
+    /// records the decision in the manifest.
     pub threads: usize,
     /// Observability level (`--metrics off|edge|full`).
     pub metrics: MetricsLevel,
@@ -319,6 +321,13 @@ pub fn build_traffic(
 pub fn run(args: &RunArgs) -> Result<SimReport, CliError> {
     let topo = build_topology(&args.topology)?;
     let traffic = build_traffic(args, &topo)?;
+    // `--threads` / `NOC_THREADS` is a budget, not a command: the effective
+    // count is clamped to the host CPUs and to what the network is large
+    // enough to shard profitably. The decision is recorded in the manifest.
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let threads = auto_threads(args.threads, host_cpus, topo.num_routers());
     let mut builder = ExperimentBuilder::new(topo)
         .routing(args.routing)
         .va_policy(args.va)
@@ -326,7 +335,7 @@ pub fn run(args: &RunArgs) -> Result<SimReport, CliError> {
         .buffer_depth(args.buffer)
         .seed(args.seed)
         .phases(args.warmup, args.measure, args.drain)
-        .threads(args.threads)
+        .threads(threads.effective)
         .metrics(args.metrics);
     if args.trace.is_some() {
         builder = builder.trace(TraceSpec::routers(args.trace_routers.clone()));
@@ -344,6 +353,7 @@ pub fn run(args: &RunArgs) -> Result<SimReport, CliError> {
     if let Some(path) = &args.manifest {
         RunManifest::capture(&report, &config, spec, args.seed, args.metrics)
             .with_scheme(scheme_label)
+            .with_threads(threads)
             .write(Path::new(path))
             .map_err(|e| err(format!("cannot write manifest {path}: {e}")))?;
     }
@@ -470,7 +480,10 @@ pub fn usage() -> &'static str {
        --vcs 4               --buffer 4\n\
        --warmup 1000         --measure 10000     --drain 100000 --seed 1\n\
        --threads <cores>     engine thread budget (results are identical for\n\
-                             any value; NOC_THREADS caps it process-wide)\n\
+                             any value; NOC_THREADS caps it process-wide; the\n\
+                             runner clamps to host CPUs and runs serially when\n\
+                             the network is too small to shard profitably —\n\
+                             the manifest records the decision)\n\
      \n\
      OBSERVABILITY (defaults off; see docs/METRICS.md):\n\
        --metrics off|edge|full   per-router counters + stage histograms (full)\n\
@@ -694,6 +707,10 @@ mod tests {
         let manifest = std::fs::read_to_string(&manifest_path).unwrap();
         assert!(manifest.contains("\"schema\": \"noc-run-manifest/1\""));
         assert!(manifest.contains("\"scheme\": \"Pseudo+PS+BB\""));
+        // A 2x2 mesh is too small to shard: the runner's thread decision is
+        // recorded and must have clamped to serial execution.
+        assert!(manifest.contains("\"threads_effective\": 1"));
+        assert!(manifest.contains("\"threads_reason\""));
         let trace = std::fs::read_to_string(&trace_path).unwrap();
         assert!(trace.contains("\"traceEvents\""));
         std::fs::remove_dir_all(&dir).ok();
