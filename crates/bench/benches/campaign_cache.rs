@@ -1,0 +1,74 @@
+//! Campaign-cache effectiveness harness: wall-clock for a cold campaign run
+//! (every point simulated) versus a warm re-run of the identical spec
+//! (every point a cache hit). The warm number is the cost of `noc campaign
+//! run` deciding it has nothing to do — expansion, per-point hashing, cache
+//! reads, and report re-emission — and should sit orders of magnitude below
+//! the cold number. Not a paper figure; a regression guard for the
+//! campaign engine's overhead (see docs/CAMPAIGNS.md).
+//!
+//! `NOC_BENCH_SMOKE=1` shrinks the sweep to a 2-point single-scheme run —
+//! the CI gate's "does the campaign path execute in release mode" check.
+
+use noc_campaign::{run_campaign, Axes, CampaignOptions, CampaignSpec, SchemeChoice};
+use std::time::Instant;
+
+fn main() {
+    let smoke = std::env::var_os("NOC_BENCH_SMOKE").is_some();
+    let mut spec = CampaignSpec {
+        name: "bench-campaign-cache".into(),
+        warmup: 200,
+        measure: 1_000,
+        drain: 20_000,
+        ..CampaignSpec::default()
+    };
+    spec.axes = Axes {
+        topology: vec!["mesh4x4".into()],
+        scheme: if smoke {
+            vec![SchemeChoice::parse("pseudo+ps+bb").unwrap()]
+        } else {
+            vec![
+                SchemeChoice::parse("baseline").unwrap(),
+                SchemeChoice::parse("pseudo+ps+bb").unwrap(),
+            ]
+        },
+        load: if smoke {
+            vec![0.05, 0.10]
+        } else {
+            vec![0.05, 0.10, 0.15, 0.20]
+        },
+        ..Axes::default()
+    };
+
+    let dir = std::env::temp_dir().join(format!("noc-bench-campaign-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let options = CampaignOptions {
+        threads: 1, // serial: the number tracks engine + cache cost, not core count
+        max_points: None,
+        git_rev: Some("bench".into()),
+    };
+
+    let start = Instant::now();
+    let cold = run_campaign(&spec, &dir, &options).expect("cold campaign run");
+    let cold_time = start.elapsed();
+    assert!(cold.completed && cold.cache_hits == 0);
+
+    let start = Instant::now();
+    let warm = run_campaign(&spec, &dir, &options).expect("warm campaign run");
+    let warm_time = start.elapsed();
+    assert!(
+        warm.completed && warm.executed == 0,
+        "warm run must be fully cached"
+    );
+
+    println!(
+        "campaign cache: {} points\n  cold  {:>10.3?}  ({} executed)\n  warm  {:>10.3?}  ({} cache hits, 0 executed)\n  ratio {:>10.1}x",
+        cold.total,
+        cold_time,
+        cold.executed,
+        warm_time,
+        warm.cache_hits,
+        cold_time.as_secs_f64() / warm_time.as_secs_f64().max(1e-9),
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,265 @@
+//! Turning spec strings into live simulator objects and running one point.
+//!
+//! This module is the single place topology and traffic spec strings are
+//! interpreted — the `noc` CLI's `run` subcommand delegates here too, so a
+//! campaign axis value and a `--topology`/`--traffic` flag accept exactly
+//! the same vocabulary and resolve to exactly the same objects (and
+//! therefore the same `config_hash`).
+
+use crate::spec::{PointSpec, SchemeChoice};
+use crate::Error;
+use noc_evc::EvcRouterFactory;
+use noc_sim::{config_hash, SimReport};
+use noc_topology::{FlattenedButterfly, Mecs, Mesh, SharedTopology};
+use noc_traffic::{BenchmarkProfile, SyntheticPattern, SyntheticTraffic, TrafficModel};
+use pseudo_circuit::experiment::cmp_traffic_for;
+use pseudo_circuit::ExperimentBuilder;
+use std::sync::Arc;
+
+/// Builds the topology named by a spec string: the four named presets or the
+/// general `mesh<W>x<H>[c<C>]` form.
+///
+/// # Errors
+///
+/// Returns an [`Error`] for unrecognized specs.
+pub fn build_topology(spec: &str) -> Result<SharedTopology, Error> {
+    let spec = spec.to_ascii_lowercase();
+    match spec.as_str() {
+        "mesh8x8" => return Ok(Arc::new(Mesh::new(8, 8, 1))),
+        "cmesh4x4" => return Ok(Arc::new(Mesh::new(4, 4, 4))),
+        "mecs4x4" => return Ok(Arc::new(Mecs::new(4, 4, 4))),
+        "fbfly4x4" => return Ok(Arc::new(FlattenedButterfly::new(4, 4, 4))),
+        _ => {}
+    }
+    let body = spec
+        .strip_prefix("mesh")
+        .ok_or_else(|| Error(format!("unknown topology {spec:?}")))?;
+    let (dims, conc) = match body.split_once('c') {
+        Some((dims, c)) => (dims, parse_num::<usize>(c, "concentration")?),
+        None => (body, 1),
+    };
+    let (w, h) = dims
+        .split_once('x')
+        .ok_or_else(|| Error(format!("bad mesh spec {spec:?} (want mesh<W>x<H>[c<C>])")))?;
+    Ok(Arc::new(Mesh::new(
+        parse_num(w, "width")?,
+        parse_num(h, "height")?,
+        conc,
+    )))
+}
+
+/// Builds the traffic model named by `traffic` for `topo`: a synthetic
+/// pattern (driven by `load`, `packet`, `seed`) or a CMP benchmark profile.
+///
+/// # Errors
+///
+/// Returns an [`Error`] if the name is neither a synthetic pattern nor a
+/// benchmark profile, or if the topology cannot host the CMP layout.
+pub fn build_traffic(
+    traffic: &str,
+    load: f64,
+    packet: u16,
+    seed: u64,
+    topo: &SharedTopology,
+) -> Result<Box<dyn TrafficModel>, Error> {
+    let name = traffic.to_ascii_lowercase();
+    let pattern = match name.as_str() {
+        "ur" | "uniform" => Some(SyntheticPattern::UniformRandom),
+        "bc" | "bitcomp" => Some(SyntheticPattern::BitComplement),
+        "bp" | "transpose" => Some(SyntheticPattern::Transpose),
+        "tornado" => Some(SyntheticPattern::Tornado),
+        "neighbor" => Some(SyntheticPattern::Neighbor),
+        _ => None,
+    };
+    if let Some(pattern) = pattern {
+        // Arrange the nodes on the router grid footprint (concentration
+        // folded into columns).
+        let n = topo.num_nodes();
+        let cols = (1..=n)
+            .rev()
+            .find(|c| n.is_multiple_of(*c) && *c * *c <= n)
+            .unwrap_or(1);
+        let (cols, rows) = (n / cols, cols);
+        if matches!(pattern, SyntheticPattern::Transpose) && cols != rows {
+            return Err(Error("transpose requires a square node grid".into()));
+        }
+        return Ok(Box::new(SyntheticTraffic::new(
+            pattern, cols, rows, packet, load, seed,
+        )));
+    }
+    let profile = BenchmarkProfile::by_name(&name)
+        .ok_or_else(|| Error(format!("unknown traffic {name:?} (try `noc list`)")))?;
+    // Mirror cmp_traffic_for's floorplan requirements as errors, not panics.
+    match topo.concentration() {
+        4 => {}
+        1 if topo.num_nodes().is_multiple_of(2) => {}
+        c => {
+            return Err(Error(format!(
+                "benchmark traffic needs concentration 4 (2 cores + 2 banks per router) \
+                 or concentration 1 with an even node count; {} has concentration {c}",
+                topo.name()
+            )))
+        }
+    }
+    Ok(Box::new(cmp_traffic_for(topo.as_ref(), *profile, seed)))
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, Error> {
+    s.parse()
+        .map_err(|_| Error(format!("{what}: cannot parse {s:?}")))
+}
+
+/// A point whose spec strings have been resolved — topology and traffic
+/// build, the display names are known, and the manifest-compatible
+/// `config_hash` is computed. Preparing does **not** run anything; it is
+/// the cheap step the cache lookup needs. Carries only plain data so
+/// prepared points can cross worker threads.
+#[derive(Clone, Debug)]
+pub struct PreparedPoint {
+    /// The point's coordinates.
+    pub spec: PointSpec,
+    /// The resolved topology display name (`Topology::name`).
+    pub topology_name: String,
+    /// The resolved traffic display name (`TrafficModel::name`).
+    pub traffic_name: String,
+    /// The `noc-run-manifest/1` configuration hash of this point — the
+    /// cache's content address.
+    pub config_hash: String,
+}
+
+/// Resolves and hashes one point (see [`PreparedPoint`]).
+///
+/// # Errors
+///
+/// Returns an [`Error`] when the topology or traffic spec is invalid.
+pub fn prepare(point: &PointSpec) -> Result<PreparedPoint, Error> {
+    let topo = build_topology(&point.topology)?;
+    let traffic = build_traffic(&point.traffic, point.load, point.packet, point.seed, &topo)?;
+    let builder = builder_for(point, topo.clone());
+    let hash = config_hash(
+        topo.name(),
+        traffic.name(),
+        Some(&point.scheme.label()),
+        &builder.config(),
+        builder.spec(),
+        point.seed,
+    );
+    Ok(PreparedPoint {
+        spec: point.clone(),
+        topology_name: topo.name().to_string(),
+        traffic_name: traffic.name().to_string(),
+        config_hash: hash,
+    })
+}
+
+/// Runs one prepared point to completion and returns its report.
+///
+/// The simulation itself always runs **single-threaded**: campaign
+/// parallelism is across points (one simulation per worker), which beats
+/// intra-simulation sharding for every network small enough to appear in a
+/// sweep (ROADMAP item 4). Determinism therefore never depends on the
+/// campaign's thread budget.
+///
+/// # Errors
+///
+/// Returns an [`Error`] when the specs fail to rebuild (they were already
+/// validated by [`prepare`], so this is effectively unreachable).
+pub fn run_point(prepared: &PreparedPoint) -> Result<SimReport, Error> {
+    let point = &prepared.spec;
+    let topo = build_topology(&point.topology)?;
+    let traffic = build_traffic(&point.traffic, point.load, point.packet, point.seed, &topo)?;
+    let builder = builder_for(point, topo);
+    let spec = builder.spec();
+    let mut sim = match point.scheme {
+        SchemeChoice::Pc(scheme) => builder.scheme(scheme).build(traffic),
+        SchemeChoice::Evc => builder.build_with_factory(traffic, &EvcRouterFactory::default()),
+    };
+    Ok(sim.run(spec))
+}
+
+fn builder_for(point: &PointSpec, topo: SharedTopology) -> ExperimentBuilder {
+    ExperimentBuilder::new(topo)
+        .routing(point.routing)
+        .va_policy(point.va)
+        .vcs(point.vcs)
+        .buffer_depth(point.buffer)
+        .seed(point.seed)
+        .phases(point.warmup, point.measure, point.drain)
+        .threads(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CampaignSpec;
+
+    fn tiny_point() -> PointSpec {
+        let spec = CampaignSpec::parse_toml_str(
+            "[phases]\nwarmup = 50\nmeasure = 200\ndrain = 2000\n\
+             [axes]\ntopology = \"mesh2x2\"\nload = 0.05\npacket = 2\n",
+        )
+        .unwrap();
+        spec.expand().remove(0)
+    }
+
+    #[test]
+    fn topology_specs_build() {
+        assert_eq!(build_topology("mesh8x8").unwrap().num_routers(), 64);
+        assert_eq!(build_topology("CMESH4x4").unwrap().num_nodes(), 64);
+        assert_eq!(build_topology("mecs4x4").unwrap().num_nodes(), 64);
+        assert_eq!(build_topology("fbfly4x4").unwrap().num_nodes(), 64);
+        let custom = build_topology("mesh3x5c2").unwrap();
+        assert_eq!(custom.num_routers(), 15);
+        assert_eq!(custom.num_nodes(), 30);
+        assert!(build_topology("ring9").is_err());
+        assert!(build_topology("mesh3by5").is_err());
+    }
+
+    #[test]
+    fn traffic_specs_build() {
+        let topo = build_topology("mesh4x4c1").unwrap();
+        assert!(build_traffic("ur", 0.1, 5, 1, &topo).is_ok());
+        let cmesh = build_topology("cmesh4x4").unwrap();
+        assert!(build_traffic("lu", 0.1, 5, 1, &cmesh).is_ok());
+        assert!(build_traffic("nonesuch", 0.1, 5, 1, &cmesh).is_err());
+        // Benchmark traffic on unsupported floorplans errors cleanly.
+        let odd = build_topology("mesh3x3c2").unwrap();
+        let err = build_traffic("fma3d", 0.1, 5, 1, &odd)
+            .map(|_| ())
+            .unwrap_err();
+        assert!(err.0.contains("concentration"), "{err}");
+        let odd_nodes = build_topology("mesh3x3").unwrap();
+        assert!(build_traffic("fma3d", 0.1, 5, 1, &odd_nodes).is_err());
+    }
+
+    #[test]
+    fn prepare_hashes_match_the_run_manifest() {
+        // The cache key must be exactly what `noc run --manifest` would
+        // stamp for the same configuration.
+        let point = tiny_point();
+        let prepared = prepare(&point).unwrap();
+        let report = run_point(&prepared).unwrap();
+        let topo = build_topology(&point.topology).unwrap();
+        let builder = builder_for(&point, topo);
+        let manifest = noc_sim::RunManifest::capture(
+            &report,
+            &builder.config(),
+            builder.spec(),
+            point.seed,
+            noc_sim::MetricsLevel::Off,
+        )
+        .with_scheme(point.scheme.label());
+        assert_eq!(prepared.config_hash, manifest.config_hash);
+        assert_eq!(prepared.topology_name, report.topology);
+        assert_eq!(prepared.traffic_name, report.traffic);
+    }
+
+    #[test]
+    fn run_point_is_deterministic() {
+        let prepared = prepare(&tiny_point()).unwrap();
+        let a = run_point(&prepared).unwrap();
+        let b = run_point(&prepared).unwrap();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert!(a.drained);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests for campaign expansion: for arbitrary valid axes the
+//! expansion is deterministic, duplicate-free, exactly the cartesian
+//! product's size, and ordered by the documented fixed nesting.
+
+use noc_campaign::{Axes, CampaignSpec, SchemeChoice};
+use proptest::prelude::*;
+
+/// A duplicate-free, non-empty subset of `values` selected by a bitmask
+/// (mask 0 — or any mask missing every index — falls back to the full set,
+/// so every draw is a valid axis).
+fn pick<T: Clone>(values: &[T], mask: u64) -> Vec<T> {
+    let chosen: Vec<T> = values
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| mask >> i & 1 == 1)
+        .map(|(_, v)| v.clone())
+        .collect();
+    if chosen.is_empty() {
+        values.to_vec()
+    } else {
+        chosen
+    }
+}
+
+fn arb_spec() -> impl Strategy<Value = CampaignSpec> {
+    proptest::collection::vec(any::<u64>(), 7).prop_map(|masks| {
+        let schemes: Vec<SchemeChoice> = [
+            "baseline",
+            "pseudo",
+            "pseudo+ps",
+            "pseudo+bb",
+            "pseudo+ps+bb",
+            "evc",
+        ]
+        .iter()
+        .map(|s| SchemeChoice::parse(s).unwrap())
+        .collect();
+        CampaignSpec {
+            axes: Axes {
+                topology: pick(
+                    &[
+                        "mesh2x2".to_string(),
+                        "mesh3x2".to_string(),
+                        "mesh2x4".to_string(),
+                    ],
+                    masks[0],
+                ),
+                traffic: pick(
+                    &["ur".to_string(), "bc".to_string(), "tornado".to_string()],
+                    masks[1],
+                ),
+                scheme: pick(&schemes, masks[2]),
+                vcs: pick(&[1u8, 2, 4], masks[3]),
+                buffer: pick(&[2u32, 4], masks[4]),
+                load: pick(&[0.02f64, 0.05, 0.1, 0.2], masks[5]),
+                seed: pick(&[1u64, 2, 7], masks[6]),
+                ..Axes::default()
+            },
+            ..CampaignSpec::default()
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn expansion_is_deterministic_and_duplicate_free(spec in arb_spec()) {
+        let points = spec.expand();
+        // Exactly the product size, and identical on re-expansion.
+        prop_assert_eq!(points.len(), spec.num_points());
+        prop_assert_eq!(&points, &spec.expand());
+        // No two points share all coordinates.
+        for (i, p) in points.iter().enumerate() {
+            prop_assert!(
+                !points[..i].contains(p),
+                "duplicate point in expansion: {}", p
+            );
+        }
+    }
+
+    #[test]
+    fn expansion_order_is_the_documented_nesting(spec in arb_spec()) {
+        // Reconstruct the expected order from the axes and compare — the
+        // fixed nesting (topology outermost, seed innermost) is a documented
+        // contract because cache keys and reports rely on stable point
+        // identity, not position.
+        let points = spec.expand();
+        let a = &spec.axes;
+        let mut expected = Vec::new();
+        for topology in &a.topology {
+            for traffic in &a.traffic {
+                for &scheme in &a.scheme {
+                    for &vcs in &a.vcs {
+                        for &buffer in &a.buffer {
+                            for &load in &a.load {
+                                for &seed in &a.seed {
+                                    expected.push((
+                                        topology.clone(),
+                                        traffic.clone(),
+                                        scheme,
+                                        vcs,
+                                        buffer,
+                                        load.to_bits(),
+                                        seed,
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let actual: Vec<_> = points
+            .iter()
+            .map(|p| (
+                p.topology.clone(),
+                p.traffic.clone(),
+                p.scheme,
+                p.vcs,
+                p.buffer,
+                p.load.to_bits(),
+                p.seed,
+            ))
+            .collect();
+        prop_assert_eq!(actual, expected);
+    }
+
+    #[test]
+    fn spec_hash_is_stable_and_sensitive(spec in arb_spec()) {
+        prop_assert_eq!(spec.spec_hash(), spec.clone().spec_hash());
+        let mut grown = spec.clone();
+        grown.axes.seed.push(991);
+        prop_assert_ne!(spec.spec_hash(), grown.spec_hash());
+    }
+}

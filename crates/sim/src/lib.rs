@@ -56,7 +56,7 @@ pub mod router;
 pub mod stats;
 pub mod test_model;
 
-pub use manifest::{git_rev, RunManifest, MANIFEST_SCHEMA};
+pub use manifest::{config_hash, git_rev, RunManifest, MANIFEST_SCHEMA};
 pub use metrics::{
     chrome_trace_json, MetricsConfig, MetricsLevel, ObservabilityReport, PipelineStage,
     RouterObservation, StageHistograms, TraceEvent, TraceEventKind, TraceRing, TraceSpec,

@@ -138,16 +138,14 @@ impl RunManifest {
     /// deliberately excluded — two runs of the same configuration hash
     /// identically even if the engine's behaviour changed.
     fn compute_config_hash(&self) -> String {
-        let key = format!(
-            "{}|{}|{}|{:?}|{:?}|{}",
-            self.topology,
-            self.traffic,
-            self.scheme.as_deref().unwrap_or("-"),
-            self.config,
+        config_hash(
+            &self.topology,
+            &self.traffic,
+            self.scheme.as_deref(),
+            &self.config,
             self.spec,
-            self.seed
-        );
-        format!("{:016x}", fnv1a64(key.as_bytes()))
+            self.seed,
+        )
     }
 
     /// Serializes the manifest as a JSON document.
@@ -272,6 +270,34 @@ fn f64_json(value: f64) -> String {
     }
 }
 
+/// The `config_hash` stamped into every run manifest, computable *before* a
+/// run: FNV-1a over topology name, traffic name, scheme label, network
+/// parameters, run phases, and seed. Results never enter the key, so a
+/// configuration's hash is stable across engine changes — the property the
+/// campaign cache (`noc-campaign`) relies on to decide whether a stored
+/// result still describes a requested point. `topology` and `traffic` are
+/// the *resolved* display names (`Topology::name` / `TrafficModel::name`),
+/// matching what [`RunManifest::capture`] reads off the report.
+pub fn config_hash(
+    topology: &str,
+    traffic: &str,
+    scheme: Option<&str>,
+    config: &NetworkConfig,
+    spec: RunSpec,
+    seed: u64,
+) -> String {
+    let key = format!(
+        "{}|{}|{}|{:?}|{:?}|{}",
+        topology,
+        traffic,
+        scheme.unwrap_or("-"),
+        config,
+        spec,
+        seed
+    );
+    format!("{:016x}", fnv1a64(key.as_bytes()))
+}
+
 /// Escapes a string for embedding in a JSON document.
 pub fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -386,6 +412,25 @@ mod tests {
         assert!(json.contains("\"routers\": []"));
         assert_eq!(m.config_hash.len(), 16);
         std::env::remove_var("NOC_GIT_REV");
+    }
+
+    #[test]
+    fn free_config_hash_matches_captured_manifest() {
+        // The campaign cache computes keys *before* running; the manifest
+        // computes them *after*. Both must agree byte-for-byte.
+        let cfg = NetworkConfig::paper();
+        let spec = RunSpec::new(100, 400, 1000);
+        let m = RunManifest::capture(&report(None), &cfg, spec, 9, MetricsLevel::Off)
+            .with_scheme("Pseudo+PS+BB");
+        assert_eq!(
+            m.config_hash,
+            config_hash("mesh-4x4", "uniform", Some("Pseudo+PS+BB"), &cfg, spec, 9)
+        );
+        let unlabeled = RunManifest::capture(&report(None), &cfg, spec, 9, MetricsLevel::Off);
+        assert_eq!(
+            unlabeled.config_hash,
+            config_hash("mesh-4x4", "uniform", None, &cfg, spec, 9)
+        );
     }
 
     #[test]

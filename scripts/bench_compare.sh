@@ -79,15 +79,26 @@ function median_cps(line,    re, s, m, i, j, tmp, vals) {
     cps = median_cps($0)
     key = name "@" threads
     if (FILENAME == old_file) {
+        if (!(key in before)) border[++bn] = key
         before[key] = cps
     } else {
+        if (!(key in after)) order[++n] = key
         after[key] = cps
-        order[++n] = key
     }
 }
 function report(key,    delta, flag) {
+    # A case may exist in only one snapshot (added or removed cases, in
+    # either section): report it as new/gone instead of comparing.
     if (!(key in before)) {
         printf "%-28s %14s %14.0f %9s\n", key, "-", after[key], "new"
+        return 0
+    }
+    if (!(key in after)) {
+        printf "%-28s %14.0f %14s %9s\n", key, before[key], "-", "gone"
+        return 0
+    }
+    if (before[key] == 0) {
+        printf "%-28s %14.0f %14.0f %9s\n", key, before[key], after[key], "n/a"
         return 0
     }
     delta = (after[key] - before[key]) / before[key] * 100
@@ -101,6 +112,11 @@ function report(key,    delta, flag) {
 }
 END {
     fail = 0
+    # One merged, deterministic case list: new-snapshot order first, then
+    # old-only ("gone") cases in old-snapshot order — never hash order.
+    for (i = 1; i <= bn; i++) {
+        if (!(border[i] in after)) order[++n] = border[i]
+    }
     printf "%-28s %14s %14s %9s\n", "case@threads", "old c/s", "new c/s", "delta"
     for (i = 1; i <= n; i++) {
         if (order[i] !~ /^lowload_/) report(order[i])
@@ -114,11 +130,6 @@ END {
         print "low-load / fast-forward cases (informational, not gated):"
         for (i = 1; i <= n; i++) {
             if (order[i] ~ /^lowload_/) report(order[i])
-        }
-    }
-    for (key in before) {
-        if (!(key in after)) {
-            printf "%-28s %14.0f %14s %9s\n", key, before[key], "-", "gone"
         }
     }
     if (fail) {

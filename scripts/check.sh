@@ -48,6 +48,12 @@ cargo clippy -p pseudo-circuit -p noc-evc --all-targets --offline -- -D warnings
 echo "==> cargo clippy -p noc-traffic -p noc-sim --all-targets -- -D warnings"
 cargo clippy -p noc-traffic -p noc-sim --all-targets --offline -- -D warnings
 
+# The campaign engine owns the cache's byte-identity contract and the only
+# hand-rolled TOML/JSON parsing in the workspace; lint it explicitly so a
+# partial workspace build never skips it.
+echo "==> cargo clippy -p noc-campaign --all-targets -- -D warnings"
+cargo clippy -p noc-campaign --all-targets --offline -- -D warnings
+
 echo "==> cargo doc -D warnings"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --document-private-items --offline --quiet
 
@@ -65,6 +71,51 @@ echo "==> noc run --scheme evc (smoke)"
 # incremental masks) executes in release mode; it is not a measurement.
 echo "==> NOC_BENCH_SMOKE=1 cargo bench --bench engine (smoke)"
 NOC_BENCH_SMOKE=1 cargo bench -q -p noc-bench --bench engine --offline >/dev/null
+
+# Campaign smoke: a tiny 2-scheme × 2-load sweep, interrupted after one
+# point (--max-points, the deterministic stand-in for a kill), resumed to
+# completion, then re-run — the re-run must execute 0 points and the report
+# must be byte-identical to the post-resume one (docs/CAMPAIGNS.md).
+echo "==> noc campaign run / interrupt / resume / cached re-run (smoke)"
+campdir=$(mktemp -d)
+trap 'rm -rf "$campdir"' EXIT
+cat > "$campdir/sweep.toml" <<'EOF'
+name = "check-smoke"
+
+[phases]
+warmup = 50
+measure = 200
+drain = 2000
+
+[axes]
+topology = "mesh2x2"
+scheme = ["baseline", "pseudo+ps+bb"]
+packet = 2
+load = [0.02, 0.05]
+EOF
+./target/release/noc campaign run --spec "$campdir/sweep.toml" \
+    --out "$campdir/out" --max-points 1 >/dev/null
+./target/release/noc campaign run --spec "$campdir/sweep.toml" \
+    --out "$campdir/out" >/dev/null
+cp "$campdir/out/report.json" "$campdir/report.first.json"
+rerun=$(./target/release/noc campaign run --spec "$campdir/sweep.toml" \
+    --out "$campdir/out")
+grep -q "cache hits 4 | executed 0" <<< "$rerun" || {
+    echo "campaign smoke: cached re-run executed points: $rerun" >&2
+    exit 1
+}
+cmp -s "$campdir/out/report.json" "$campdir/report.first.json" || {
+    echo "campaign smoke: cached re-run changed report bytes" >&2
+    exit 1
+}
+
+# Script-level gates: the bench-compare fixture tests and the docs link
+# check (dangling relative links, anchors, and DESIGN.md § references).
+echo "==> scripts/test_bench_compare.sh"
+scripts/test_bench_compare.sh >/dev/null
+
+echo "==> scripts/check_links.sh"
+scripts/check_links.sh
 
 echo "==> cargo fmt --check"
 cargo fmt --check

@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# Docs link gate: walks every tracked markdown file and fails on
+#   1. dangling relative links — `](path)` targets that do not exist on disk
+#      (http/https/mailto links are not checked; no network here),
+#   2. dangling anchors — `](path#anchor)` / `](#anchor)` whose GitHub-style
+#      heading slug exists in no heading of the target file,
+#   3. references to deleted DESIGN.md sections — `§N` mentions (in the
+#      curated docs set below) with no matching `## N.` heading.
+# Fenced code blocks are ignored in both link extraction and heading
+# slugging. Run from anywhere: scripts/check_links.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fails=0
+complain() {
+    echo "check_links: $1" >&2
+    fails=$((fails + 1))
+}
+
+# Markdown files to scan (vendored code is not ours to lint).
+mapfile -t files < <(git ls-files '*.md' | grep -v '^vendor/')
+
+# GitHub-style slugs for every heading of one file (code fences skipped):
+# lowercase, backticks stripped, punctuation dropped, spaces to hyphens.
+slugs() {
+    awk '
+        /^```/ { fence = !fence; next }
+        fence { next }
+        /^#+[ \t]/ {
+            h = $0
+            sub(/^#+[ \t]+/, "", h)
+            gsub(/`/, "", h)
+            h = tolower(h)
+            gsub(/[^a-z0-9 _-]/, "", h)
+            gsub(/[ \t]+/, "-", h)
+            print h
+        }
+    ' "$1"
+}
+
+# All `](target)` occurrences of one file, code fences skipped.
+links() {
+    awk '
+        /^```/ { fence = !fence; next }
+        fence { next }
+        {
+            line = $0
+            while (match(line, /\]\([^)]*\)/)) {
+                print substr(line, RSTART + 2, RLENGTH - 3)
+                line = substr(line, RSTART + RLENGTH)
+            }
+        }
+    ' "$1"
+}
+
+for file in "${files[@]}"; do
+    dir=$(dirname "$file")
+    while IFS= read -r target; do
+        case $target in
+            http://*|https://*|mailto:*) continue ;;
+            '') complain "$file: empty link target"; continue ;;
+        esac
+        path=${target%%#*}
+        anchor=
+        case $target in *'#'*) anchor=${target#*#} ;; esac
+        if [ -z "$path" ]; then
+            resolved=$file          # same-file anchor
+        else
+            resolved=$dir/$path
+        fi
+        if [ ! -e "$resolved" ]; then
+            complain "$file: dangling link ]($target) — $resolved does not exist"
+            continue
+        fi
+        if [ -n "$anchor" ] && [[ $resolved == *.md ]]; then
+            if ! slugs "$resolved" | grep -qxF "$anchor"; then
+                complain "$file: dangling anchor ]($target) — no heading slugs to \"$anchor\" in $resolved"
+            fi
+        fi
+    done < <(links "$file")
+done
+
+# DESIGN.md section references: `§N` in the docs that cite DESIGN sections
+# (PAPER.md's § marks cite the paper itself; CHANGES.md and ISSUE.md are
+# historical logs) must match a live `## N.` heading.
+design_sections=$(grep -oE '^## [0-9]+\.' DESIGN.md | grep -oE '[0-9]+' | sort -n | paste -sd' ')
+section_files=(README.md DESIGN.md EXPERIMENTS.md ROADMAP.md)
+for f in docs/*.md examples/README.md; do
+    [ -f "$f" ] && section_files+=("$f")
+done
+for file in "${section_files[@]}"; do
+    [ -f "$file" ] || continue
+    while IFS= read -r n; do
+        [ -n "$n" ] || continue
+        if ! grep -qE "^## ${n}\." DESIGN.md; then
+            complain "$file: references DESIGN.md §$n but DESIGN.md has no \"## ${n}.\" heading (live sections: $design_sections)"
+        fi
+    done < <(grep -oE '§[0-9]+' "$file" | tr -d '§' | sort -u)
+done
+
+if [ "$fails" -ne 0 ]; then
+    echo "check_links: $fails problem(s) found" >&2
+    exit 1
+fi
+echo "check_links: all relative links, anchors and DESIGN.md § references resolve"

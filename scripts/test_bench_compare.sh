@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# Fixture tests for scripts/bench_compare.sh: cases present in only one
+# snapshot (in both the gated and the lowload_ section) must be reported in
+# the right section, in deterministic order, without tripping or masking the
+# regression gate; a genuine threads=1 regression must still exit 1.
+#
+#   scripts/test_bench_compare.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+compare=scripts/bench_compare.sh
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+fails=0
+check() { # check <desc> <condition...>
+    local desc=$1
+    shift
+    if "$@"; then
+        echo "ok   - $desc"
+    else
+        echo "FAIL - $desc"
+        fails=$((fails + 1))
+    fi
+}
+
+# --- fixture snapshots ----------------------------------------------------
+# old: a gated case that disappears, a lowload case that disappears, a
+#      shared gated case, a shared lowload case.
+# new: the shared cases (improved), plus a brand-new case in each section.
+cat > "$tmp/old.json" <<'EOF'
+{"cases": [
+  {"name": "baseline_mesh8x8", "threads": 1, "cycles_per_sec": 1000000},
+  {"name": "retired_case", "threads": 1, "cycles_per_sec": 500000},
+  {"name": "lowload_idle", "threads": 1, "cps_samples": [900, 1000, 1100]},
+  {"name": "lowload_retired", "threads": 1, "cycles_per_sec": 750}
+]}
+EOF
+cat > "$tmp/new.json" <<'EOF'
+{"cases": [
+  {"name": "baseline_mesh8x8", "threads": 1, "cycles_per_sec": 1100000},
+  {"name": "fresh_case", "threads": 1, "cycles_per_sec": 400000},
+  {"name": "lowload_idle", "threads": 1, "cps_samples": [1800, 2000, 2200]},
+  {"name": "lowload_fresh", "threads": 1, "cycles_per_sec": 950}
+]}
+EOF
+
+out=$("$compare" "$tmp/old.json" "$tmp/new.json")
+status=0
+"$compare" "$tmp/old.json" "$tmp/new.json" > /dev/null || status=$?
+
+check "one-sided cases do not fail the gate" [ "$status" -eq 0 ]
+check "gone gated case is reported" grep -q '^retired_case@1 .*gone' <<< "$out"
+check "new gated case is reported" grep -q '^fresh_case@1 .*new' <<< "$out"
+check "gone lowload case is reported" grep -q '^lowload_retired@1 .*gone' <<< "$out"
+check "new lowload case is reported" grep -q '^lowload_fresh@1 .*new' <<< "$out"
+
+# Section attribution: every lowload_ line (and no other case line) must sit
+# below the lowload header.
+lowload_section=$(sed -n '/informational, not gated/,$p' <<< "$out")
+check "lowload section exists" [ -n "$lowload_section" ]
+check "gone lowload case sits in the lowload section" \
+    grep -q '^lowload_retired@1' <<< "$lowload_section"
+check "gone gated case sits above the lowload section" \
+    bash -c '! grep -q "^retired_case@1" <<< "$1"' _ "$lowload_section"
+check "no gated case leaks into the lowload section" \
+    bash -c '! grep -Eq "^(baseline_mesh8x8|fresh_case)@1" <<< "$1"' _ "$lowload_section"
+
+# Determinism: two runs produce identical bytes (gone-case order used to
+# depend on awk hash iteration).
+out2=$("$compare" "$tmp/old.json" "$tmp/new.json")
+check "output is deterministic across runs" [ "$out" = "$out2" ]
+
+# The regression gate still fires: drop a gated threads=1 case by >10%.
+cat > "$tmp/regressed.json" <<'EOF'
+{"cases": [
+  {"name": "baseline_mesh8x8", "threads": 1, "cycles_per_sec": 800000},
+  {"name": "lowload_idle", "threads": 1, "cps_samples": [1800, 2000, 2200]}
+]}
+EOF
+status=0
+"$compare" "$tmp/old.json" "$tmp/regressed.json" > /dev/null || status=$?
+check "threads=1 regression still exits 1" [ "$status" -eq 1 ]
+
+# A lowload_ regression must NOT gate (informational section).
+cat > "$tmp/lowload_only_regressed.json" <<'EOF'
+{"cases": [
+  {"name": "baseline_mesh8x8", "threads": 1, "cycles_per_sec": 1000000},
+  {"name": "lowload_idle", "threads": 1, "cps_samples": [90, 100, 110]}
+]}
+EOF
+status=0
+"$compare" "$tmp/old.json" "$tmp/lowload_only_regressed.json" > /dev/null || status=$?
+check "lowload regression does not gate" [ "$status" -eq 0 ]
+
+if [ "$fails" -ne 0 ]; then
+    echo "test_bench_compare: $fails check(s) failed" >&2
+    exit 1
+fi
+echo "test_bench_compare: all checks passed"

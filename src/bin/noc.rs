@@ -21,6 +21,18 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        "campaign" => {
+            match cli::parse_campaign_args(rest).and_then(|c| cli::run_campaign_command(&c)) {
+                Ok(text) => {
+                    println!("{text}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         "list" => {
             println!("{}", cli::render_list());
             ExitCode::SUCCESS

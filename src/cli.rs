@@ -14,8 +14,18 @@
 //!         [--seed 1] [--threads N]
 //!         [--metrics off|edge|full] [--manifest PATH]
 //!         [--trace PATH] [--trace-routers 0,5,12]
+//! noc campaign run --spec FILE --out DIR [--threads N] [--max-points N]
+//! noc campaign status --out DIR
+//! noc campaign expand --spec FILE
 //! noc list            # available traffic names and topologies
 //! ```
+//!
+//! Topology, traffic and scheme vocabulary is shared with campaign spec
+//! files: the spec strings here are parsed by [`noc_campaign`]'s resolvers
+//! (`build_topology`, `build_traffic`, [`SchemeChoice`][RouterChoice]), so
+//! a flag value and a campaign axis value mean exactly the same thing. The
+//! `campaign` subcommand drives [`noc_campaign::run_campaign`]: cached,
+//! resumable sweeps documented in `docs/CAMPAIGNS.md`.
 //!
 //! `--metrics=full` attaches per-router counters and pipeline-stage
 //! histograms to the report (see `docs/METRICS.md`); `--manifest` writes the
@@ -27,25 +37,19 @@
 //! pipeline kernel and carry the same observability plumbing.
 
 use noc_base::{RoutingPolicy, VaPolicy};
+use noc_campaign::{CampaignOptions, CampaignSpec, Checkpoint};
 use noc_evc::EvcRouterFactory;
 use noc_sim::{auto_threads, MetricsLevel, RunManifest, SimReport, TraceSpec};
-use noc_topology::{FlattenedButterfly, Mecs, Mesh, SharedTopology};
-use noc_traffic::{BenchmarkProfile, SyntheticPattern, SyntheticTraffic, TrafficModel};
-use pseudo_circuit::experiment::cmp_traffic_for;
+use noc_topology::SharedTopology;
+use noc_traffic::{BenchmarkProfile, TrafficModel};
 use pseudo_circuit::{ExperimentBuilder, Scheme};
 use std::fmt;
 use std::fmt::Write as _;
 use std::path::Path;
-use std::sync::Arc;
 
-/// The router scheme to run, including the EVC comparator.
-#[derive(Copy, Clone, PartialEq, Eq, Debug)]
-pub enum RouterChoice {
-    /// A `pseudo-circuit` crate scheme.
-    Pc(Scheme),
-    /// The Express-Virtual-Channels router.
-    Evc,
-}
+/// The router scheme to run, including the EVC comparator — the CLI name
+/// for [`noc_campaign::SchemeChoice`] (one shared vocabulary).
+pub use noc_campaign::SchemeChoice as RouterChoice;
 
 /// A fully parsed experiment description.
 #[derive(Clone, Debug, PartialEq)]
@@ -208,50 +212,23 @@ fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, CliError> {
 }
 
 fn parse_scheme(s: &str) -> Result<RouterChoice, CliError> {
-    Ok(match s.to_ascii_lowercase().as_str() {
-        "baseline" => RouterChoice::Pc(Scheme::baseline()),
-        "pseudo" => RouterChoice::Pc(Scheme::pseudo()),
-        "pseudo+ps" => RouterChoice::Pc(Scheme::pseudo_ps()),
-        "pseudo+bb" => RouterChoice::Pc(Scheme::pseudo_bb()),
-        "pseudo+ps+bb" | "full" => RouterChoice::Pc(Scheme::pseudo_ps_bb()),
-        "evc" => RouterChoice::Evc,
-        other => return Err(err(format!("unknown scheme {other:?}"))),
-    })
+    RouterChoice::parse(s).map_err(|e| CliError(e.0))
 }
 
 /// Builds the topology named by a spec string: the four named presets or the
-/// general `mesh<W>x<H>[c<C>]` form.
+/// general `mesh<W>x<H>[c<C>]` form. Delegates to
+/// [`noc_campaign::build_topology`] — the CLI and campaign axes share one
+/// resolver.
 ///
 /// # Errors
 ///
 /// Returns a [`CliError`] for unrecognized specs.
 pub fn build_topology(spec: &str) -> Result<SharedTopology, CliError> {
-    let spec = spec.to_ascii_lowercase();
-    match spec.as_str() {
-        "mesh8x8" => return Ok(Arc::new(Mesh::new(8, 8, 1))),
-        "cmesh4x4" => return Ok(Arc::new(Mesh::new(4, 4, 4))),
-        "mecs4x4" => return Ok(Arc::new(Mecs::new(4, 4, 4))),
-        "fbfly4x4" => return Ok(Arc::new(FlattenedButterfly::new(4, 4, 4))),
-        _ => {}
-    }
-    let body = spec
-        .strip_prefix("mesh")
-        .ok_or_else(|| err(format!("unknown topology {spec:?}")))?;
-    let (dims, conc) = match body.split_once('c') {
-        Some((dims, c)) => (dims, parse_num::<usize>(c, "concentration")?),
-        None => (body, 1),
-    };
-    let (w, h) = dims
-        .split_once('x')
-        .ok_or_else(|| err(format!("bad mesh spec {spec:?} (want mesh<W>x<H>[c<C>])")))?;
-    Ok(Arc::new(Mesh::new(
-        parse_num(w, "width")?,
-        parse_num(h, "height")?,
-        conc,
-    )))
+    noc_campaign::build_topology(spec).map_err(|e| CliError(e.0))
 }
 
-/// Builds the traffic model named by `args.traffic` for `topo`.
+/// Builds the traffic model named by `args.traffic` for `topo`. Delegates
+/// to [`noc_campaign::build_traffic`].
 ///
 /// # Errors
 ///
@@ -261,54 +238,8 @@ pub fn build_traffic(
     args: &RunArgs,
     topo: &SharedTopology,
 ) -> Result<Box<dyn TrafficModel>, CliError> {
-    let name = args.traffic.to_ascii_lowercase();
-    let pattern = match name.as_str() {
-        "ur" | "uniform" => Some(SyntheticPattern::UniformRandom),
-        "bc" | "bitcomp" => Some(SyntheticPattern::BitComplement),
-        "bp" | "transpose" => Some(SyntheticPattern::Transpose),
-        "tornado" => Some(SyntheticPattern::Tornado),
-        "neighbor" => Some(SyntheticPattern::Neighbor),
-        _ => None,
-    };
-    if let Some(pattern) = pattern {
-        // Arrange the nodes on the router grid footprint (concentration
-        // folded into columns).
-        let n = topo.num_nodes();
-        let cols = (1..=n)
-            .rev()
-            .find(|c| n.is_multiple_of(*c) && *c * *c <= n)
-            .unwrap_or(1);
-        let (cols, rows) = (n / cols, cols);
-        if matches!(pattern, SyntheticPattern::Transpose) && cols != rows {
-            return Err(err("transpose requires a square node grid"));
-        }
-        return Ok(Box::new(SyntheticTraffic::new(
-            pattern,
-            cols,
-            rows,
-            args.packet,
-            args.load,
-            args.seed,
-        )));
-    }
-    let profile = BenchmarkProfile::by_name(&name)
-        .ok_or_else(|| err(format!("unknown traffic {name:?} (try `noc list`)")))?;
-    // Mirror cmp_traffic_for's floorplan requirements as errors, not panics.
-    match topo.concentration() {
-        4 => {}
-        1 if topo.num_nodes().is_multiple_of(2) => {}
-        c => {
-            return Err(err(format!(
-                "benchmark traffic needs concentration 4 (2 cores + 2 banks                  per router) or concentration 1 with an even node count;                  {} has concentration {c}",
-                topo.name()
-            )))
-        }
-    }
-    Ok(Box::new(cmp_traffic_for(
-        topo.as_ref(),
-        *profile,
-        args.seed,
-    )))
+    noc_campaign::build_traffic(&args.traffic, args.load, args.packet, args.seed, topo)
+        .map_err(|e| CliError(e.0))
 }
 
 /// Runs a parsed experiment to completion, writing the run manifest and
@@ -366,6 +297,159 @@ pub fn run(args: &RunArgs) -> Result<SimReport, CliError> {
         std::fs::write(path, json).map_err(|e| err(format!("cannot write trace {path}: {e}")))?;
     }
     Ok(report)
+}
+
+/// A parsed `noc campaign` invocation.
+#[derive(Clone, PartialEq, Debug)]
+pub enum CampaignCommand {
+    /// `campaign run`: execute (or resume) a sweep.
+    Run {
+        /// Spec file path (`.toml` or `.json`).
+        spec: String,
+        /// Campaign directory (cache + checkpoint + report).
+        out: String,
+        /// Across-point worker budget (`0` = one sim per core).
+        threads: usize,
+        /// Stop after this many uncached points (deterministic interrupt).
+        max_points: Option<usize>,
+    },
+    /// `campaign status`: report checkpoint progress without running.
+    Status {
+        /// Campaign directory.
+        out: String,
+    },
+    /// `campaign expand`: print the expanded point set without running.
+    Expand {
+        /// Spec file path.
+        spec: String,
+    },
+}
+
+/// Parses `campaign` subcommand arguments.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for a missing verb, unknown flags, or missing
+/// required flags (`--spec`, `--out`).
+pub fn parse_campaign_args(args: &[String]) -> Result<CampaignCommand, CliError> {
+    let (verb, rest) = args
+        .split_first()
+        .ok_or_else(|| err("campaign needs a verb: run, status or expand"))?;
+    let mut spec: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut threads = 0usize;
+    let mut max_points: Option<usize> = None;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| err(format!("{flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--spec" => spec = Some(value()?),
+            "--out" => out = Some(value()?),
+            "--threads" if verb == "run" => {
+                threads = parse_num(&value()?, flag)?;
+                if threads == 0 {
+                    return Err(err("--threads must be at least 1"));
+                }
+            }
+            "--max-points" if verb == "run" => max_points = Some(parse_num(&value()?, flag)?),
+            other => return Err(err(format!("unknown flag {other:?} (see `noc help`)"))),
+        }
+    }
+    let need_spec = || {
+        spec.clone()
+            .ok_or_else(|| err("campaign needs --spec FILE"))
+    };
+    let need_out = || out.clone().ok_or_else(|| err("campaign needs --out DIR"));
+    match verb.as_str() {
+        "run" => Ok(CampaignCommand::Run {
+            spec: need_spec()?,
+            out: need_out()?,
+            threads,
+            max_points,
+        }),
+        "status" => Ok(CampaignCommand::Status { out: need_out()? }),
+        "expand" => Ok(CampaignCommand::Expand { spec: need_spec()? }),
+        other => Err(err(format!(
+            "unknown campaign verb {other:?} (run, status, expand)"
+        ))),
+    }
+}
+
+/// Executes a parsed `campaign` command and returns the text to print.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for unreadable/invalid specs and any execution
+/// failure (see [`noc_campaign::run_campaign`]).
+pub fn run_campaign_command(command: &CampaignCommand) -> Result<String, CliError> {
+    match command {
+        CampaignCommand::Run {
+            spec,
+            out,
+            threads,
+            max_points,
+        } => {
+            let spec = CampaignSpec::load(Path::new(spec)).map_err(|e| CliError(e.0))?;
+            let options = CampaignOptions {
+                threads: *threads,
+                max_points: *max_points,
+                git_rev: None,
+            };
+            let outcome = noc_campaign::run_campaign(&spec, Path::new(out), &options)
+                .map_err(|e| CliError(e.0))?;
+            let mut text = format!(
+                "{} points | cache hits {} | executed {}",
+                outcome.total, outcome.cache_hits, outcome.executed
+            );
+            match (&outcome.report, &outcome.report_path) {
+                (Some(report), Some(path)) => {
+                    let _ = write!(
+                        text,
+                        "\nreport: {}\n{}",
+                        path.display(),
+                        report.render_summary()
+                    );
+                }
+                _ => {
+                    let _ = write!(
+                        text,
+                        "\nstopped early (--max-points): {} point(s) still pending; \
+                         re-run to resume",
+                        outcome.total - outcome.cache_hits - outcome.executed
+                    );
+                }
+            }
+            Ok(text)
+        }
+        CampaignCommand::Status { out } => {
+            let dir = Path::new(out);
+            let Some(cp) = Checkpoint::load(dir) else {
+                return Ok(format!("no campaign checkpoint in {out}"));
+            };
+            let report = if dir.join("report.json").is_file() {
+                "report.json present"
+            } else {
+                "no report yet"
+            };
+            Ok(format!(
+                "campaign {} @ {}: {}/{} points done | {}",
+                cp.name, cp.git_rev, cp.done, cp.total, report
+            ))
+        }
+        CampaignCommand::Expand { spec } => {
+            let spec = CampaignSpec::load(Path::new(spec)).map_err(|e| CliError(e.0))?;
+            let points = spec.expand();
+            let mut text = format!("{}: {} point(s)", spec.name, points.len());
+            for point in &points {
+                let _ = write!(text, "\n  {point}");
+            }
+            Ok(text)
+        }
+    }
 }
 
 /// Renders a report as the CLI's human-readable summary.
@@ -471,6 +555,10 @@ pub fn usage() -> &'static str {
      \n\
      USAGE:\n\
        noc run [flags]     run one experiment and print its report\n\
+       noc campaign run --spec FILE --out DIR [--threads N] [--max-points N]\n\
+                           run/resume a cached sweep (docs/CAMPAIGNS.md)\n\
+       noc campaign status --out DIR     checkpoint progress of a sweep\n\
+       noc campaign expand --spec FILE   print the expanded point set\n\
        noc list            list traffic models, topologies and schemes\n\
        noc help            this text\n\
      \n\
@@ -792,5 +880,99 @@ mod tests {
         let list = render_list();
         assert!(list.contains("fma3d") && list.contains("mecs4x4"));
         assert!(usage().contains("noc run"));
+        assert!(usage().contains("noc campaign run"));
+    }
+
+    #[test]
+    fn campaign_args_parse() {
+        let cmd = parse_campaign_args(&args(&[
+            "run",
+            "--spec",
+            "sweep.toml",
+            "--out",
+            "out/sweep",
+            "--threads",
+            "2",
+            "--max-points",
+            "3",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            CampaignCommand::Run {
+                spec: "sweep.toml".into(),
+                out: "out/sweep".into(),
+                threads: 2,
+                max_points: Some(3),
+            }
+        );
+        assert_eq!(
+            parse_campaign_args(&args(&["status", "--out", "d"])).unwrap(),
+            CampaignCommand::Status { out: "d".into() }
+        );
+        assert_eq!(
+            parse_campaign_args(&args(&["expand", "--spec", "s.json"])).unwrap(),
+            CampaignCommand::Expand {
+                spec: "s.json".into()
+            }
+        );
+        assert!(parse_campaign_args(&[]).unwrap_err().0.contains("verb"));
+        assert!(parse_campaign_args(&args(&["run", "--out", "d"]))
+            .unwrap_err()
+            .0
+            .contains("--spec"));
+        assert!(parse_campaign_args(&args(&["run", "--spec", "s"]))
+            .unwrap_err()
+            .0
+            .contains("--out"));
+        // --max-points belongs to `run` only.
+        assert!(parse_campaign_args(&args(&["status", "--max-points", "3"])).is_err());
+    }
+
+    #[test]
+    fn campaign_run_and_status_work_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("noc-cli-campaign-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join("sweep.toml");
+        std::fs::write(
+            &spec_path,
+            "name = \"smoke\"\n[phases]\nwarmup = 50\nmeasure = 200\ndrain = 2000\n\
+             [axes]\ntopology = \"mesh2x2\"\npacket = 2\nload = [0.02, 0.05]\n",
+        )
+        .unwrap();
+        let out = dir.join("out");
+        let run = CampaignCommand::Run {
+            spec: spec_path.to_string_lossy().into_owned(),
+            out: out.to_string_lossy().into_owned(),
+            threads: 1,
+            max_points: None,
+        };
+        let text = run_campaign_command(&run).unwrap();
+        assert!(
+            text.contains("2 points | cache hits 0 | executed 2"),
+            "{text}"
+        );
+        assert!(text.contains("report:"), "{text}");
+        // Second run: everything cached.
+        let text = run_campaign_command(&run).unwrap();
+        assert!(
+            text.contains("2 points | cache hits 2 | executed 0"),
+            "{text}"
+        );
+        let status = run_campaign_command(&CampaignCommand::Status {
+            out: out.to_string_lossy().into_owned(),
+        })
+        .unwrap();
+        assert!(
+            status.contains("smoke") && status.contains("2/2"),
+            "{status}"
+        );
+        let expand = run_campaign_command(&CampaignCommand::Expand {
+            spec: spec_path.to_string_lossy().into_owned(),
+        })
+        .unwrap();
+        assert!(expand.contains("2 point(s)"), "{expand}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -9,6 +9,7 @@
 //! system inventory.
 
 pub use noc_base as base;
+pub use noc_campaign as campaign;
 pub use noc_energy as energy;
 pub use noc_evc as evc;
 pub use noc_sim as sim;
