@@ -17,7 +17,7 @@ const WORD_BITS: usize = u64::BITS as usize;
 /// Construction allocates the word storage once; every other operation is
 /// allocation-free, so masks embedded in router state preserve the engine's
 /// zero-allocation steady state (`tests/zero_alloc.rs`).
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct WordMask {
     words: Vec<u64>,
     bits: usize,
@@ -98,6 +98,17 @@ impl WordMask {
     #[inline]
     pub fn popcount(&self) -> u32 {
         self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// ORs `other` into `self` word-by-word. Both masks must have the same
+    /// width — the sharded step loop unions per-shard destination masks into
+    /// the global pending-shard mask, all sized to the shard count.
+    #[inline]
+    pub fn union_with(&mut self, other: &WordMask) {
+        debug_assert_eq!(self.bits, other.bits, "union of differently-sized masks");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
     }
 
     /// The raw word at `index` (bits `index * 64 ..`). Lets callers iterate
@@ -328,6 +339,22 @@ mod tests {
         let before = a.pointer();
         assert_eq!(a.grant(&empty), None);
         assert_eq!(a.pointer(), before, "no grant, no pointer movement");
+    }
+
+    #[test]
+    fn union_with_ors_across_word_boundaries() {
+        let mut a = WordMask::new(130);
+        let mut b = WordMask::new(130);
+        a.set(0);
+        a.set(64);
+        b.set(64);
+        b.set(129);
+        a.union_with(&b);
+        let bits: Vec<usize> = a.iter().collect();
+        assert_eq!(bits, vec![0, 64, 129]);
+        // Union with an empty mask is a no-op.
+        a.union_with(&WordMask::new(130));
+        assert_eq!(a.popcount(), 3);
     }
 
     #[test]

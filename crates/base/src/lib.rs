@@ -18,7 +18,8 @@
 //!   ([`rng::SeedStream`]) so that every experiment in the reproduction is
 //!   bit-for-bit repeatable regardless of external crate versions;
 //! - a persistent fork/join worker pool ([`pool::WorkerPool`]) shared by the
-//!   multi-threaded cycle loop and the bench sweep scheduler.
+//!   multi-threaded cycle loop and the bench sweep scheduler, built on the
+//!   park/wake and adaptive-spin primitives in [`sync`].
 //!
 //! # Example
 //!
@@ -39,6 +40,7 @@ pub mod ids;
 pub mod policy;
 pub mod pool;
 pub mod rng;
+pub mod sync;
 
 pub use bitset::{BitArbiter, WordMask};
 pub use flit::{Credit, Flit, FlitKind, PacketClass, PacketDescriptor, RouteInfo};

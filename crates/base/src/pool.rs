@@ -1,55 +1,107 @@
 //! A persistent worker pool for deterministic fork/join parallelism.
 //!
 //! Both hot users of parallelism in this workspace — the sharded cycle loop
-//! in `noc-sim` (thousands of tiny fork/joins per second) and the figure
-//! harnesses' parameter sweeps in `noc-bench` (a handful of long-running
-//! jobs) — share one process-global pool of parked threads instead of
-//! spawning per call. A batch is an indexed job set `0..len`; workers claim
-//! indices dynamically (work stealing at batch-item granularity), so callers
-//! get load balancing for free while *result* placement stays index-keyed
-//! and therefore deterministic.
+//! in `noc-sim` (thousands of tiny fork/joins per second) and the campaign /
+//! figure-harness sweeps (a handful of long-running jobs) — share one
+//! process-global pool of parked threads instead of spawning per call. A
+//! batch is an indexed job set `0..len`; threads claim indices dynamically
+//! (work stealing at batch-item granularity), so callers get load balancing
+//! for free while *result* placement stays index-keyed and therefore
+//! deterministic.
 //!
-//! Design constraints, in order:
+//! # The epoch barrier
+//!
+//! Steady-state batch handoff is lock-free. All live batch state hangs off a
+//! single packed *claim word* — `(epoch << INDEX_BITS) | next_index` — plus a
+//! `remaining` countdown:
+//!
+//! - **Publish** (submitter): write the erased job pointer, `len`,
+//!   `remaining`, and the helper `slots` budget, then store
+//!   `(epoch + 1) << INDEX_BITS` into the claim word. One atomic store is the
+//!   entire barrier release; no lock is taken (the `submit` mutex only
+//!   serializes *distinct* submitters and is uncontended in the cycle loop).
+//! - **Claim** (submitter and workers alike): CAS the claim word from
+//!   `(e, i)` to `(e, i + 1)`. The epoch in the compared value makes a stale
+//!   claim from a previous batch impossible — a straggler's CAS fails the
+//!   moment the epoch moves on. Workers only read the job pointer *after* a
+//!   successful CAS in the current epoch, and the pointer cannot have been
+//!   republished underneath them because publishing epoch `e + 1` requires
+//!   epoch `e`'s `remaining` to have hit zero first.
+//! - **Join** (workers): advance on the epoch change, then take one of the
+//!   batch's `slots` via `fetch_sub`; a non-positive result means the
+//!   caller's `max_threads` cap is exhausted and the worker goes back to
+//!   waiting. A worker that wakes late may burn a slot of a *newer* epoch
+//!   without claiming an index (its claim loop exits immediately) — benign,
+//!   because the cap is an upper bound on participation, never a lower one.
+//! - **Finish**: every executed (or abandoned) index decrements `remaining`;
+//!   whoever brings it to zero publishes the epoch into `done_epoch` and
+//!   wakes the submitter if — and only if — it is parked.
+//!
+//! Blocking happens only at the edges, through [`crate::sync::ParkGate`]
+//! (a condvar whose waker pays one atomic load when nobody is parked) with a
+//! per-worker [`crate::sync::AdaptiveSpin`] budget in front. On a multi-core
+//! host a steady-state cycle batch therefore issues **no syscalls and takes
+//! no locks**: the submitter publishes with one store, everyone claims by
+//! CAS, and the spin phases absorb the microsecond-scale gaps.
+//!
+//! # Wake policy
+//!
+//! Waking a parked worker costs a syscall on the publish path. Whether that
+//! buys anything depends on the host and the job shape, so it is explicit:
+//!
+//! - [`WorkerPool::run_limited`] wakes parked workers only when the pool's
+//!   *eager-wake* policy is on. It defaults to on for multi-core hosts and
+//!   off for single-core hosts, where a woken worker cannot make the batch
+//!   finish sooner — the submitter's own claim loop covers every index and
+//!   the "parallel" path degrades to a few atomics. Tests and benches can
+//!   force it either way with [`WorkerPool::set_eager_wake`].
+//! - [`WorkerPool::run_limited_eager`] always wakes. Long-running jobs
+//!   (campaign points, sweep cells) want every worker participating even if
+//!   it costs a wakeup; spinning workers join either way.
+//!
+//! # Everything else
+//!
+//! Design constraints carried over from the locked predecessor, still in
+//! order:
 //!
 //! 1. **Determinism is the caller's to keep, and easy to keep.** The pool
 //!    never reorders results — a job is identified by its index and writes
 //!    only to index-keyed state. Which thread runs which index is
 //!    unspecified; nothing else is.
-//! 2. **Cheap steady-state handoff.** A simulation issues one batch per
-//!    simulated cycle (tens of microseconds of work). Workers spin briefly
-//!    on an epoch word before parking on a condvar, so back-to-back batches
-//!    hand off in nanoseconds while an idle pool costs nothing.
-//! 3. **Zero allocation per batch.** All batch state lives in the pool;
+//! 2. **Zero allocation per batch.** All batch state lives in the pool;
 //!    submitting a batch performs no heap allocation (verified by
 //!    `tests/zero_alloc.rs` at the workspace root).
-//! 4. **No nested-submission deadlock.** A batch job that submits a new
+//! 3. **No nested-submission deadlock.** A batch job that submits a new
 //!    batch executes it inline on the thread it is already running on —
 //!    whether that thread is a pool worker or the original submitter (both
 //!    are tracked thread-locally). Independent external submitters serialize
-//!    on a submission lock. Every batch therefore completes with no circular
-//!    waits.
-//! 5. **Panics propagate, never hang.** Each job runs under
+//!    on the submission lock. Every batch therefore completes with no
+//!    circular waits.
+//! 4. **Panics propagate, never hang.** Each job runs under
 //!    [`std::panic::catch_unwind`]; the first panic poisons the batch
-//!    (unclaimed indices are abandoned), the batch still drains, and the
-//!    payload is re-raised on the submitting thread once no worker can still
-//!    hold the lifetime-erased job pointer.
+//!    (unclaimed indices are abandoned by a claim-word `fetch_update` to
+//!    `(epoch, len)`), the batch still drains, and the payload is re-raised
+//!    on the submitting thread once no worker can still hold the
+//!    lifetime-erased job pointer.
 //!
 //! The per-call `max_threads` cap lets one shared pool serve callers with
 //! different parallelism budgets: a `--threads 2` simulation on a 16-core
 //! machine occupies at most 2 threads (itself plus one worker) even though
 //! more workers are parked.
 
-use std::cell::Cell;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, OnceLock};
+use std::cell::{Cell, UnsafeCell};
+use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+use crate::sync::{AdaptiveSpin, ParkGate};
 
 thread_local! {
     /// Set for the lifetime of every pool worker thread.
     static IN_WORKER: Cell<bool> = const { Cell::new(false) };
-    /// Set while a thread is inside [`WorkerPool::run_limited`]'s parallel
-    /// path. The submit lock is not re-entrant, so a batch job that submits
-    /// again from the *submitting* thread must run inline, exactly like a
-    /// job on a worker thread.
+    /// Set while a thread is inside a parallel batch submission. The submit
+    /// lock is not re-entrant, so a batch job that submits again from the
+    /// *submitting* thread must run inline, exactly like a job on a worker
+    /// thread.
     static IN_BATCH: Cell<bool> = const { Cell::new(false) };
 }
 
@@ -116,64 +168,124 @@ pub fn parse_thread_cap(raw: Option<&str>) -> Option<usize> {
     raw.and_then(|v| v.parse().ok()).filter(|&n| n > 0)
 }
 
+/// Low bits of the claim word holding the next unclaimed index; the epoch
+/// generation counter lives above them. 16M indices per batch is far beyond
+/// any caller (shard counts and sweep sizes are in the hundreds); the 40
+/// epoch bits wrap after ~10^12 batches, and a collision additionally needs
+/// a worker that slept through *exactly* 2^40 epochs — ignored by design.
+const INDEX_BITS: u32 = 24;
+const INDEX_MASK: u64 = (1 << INDEX_BITS) - 1;
+
+#[inline]
+fn pack(epoch: u64, index: usize) -> u64 {
+    (epoch << INDEX_BITS) | index as u64
+}
+
 /// An erased `&'scope (dyn Fn(usize) + Sync)` job pointer.
 ///
-/// Safety: the pointer is only dereferenced between an index claim and the
-/// matching `remaining` decrement, and [`WorkerPool::run_limited`] does not
-/// return — normally *or by unwinding* — until `remaining` reaches zero (every
-/// job runs under `catch_unwind`, so a panicking job decrements `remaining`
-/// like any other and is re-raised only after the batch drains). The borrow
-/// the pointer was created from is therefore always live at every
+/// Safety: the pointer is only dereferenced between a successful index claim
+/// and the matching `remaining` decrement, and batch submission does not
+/// return — normally *or by unwinding* — until `remaining` reaches zero
+/// (every job runs under `catch_unwind`, so a panicking job decrements
+/// `remaining` like any other and is re-raised only after the batch drains).
+/// The borrow the pointer was created from is therefore always live at every
 /// dereference.
 struct RawJob(*const (dyn Fn(usize) + Sync));
 unsafe impl Send for RawJob {}
 
-struct Batch {
-    /// Bumped once per published batch; workers use it to tell a new batch
-    /// from the one they already finished.
-    epoch: u64,
-    /// The erased job, present while a batch is in flight.
-    job: Option<RawJob>,
-    /// Number of indices in the batch.
-    len: usize,
-    /// Next unclaimed index.
-    next: usize,
-    /// Claimed-or-unclaimed indices not yet executed to completion.
-    remaining: usize,
-    /// Workers still allowed to join the current batch (enforces the
-    /// caller's `max_threads` cap on a shared pool).
-    slots: usize,
+/// The job slot. Written by the submitter strictly before the claim-word
+/// store that publishes the batch and strictly after `remaining` hits zero;
+/// read by workers only between a successful same-epoch CAS and the matching
+/// finish. Both windows are ordered by the claim word (publish) and the
+/// `remaining` release sequence (drain), so no access ever races.
+struct JobCell(UnsafeCell<Option<RawJob>>);
+unsafe impl Sync for JobCell {}
+
+struct Shared {
+    /// The packed epoch barrier: `(epoch << INDEX_BITS) | next_index`.
+    claim: AtomicU64,
+    /// Number of indices in the current batch.
+    len: AtomicUsize,
+    /// Indices not yet executed (or abandoned) to completion.
+    remaining: AtomicUsize,
+    /// Worker join budget for the current batch (the caller's `max_threads`
+    /// cap); signed so late wakers can drive it below zero harmlessly.
+    slots: AtomicIsize,
+    /// The erased job for the current batch.
+    job: JobCell,
+    /// Last epoch whose batch fully drained.
+    done_epoch: AtomicU64,
     /// First panic payload captured from a batch job; re-raised on the
-    /// submitting thread after the batch drains.
-    panic: Option<Box<dyn std::any::Any + Send>>,
-    /// Set once, on pool drop.
-    shutdown: bool,
+    /// submitting thread after the batch drains. Cold path only.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Workers park here between epochs.
+    work_gate: ParkGate,
+    /// The submitter parks here waiting out stragglers.
+    done_gate: ParkGate,
 }
 
-impl Batch {
-    /// Records a job panic: keeps the first payload and abandons every
-    /// unclaimed index so the batch drains as soon as in-flight jobs finish.
-    /// Called with the batch lock held.
-    fn poison(&mut self, payload: Box<dyn std::any::Any + Send>) {
-        if self.panic.is_none() {
-            self.panic = Some(payload);
+/// Claims and executes indices of `epoch` until the batch drains or the
+/// epoch moves on. `run` is invoked only after a successful same-epoch CAS,
+/// so a worker's `run` may safely dereference the published job pointer.
+fn claim_indices(shared: &Shared, epoch: u64, run: impl Fn(usize)) {
+    loop {
+        let cur = shared.claim.load(Ordering::Acquire);
+        if cur >> INDEX_BITS != epoch {
+            return;
         }
-        self.remaining -= self.len - self.next;
-        self.next = self.len;
+        let idx = (cur & INDEX_MASK) as usize;
+        let len = shared.len.load(Ordering::Relaxed);
+        if idx >= len {
+            return;
+        }
+        // `cur + 1` bumps only the index bits: idx < len < 2^INDEX_BITS.
+        if shared
+            .claim
+            .compare_exchange_weak(cur, cur + 1, Ordering::AcqRel, Ordering::Relaxed)
+            .is_err()
+        {
+            continue;
+        }
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(idx)));
+        if let Err(payload) = outcome {
+            poison(shared, epoch, len, payload);
+        }
+        finish(shared, epoch, 1);
     }
 }
 
-struct Shared {
-    batch: Mutex<Batch>,
-    /// Workers wait here for a new epoch.
-    work_cv: Condvar,
-    /// The submitter waits here for `remaining == 0`.
-    done_cv: Condvar,
-    /// Mirror of `batch.epoch`, for lock-free spin-watching by workers.
-    epoch_hint: AtomicU64,
-    /// Last epoch whose batch fully completed, for lock-free spin-watching
-    /// by the submitter.
-    done_hint: AtomicU64,
+/// Retires `n` indices; whoever retires the last publishes completion. The
+/// `fetch_sub` release sequence on `remaining` is what hands every worker's
+/// writes to the submitter once it observes `done_epoch`.
+fn finish(shared: &Shared, epoch: u64, n: usize) {
+    if shared.remaining.fetch_sub(n, Ordering::AcqRel) == n {
+        shared.done_epoch.store(epoch, Ordering::SeqCst);
+        shared.done_gate.wake_all();
+    }
+}
+
+/// Records a job panic: keeps the first payload and abandons every unclaimed
+/// index (claim word driven to `(epoch, len)`) so the batch drains as soon
+/// as in-flight jobs finish. Only the thread that wins the `fetch_update`
+/// retires the abandoned indices; concurrent poisoners see `idx >= len` and
+/// retire nothing extra.
+fn poison(shared: &Shared, epoch: u64, len: usize, payload: Box<dyn std::any::Any + Send>) {
+    {
+        let mut slot = shared.panic.lock().unwrap_or_else(PoisonError::into_inner);
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+    let grabbed = shared
+        .claim
+        .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+            (cur >> INDEX_BITS == epoch && (cur & INDEX_MASK) < len as u64)
+                .then(|| pack(epoch, len))
+        });
+    if let Ok(prev) = grabbed {
+        let abandoned = len - (prev & INDEX_MASK) as usize;
+        finish(shared, epoch, abandoned);
+    }
 }
 
 /// How many spin iterations to burn watching for state changes before
@@ -181,30 +293,34 @@ struct Shared {
 /// time from the thread doing the work, so the budget collapses to zero.
 fn spin_budget() -> u32 {
     static BUDGET: OnceLock<u32> = OnceLock::new();
-    *BUDGET.get_or_init(|| {
-        let cores = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        if cores > 1 {
-            20_000
-        } else {
-            0
-        }
-    })
+    *BUDGET.get_or_init(|| if multi_core_host() { 20_000 } else { 0 })
 }
 
-/// A persistent pool of parked worker threads executing indexed batches.
+/// Whether this host can actually run two threads at once — the default for
+/// both the spin budget and the eager-wake policy.
+fn multi_core_host() -> bool {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        > 1
+}
+
+/// A persistent pool of parked worker threads executing indexed batches over
+/// a lock-free epoch barrier.
 ///
 /// See the [module docs](self) for the execution model. Most callers want
 /// the process-global instance from [`global()`] rather than a private pool.
 pub struct WorkerPool {
     shared: &'static Shared,
-    /// Serializes batches: one in flight at a time.
+    /// Serializes distinct submitters: one batch in flight at a time.
     submit: Mutex<()>,
     /// Number of workers spawned so far (grown on demand, never shrunk).
     workers: AtomicUsize,
     /// Guards worker spawning.
     spawn: Mutex<()>,
+    /// Whether [`run_limited`](Self::run_limited) wakes parked workers on
+    /// publish. See the module docs' wake-policy section.
+    eager_wake: AtomicBool,
 }
 
 impl WorkerPool {
@@ -216,26 +332,22 @@ impl WorkerPool {
     /// tests.
     pub fn new() -> Self {
         let shared = Box::leak(Box::new(Shared {
-            batch: Mutex::new(Batch {
-                epoch: 0,
-                job: None,
-                len: 0,
-                next: 0,
-                remaining: 0,
-                slots: 0,
-                panic: None,
-                shutdown: false,
-            }),
-            work_cv: Condvar::new(),
-            done_cv: Condvar::new(),
-            epoch_hint: AtomicU64::new(0),
-            done_hint: AtomicU64::new(0),
+            claim: AtomicU64::new(pack(0, 0)),
+            len: AtomicUsize::new(0),
+            remaining: AtomicUsize::new(0),
+            slots: AtomicIsize::new(0),
+            job: JobCell(UnsafeCell::new(None)),
+            done_epoch: AtomicU64::new(0),
+            panic: Mutex::new(None),
+            work_gate: ParkGate::new(),
+            done_gate: ParkGate::new(),
         }));
         Self {
             shared,
             submit: Mutex::new(()),
             workers: AtomicUsize::new(0),
             spawn: Mutex::new(()),
+            eager_wake: AtomicBool::new(multi_core_host()),
         }
     }
 
@@ -244,9 +356,25 @@ impl WorkerPool {
         self.workers.load(Ordering::Relaxed)
     }
 
+    /// Overrides the eager-wake policy: whether
+    /// [`run_limited`](Self::run_limited) wakes parked workers when it
+    /// publishes a batch. Defaults to `true` on multi-core hosts and `false`
+    /// on single-core hosts (where a wakeup is a syscall that cannot make
+    /// the batch finish sooner). Process-wide on [`global()`]; tests forcing
+    /// worker participation on a 1-CPU CI host set it to `true`.
+    pub fn set_eager_wake(&self, eager: bool) {
+        self.eager_wake.store(eager, Ordering::Relaxed);
+    }
+
+    /// The current eager-wake policy.
+    pub fn eager_wake(&self) -> bool {
+        self.eager_wake.load(Ordering::Relaxed)
+    }
+
     /// Runs `job(i)` for every `i in 0..len`, using at most `max_threads`
     /// threads (the calling thread included), and returns once every index
-    /// has executed.
+    /// has executed. Parked workers are woken per the pool's eager-wake
+    /// policy; spinning workers join regardless.
     ///
     /// Runs inline — sequentially on the calling thread — when `len <= 1`,
     /// when `max_threads <= 1`, or when the calling thread is already
@@ -258,15 +386,53 @@ impl WorkerPool {
     /// and the first panic payload is re-raised on the calling thread; later
     /// batches on the same pool are unaffected.
     pub fn run_limited(&self, len: usize, max_threads: usize, job: &(dyn Fn(usize) + Sync)) {
+        self.run_inner(len, max_threads, job, self.eager_wake(), false);
+    }
+
+    /// Like [`run_limited`](Self::run_limited), but always wakes parked
+    /// workers. For long-running jobs — campaign points, sweep cells — where
+    /// one wakeup syscall is noise against seconds of work and every worker
+    /// should participate even on hosts whose per-cycle policy is lazy.
+    pub fn run_limited_eager(&self, len: usize, max_threads: usize, job: &(dyn Fn(usize) + Sync)) {
+        self.run_inner(len, max_threads, job, true, false);
+    }
+
+    /// Like [`run_limited`](Self::run_limited), but returns how long the
+    /// submitter waited for straggler workers after exhausting its own claim
+    /// loop, in nanoseconds (0 when the batch ran inline or drained before
+    /// the submitter finished claiming). Timing instruments only the wait —
+    /// the publish/claim path is untouched — and is used by the engine's
+    /// `--metrics=full` coordination histograms.
+    pub fn run_limited_timed(
+        &self,
+        len: usize,
+        max_threads: usize,
+        job: &(dyn Fn(usize) + Sync),
+    ) -> u64 {
+        self.run_inner(len, max_threads, job, self.eager_wake(), true)
+    }
+
+    fn run_inner(
+        &self,
+        len: usize,
+        max_threads: usize,
+        job: &(dyn Fn(usize) + Sync),
+        eager: bool,
+        timed: bool,
+    ) -> u64 {
         if len == 0 {
-            return;
+            return 0;
         }
         if len == 1 || max_threads <= 1 || is_worker_thread() || in_batch() {
             for i in 0..len {
                 job(i);
             }
-            return;
+            return 0;
         }
+        assert!(
+            (len as u64) < INDEX_MASK,
+            "batch of {len} exceeds the claim word's index field"
+        );
         let helpers = (max_threads - 1).min(len - 1);
         self.ensure_workers(helpers);
 
@@ -277,79 +443,57 @@ impl WorkerPool {
         // mutex; it protects no data (only batch serialization), so a
         // poisoned lock is recovered rather than treated as an invariant
         // failure.
-        let _submission = self
-            .submit
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let _submission = self.submit.lock().unwrap_or_else(PoisonError::into_inner);
         // Erase the job's scope: sound because this function does not return
         // until every claimed index has finished executing (see `RawJob`).
         let raw = RawJob(unsafe {
             std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(job)
                 as *const _
         });
-        let my_epoch;
-        {
-            let mut b = self.shared.batch.lock().expect("pool batch lock");
-            b.epoch += 1;
-            my_epoch = b.epoch;
-            b.job = Some(raw);
-            b.len = len;
-            b.next = 0;
-            b.remaining = len;
-            b.slots = helpers;
-            self.shared.epoch_hint.store(my_epoch, Ordering::Release);
-            self.shared.work_cv.notify_all();
+        let s = self.shared;
+        // Stage the batch, then publish it with the claim-word store. The
+        // store is SeqCst (not merely Release) for the ParkGate missed-wakeup
+        // protocol: it must be totally ordered against a parking worker's
+        // `sleepers` advertisement.
+        unsafe { *s.job.0.get() = Some(raw) };
+        s.len.store(len, Ordering::Relaxed);
+        s.remaining.store(len, Ordering::Relaxed);
+        s.slots.store(helpers as isize, Ordering::Relaxed);
+        let epoch = (s.claim.load(Ordering::Relaxed) >> INDEX_BITS) + 1;
+        s.claim.store(pack(epoch, 0), Ordering::SeqCst);
+        if eager {
+            s.work_gate.wake_all();
         }
 
         // Participate: the submitter is one of the batch's threads.
-        loop {
-            let mut b = self.shared.batch.lock().expect("pool batch lock");
-            if b.next >= b.len {
-                break;
-            }
-            let i = b.next;
-            b.next += 1;
-            drop(b);
-            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(i)));
-            let mut b = self.shared.batch.lock().expect("pool batch lock");
-            if let Err(payload) = outcome {
-                b.poison(payload);
-            }
-            b.remaining -= 1;
-            if b.remaining == 0 {
-                self.shared.done_hint.store(my_epoch, Ordering::Release);
-                self.shared.done_cv.notify_all();
-            }
-        }
+        claim_indices(s, epoch, job);
 
-        // Wait for workers still executing claimed indices: spin briefly
+        // Wait out workers still executing claimed indices: spin briefly
         // (back-to-back cycle batches finish in microseconds), then park.
-        let mut spins = 0u32;
-        while self.shared.done_hint.load(Ordering::Acquire) != my_epoch {
-            spins += 1;
-            if spins > spin_budget() {
-                let mut b = self.shared.batch.lock().expect("pool batch lock");
-                while b.remaining != 0 {
-                    b = self.shared.done_cv.wait(b).expect("pool done wait");
-                }
-                self.shared.done_hint.store(my_epoch, Ordering::Release);
-                break;
+        let mut wait_ns = 0u64;
+        if s.done_epoch.load(Ordering::SeqCst) != epoch {
+            let start = timed.then(std::time::Instant::now);
+            s.done_gate.wait(spin_budget(), || {
+                s.done_epoch.load(Ordering::SeqCst) == epoch
+            });
+            if let Some(start) = start {
+                wait_ns = start.elapsed().as_nanos() as u64;
             }
-            std::hint::spin_loop();
         }
 
-        // Drop the erased pointer before the borrow it came from expires,
-        // then — with no worker able to touch the batch — re-raise any job
-        // panic on the submitter. Unwinding is safe only here: `remaining`
-        // is zero, so no thread still holds the erased pointer.
-        let payload = {
-            let mut b = self.shared.batch.lock().expect("pool batch lock");
-            b.job = None;
-            b.panic.take()
-        };
+        // Drop the erased pointer before the borrow it came from expires
+        // (safe: `remaining` is zero, so no thread still holds it), then
+        // re-raise any job panic on the submitter.
+        unsafe { *s.job.0.get() = None };
+        let payload = s
+            .panic
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
         if let Some(payload) = payload {
             std::panic::resume_unwind(payload);
         }
+        wait_ns
     }
 
     /// Runs `job(i)` for every `i in 0..len` with no extra thread cap beyond
@@ -384,74 +528,42 @@ impl Default for WorkerPool {
 
 fn worker_loop(shared: &'static Shared) {
     IN_WORKER.with(|w| w.set(true));
+    // Epoch 0 is never published (the first batch is epoch 1), so a fresh
+    // worker joins whatever batch is already in flight — including the one
+    // whose `ensure_workers` call spawned it.
     let mut seen = 0u64;
-    // Whether to spin-watch for the next epoch before parking. True after a
-    // batch this worker participated in (back-to-back cycle batches want a
-    // nanosecond handoff); false after the worker was excluded by the thread
-    // cap, where spinning would just burn a core for every batch of a
-    // narrower-than-pool caller.
-    let mut spin = true;
+    let mut spin = AdaptiveSpin::new(spin_budget());
     loop {
-        if spin {
-            // Fast path: watch the epoch hint without the lock.
-            let mut spins = 0u32;
-            while shared.epoch_hint.load(Ordering::Acquire) == seen && spins < spin_budget() {
-                spins += 1;
-                std::hint::spin_loop();
-            }
-        }
-
-        let mut b = shared.batch.lock().expect("pool batch lock");
-        let joined = loop {
-            if b.shutdown {
-                return;
-            }
-            if b.epoch != seen {
-                seen = b.epoch;
-                if b.slots > 0 && b.job.is_some() && b.next < b.len {
-                    b.slots -= 1;
-                    break true;
-                }
-                // Batch full (thread cap) or already drained: skip it.
-                break false;
-            }
-            b = shared.work_cv.wait(b).expect("pool work wait");
-        };
-        if !joined {
-            spin = false;
-            continue;
-        }
-        spin = true;
-
-        // Claim indices until the batch drains. The job pointer is only used
-        // between a claim and the matching `remaining` decrement, while the
-        // submitter is provably still blocked in `run_limited` (a panicking
-        // job is caught here, so this loop never unwinds past a claim).
-        loop {
-            if b.next >= b.len {
-                break;
-            }
-            let i = b.next;
-            b.next += 1;
-            let job = b.job.as_ref().expect("job present while indices remain").0;
-            drop(b);
-            let outcome =
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe { (*job)(i) }));
-            b = shared.batch.lock().expect("pool batch lock");
-            if let Err(payload) = outcome {
-                b.poison(payload);
-            }
-            b.remaining -= 1;
-            if b.remaining == 0 {
-                shared.done_hint.store(b.epoch, Ordering::Release);
-                shared.done_cv.notify_all();
-            }
+        let mut observed = seen;
+        let parked = shared.work_gate.wait(spin.budget(), || {
+            observed = shared.claim.load(Ordering::SeqCst) >> INDEX_BITS;
+            observed != seen
+        });
+        spin.observe(parked);
+        seen = observed;
+        if shared.slots.fetch_sub(1, Ordering::AcqRel) > 0 {
+            claim_indices(shared, seen, |i| {
+                // Safe: post-CAS in epoch `seen`, so the pointer published
+                // for this epoch is still live (see `JobCell`).
+                let job = unsafe {
+                    (*shared.job.0.get())
+                        .as_ref()
+                        .expect("job present while batch undrained")
+                        .0
+                };
+                unsafe { (*job)(i) }
+            });
+        } else {
+            // Excluded by the caller's thread cap: park immediately on the
+            // next wait instead of burning a spin budget per epoch of a
+            // narrower-than-pool caller.
+            spin.exclude();
         }
     }
 }
 
 /// The process-global worker pool shared by the simulation engine's cycle
-/// loop and the bench harnesses' sweep scheduler.
+/// loop and the campaign / bench sweep schedulers.
 pub fn global() -> &'static WorkerPool {
     static POOL: OnceLock<WorkerPool> = OnceLock::new();
     POOL.get_or_init(WorkerPool::new)
@@ -487,6 +599,129 @@ mod tests {
     }
 
     #[test]
+    fn epoch_barrier_survives_thousands_of_generations_eagerly() {
+        // The steady-state regime the cycle loop creates: back-to-back tiny
+        // batches over the same pool, with parked-worker wakeups forced on so
+        // workers race the submitter for indices on every host (this CI
+        // container has one CPU, where the default policy would otherwise
+        // leave the submitter claiming everything). Every index must execute
+        // exactly once per generation despite claim-word reuse.
+        let pool = WorkerPool::new();
+        pool.set_eager_wake(true);
+        let sum = AtomicU64::new(0);
+        for _ in 0..2_000u64 {
+            pool.run_limited(5, 3, &|i| {
+                sum.fetch_add(i as u64 + 1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(sum.load(Ordering::Relaxed), 2_000 * 15);
+    }
+
+    #[test]
+    fn eager_wake_parks_and_wakes_workers() {
+        // Park/wake coverage: a two-index batch where index 0 blocks until
+        // index 1 has run, so the batch can only drain if a *second* thread
+        // participates — on this pool that means the (parked between rounds,
+        // eagerly woken) worker. A lost wakeup turns into the bounded-poll
+        // panic below instead of a silent pass.
+        let pool = WorkerPool::new();
+        pool.set_eager_wake(true);
+        for round in 0..50 {
+            let worker_jobs = AtomicU32::new(0);
+            let unblocked = AtomicU32::new(0);
+            pool.run_limited(2, 2, &|i| {
+                if is_worker_thread() {
+                    worker_jobs.fetch_add(1, Ordering::SeqCst);
+                }
+                if i == 1 {
+                    unblocked.store(1, Ordering::SeqCst);
+                } else {
+                    let mut polls = 0u64;
+                    while unblocked.load(Ordering::SeqCst) == 0 {
+                        std::thread::yield_now();
+                        polls += 1;
+                        assert!(polls < 50_000_000, "worker never woke (round {round})");
+                    }
+                }
+            });
+            // One submitter + one worker ran exactly one index each
+            // (whichever claimed first).
+            assert_eq!(worker_jobs.load(Ordering::SeqCst), 1, "round {round}");
+        }
+    }
+
+    #[test]
+    fn thread_cap_exclusion_parks_excluded_workers() {
+        // A narrow batch on a wide pool: workers beyond the caller's cap must
+        // sit out (never more than max_threads - 1 workers inside jobs), and
+        // a later wide batch must still reach them through the park gate.
+        let pool = WorkerPool::new();
+        pool.set_eager_wake(true);
+        pool.run_limited(8, 4, &|_| {}); // spawn 3 workers
+        assert_eq!(pool.worker_count(), 3);
+
+        let in_flight = AtomicU32::new(0);
+        let peak = AtomicU32::new(0);
+        for _ in 0..20 {
+            pool.run_limited(64, 2, &|_| {
+                if is_worker_thread() {
+                    let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::yield_now();
+                    in_flight.fetch_sub(1, Ordering::SeqCst);
+                }
+            });
+        }
+        assert!(
+            peak.load(Ordering::SeqCst) <= 1,
+            "cap 2 admits at most one worker, saw {}",
+            peak.load(Ordering::SeqCst)
+        );
+
+        // The excluded (now parked, spin budget collapsed) workers rejoin a
+        // wide batch: prove at least the full index set still executes.
+        let hits = AtomicU32::new(0);
+        pool.run_limited(32, 4, &|_| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn worker_side_panic_propagates_under_eager_wake() {
+        // Two threads share a two-index batch (index 0 blocks until index 1
+        // retires, so both the submitter and the woken worker hold one job
+        // each); index 1 panics on whichever thread claimed it — in the
+        // worker-claims-1 interleaving this exercises the cross-thread
+        // poison + re-raise path.
+        let pool = WorkerPool::new();
+        pool.set_eager_wake(true);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run_limited(2, 2, &|i| {
+                if i == 1 {
+                    panic!("worker job failed");
+                }
+                let mut polls = 0u64;
+                while pool.shared.remaining.load(Ordering::SeqCst) > 1 {
+                    std::thread::yield_now();
+                    polls += 1;
+                    assert!(polls < 50_000_000, "index 1 never retired");
+                }
+            });
+        }));
+        let payload = caught.expect_err("worker panic must re-raise on the submitter");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "worker job failed");
+
+        // The pool survives for subsequent batches.
+        let hits = AtomicU32::new(0);
+        pool.run_limited(8, 2, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
     fn thread_cap_one_runs_inline() {
         let pool = WorkerPool::new();
         let main = std::thread::current().id();
@@ -512,6 +747,21 @@ mod tests {
             });
         });
         assert_eq!(outer.load(Ordering::Relaxed), 16);
+        assert_eq!(inner.load(Ordering::Relaxed), 48);
+    }
+
+    #[test]
+    fn nested_submission_runs_inline_under_eager_wake() {
+        // The same no-deadlock guarantee with forced wakeups and a private
+        // pool, so worker-claimed jobs demonstrably nest on worker threads.
+        let pool = WorkerPool::new();
+        pool.set_eager_wake(true);
+        let inner = AtomicU32::new(0);
+        pool.run_limited(16, 4, &|_| {
+            pool.run_limited(3, 4, &|_| {
+                inner.fetch_add(1, Ordering::Relaxed);
+            });
+        });
         assert_eq!(inner.load(Ordering::Relaxed), 48);
     }
 
@@ -584,6 +834,28 @@ mod tests {
         });
         // At most max_threads - 1 helpers are ever spawned for a batch.
         assert!(pool.worker_count() <= 2, "workers={}", pool.worker_count());
+    }
+
+    #[test]
+    fn timed_run_reports_zero_for_inline_and_unwaited_batches() {
+        let pool = WorkerPool::new();
+        let hits = AtomicU32::new(0);
+        // Inline path: cap 1.
+        assert_eq!(
+            pool.run_limited_timed(16, 1, &|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            }),
+            0
+        );
+        assert_eq!(hits.load(Ordering::Relaxed), 16);
+        // Parallel path: the wait is whatever straggler time materialized
+        // (freshly spawned workers may join even without a wakeup); the
+        // batch must still fully execute.
+        pool.set_eager_wake(false);
+        let _wait = pool.run_limited_timed(16, 4, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 32);
     }
 
     #[test]

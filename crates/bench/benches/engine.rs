@@ -1,19 +1,21 @@
 //! Engine-throughput harness: cycles per second for the baseline router, the
-//! full pseudo-circuit router, and the EVC router on a loaded 8×8 mesh, plus
-//! the paper-default CMesh configuration — the regression guard for simulator
+//! full pseudo-circuit router, and the EVC router on a loaded 8×8 mesh, the
+//! paper-default CMesh configuration, and two large meshes (16×16, 32×32)
+//! that exercise shard scaling — the regression guard for simulator
 //! performance, not a paper figure.
 //!
 //! Every case is measured at 1, 2, 4 and 8 engine threads (a fresh
-//! simulation per point, so no case warms another's caches) and sampled
-//! three times per point; the reported sample is the median by
-//! cycles-per-second, so one scheduler hiccup on a loaded host cannot move
-//! the tracked number. Results are printed as a table and written to
-//! `BENCH_engine.json` at the workspace root — together with the host CPU
-//! count, the git revision, and the sample count, so a snapshot from a
-//! 1-CPU container cannot be mistaken for a scaling measurement — and the
-//! performance trajectory is tracked across PRs (see EXPERIMENTS.md
-//! §"Engine throughput methodology"); compare two snapshots with
-//! `scripts/bench_compare.sh`.
+//! simulation per point, so no case warms another's caches; the large-mesh
+//! cases pin 1/2/4 and fewer cycles) and sampled three times per point; the
+//! reported sample is the median by cycles-per-second, so one scheduler
+//! hiccup on a loaded host cannot move the tracked number. Results are
+//! printed as a table and written to `BENCH_engine.json` at the workspace
+//! root — together with the host CPU count, the git revision, the sample
+//! count, and each point's shard count, so a snapshot from a 1-CPU container
+//! cannot be mistaken for a scaling measurement and every number states the
+//! shard layout it was measured under — and the performance trajectory is
+//! tracked across PRs (see EXPERIMENTS.md §"Engine throughput methodology");
+//! compare two snapshots with `scripts/bench_compare.sh`.
 //!
 //! `NOC_BENCH_SMOKE=1` runs a single short single-threaded sample per case
 //! and skips the snapshot write — the CI gate's "does the release-mode hot
@@ -49,6 +51,15 @@ struct CaseSpec {
     /// serial-path optimization; its cases' multi-thread points would only
     /// measure shard-handoff overhead on an empty network.
     serial_only: bool,
+    /// Per-case thread-count override (`None` = the harness default). The
+    /// large-network cases pin 1/2/4 — their point is shard scaling on big
+    /// router counts, and 8 threads of a 1024-router mesh would dominate the
+    /// harness runtime for no extra signal.
+    thread_list: Option<&'static [usize]>,
+    /// Per-case measured-cycle override (`None` = the harness default,
+    /// scaled by `NOC_SCALE`). Large networks cost far more per cycle, so
+    /// they measure fewer cycles for comparable wall time.
+    cycle_count: Option<u64>,
 }
 
 fn mesh8x8(factory: &dyn RouterFactory) -> Simulation {
@@ -60,6 +71,34 @@ fn mesh8x8(factory: &dyn RouterFactory) -> Simulation {
         ..NetworkConfig::paper()
     };
     Simulation::new(topo, config, Box::new(traffic), factory, 9)
+}
+
+/// A loaded square mesh of arbitrary radix — the shard-scaling cases, where
+/// per-shard work is large enough for the parallel phase to amortize its one
+/// synchronization point per cycle.
+fn big_mesh(radix: u16) -> Simulation {
+    let topo = Arc::new(Mesh::new(radix, radix, 1));
+    let traffic = SyntheticTraffic::new(SyntheticPattern::UniformRandom, 8, 8, 5, 0.15, 5);
+    let config = NetworkConfig {
+        routing: RoutingPolicy::Xy,
+        va_policy: VaPolicy::Static,
+        ..NetworkConfig::paper()
+    };
+    Simulation::new(
+        topo,
+        config,
+        Box::new(traffic),
+        &PcRouterFactory::new(Scheme::pseudo_ps_bb()),
+        9,
+    )
+}
+
+fn mesh16x16_sim() -> Simulation {
+    big_mesh(16)
+}
+
+fn mesh32x32_sim() -> Simulation {
+    big_mesh(32)
 }
 
 /// The paper-default CMP substrate: 4×4 CMesh (concentration 4, 64 nodes)
@@ -146,6 +185,10 @@ struct Measurement {
     name: String,
     config: String,
     threads: usize,
+    /// Execution shards the engine partitioned this point's routers into
+    /// (`Simulation::shards` after `set_threads`): the snapshot records the
+    /// layout each number was measured under.
+    shards: usize,
     cycles: u64,
     secs: f64,
     cycles_per_sec: f64,
@@ -158,9 +201,15 @@ struct Measurement {
 /// Times `cycles` engine cycles after a warmup, returning throughput
 /// numbers. Raw `step` loops isolate per-cycle speed; `advance` cases go
 /// through the run-loop path with quiescence fast-forwarding.
-fn measure_once(spec: &CaseSpec, threads: usize, warmup: u64, cycles: u64) -> (f64, f64, f64) {
+fn measure_once(
+    spec: &CaseSpec,
+    threads: usize,
+    warmup: u64,
+    cycles: u64,
+) -> (f64, f64, f64, usize) {
     let mut sim = (spec.build)();
     sim.set_threads(threads);
+    let shards = sim.shards();
     let warmup = spec.warmup.unwrap_or(warmup);
     if spec.advance {
         sim.advance(warmup);
@@ -180,7 +229,7 @@ fn measure_once(spec: &CaseSpec, threads: usize, warmup: u64, cycles: u64) -> (f
     }
     let secs = start.elapsed().as_secs_f64();
     let flits = total_flits(&sim) - flits_before;
-    (secs, cycles as f64 / secs, flits as f64 / secs)
+    (secs, cycles as f64 / secs, flits as f64 / secs, shards)
 }
 
 /// Runs `samples` fresh measurements of one point and reports the median by
@@ -193,15 +242,16 @@ fn measure(
     cycles: u64,
     samples: usize,
 ) -> Measurement {
-    let mut runs: Vec<(f64, f64, f64)> = (0..samples.max(1))
+    let mut runs: Vec<(f64, f64, f64, usize)> = (0..samples.max(1))
         .map(|_| measure_once(spec, threads, warmup, cycles))
         .collect();
     runs.sort_by(|a, b| a.1.total_cmp(&b.1));
-    let (secs, cycles_per_sec, flits_per_sec) = runs[(runs.len() - 1) / 2];
+    let (secs, cycles_per_sec, flits_per_sec, shards) = runs[(runs.len() - 1) / 2];
     Measurement {
         name: spec.name.to_string(),
         config: spec.config.to_string(),
         threads,
+        shards,
         cycles,
         secs,
         cycles_per_sec,
@@ -254,6 +304,8 @@ fn main() {
             advance: false,
             warmup: None,
             serial_only: false,
+            thread_list: None,
+            cycle_count: None,
         },
         CaseSpec {
             name: "pseudo_router",
@@ -262,6 +314,8 @@ fn main() {
             advance: false,
             warmup: None,
             serial_only: false,
+            thread_list: None,
+            cycle_count: None,
         },
         CaseSpec {
             name: "evc_router",
@@ -270,6 +324,8 @@ fn main() {
             advance: false,
             warmup: None,
             serial_only: false,
+            thread_list: None,
+            cycle_count: None,
         },
         CaseSpec {
             name: "paper_cmesh",
@@ -278,6 +334,8 @@ fn main() {
             advance: false,
             warmup: None,
             serial_only: false,
+            thread_list: None,
+            cycle_count: None,
         },
         CaseSpec {
             name: "lowload_uniform",
@@ -286,6 +344,8 @@ fn main() {
             advance: true,
             warmup: None,
             serial_only: true,
+            thread_list: None,
+            cycle_count: None,
         },
         CaseSpec {
             name: "lowload_drain",
@@ -294,6 +354,28 @@ fn main() {
             advance: true,
             warmup: Some(0),
             serial_only: true,
+            thread_list: None,
+            cycle_count: None,
+        },
+        CaseSpec {
+            name: "mesh16x16",
+            config: "mesh16x16 xy static uniform@0.15",
+            build: mesh16x16_sim,
+            advance: false,
+            warmup: Some(500),
+            serial_only: false,
+            thread_list: Some(&[1, 2, 4]),
+            cycle_count: Some(12_000),
+        },
+        CaseSpec {
+            name: "mesh32x32",
+            config: "mesh32x32 xy static uniform@0.15",
+            build: mesh32x32_sim,
+            advance: false,
+            warmup: Some(200),
+            serial_only: false,
+            thread_list: Some(&[1, 2, 4]),
+            cycle_count: Some(4_000),
         },
     ];
 
@@ -304,28 +386,37 @@ fn main() {
          median of {samples} samples; host cores: {host_cpus}; rev {rev})"
     );
     println!(
-        "{:<18} {:>7} {:>14} {:>14}  config",
-        "case", "threads", "cycles/sec", "flits/sec"
+        "{:<18} {:>7} {:>7} {:>14} {:>14}  config",
+        "case", "threads", "shards", "cycles/sec", "flits/sec"
     );
     let mut json = format!(
         "{{\n  \"bench\": \"engine\",\n  \"host_cpus\": {host_cpus},\n  \
          \"git_rev\": \"{rev}\",\n  \"samples\": {samples},\n  \"cases\": [\n"
     );
     let case_threads = |spec: &CaseSpec| -> &[usize] {
-        if spec.serial_only {
+        if smoke || spec.serial_only {
             &thread_counts[..1]
         } else {
-            thread_counts
+            spec.thread_list.unwrap_or(thread_counts)
+        }
+    };
+    // Per-case cycle overrides scale with NOC_SCALE like the default; smoke
+    // mode flattens everything to one short sample.
+    let case_cycles = |spec: &CaseSpec| -> u64 {
+        if smoke {
+            cycles
+        } else {
+            spec.cycle_count.map_or(cycles, |c| c * scale)
         }
     };
     let total: usize = cases.iter().map(|c| case_threads(c).len()).sum();
     let mut point = 0;
     for spec in &cases {
         for &threads in case_threads(spec) {
-            let m = measure(spec, threads, warmup, cycles, samples);
+            let m = measure(spec, threads, warmup, case_cycles(spec), samples);
             println!(
-                "{:<18} {:>7} {:>14.0} {:>14.0}  {}",
-                m.name, m.threads, m.cycles_per_sec, m.flits_per_sec, m.config
+                "{:<18} {:>7} {:>7} {:>14.0} {:>14.0}  {}",
+                m.name, m.threads, m.shards, m.cycles_per_sec, m.flits_per_sec, m.config
             );
             point += 1;
             let cps_samples = m
@@ -337,11 +428,13 @@ fn main() {
             let _ = writeln!(
                 json,
                 "    {{\"name\": \"{}\", \"config\": \"{}\", \"threads\": {}, \
-                 \"cycles\": {}, \"secs\": {:.6}, \"cycles_per_sec\": {:.1}, \
-                 \"flits_per_sec\": {:.1}, \"cps_samples\": [{}]}}{}",
+                 \"shards\": {}, \"cycles\": {}, \"secs\": {:.6}, \
+                 \"cycles_per_sec\": {:.1}, \"flits_per_sec\": {:.1}, \
+                 \"cps_samples\": [{}]}}{}",
                 m.name,
                 m.config,
                 m.threads,
+                m.shards,
                 m.cycles,
                 m.secs,
                 m.cycles_per_sec,

@@ -109,11 +109,13 @@ where
     let slots = ResultSlots(results.as_mut_ptr());
     let items = &items;
     let f = &f;
-    noc_base::pool::global().run_limited(n, sweep_threads(), &|i| {
+    // Sweep points run whole simulations — always worth waking parked
+    // workers for (eager), unlike the engine's per-cycle micro-batches.
+    noc_base::pool::global().run_limited_eager(n, sweep_threads(), &|i| {
         let value = f(&items[i]);
         // Safety: index i is claimed by exactly one worker per batch, and
-        // run_limited does not return until every index completed, so each
-        // slot is written once with no concurrent access.
+        // run_limited_eager does not return until every index completed, so
+        // each slot is written once with no concurrent access.
         unsafe { slots.slot(i).write(Some(value)) };
     });
     results

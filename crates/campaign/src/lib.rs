@@ -285,7 +285,9 @@ pub fn run_campaign(
                 .push(format!("{}: {e}", point.spec));
         }
     };
-    noc_base::pool::global().run_limited(pending.len(), threads, &job);
+    // Campaign points run whole simulations — always worth waking parked
+    // workers for, unlike the engine's per-cycle micro-batches.
+    noc_base::pool::global().run_limited_eager(pending.len(), threads, &job);
 
     let failures = failures.into_inner().unwrap();
     if !failures.is_empty() {

@@ -8,7 +8,7 @@
 //! objects, with strings escaped by [`escape_json`]. The schema is versioned
 //! via the `"schema"` field; see `docs/METRICS.md` for the field contract.
 
-use crate::metrics::{MetricsLevel, RouterObservation};
+use crate::metrics::{CoordinationStats, MetricsLevel, RouterObservation};
 use crate::network::ThreadDecision;
 use crate::{NetworkConfig, RunSpec, SimReport};
 use std::fmt::Write as _;
@@ -48,6 +48,11 @@ pub struct RunManifest {
     pub summary: ManifestSummary,
     /// Per-router counter dump (present only at [`MetricsLevel::Full`]).
     pub routers: Vec<RouterObservation>,
+    /// Engine coordination-cost summary (present only at
+    /// [`MetricsLevel::Full`]). Execution-only, like `threads` — never part
+    /// of the config hash, and the simulation results are byte-identical
+    /// whether or not it was collected.
+    pub coordination: Option<CoordinationStats>,
 }
 
 /// The headline numbers a manifest repeats from its [`SimReport`].
@@ -90,6 +95,10 @@ impl RunManifest {
             .as_ref()
             .map(|o| o.routers.clone())
             .unwrap_or_default();
+        let coordination = report
+            .observability
+            .as_ref()
+            .and_then(|o| o.coordination.clone());
         let mut manifest = Self {
             git_rev: git_rev(),
             config_hash: String::new(),
@@ -114,6 +123,7 @@ impl RunManifest {
                 drained: report.drained,
             },
             routers,
+            coordination,
         };
         manifest.config_hash = manifest.compute_config_hash();
         manifest
@@ -172,6 +182,12 @@ impl RunManifest {
             json_u64(&mut s, "threads_effective", t.effective as u64);
             json_u64(&mut s, "host_cpus", t.host_cpus as u64);
             json_str(&mut s, "threads_reason", t.reason);
+        }
+        if let Some(c) = &self.coordination {
+            json_u64(&mut s, "coord_epochs", c.epochs);
+            json_u64(&mut s, "coord_skipped_epochs", c.skipped_epochs);
+            json_u64(&mut s, "coord_wait_ns_total", c.wait_ns_total);
+            json_u64(&mut s, "coord_lanes_merged_total", c.lanes_merged_total);
         }
         json_u64(&mut s, "warmup", self.spec.warmup);
         json_u64(&mut s, "measure", self.spec.measure);
@@ -485,6 +501,33 @@ mod tests {
         assert!(json.contains("\"threads_effective\": 4"));
         assert!(json.contains("\"host_cpus\": 4"));
         assert!(json.contains("\"threads_reason\": \"capped to host cpus\""));
+    }
+
+    #[test]
+    fn coordination_stats_are_recorded_but_never_hashed() {
+        let cfg = NetworkConfig::paper();
+        let spec = RunSpec::new(0, 10, 10);
+        let plain = RunManifest::capture(&report(None), &cfg, spec, 7, MetricsLevel::Off);
+        assert!(!plain.to_json().contains("coord_epochs"));
+
+        let mut obs = ObservabilityReport::from_routers(Vec::new());
+        obs.coordination = Some(CoordinationStats {
+            epochs: 40,
+            skipped_epochs: 2,
+            wait_ns_total: 12_345,
+            lanes_merged_total: 90,
+            ..CoordinationStats::default()
+        });
+        let full = RunManifest::capture(&report(Some(obs)), &cfg, spec, 7, MetricsLevel::Full);
+        assert_eq!(
+            plain.config_hash, full.config_hash,
+            "coordination stats are execution-only"
+        );
+        let json = full.to_json();
+        assert!(json.contains("\"coord_epochs\": 40"));
+        assert!(json.contains("\"coord_skipped_epochs\": 2"));
+        assert!(json.contains("\"coord_wait_ns_total\": 12345"));
+        assert!(json.contains("\"coord_lanes_merged_total\": 90"));
     }
 
     #[test]

@@ -19,19 +19,38 @@
 //! intra-cycle dependencies between routers. The engine exploits this by
 //! partitioning routers into contiguous index shards ([`ShardLayout`]) and
 //! stepping the shards in parallel on a persistent worker pool
-//! ([`noc_base::pool`]). Each shard owns an outbox ([`ShardOutbox`]) whose
-//! router-bound lanes are bucketed by *destination* shard, so next cycle
-//! every shard drains exactly the lanes addressed to it — in ascending
-//! source-shard order, which reproduces the serial engine's ascending
-//! router-index emission order event for event. The result is byte-identical
-//! to the single-threaded engine for any shard count and any thread count
-//! (see DESIGN.md §12 for the full determinism argument).
+//! ([`noc_base::pool`]). A cycle costs **one** synchronization point — the
+//! pool's epoch barrier — because everything else is fused into the shard
+//! scan itself:
+//!
+//! - **Fused merge over double-buffered lanes.** Cross-shard traffic travels
+//!   through a flat `shards × shards` matrix of [`LanePair`]s: at cycle `c`
+//!   shard `s` appends to row `s` of the *next* matrix and drains column `s`
+//!   of the *now* matrix, in ascending source-shard order — which (shards
+//!   being contiguous index ranges) reproduces the serial engine's ascending
+//!   router-index emission order event for event. Rows and columns are
+//!   touched by exactly one shard each and the two matrices are distinct
+//!   buffers swapped by the driver, so the former submitter-side serial
+//!   merge pass is gone entirely.
+//! - **Quiescent-shard skip.** Each shard records which shards its emissions
+//!   target (a word-packed [`WordMask`]) plus whether its own routers/NIs
+//!   still hold work; the driver unions these into a pending mask and the
+//!   next epoch covers only pending shards. A shard with no inbound lanes
+//!   and no retained work is provably a no-op and never wakes a worker —
+//!   composing with full-network quiescence fast-forwarding.
+//!
+//! The result is byte-identical to the single-threaded engine for any shard
+//! count and any thread count (see DESIGN.md §12 and §17 for the full
+//! determinism argument).
 
-use crate::metrics::{chrome_trace_json, MetricsConfig, MetricsLevel, ObservabilityReport};
+use crate::metrics::{
+    chrome_trace_json, CoordinationStats, MetricsConfig, MetricsLevel, ObservabilityReport,
+};
 use crate::ni::{NetworkInterface, NiOutputs};
 use crate::router::{RouterBuildContext, RouterFactory, RouterModel, RouterOutputs};
 use crate::stats::{energy_breakdown_of, SimReport, SimStats};
 use crate::{NetworkConfig, RunSpec};
+use noc_base::bitset::WordMask;
 use noc_base::rng::{Pcg32, SeedStream};
 use noc_base::{Credit, Flit, NodeId, PacketId, PortIndex, RouterId};
 use noc_energy::EnergyCounters;
@@ -39,63 +58,65 @@ use noc_topology::{DistanceMatrix, FlatWiring, PortFeeder, SharedTopology};
 use noc_traffic::TrafficModel;
 use std::ops::Range;
 
-/// One shard's emissions for delivery next cycle, split by event kind so each
-/// lane is a flat tuple vector drained without enum dispatch. Within a
-/// delivery phase the kinds commute (`receive_flit`/`receive_credit` only
-/// buffer and count; no component steps until every event has landed), so
-/// draining lane by lane is behaviourally identical to the interleaved order
-/// in which the events were emitted.
+/// One cell of the cross-shard lane matrix: the router-bound flits and
+/// upstream credits emitted by one source shard for one destination shard,
+/// for delivery next cycle. Within a delivery phase the two kinds commute
+/// (`receive_flit`/`receive_credit` only buffer and count; no component
+/// steps until every event has landed), so draining lane by lane is
+/// behaviourally identical to the interleaved order in which the events were
+/// emitted.
+#[derive(Default, Debug)]
+struct LanePair {
+    /// Link flits `(destination router, input port, flit)`.
+    flits: Vec<(RouterId, PortIndex, Flit)>,
+    /// Upstream credit returns `(upstream router, output port, credit)`.
+    credits: Vec<(RouterId, PortIndex, Credit)>,
+}
+
+impl LanePair {
+    fn is_empty(&self) -> bool {
+        self.flits.is_empty() && self.credits.is_empty()
+    }
+}
+
+/// One shard's intra-shard emissions for delivery next cycle, split by event
+/// kind so each lane is a flat tuple vector drained without enum dispatch.
 ///
-/// Router-bound lanes are bucketed by destination shard so that next cycle
-/// each shard consumes exactly the buckets addressed to it without scanning
-/// or locking. Interface emissions and node-bound events never cross shards
-/// — an interface's attached router, and the router that ejects to or
-/// returns credits to a node, are by construction in the node's own shard —
-/// so those lanes need no bucketing.
+/// Only events that never cross shards live here — an interface's attached
+/// router, and the router that ejects to or returns credits to a node, are
+/// by construction in the node's own shard. Router-to-router traffic goes
+/// through the cross-shard [`LanePair`] matrix instead.
 #[derive(Default, Debug)]
 struct ShardOutbox {
     /// Interface-emitted flits entering this shard's own routers.
     ni_flits: Vec<(RouterId, PortIndex, Flit)>,
     /// Interface-returned credits for this shard's own routers.
     ni_credits: Vec<(RouterId, PortIndex, Credit)>,
-    /// Router-emitted link flits, bucketed by destination shard.
-    router_flits: Vec<Vec<(RouterId, PortIndex, Flit)>>,
-    /// Router-returned upstream credits, bucketed by destination shard.
-    router_credits: Vec<Vec<(RouterId, PortIndex, Credit)>>,
     /// Ejections to this shard's own interfaces.
     node_flits: Vec<(NodeId, Flit)>,
     /// Credit returns to this shard's own interfaces.
     node_credits: Vec<(NodeId, Credit)>,
+    /// Which shards must run next cycle to consume this shard's emissions:
+    /// bit `d` for every cross-shard lane written, bit `self` when any
+    /// intra-shard lane is non-empty. Rewritten from scratch each time the
+    /// shard steps; stale between steps (skipped shards emitted nothing, so
+    /// their stale mask is never read).
+    dest_mask: WordMask,
 }
 
 impl ShardOutbox {
     fn new(shards: usize) -> Self {
         Self {
-            router_flits: (0..shards).map(|_| Vec::new()).collect(),
-            router_credits: (0..shards).map(|_| Vec::new()).collect(),
+            dest_mask: WordMask::new(shards),
             ..Self::default()
         }
     }
 
-    /// Empties every lane, retaining capacity for the next cycle.
-    fn clear(&mut self) {
-        self.ni_flits.clear();
-        self.ni_credits.clear();
-        for lane in &mut self.router_flits {
-            lane.clear();
-        }
-        for lane in &mut self.router_credits {
-            lane.clear();
-        }
-        self.node_flits.clear();
-        self.node_credits.clear();
-    }
-
+    /// Whether any event lane holds an undelivered event (the `dest_mask` is
+    /// bookkeeping, not an event).
     fn is_empty(&self) -> bool {
         self.ni_flits.is_empty()
             && self.ni_credits.is_empty()
-            && self.router_flits.iter().all(Vec::is_empty)
-            && self.router_credits.iter().all(Vec::is_empty)
             && self.node_flits.is_empty()
             && self.node_credits.is_empty()
     }
@@ -111,6 +132,9 @@ struct ShardLayout {
     ranges: Vec<Range<usize>>,
     /// Node indices whose attached router lies in each shard, ascending.
     ni_lists: Vec<Vec<usize>>,
+    /// Shard of each node's attached router (for pending-mask marking on
+    /// injection).
+    node_shard: Vec<usize>,
 }
 
 impl ShardLayout {
@@ -122,14 +146,18 @@ impl ShardLayout {
             .take_while(|r| !r.is_empty())
             .collect();
         let mut ni_lists: Vec<Vec<usize>> = (0..ranges.len()).map(|_| Vec::new()).collect();
+        let mut node_shard = Vec::with_capacity(num_nodes);
         for n in 0..num_nodes {
             let (router, _) = wiring.attach_of(NodeId::new(n));
-            ni_lists[router.index() / chunk].push(n);
+            let s = router.index() / chunk;
+            ni_lists[s].push(n);
+            node_shard.push(s);
         }
         Self {
             chunk,
             ranges,
             ni_lists,
+            node_shard,
         }
     }
 
@@ -143,12 +171,20 @@ impl ShardLayout {
     }
 }
 
-/// Per-shard mutable scratch: reusable emission buffers plus an independent
-/// RNG stream for engine-internal randomized decisions.
+/// Per-shard mutable scratch: reusable emission buffers, an independent RNG
+/// stream for engine-internal randomized decisions, and the shard's
+/// contribution to next cycle's pending mask.
 struct ShardScratch {
     router_out: RouterOutputs,
     ni_out: NiOutputs,
     rng: Pcg32,
+    /// Set by the shard's step when it retains work for next cycle (a
+    /// stepped router left non-idle, or an interface with injection work) —
+    /// state the pending mask cannot see through the event lanes.
+    busy: bool,
+    /// Non-empty inbound lanes this shard drained in its latest step
+    /// (coordination metrics only; counted only when enabled).
+    lanes_merged: u64,
 }
 
 /// Everything one shard job needs, erased to raw pointers where shards touch
@@ -156,19 +192,27 @@ struct ShardScratch {
 ///
 /// Safety: shard `s` dereferences `routers[r]`/`active[r]` only for `r` in
 /// `layout.ranges[s]`, `nis[n]` only for `n` in `layout.ni_lists[s]`, and
-/// `next[s]`/`scratch[s]` only at its own index — and every event lane it
-/// reads from `now` is read by shard `s` alone (own-shard lanes plus the
-/// `[s]` bucket of every router lane) — so no element is aliased across
-/// concurrently running shards.
+/// `now[s]`/`next[s]`/`scratch[s]` only at its own index. Of the flat
+/// `shards × shards` lane matrices it writes only row `s` of `lanes_next`
+/// (`[s * shards, (s + 1) * shards)`) and drains only column `s` of
+/// `lanes_now` (`src * shards + s` for each `src`) — rows and columns each
+/// belong to exactly one shard and the two matrices are distinct buffers, so
+/// no element is aliased across concurrently running shards.
 struct ShardCtx<'a> {
     layout: &'a ShardLayout,
     wiring: &'a FlatWiring,
-    now: &'a [ShardOutbox],
     cycle: u64,
+    shards: usize,
+    /// Whether to count drained lanes into `ShardScratch::lanes_merged`
+    /// (`--metrics=full` coordination histograms).
+    count_lanes: bool,
     routers: *mut Box<dyn RouterModel>,
     nis: *mut NetworkInterface,
     active: *mut bool,
+    now: *mut ShardOutbox,
     next: *mut ShardOutbox,
+    lanes_now: *mut LanePair,
+    lanes_next: *mut LanePair,
     scratch: *mut ShardScratch,
 }
 
@@ -176,14 +220,17 @@ struct ShardCtx<'a> {
 // inside point to `Sync` data read-only during the parallel phase.
 unsafe impl Sync for ShardCtx<'_> {}
 
-/// Runs one shard's slice of a cycle: delivers the shard's inbound events,
-/// steps its interfaces, then steps its routers, writing all emissions into
-/// the shard's own outbox.
+/// Runs one shard's slice of a cycle: drains the shard's inbound event lanes
+/// (the fused merge — this *is* the delivery of last cycle's cross-shard
+/// emissions), steps its interfaces, then steps its routers, writing all
+/// emissions into the shard's own outbox row.
 ///
 /// Per-receiver event order is identical to the serial engine: interface
 /// emissions land before router emissions, and router emissions land in
 /// ascending source-shard order, which (shards being contiguous index
-/// ranges) is ascending router-index order.
+/// ranges) is ascending router-index order. Skipped source shards
+/// contribute empty lanes — had they emitted anything, their `dest_mask`
+/// would have forced them pending and they would not have been skipped.
 ///
 /// # Safety
 ///
@@ -194,31 +241,52 @@ unsafe fn step_shard(ctx: &ShardCtx<'_>, s: usize) {
     let layout = ctx.layout;
     let wiring = ctx.wiring;
     let cycle = ctx.cycle;
+    let shards = ctx.shards;
+    let now = &mut *ctx.now.add(s);
     let next = &mut *ctx.next.add(s);
     let scratch = &mut *ctx.scratch.add(s);
+    next.dest_mask.clear_all();
+    let mut busy = false;
+    let mut lanes_merged = 0u64;
 
     // Inbound flits: interface emissions first, then router emissions in
     // ascending source-shard order. Receiving routers join the worklist.
-    for (router, port, flit) in &ctx.now[s].ni_flits {
-        *ctx.active.add(router.index()) = true;
-        (*ctx.routers.add(router.index())).receive_flit(*port, flit.clone());
+    // Draining (rather than copying) the lanes empties them in place, with
+    // capacity retained — delivery and retirement are one pass.
+    if ctx.count_lanes && !now.ni_flits.is_empty() {
+        lanes_merged += 1;
     }
-    for src in ctx.now {
-        for (router, port, flit) in &src.router_flits[s] {
+    for (router, port, flit) in now.ni_flits.drain(..) {
+        *ctx.active.add(router.index()) = true;
+        (*ctx.routers.add(router.index())).receive_flit(port, flit);
+    }
+    for src in 0..shards {
+        let lane = &mut *ctx.lanes_now.add(src * shards + s);
+        if ctx.count_lanes && !lane.flits.is_empty() {
+            lanes_merged += 1;
+        }
+        for (router, port, flit) in lane.flits.drain(..) {
             *ctx.active.add(router.index()) = true;
-            (*ctx.routers.add(router.index())).receive_flit(*port, flit.clone());
+            (*ctx.routers.add(router.index())).receive_flit(port, flit);
         }
     }
 
     // Inbound credits, same ordering.
-    for (router, out_port, credit) in &ctx.now[s].ni_credits {
-        *ctx.active.add(router.index()) = true;
-        (*ctx.routers.add(router.index())).receive_credit(*out_port, *credit);
+    if ctx.count_lanes && !now.ni_credits.is_empty() {
+        lanes_merged += 1;
     }
-    for src in ctx.now {
-        for (router, out_port, credit) in &src.router_credits[s] {
+    for (router, out_port, credit) in now.ni_credits.drain(..) {
+        *ctx.active.add(router.index()) = true;
+        (*ctx.routers.add(router.index())).receive_credit(out_port, credit);
+    }
+    for src in 0..shards {
+        let lane = &mut *ctx.lanes_now.add(src * shards + s);
+        if ctx.count_lanes && !lane.credits.is_empty() {
+            lanes_merged += 1;
+        }
+        for (router, out_port, credit) in lane.credits.drain(..) {
             *ctx.active.add(router.index()) = true;
-            (*ctx.routers.add(router.index())).receive_credit(*out_port, *credit);
+            (*ctx.routers.add(router.index())).receive_credit(out_port, credit);
         }
     }
 
@@ -234,6 +302,9 @@ unsafe fn step_shard(ctx: &ShardCtx<'_>, s: usize) {
         for vc in scratch.ni_out.credits.drain(..) {
             next.ni_credits.push((router, local, Credit::new(vc)));
         }
+        // An interface still holding injection work must step again next
+        // cycle even if no event reaches this shard in between.
+        busy |= ni.has_step_work();
     }
 
     // Routers advance and emit. A router is skipped only when it received no
@@ -257,7 +328,10 @@ unsafe fn step_shard(ctx: &ShardCtx<'_>, s: usize) {
                 next.node_flits.push((node, sent.flit));
             } else {
                 let end = wiring.link(router, sent.out_port, sent.hops);
-                next.router_flits[layout.dest_shard(end.router.index())]
+                let dest = layout.dest_shard(end.router.index());
+                next.dest_mask.set(dest);
+                (*ctx.lanes_next.add(s * shards + dest))
+                    .flits
                     .push((end.router, end.port, sent.flit));
             }
         }
@@ -267,11 +341,15 @@ unsafe fn step_shard(ctx: &ShardCtx<'_>, s: usize) {
                     router: up,
                     out_port,
                     sub,
-                } => next.router_credits[layout.dest_shard(up.index())].push((
-                    up,
-                    out_port,
-                    Credit { vc, sub },
-                )),
+                } => {
+                    let dest = layout.dest_shard(up.index());
+                    next.dest_mask.set(dest);
+                    (*ctx.lanes_next.add(s * shards + dest)).credits.push((
+                        up,
+                        out_port,
+                        Credit { vc, sub },
+                    ));
+                }
                 PortFeeder::Node(node) => {
                     next.node_credits.push((node, Credit::new(vc)));
                 }
@@ -280,7 +358,20 @@ unsafe fn step_shard(ctx: &ShardCtx<'_>, s: usize) {
                 }
             }
         }
+        // A router left non-idle must step again next cycle regardless of
+        // inbound events (it is holding flits mid-pipeline).
+        busy |= !model.is_idle();
     }
+
+    // Intra-shard emissions (NI injections, ejections, node credits) are
+    // consumed by this shard itself — node lanes via the driver's serial
+    // phase 1 feeding interfaces that then owe ejection credits, NI lanes
+    // via this shard's own scan — so any of them pending marks this shard.
+    if !next.is_empty() {
+        next.dest_mask.set(s);
+    }
+    scratch.busy = busy;
+    scratch.lanes_merged = lanes_merged;
 }
 
 /// A fully wired network plus its workload: the top-level simulation object.
@@ -301,10 +392,22 @@ pub struct Simulation {
     threads: usize,
     /// Router/interface partition driving the parallel phase.
     layout: ShardLayout,
-    /// Outboxes being delivered this cycle (drained, capacity retained).
+    /// Intra-shard outboxes being delivered this cycle (drained in place).
     now: Vec<ShardOutbox>,
-    /// Outboxes filled this cycle for delivery next cycle.
+    /// Intra-shard outboxes filled this cycle for delivery next cycle.
     next: Vec<ShardOutbox>,
+    /// Cross-shard lane matrix being drained this cycle (`src * shards +
+    /// dest`; shard `s` owns column `s`).
+    lanes_now: Vec<LanePair>,
+    /// Cross-shard lane matrix being filled this cycle (shard `s` owns row
+    /// `s`).
+    lanes_next: Vec<LanePair>,
+    /// Shards that must step this cycle: every shard some ran shard
+    /// addressed events to, every shard that retained router/NI work, plus
+    /// phase-2 injection targets. All-set after (re)construction.
+    pending: WordMask,
+    /// Reusable compaction of `pending` into job indices for the pool.
+    worklist: Vec<usize>,
     /// Per-shard reusable emission buffers and RNG streams.
     scratch: Vec<ShardScratch>,
     /// Worklist flags: router received an event this cycle, so its `step`
@@ -321,6 +424,8 @@ pub struct Simulation {
     /// Cycles skipped by fast-forwarding since construction (diagnostics
     /// only; never part of the report).
     fast_forwarded: u64,
+    /// Coordination-cost accumulation, allocated only at `--metrics=full`.
+    coordination: Option<CoordinationStats>,
 }
 
 impl Simulation {
@@ -380,6 +485,7 @@ impl Simulation {
         let dist = DistanceMatrix::new(topo.as_ref());
         let active = vec![false; routers.len()];
         let layout = ShardLayout::new(1, routers.len(), nis.len(), &wiring);
+        let coordination = (metrics.level == MetricsLevel::Full).then(CoordinationStats::default);
 
         let mut sim = Self {
             topo,
@@ -395,6 +501,10 @@ impl Simulation {
             layout,
             now: Vec::new(),
             next: Vec::new(),
+            lanes_now: Vec::new(),
+            lanes_next: Vec::new(),
+            pending: WordMask::new(1),
+            worklist: Vec::new(),
             scratch: Vec::new(),
             active,
             cycle: 0,
@@ -403,13 +513,14 @@ impl Simulation {
             request_buf: Vec::new(),
             fast_forward: std::env::var_os("NOC_NO_FASTFWD").is_none(),
             fast_forwarded: 0,
+            coordination,
         };
         sim.rebuild_shards();
         sim
     }
 
-    /// Rebuilds the shard partition, outboxes and scratch for the current
-    /// thread budget. Cold path: runs at construction and on
+    /// Rebuilds the shard partition, outboxes, lane matrices and scratch for
+    /// the current thread budget. Cold path: runs at construction and on
     /// [`set_threads`](Self::set_threads), never per cycle.
     fn rebuild_shards(&mut self) {
         // 2x over-partitioning gives the pool's dynamic index claiming room
@@ -423,6 +534,14 @@ impl Simulation {
         let shards = self.layout.shards();
         self.now = (0..shards).map(|_| ShardOutbox::new(shards)).collect();
         self.next = (0..shards).map(|_| ShardOutbox::new(shards)).collect();
+        self.lanes_now = (0..shards * shards).map(|_| LanePair::default()).collect();
+        self.lanes_next = (0..shards * shards).map(|_| LanePair::default()).collect();
+        // Everything is pending until the first step proves otherwise.
+        self.pending = WordMask::new(shards);
+        for s in 0..shards {
+            self.pending.set(s);
+        }
+        self.worklist = Vec::with_capacity(shards);
 
         // Reserve the per-shard emission buffers to their structural maxima
         // — a router emits at most one flit per output port and one credit
@@ -446,17 +565,20 @@ impl Simulation {
                     router_out,
                     ni_out: NiOutputs::default(),
                     rng: self.seeds.shard_rng(s),
+                    busy: false,
+                    lanes_merged: 0,
                 }
             })
             .collect();
 
-        // Reserve every outbox lane to its structural maximum as well, so no
+        // Reserve every event lane to its structural maximum as well, so no
         // worker thread ever grows a lane mid-run: per cycle a router emits
         // at most one flit per output port and one credit per (input port,
         // VC), an interface injects at most one flit and returns at most one
         // ejection credit. Multidrop channels can land a given port's flit
-        // in different shards on different cycles, so each per-destination
-        // bucket is sized for the whole shard's emission capacity.
+        // in different shards on different cycles, so each cross-shard cell
+        // of a source shard's row is sized for the whole shard's emission
+        // capacity.
         let conc = self.wiring.concentration();
         for s in 0..shards {
             let ni_count = self.layout.ni_lists[s].len();
@@ -475,11 +597,12 @@ impl Simulation {
                 buffer.ni_credits.reserve(ni_count);
                 buffer.node_flits.reserve(ni_count);
                 buffer.node_credits.reserve(node_credit_cap);
-                for lane in &mut buffer.router_flits {
-                    lane.reserve(net_out);
-                }
-                for lane in &mut buffer.router_credits {
-                    lane.reserve(credit_cap);
+            }
+            for d in 0..shards {
+                for matrix in [&mut self.lanes_now, &mut self.lanes_next] {
+                    let cell = &mut matrix[s * shards + d];
+                    cell.flits.reserve(net_out);
+                    cell.credits.reserve(credit_cap);
                 }
             }
         }
@@ -497,7 +620,9 @@ impl Simulation {
     pub fn set_threads(&mut self, threads: usize) {
         assert!(
             self.now.iter().all(ShardOutbox::is_empty)
-                && self.next.iter().all(ShardOutbox::is_empty),
+                && self.next.iter().all(ShardOutbox::is_empty)
+                && self.lanes_now.iter().all(LanePair::is_empty)
+                && self.lanes_next.iter().all(LanePair::is_empty),
             "set_threads requires no in-flight events (call it between runs)"
         );
         let cap = noc_base::pool::env_thread_cap().unwrap_or(usize::MAX);
@@ -583,12 +708,15 @@ impl Simulation {
     pub fn step(&mut self) {
         let cycle = self.cycle;
         std::mem::swap(&mut self.now, &mut self.next);
+        std::mem::swap(&mut self.lanes_now, &mut self.lanes_next);
 
         // Phase 1 (serial): deliver interface-bound events. These lanes are
         // intra-shard, but interface receipt feeds reassembly and delivery
         // statistics, so they stay on the driver thread; scanning shards
         // ascending reproduces the serial engine's ascending router-index
-        // emission order.
+        // emission order. (The producing shard already marked itself pending
+        // for this cycle when it filled these lanes, so the ejection credits
+        // these receipts create are returned by this cycle's phase 3.)
         {
             let nis = &mut self.nis;
             for outbox in self.now.iter_mut() {
@@ -603,7 +731,9 @@ impl Simulation {
             }
         }
 
-        // Phase 2 (serial): workload generation into source queues.
+        // Phase 2 (serial): workload generation into source queues. A fresh
+        // injection gives the source's interface step-work, so its shard
+        // joins this cycle's pending set.
         let requests = &mut self.request_buf;
         debug_assert!(requests.is_empty());
         self.traffic.generate(cycle, &mut |r| requests.push(r));
@@ -617,35 +747,77 @@ impl Simulation {
             self.next_packet_id += 1;
             self.nis[request.src.index()].enqueue(cycle, &request, id);
             self.stats.on_injected(cycle);
+            self.pending
+                .set(self.layout.node_shard[request.src.index()]);
         }
 
-        // Phase 3 (parallel over shards): deliver router-bound events, step
-        // interfaces, step routers. Every shard touches only its own routers,
-        // interfaces, outbox and scratch, and reads only the event lanes
-        // addressed to it, so the shards are data-independent; with one shard
-        // or one thread the pool runs this inline on the driver thread.
-        {
+        // Phase 3 (parallel over pending shards): drain inbound lanes, step
+        // interfaces, step routers. Every shard touches only its own
+        // routers, interfaces, outboxes, lane row/column and scratch, so the
+        // shards are data-independent; with one pending shard or one thread
+        // the pool runs this inline on the driver thread. Shards not in the
+        // pending mask are provably no-ops: all their inbound lanes are
+        // empty (a non-empty lane would have set their pending bit) and
+        // their routers/interfaces certified idleness last time they ran.
+        self.worklist.clear();
+        self.worklist.extend(self.pending.iter());
+        let mut submitter_wait = 0u64;
+        if !self.worklist.is_empty() {
             let ctx = ShardCtx {
                 layout: &self.layout,
                 wiring: &self.wiring,
-                now: &self.now,
                 cycle,
+                shards: self.layout.shards(),
+                count_lanes: self.coordination.is_some(),
                 routers: self.routers.as_mut_ptr(),
                 nis: self.nis.as_mut_ptr(),
                 active: self.active.as_mut_ptr(),
+                now: self.now.as_mut_ptr(),
                 next: self.next.as_mut_ptr(),
+                lanes_now: self.lanes_now.as_mut_ptr(),
+                lanes_next: self.lanes_next.as_mut_ptr(),
                 scratch: self.scratch.as_mut_ptr(),
             };
-            let shards = self.layout.shards();
-            // Safety: shard indices 0..shards are distinct per job index and
-            // ctx's pointers cover the full vectors; see `ShardCtx`.
-            let job = |s: usize| unsafe { step_shard(&ctx, s) };
-            noc_base::pool::global().run_limited(shards, self.threads, &job);
+            let worklist: &[usize] = &self.worklist;
+            // Safety: worklist entries are distinct shard indices (one per
+            // set bit) and ctx's pointers cover the full vectors; see
+            // `ShardCtx`.
+            let job = |i: usize| unsafe { step_shard(&ctx, worklist[i]) };
+            let pool = noc_base::pool::global();
+            if self.coordination.is_some() {
+                submitter_wait = pool.run_limited_timed(worklist.len(), self.threads, &job);
+            } else {
+                pool.run_limited(worklist.len(), self.threads, &job);
+            }
         }
 
-        // Retire this cycle's delivered lanes (capacity retained).
-        for outbox in self.now.iter_mut() {
-            outbox.clear();
+        // Recompute the pending mask from the shards that ran: their fresh
+        // destination masks plus their own retained work. Skipped shards
+        // contribute nothing — they emitted nothing and their stale masks
+        // must not be re-read.
+        self.pending.clear_all();
+        for &s in &self.worklist {
+            self.pending.union_with(&self.next[s].dest_mask);
+            if self.scratch[s].busy {
+                self.pending.set(s);
+            }
+        }
+
+        if let Some(coord) = &mut self.coordination {
+            if self.worklist.is_empty() {
+                coord.skipped_epochs += 1;
+            } else {
+                coord.epochs += 1;
+                coord.wait_ns_total += submitter_wait;
+                coord.submitter_wait_ns.record(submitter_wait);
+                let lanes: u64 = self
+                    .worklist
+                    .iter()
+                    .map(|&s| self.scratch[s].lanes_merged)
+                    .sum();
+                coord.lanes_merged_total += lanes;
+                coord.lanes_merged.record(lanes);
+            }
         }
 
         // Phase 4 (serial): completed deliveries feed statistics and the
@@ -688,8 +860,9 @@ impl Simulation {
     /// injections) would change nothing but the clock. Checked between
     /// cycles, cheapest condition first:
     ///
-    /// - no event is in flight (every outbox lane of both double-buffer
-    ///   halves is empty — no flit or credit awaits delivery);
+    /// - no event is in flight (every intra-shard lane and every cell of
+    ///   both cross-shard lane matrices is empty — no flit or credit awaits
+    ///   delivery);
     /// - every interface is idle (nothing queued, serializing, reassembling
     ///   or awaiting drain);
     /// - every router certifies `is_idle` (the same exact step-is-no-op
@@ -697,6 +870,8 @@ impl Simulation {
     fn is_quiescent(&self) -> bool {
         self.next.iter().all(ShardOutbox::is_empty)
             && self.now.iter().all(ShardOutbox::is_empty)
+            && self.lanes_now.iter().all(LanePair::is_empty)
+            && self.lanes_next.iter().all(LanePair::is_empty)
             && self.nis.iter().all(NetworkInterface::is_idle)
             && self.routers.iter().all(|r| r.is_idle())
     }
@@ -711,7 +886,8 @@ impl Simulation {
     /// step: no event delivery, no injection, no router or interface state
     /// change, no stats/energy/histogram/trace event — those are all
     /// event-driven, and there are no events. Only `self.cycle` advances,
-    /// exactly as it would have.
+    /// exactly as it would have. (The coordination metrics count only
+    /// *stepped* cycles, so fast-forwarding does not touch them either.)
     fn try_fast_forward(&mut self, limit: u64) -> u64 {
         if !self.fast_forward || limit == 0 || !self.is_quiescent() {
             return 0;
@@ -810,7 +986,7 @@ impl Simulation {
             drained: self.stats.measured_in_flight() == 0,
             final_backlog: self.nis.iter().map(|ni| ni.backlog() as u64).sum(),
             observability: (self.metrics.level == MetricsLevel::Full).then(|| {
-                ObservabilityReport::from_routers(
+                let mut obs = ObservabilityReport::from_routers(
                     self.routers
                         .iter()
                         .enumerate()
@@ -826,7 +1002,9 @@ impl Simulation {
                             })
                         })
                         .collect(),
-                )
+                );
+                obs.coordination = self.coordination.clone();
+                obs
             }),
         }
     }

@@ -146,6 +146,19 @@ impl NetworkInterface {
             && self.delivered.is_empty()
     }
 
+    /// Exact step-is-no-op predicate for the quiescent-shard skip: `step`
+    /// touches only the source queue, the serializing packet and the pending
+    /// ejection credits, so with all three empty a `step` emits nothing and
+    /// changes no state. Weaker than [`is_idle`](Self::is_idle) — reassembly
+    /// and delivered-packet state don't participate in `step` (delivered
+    /// packets are drained serially by the driver every cycle regardless of
+    /// shard skipping).
+    pub fn has_step_work(&self) -> bool {
+        !self.queue.is_empty()
+            || self.current.is_some()
+            || !self.pending_ejection_credits.is_empty()
+    }
+
     /// Accepts a packet request at `cycle`, assigning it `id`.
     ///
     /// # Panics

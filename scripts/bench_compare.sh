@@ -8,10 +8,20 @@
 # "cps_samples" array (median-of-N harness) the median is recomputed from the
 # samples; older single-sample snapshots fall back to "cycles_per_sec".
 #
-# Multi-threaded points are reported for information only — their wall-clock
-# depends on host core count and load — while threads=1 is the engine's
-# serial-speed contract across PRs. Snapshots from before the engine grew a
-# thread budget carry no "threads" field; their cases count as threads=1.
+# Multi-threaded points are reported per case for information — their
+# wall-clock depends on host core count and load — while threads=1 is the
+# engine's serial-speed contract across PRs. Snapshots from before the engine
+# grew a thread budget carry no "threads" field; their cases count as
+# threads=1.
+#
+# When BOTH snapshot headers record "host_cpus" greater than 1 the
+# threads=2 / threads=1 cycles-per-second ratio is additionally gated: a
+# case whose new ratio falls more than 10% below its old ratio fails the
+# comparison. The ratio is host-load-sensitive but core-count-normalized
+# (both points ran on the same host within one snapshot), so it is the
+# scaling contract the absolute multi-thread numbers cannot be. Snapshots
+# from single-core hosts (or without the header) never arm this gate — on
+# one core the threads=2 path measures pool overhead, not scaling.
 #
 # Cases whose name starts with "lowload_" are reported in their own section:
 # they measure the quiescence fast-forward path (Simulation::advance), whose
@@ -70,6 +80,13 @@ function median_cps(line,    re, s, m, i, j, tmp, vals) {
         vals[j + 1] = tmp
     }
     return vals[int((m + 1) / 2)] + 0
+}
+BEGIN { old_cpus = 1; new_cpus = 1 }
+# Snapshot header: the host CPU count the snapshot was measured on. Case
+# lines never carry this key, and header lines never carry "name".
+/"host_cpus":/ && !/"name":/ {
+    if (FILENAME == old_file) old_cpus = getnum($0, "host_cpus")
+    else new_cpus = getnum($0, "host_cpus")
 }
 /"name":/ {
     name = getstr($0, "name")
@@ -132,10 +149,45 @@ END {
             if (order[i] ~ /^lowload_/) report(order[i])
         }
     }
+    # Scaling-ratio gate: armed only when both snapshots came from
+    # multi-core hosts. Compares each gated case present at threads 1 and 2
+    # in both snapshots on its threads=2/threads=1 cycles-per-sec ratio.
+    ratio_fail = 0
+    if (old_cpus > 1 && new_cpus > 1) {
+        header = 0
+        for (i = 1; i <= n; i++) {
+            key = order[i]
+            if (key ~ /^lowload_/ || key !~ /@1$/) continue
+            name = key
+            sub(/@1$/, "", name)
+            k2 = name "@2"
+            if (!(key in before) || !(k2 in before)) continue
+            if (!(key in after) || !(k2 in after)) continue
+            if (before[key] == 0 || after[key] == 0 || before[k2] == 0) continue
+            r_old = before[k2] / before[key]
+            r_new = after[k2] / after[key]
+            if (!header) {
+                print ""
+                print "threads=2 / threads=1 scaling ratio (gated: both hosts multi-core):"
+                printf "%-28s %14s %14s %9s\n", "case", "old ratio", "new ratio", "delta"
+                header = 1
+            }
+            delta = (r_new - r_old) / r_old * 100
+            flag = ""
+            if (r_new < r_old * 0.9) {
+                flag = "  << RATIO REGRESSION"
+                ratio_fail = 1
+            }
+            printf "%-28s %14.3f %14.3f %+8.1f%%%s\n", name, r_old, r_new, delta, flag
+        }
+    }
     if (fail) {
         print "FAIL: threads=1 cycles_per_sec regressed by more than 10%"
-        exit 1
     }
-    print "OK: no threads=1 regression beyond 10%"
+    if (ratio_fail) {
+        print "FAIL: threads=2/threads=1 scaling ratio regressed by more than 10%"
+    }
+    if (fail || ratio_fail) exit 1
+    print "OK: no gated regression beyond 10%"
 }
 ' "$old" "$new"

@@ -26,13 +26,23 @@ NOC_THREADS=2 cargo test -q --offline
 echo "==> NOC_NO_FASTFWD=1 cargo test -q --test golden_report"
 NOC_NO_FASTFWD=1 cargo test -q --offline --test golden_report
 
+# Fourth pass: both knobs at once. With the thread cap engaged AND
+# fast-forwarding off, every cycle of the determinism matrix goes through
+# the sharded epoch-barrier path with the quiescent-shard mask as the only
+# work-skipping mechanism — the combination the fused-merge determinism
+# argument (DESIGN.md §17) has to hold under on its own.
+echo "==> NOC_THREADS=2 NOC_NO_FASTFWD=1 cargo test -q --test determinism_threads --test golden_report"
+NOC_THREADS=2 NOC_NO_FASTFWD=1 cargo test -q --offline \
+    --test determinism_threads --test golden_report
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets --offline -- -D warnings
 
-# The worker pool's unsafe lifetime erasure and the word-packed bitset
-# arbitration primitives (noc_base::bitset — the VA/SA hot path's grant
-# machinery) live in noc-base; lint it explicitly so a partial workspace
-# build never skips either.
+# The worker pool's unsafe lifetime erasure and epoch barrier, its park/
+# wake and adaptive-spin primitives (noc_base::sync), and the word-packed
+# bitset arbitration primitives (noc_base::bitset — the VA/SA hot path's
+# grant machinery and the engine's pending-shard mask) live in noc-base;
+# lint it explicitly so a partial workspace build never skips any of them.
 echo "==> cargo clippy -p noc-base --all-targets -- -D warnings"
 cargo clippy -p noc-base --all-targets --offline -- -D warnings
 

@@ -93,6 +93,69 @@ status=0
 "$compare" "$tmp/old.json" "$tmp/lowload_only_regressed.json" > /dev/null || status=$?
 check "lowload regression does not gate" [ "$status" -eq 0 ]
 
+# --- scaling-ratio gate ---------------------------------------------------
+# Multi-core snapshots on both sides arm the threads=2/threads=1 ratio gate.
+cat > "$tmp/mc_old.json" <<'EOF'
+{"bench": "engine", "host_cpus": 8,
+ "cases": [
+  {"name": "pseudo_router", "threads": 1, "cycles_per_sec": 1000000},
+  {"name": "pseudo_router", "threads": 2, "cycles_per_sec": 1800000},
+  {"name": "lowload_idle", "threads": 1, "cycles_per_sec": 1000}
+]}
+EOF
+cat > "$tmp/mc_good.json" <<'EOF'
+{"bench": "engine", "host_cpus": 8,
+ "cases": [
+  {"name": "pseudo_router", "threads": 1, "cycles_per_sec": 1000000},
+  {"name": "pseudo_router", "threads": 2, "cycles_per_sec": 1750000},
+  {"name": "lowload_idle", "threads": 1, "cycles_per_sec": 1000}
+]}
+EOF
+# Ratio 1.8 -> 1.2: a 33% scaling regression with threads=1 unchanged.
+cat > "$tmp/mc_bad.json" <<'EOF'
+{"bench": "engine", "host_cpus": 8,
+ "cases": [
+  {"name": "pseudo_router", "threads": 1, "cycles_per_sec": 1000000},
+  {"name": "pseudo_router", "threads": 2, "cycles_per_sec": 1200000},
+  {"name": "lowload_idle", "threads": 1, "cycles_per_sec": 1000}
+]}
+EOF
+# Same regressed numbers, but measured on a single-core host: not gated.
+cat > "$tmp/sc_bad.json" <<'EOF'
+{"bench": "engine", "host_cpus": 1,
+ "cases": [
+  {"name": "pseudo_router", "threads": 1, "cycles_per_sec": 1000000},
+  {"name": "pseudo_router", "threads": 2, "cycles_per_sec": 1200000},
+  {"name": "lowload_idle", "threads": 1, "cycles_per_sec": 1000}
+]}
+EOF
+
+status=0
+out=$("$compare" "$tmp/mc_old.json" "$tmp/mc_good.json") || status=$?
+check "healthy scaling ratio passes" [ "$status" -eq 0 ]
+check "ratio section is printed on multi-core snapshots" \
+    grep -q 'scaling ratio' <<< "$out"
+
+status=0
+out=$("$compare" "$tmp/mc_old.json" "$tmp/mc_bad.json") || status=$?
+check "scaling-ratio regression exits 1" [ "$status" -eq 1 ]
+check "ratio regression is flagged" grep -q 'RATIO REGRESSION' <<< "$out"
+
+status=0
+out=$("$compare" "$tmp/mc_old.json" "$tmp/sc_bad.json") || status=$?
+check "single-core new snapshot never arms the ratio gate" [ "$status" -eq 0 ]
+check "no ratio section without two multi-core snapshots" \
+    bash -c '! grep -q "scaling ratio" <<< "$1"' _ "$out"
+
+status=0
+out=$("$compare" "$tmp/sc_bad.json" "$tmp/mc_bad.json") || status=$?
+check "single-core old snapshot never arms the ratio gate" [ "$status" -eq 0 ]
+
+# Headerless (pre-host_cpus) snapshots behave as single-core: not gated.
+status=0
+out=$("$compare" "$tmp/old.json" "$tmp/new.json") || status=$?
+check "headerless snapshots never arm the ratio gate" [ "$status" -eq 0 ]
+
 if [ "$fails" -ne 0 ]; then
     echo "test_bench_compare: $fails check(s) failed" >&2
     exit 1

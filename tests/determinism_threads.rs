@@ -11,7 +11,7 @@
 use noc_base::{RoutingPolicy, VaPolicy};
 use noc_evc::EvcRouterFactory;
 use noc_sim::{MetricsLevel, RunManifest};
-use noc_topology::{Mesh, SharedTopology};
+use noc_topology::{Mecs, Mesh, SharedTopology};
 use noc_traffic::BenchmarkProfile;
 use pseudo_circuit::experiment::cmp_traffic_for;
 use pseudo_circuit::{ExperimentBuilder, Scheme};
@@ -104,6 +104,41 @@ fn evc_report_is_byte_identical_across_thread_counts() {
         assert_eq!(
             serial_hash, hash,
             "manifest config hash must not depend on thread count"
+        );
+    }
+}
+
+/// The MECS golden configuration (tests/golden_report.rs) parameterized by
+/// thread budget. MECS is the asymmetric stress case for the fused merge:
+/// multidrop channels give each router far more input than output ports, so
+/// one source shard's emissions fan out across many destination shards'
+/// lanes, and its port asymmetry makes the shard workloads uneven.
+fn mecs_run(threads: usize) -> String {
+    let topo: SharedTopology = Arc::new(Mecs::new(4, 4, 4));
+    let b = ExperimentBuilder::new(topo.clone())
+        .routing(RoutingPolicy::Xy)
+        .va_policy(VaPolicy::Static)
+        .scheme(Scheme::pseudo_ps_bb())
+        .seed(0x5eed)
+        .phases(500, 2_000, 40_000)
+        .threads(threads);
+    let profile = *BenchmarkProfile::by_name("fft").unwrap();
+    let traffic = cmp_traffic_for(topo.as_ref(), profile, 0x5eed ^ 0x77);
+    let report = b.run(Box::new(traffic));
+    format!("{report:#?}\n")
+}
+
+#[test]
+fn mecs_report_is_byte_identical_at_prime_thread_counts() {
+    // Prime thread budgets (3, 5) over 16 routers shard into 6 and 10
+    // uneven ranges: the quiescent-shard mask, the fused lane merge and the
+    // pool's dynamic claiming all see short tail shards and partial epochs.
+    let serial = mecs_run(1);
+    for threads in [3usize, 5] {
+        assert_eq!(
+            serial,
+            mecs_run(threads),
+            "MECS SimReport diverged between 1 and {threads} threads"
         );
     }
 }

@@ -190,3 +190,35 @@ fn full_metrics_do_not_perturb_the_evc_simulation() {
         assert_eq!(evc_golden_run_at(MetricsLevel::Full), expected);
     }
 }
+
+#[test]
+fn full_metrics_surface_coordination_stats() {
+    // `--metrics=full` must expose the engine's per-cycle coordination
+    // accounting: every stepped cycle publishes exactly one epoch (or counts
+    // as skipped when no shard is pending), and the lane-merge histogram
+    // observes actual inbound traffic.
+    let topo: SharedTopology = Arc::new(Mesh::new(4, 4, 4));
+    let profile = *BenchmarkProfile::by_name("fft").expect("fft profile exists");
+    let traffic = cmp_traffic_for(topo.as_ref(), profile, 0x5eed ^ 0x77);
+    let report = ExperimentBuilder::new(topo)
+        .routing(RoutingPolicy::O1Turn)
+        .va_policy(VaPolicy::Dynamic)
+        .scheme(Scheme::pseudo_ps_bb())
+        .seed(0x5eed)
+        .phases(500, 2_000, 40_000)
+        .metrics(MetricsLevel::Full)
+        .run(Box::new(traffic));
+    let obs = report.observability.as_ref().expect("full metrics payload");
+    let coord = obs.coordination.as_ref().expect("coordination stats");
+    assert!(coord.epochs > 0, "a loaded run must publish epochs");
+    assert!(
+        coord.epochs + coord.skipped_epochs <= report.cycles,
+        "every epoch (published or skipped) maps to one stepped cycle"
+    );
+    assert!(
+        coord.lanes_merged_total > 0,
+        "a loaded run must merge inbound lanes"
+    );
+    assert_eq!(coord.lanes_merged.count(), coord.epochs);
+    assert_eq!(coord.submitter_wait_ns.count(), coord.epochs);
+}
