@@ -167,7 +167,7 @@ impl PacketDescriptor {
             dst: self.dst,
             vc: VcIndex::new(0),
             route: RouteInfo::new(PortIndex::new(0)),
-            mode: RouteMode::Xy,
+            mode: RouteMode::default(),
             class: 0,
             injected_at: self.created_at,
             packet_class: self.class,

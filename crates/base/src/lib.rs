@@ -28,8 +28,8 @@
 //!
 //! let src = NodeId::new(3);
 //! let mut rng = Pcg32::seed_from_u64(42);
-//! let mode = if rng.next_bool(0.5) { RouteMode::Xy } else { RouteMode::Yx };
-//! assert!(matches!(mode, RouteMode::Xy | RouteMode::Yx));
+//! let mode = if rng.next_bool(0.5) { RouteMode::XY } else { RouteMode::YX };
+//! assert!(mode == RouteMode::XY || mode == RouteMode::YX);
 //! assert_eq!(src.index(), 3);
 //! ```
 

@@ -10,14 +10,37 @@ use crate::ids::{NodeId, VcIndex};
 use crate::rng::Pcg32;
 use std::fmt;
 
-/// The dimension-order variant a given packet follows.
+/// An opaque per-packet routing decision, interpreted by the topology that
+/// owns the network.
+///
+/// The raw value is a topology-defined variant index: the flit carries it,
+/// the network interface picks it (via [`RoutingPolicy::pick_mode`] refined
+/// by `Topology::select_mode`), and only `Topology::route` assigns it
+/// meaning. For the dimension-ordered topologies (mesh, cmesh, flattened
+/// butterfly, MECS) the two variants are [`RouteMode::XY`] and
+/// [`RouteMode::YX`]; a ring uses the raw value for its dateline classes;
+/// future topologies are free to define their own variant spaces without
+/// touching this crate.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
-pub enum RouteMode {
-    /// Route fully in X first, then Y.
-    #[default]
-    Xy,
-    /// Route fully in Y first, then X.
-    Yx,
+pub struct RouteMode(u8);
+
+impl RouteMode {
+    /// Dimension-order, X first (raw variant 0 — also the default).
+    pub const XY: RouteMode = RouteMode(0);
+    /// Dimension-order, Y first (raw variant 1).
+    pub const YX: RouteMode = RouteMode(1);
+
+    /// Wraps a topology-defined raw variant index.
+    #[inline]
+    pub const fn from_raw(raw: u8) -> Self {
+        RouteMode(raw)
+    }
+
+    /// The raw variant index, for the owning topology to interpret.
+    #[inline]
+    pub const fn raw(self) -> u8 {
+        self.0
+    }
 }
 
 /// The routing algorithm configured for an experiment.
@@ -37,13 +60,13 @@ impl RoutingPolicy {
     /// Picks the route mode for a new packet.
     pub fn pick_mode(self, rng: &mut Pcg32) -> RouteMode {
         match self {
-            RoutingPolicy::Xy => RouteMode::Xy,
-            RoutingPolicy::Yx => RouteMode::Yx,
+            RoutingPolicy::Xy => RouteMode::XY,
+            RoutingPolicy::Yx => RouteMode::YX,
             RoutingPolicy::O1Turn => {
                 if rng.next_bool(0.5) {
-                    RouteMode::Xy
+                    RouteMode::XY
                 } else {
-                    RouteMode::Yx
+                    RouteMode::YX
                 }
             }
         }
@@ -61,10 +84,13 @@ impl RoutingPolicy {
     pub fn class_of(self, mode: RouteMode) -> u8 {
         match self {
             RoutingPolicy::Xy | RoutingPolicy::Yx => 0,
-            RoutingPolicy::O1Turn => match mode {
-                RouteMode::Xy => 0,
-                RouteMode::Yx => 1,
-            },
+            RoutingPolicy::O1Turn => {
+                if mode == RouteMode::YX {
+                    1
+                } else {
+                    0
+                }
+            }
         }
     }
 }
@@ -189,9 +215,10 @@ mod tests {
         let mut xy = 0;
         let mut yx = 0;
         for _ in 0..1000 {
-            match RoutingPolicy::O1Turn.pick_mode(&mut rng) {
-                RouteMode::Xy => xy += 1,
-                RouteMode::Yx => yx += 1,
+            if RoutingPolicy::O1Turn.pick_mode(&mut rng) == RouteMode::XY {
+                xy += 1;
+            } else {
+                yx += 1;
             }
         }
         assert!(xy > 400 && yx > 400, "xy={xy} yx={yx}");
@@ -200,17 +227,27 @@ mod tests {
     #[test]
     fn fixed_policies_pick_fixed_modes() {
         let mut rng = Pcg32::seed_from_u64(0);
-        assert_eq!(RoutingPolicy::Xy.pick_mode(&mut rng), RouteMode::Xy);
-        assert_eq!(RoutingPolicy::Yx.pick_mode(&mut rng), RouteMode::Yx);
+        assert_eq!(RoutingPolicy::Xy.pick_mode(&mut rng), RouteMode::XY);
+        assert_eq!(RoutingPolicy::Yx.pick_mode(&mut rng), RouteMode::YX);
+    }
+
+    #[test]
+    fn route_mode_round_trips_raw_values() {
+        assert_eq!(RouteMode::default(), RouteMode::XY);
+        assert_eq!(RouteMode::XY.raw(), 0);
+        assert_eq!(RouteMode::YX.raw(), 1);
+        for raw in 0..=u8::MAX {
+            assert_eq!(RouteMode::from_raw(raw).raw(), raw);
+        }
     }
 
     #[test]
     fn class_assignment_matches_policy() {
         assert_eq!(RoutingPolicy::Xy.num_classes(), 1);
         assert_eq!(RoutingPolicy::O1Turn.num_classes(), 2);
-        assert_eq!(RoutingPolicy::O1Turn.class_of(RouteMode::Xy), 0);
-        assert_eq!(RoutingPolicy::O1Turn.class_of(RouteMode::Yx), 1);
-        assert_eq!(RoutingPolicy::Yx.class_of(RouteMode::Yx), 0);
+        assert_eq!(RoutingPolicy::O1Turn.class_of(RouteMode::XY), 0);
+        assert_eq!(RoutingPolicy::O1Turn.class_of(RouteMode::YX), 1);
+        assert_eq!(RoutingPolicy::Yx.class_of(RouteMode::YX), 0);
     }
 
     #[test]

@@ -24,7 +24,7 @@
 use noc_base::{RoutingPolicy, VaPolicy};
 use noc_evc::EvcRouterFactory;
 use noc_sim::{NetworkConfig, RouterFactory, Simulation};
-use noc_topology::Mesh;
+use noc_topology::{Mesh, Ring};
 use noc_traffic::{SyntheticPattern, SyntheticTraffic, TraceRecorder, TraceReplay, TrafficModel};
 use pseudo_circuit::{PcRouterFactory, Scheme};
 use std::fmt::Write as _;
@@ -95,6 +95,26 @@ fn big_mesh(radix: u16) -> Simulation {
 
 fn mesh16x16_sim() -> Simulation {
     big_mesh(16)
+}
+
+/// A 16-router bidirectional ring: two-port routers, CW/CCW route modes and
+/// dateline VC classes — the cheapest-per-router topology the engine runs,
+/// so its number isolates per-router fixed costs from crossbar-size costs.
+fn ring16_sim() -> Simulation {
+    let topo = Arc::new(Ring::new(16, 1));
+    let traffic = SyntheticTraffic::new(SyntheticPattern::UniformRandom, 16, 1, 5, 0.10, 5);
+    let config = NetworkConfig {
+        routing: RoutingPolicy::Xy,
+        va_policy: VaPolicy::Static,
+        ..NetworkConfig::paper()
+    };
+    Simulation::new(
+        topo,
+        config,
+        Box::new(traffic),
+        &PcRouterFactory::new(Scheme::pseudo_ps_bb()),
+        9,
+    )
 }
 
 fn mesh32x32_sim() -> Simulation {
@@ -355,6 +375,18 @@ fn main() {
             warmup: Some(0),
             serial_only: true,
             thread_list: None,
+            cycle_count: None,
+        },
+        CaseSpec {
+            name: "ring16",
+            config: "ring16 cw/ccw static uniform@0.10",
+            build: ring16_sim,
+            advance: false,
+            warmup: None,
+            serial_only: false,
+            // 16 two-port routers cannot amortize the per-cycle epoch
+            // barrier; multi-thread points would measure only handoff.
+            thread_list: Some(&[1]),
             cycle_count: None,
         },
         CaseSpec {

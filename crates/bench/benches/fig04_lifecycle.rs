@@ -27,7 +27,7 @@ fn flit(packet: u64, vc: usize) -> Flit {
         dst: NodeId::new(2),
         vc: VcIndex::new(vc),
         route: RouteInfo::new(EAST),
-        mode: RouteMode::Xy,
+        mode: RouteMode::XY,
         class: 0,
         injected_at: 0,
         packet_class: PacketClass::Data,

@@ -67,7 +67,7 @@ fn main() {
         dst: NodeId::new(2),
         vc: VcIndex::new(0),
         route: RouteInfo::new(east),
-        mode: RouteMode::Xy,
+        mode: RouteMode::XY,
         class: 0,
         injected_at: 0,
         packet_class: PacketClass::Data,

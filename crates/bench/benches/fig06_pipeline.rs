@@ -26,7 +26,7 @@ fn probe_flit(packet: u64) -> Flit {
         dst: NodeId::new(2),
         vc: VcIndex::new(2),
         route: RouteInfo::new(PortIndex::new(3)),
-        mode: RouteMode::Xy,
+        mode: RouteMode::XY,
         class: 0,
         injected_at: 0,
         packet_class: PacketClass::Data,

@@ -33,9 +33,12 @@ pub mod value;
 
 pub use cache::{write_atomic, PointResult, ResultCache, POINT_SCHEMA};
 pub use report::{CampaignReport, Crossover, Curve, REPORT_SCHEMA, SATURATION_FACTOR};
-pub use runner::{build_topology, build_traffic, prepare, run_point, PreparedPoint};
+pub use runner::{
+    build_topology, build_traffic, prepare, run_point, PreparedPoint, TOPOLOGY_FORMS,
+};
 pub use spec::{
     parse_routing, parse_va, routing_name, va_name, Axes, CampaignSpec, PointSpec, SchemeChoice,
+    SCHEME_NAMES,
 };
 
 /// The crate's error type: a human-readable message, already contextualised

@@ -9,15 +9,31 @@
 use crate::spec::{PointSpec, SchemeChoice};
 use crate::Error;
 use noc_evc::EvcRouterFactory;
+use noc_hybrid::HybridRouterFactory;
 use noc_sim::{config_hash, SimReport};
-use noc_topology::{FlattenedButterfly, Mecs, Mesh, SharedTopology};
+use noc_topology::{FlattenedButterfly, HierRing, Mecs, Mesh, Ring, SharedTopology};
 use noc_traffic::{BenchmarkProfile, SyntheticPattern, SyntheticTraffic, TrafficModel};
 use pseudo_circuit::experiment::cmp_traffic_for;
 use pseudo_circuit::ExperimentBuilder;
 use std::sync::Arc;
 
-/// Builds the topology named by a spec string: the four named presets or the
-/// general `mesh<W>x<H>[c<C>]` form.
+/// Every topology spec form, in display order — the single vocabulary
+/// shared by `--topology`, campaign `topology` axes, and `noc list`. Names
+/// without `<` are concrete presets; the rest are parameterized grammars
+/// all resolved by [`build_topology`].
+pub const TOPOLOGY_FORMS: &[&str] = &[
+    "mesh8x8",
+    "cmesh4x4",
+    "mecs4x4",
+    "fbfly4x4",
+    "mesh<W>x<H>[c<C>]",
+    "ring<N>[c<C>]",
+    "hring<G>x<L>[c<C>]",
+];
+
+/// Builds the topology named by a spec string: the four named presets or
+/// one of the general forms `mesh<W>x<H>[c<C>]`, `ring<N>[c<C>]`,
+/// `hring<G>x<L>[c<C>]` (see [`TOPOLOGY_FORMS`]).
 ///
 /// # Errors
 ///
@@ -31,13 +47,33 @@ pub fn build_topology(spec: &str) -> Result<SharedTopology, Error> {
         "fbfly4x4" => return Ok(Arc::new(FlattenedButterfly::new(4, 4, 4))),
         _ => {}
     }
+    if let Some(body) = spec.strip_prefix("hring") {
+        let (dims, conc) = split_concentration(body)?;
+        let (g, l) = dims
+            .split_once('x')
+            .ok_or_else(|| Error(format!("bad ring spec {spec:?} (want hring<G>x<L>[c<C>])")))?;
+        let (g, l) = (parse_num(g, "groups")?, parse_num(l, "locals")?);
+        if g < 2 || l < 2 {
+            return Err(Error(format!(
+                "bad ring spec {spec:?} (hierarchical rings need >= 2 groups of >= 2 routers)"
+            )));
+        }
+        return Ok(Arc::new(HierRing::new(g, l, conc)));
+    }
+    if let Some(body) = spec.strip_prefix("ring") {
+        let (n, conc) = split_concentration(body)?;
+        let n = parse_num::<usize>(n, "ring size")?;
+        if n < 2 {
+            return Err(Error(format!(
+                "bad ring spec {spec:?} (rings need >= 2 routers)"
+            )));
+        }
+        return Ok(Arc::new(Ring::new(n, conc)));
+    }
     let body = spec
         .strip_prefix("mesh")
         .ok_or_else(|| Error(format!("unknown topology {spec:?}")))?;
-    let (dims, conc) = match body.split_once('c') {
-        Some((dims, c)) => (dims, parse_num::<usize>(c, "concentration")?),
-        None => (body, 1),
-    };
+    let (dims, conc) = split_concentration(body)?;
     let (w, h) = dims
         .split_once('x')
         .ok_or_else(|| Error(format!("bad mesh spec {spec:?} (want mesh<W>x<H>[c<C>])")))?;
@@ -46,6 +82,14 @@ pub fn build_topology(spec: &str) -> Result<SharedTopology, Error> {
         parse_num(h, "height")?,
         conc,
     )))
+}
+
+/// Splits an optional `c<C>` concentration suffix off a topology spec body.
+fn split_concentration(body: &str) -> Result<(&str, usize), Error> {
+    match body.split_once('c') {
+        Some((dims, c)) => Ok((dims, parse_num::<usize>(c, "concentration")?)),
+        None => Ok((body, 1)),
+    }
 }
 
 /// Builds the traffic model named by `traffic` for `topo`: a synthetic
@@ -173,6 +217,9 @@ pub fn run_point(prepared: &PreparedPoint) -> Result<SimReport, Error> {
     let mut sim = match point.scheme {
         SchemeChoice::Pc(scheme) => builder.scheme(scheme).build(traffic),
         SchemeChoice::Evc => builder.build_with_factory(traffic, &EvcRouterFactory::default()),
+        SchemeChoice::Hybrid => {
+            builder.build_with_factory(traffic, &HybridRouterFactory::default())
+        }
     };
     Ok(sim.run(spec))
 }
@@ -211,8 +258,20 @@ mod tests {
         let custom = build_topology("mesh3x5c2").unwrap();
         assert_eq!(custom.num_routers(), 15);
         assert_eq!(custom.num_nodes(), 30);
-        assert!(build_topology("ring9").is_err());
+        let ring = build_topology("ring9").unwrap();
+        assert_eq!((ring.num_routers(), ring.num_nodes()), (9, 9));
+        assert_eq!(build_topology("ring8c2").unwrap().num_nodes(), 16);
+        let hring = build_topology("hring2x8").unwrap();
+        assert_eq!((hring.num_routers(), hring.num_nodes()), (16, 16));
+        assert!(build_topology("torus9").is_err());
+        assert!(build_topology("ring1").is_err());
+        assert!(build_topology("hring1x4").is_err());
+        assert!(build_topology("hring8").is_err());
         assert!(build_topology("mesh3by5").is_err());
+        // Every concrete entry of the shared vocabulary table builds.
+        for form in TOPOLOGY_FORMS.iter().filter(|f| !f.contains('<')) {
+            assert!(build_topology(form).is_ok(), "{form}");
+        }
     }
 
     #[test]

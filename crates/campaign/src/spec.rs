@@ -40,14 +40,29 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// A router scheme named by a campaign axis or the `noc` CLI: one of the
-/// paper's five pseudo-circuit configurations, or the EVC comparator.
+/// paper's five pseudo-circuit configurations, or a comparison scheme.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum SchemeChoice {
     /// A `pseudo-circuit` crate scheme.
     Pc(Scheme),
     /// The Express-Virtual-Channels router.
     Evc,
+    /// The profiled-hybrid-switching router.
+    Hybrid,
 }
+
+/// Every canonical scheme name, in display order — the single vocabulary
+/// shared by `--scheme`, campaign `scheme` axes, and `noc list`. Each entry
+/// satisfies `SchemeChoice::parse(name).canonical() == name`.
+pub const SCHEME_NAMES: &[&str] = &[
+    "baseline",
+    "pseudo",
+    "pseudo+ps",
+    "pseudo+bb",
+    "pseudo+ps+bb",
+    "evc",
+    "hybrid",
+];
 
 impl SchemeChoice {
     /// Parses a scheme name as accepted by `--scheme` and campaign axes.
@@ -63,6 +78,7 @@ impl SchemeChoice {
             "pseudo+bb" => SchemeChoice::Pc(Scheme::pseudo_bb()),
             "pseudo+ps+bb" | "full" => SchemeChoice::Pc(Scheme::pseudo_ps_bb()),
             "evc" => SchemeChoice::Evc,
+            "hybrid" => SchemeChoice::Hybrid,
             other => return Err(Error(format!("unknown scheme {other:?}"))),
         })
     }
@@ -78,6 +94,7 @@ impl SchemeChoice {
                 (true, true, true) => "pseudo+ps+bb",
             },
             SchemeChoice::Evc => "evc",
+            SchemeChoice::Hybrid => "hybrid",
         }
     }
 
@@ -88,6 +105,7 @@ impl SchemeChoice {
         match self {
             SchemeChoice::Pc(s) => s.to_string(),
             SchemeChoice::Evc => "EVC".to_string(),
+            SchemeChoice::Hybrid => "Hybrid".to_string(),
         }
     }
 }
@@ -636,18 +654,16 @@ load = [0.05, 0.1]
 
     #[test]
     fn scheme_choice_roundtrips_and_labels() {
-        for name in [
-            "baseline",
-            "pseudo",
-            "pseudo+ps",
-            "pseudo+bb",
-            "pseudo+ps+bb",
-            "evc",
-        ] {
+        // SCHEME_NAMES is the one shared vocabulary table: every entry must
+        // round-trip through parse/canonical, and the variants must cover it
+        // exactly (a new scheme that misses the table fails here).
+        for &name in SCHEME_NAMES {
             let choice = SchemeChoice::parse(name).unwrap();
             assert_eq!(choice.canonical(), name);
             assert_eq!(SchemeChoice::parse(choice.canonical()).unwrap(), choice);
         }
+        assert!(SCHEME_NAMES.contains(&SchemeChoice::Evc.canonical()));
+        assert!(SCHEME_NAMES.contains(&SchemeChoice::Hybrid.canonical()));
         assert_eq!(
             SchemeChoice::parse("full").unwrap().canonical(),
             "pseudo+ps+bb"
@@ -657,6 +673,7 @@ load = [0.05, 0.1]
             "Pseudo+PS+BB"
         );
         assert_eq!(SchemeChoice::Evc.label(), "EVC");
+        assert_eq!(SchemeChoice::Hybrid.label(), "Hybrid");
     }
 
     #[test]

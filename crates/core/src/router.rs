@@ -391,12 +391,13 @@ impl PcRouter {
         scheme.validate().unwrap_or_else(|e| panic!("{e}"));
         let in_ports = topo.in_ports(id);
         let out_ports = topo.out_ports(id);
+        let partition = config.partition_for(topo.as_ref());
         Self {
             kernel: PipelineKernel::new(id, topo, config, true),
             hooks: PcHooks {
                 scheme,
                 va_policy: config.va_policy,
-                partition: config.partition(),
+                partition,
                 pcu: PseudoCircuitUnit::new(in_ports, out_ports),
             },
         }

@@ -39,7 +39,7 @@ fn flit_to(packet: u64, dst: usize) -> Flit {
         dst: NodeId::new(dst),
         vc: VcIndex::new(dst % 4),
         route: RouteInfo::multidrop(EAST, hops),
-        mode: RouteMode::Xy,
+        mode: RouteMode::XY,
         class: 0,
         injected_at: 0,
         packet_class: PacketClass::Data,

@@ -45,7 +45,7 @@ fn single_flit(packet: u64, src: usize, vc: usize) -> Flit {
         dst: NodeId::new(2),
         vc: VcIndex::new(vc),
         route: RouteInfo::new(EAST),
-        mode: RouteMode::Xy,
+        mode: RouteMode::XY,
         class: 0,
         injected_at: 0,
         packet_class: PacketClass::Data,
@@ -382,9 +382,9 @@ fn o1turn_va_respects_vc_class_partition() {
         let mut f = single_flit(i, 0, (class as usize) * 2); // in-vc within class
         f.class = class;
         f.mode = if class == 0 {
-            RouteMode::Xy
+            RouteMode::XY
         } else {
-            RouteMode::Yx
+            RouteMode::YX
         };
         r.receive_flit(PortIndex::new(0), f);
     }

@@ -200,9 +200,10 @@ impl EvcRouter {
     /// `l_max < 2`.
     pub fn new(id: RouterId, topo: SharedTopology, config: NetworkConfig, l_max: u8) -> Self {
         assert_eq!(
-            config.routing.num_classes(),
+            config.routing.num_classes().max(topo.min_classes()),
             1,
-            "EVC requires a single-class routing policy (XY or YX)"
+            "EVC requires a single-class routing policy (XY or YX) \
+             on a topology without extra deadlock classes"
         );
         assert!(
             config.vcs_per_port.is_multiple_of(2),

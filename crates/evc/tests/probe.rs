@@ -41,7 +41,7 @@ fn express_flit(packet: u64, kind: FlitKind, seq: u16) -> Flit {
         dst: NodeId::new(4),
         vc: VcIndex::new(3), // EVC range is vcs/2..vcs = {2, 3}
         route: RouteInfo::new(EAST),
-        mode: RouteMode::Xy,
+        mode: RouteMode::XY,
         class: 0,
         injected_at: 0,
         packet_class: PacketClass::Data,

@@ -318,7 +318,7 @@ mod tests {
             dst: NodeId::new(1),
             vc: VcIndex::new(0),
             route: RouteInfo::new(PortIndex::new(0)),
-            mode: RouteMode::Xy,
+            mode: RouteMode::XY,
             class: 0,
             injected_at: 0,
             packet_class: PacketClass::Data,

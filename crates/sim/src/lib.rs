@@ -109,6 +109,18 @@ impl NetworkConfig {
     pub fn partition(&self) -> VcPartition {
         VcPartition::new(self.vcs_per_port, self.routing.num_classes())
     }
+
+    /// The VC partition on `topo`: the policy's deadlock classes widened to
+    /// the topology's own minimum (e.g. a ring needs 2 dateline classes even
+    /// under a single-class policy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VC count cannot be split evenly across the classes.
+    pub fn partition_for(&self, topo: &dyn Topology) -> VcPartition {
+        let classes = self.routing.num_classes().max(topo.min_classes());
+        VcPartition::new(self.vcs_per_port, classes)
+    }
 }
 
 impl Default for NetworkConfig {
@@ -190,7 +202,7 @@ mod tests {
             PortIndex::new(2),
             1,
             NodeId::new(2),
-            RouteMode::Xy,
+            RouteMode::XY,
         );
         assert_eq!(route.port, PortIndex::new(2));
         // Toward node 1 the next router *is* the destination: local port 0.
@@ -200,7 +212,7 @@ mod tests {
             PortIndex::new(2),
             1,
             NodeId::new(1),
-            RouteMode::Xy,
+            RouteMode::XY,
         );
         assert_eq!(route.port, PortIndex::new(0));
     }
@@ -216,7 +228,7 @@ mod tests {
             PortIndex::new(4),
             1,
             NodeId::new(1),
-            RouteMode::Xy,
+            RouteMode::XY,
         );
     }
 }

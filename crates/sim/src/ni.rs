@@ -97,7 +97,7 @@ impl NetworkInterface {
     /// Creates the interface for `node`, attached per the topology.
     pub fn new(node: NodeId, topo: SharedTopology, config: NetworkConfig, seed: u64) -> Self {
         let router = topo.router_of(node);
-        let partition = config.partition();
+        let partition = config.partition_for(topo.as_ref());
         let credits = CreditBook::new(1, config.vcs_per_port as usize, config.buffer_depth);
         Self {
             node,
@@ -175,8 +175,14 @@ impl NetworkInterface {
             }
         }
         self.last_dst = Some(request.dst);
-        let mode = self.config.routing.pick_mode(&mut self.rng);
-        let class = self.config.routing.class_of(mode);
+        // The policy draws first (keeping the RNG stream identical across
+        // topologies), then the topology refines the mode into its own
+        // variant space and assigns the deadlock class.
+        let picked = self.config.routing.pick_mode(&mut self.rng);
+        let mode = self.topo.select_mode(self.node, request.dst, picked);
+        let class = self
+            .topo
+            .mode_class(self.config.routing, self.node, request.dst, mode);
         self.queue.push_back(QueuedPacket {
             desc: PacketDescriptor {
                 id,

@@ -147,9 +147,11 @@ impl Topology for FlattenedButterfly {
         let to = self.coord(self.router_of(dst));
         let x_step = (from.x != to.x).then(|| self.x_port(from, to.x));
         let y_step = (from.y != to.y).then(|| self.y_port(from, to.y));
-        let port = match mode {
-            RouteMode::Xy => x_step.or(y_step),
-            RouteMode::Yx => y_step.or(x_step),
+        // Unknown variants route X-first, matching the default mode.
+        let port = if mode == RouteMode::YX {
+            y_step.or(x_step)
+        } else {
+            x_step.or(y_step)
         };
         match port {
             Some(p) => RouteInfo::new(p),
@@ -198,7 +200,7 @@ mod tests {
         let t = FlattenedButterfly::new(4, 4, 4);
         for s in (0..t.num_nodes()).step_by(3) {
             for d in (0..t.num_nodes()).step_by(5) {
-                for mode in [RouteMode::Xy, RouteMode::Yx] {
+                for mode in [RouteMode::XY, RouteMode::YX] {
                     let path = walk_route(&t, NodeId::new(s), NodeId::new(d), mode);
                     assert!(path.len() <= 3, "{s}->{d}: {path:?}");
                     assert_eq!(
@@ -240,8 +242,8 @@ mod tests {
         let t = FlattenedButterfly::new(4, 4, 1);
         let src = NodeId::new(0); // (0,0)
         let dst = NodeId::new(15); // (3,3)
-        let xy = walk_route(&t, src, dst, RouteMode::Xy);
-        let yx = walk_route(&t, src, dst, RouteMode::Yx);
+        let xy = walk_route(&t, src, dst, RouteMode::XY);
+        let yx = walk_route(&t, src, dst, RouteMode::YX);
         assert_eq!(xy[1].index(), 3); // (3,0)
         assert_eq!(yx[1].index(), 12); // (0,3)
         assert_eq!(xy[2], yx[2]);

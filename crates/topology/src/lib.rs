@@ -10,6 +10,11 @@
 //! - **MECS** (Multidrop Express Cube, Grot et al. HPCA 2009 — [`Mecs`]),
 //! - **flattened butterfly** (Kim et al. MICRO 2007 — [`FlattenedButterfly`]).
 //!
+//! Beyond the paper's four, the crate adds a bidirectional **ring** and a
+//! hierarchical two-level ring ([`Ring`], [`HierRing`]) whose CW/CCW
+//! direction modes and dateline VC classes exercise the topology-neutral
+//! [`RouteMode`](noc_base::RouteMode) abstraction.
+//!
 //! All topologies expose the same [`Topology`] trait: directed output channels
 //! that may be point-to-point (mesh, flattened butterfly) or multidrop (MECS),
 //! plus a dimension-order routing function used both for direct routing and
@@ -24,7 +29,7 @@
 //! use noc_base::{NodeId, RouteMode};
 //!
 //! let mesh = Mesh::new(4, 4, 1);
-//! let route = mesh.route(mesh.router_of(NodeId::new(0)), NodeId::new(5), RouteMode::Xy);
+//! let route = mesh.route(mesh.router_of(NodeId::new(0)), NodeId::new(5), RouteMode::XY);
 //! assert_eq!(mesh.min_hops(NodeId::new(0), NodeId::new(5)), 2);
 //! assert_eq!(route.hops, 1);
 //! ```
@@ -32,11 +37,13 @@
 mod fbfly;
 mod mecs;
 mod mesh;
+mod ring;
 mod wiring;
 
 pub use fbfly::FlattenedButterfly;
 pub use mecs::Mecs;
 pub use mesh::Mesh;
+pub use ring::{HierRing, Ring, RING_CCW, RING_CW, RING_INTER};
 pub use wiring::{DistanceMatrix, FlatWiring, PortFeeder};
 
 use noc_base::{NodeId, PortIndex, RouteInfo, RouteMode, RouterId};
@@ -114,6 +121,42 @@ pub trait Topology: Send + Sync {
     /// `dst`: the output port to take (and drop-off distance for multidrop
     /// channels). If `dst` is attached to `at`, returns its local port.
     fn route(&self, at: RouterId, dst: NodeId, mode: RouteMode) -> RouteInfo;
+
+    /// Refines the policy-chosen route mode for a packet from `src` to
+    /// `dst`. The network interface calls this once per packet, after
+    /// [`noc_base::RoutingPolicy::pick_mode`]; topologies whose variant
+    /// space differs from the policy's XY/YX vocabulary (e.g. a ring's
+    /// CW/CCW directions) override it to map the policy's choice into their
+    /// own space. The default keeps the policy's mode, which preserves the
+    /// behavior of the dimension-ordered topologies exactly.
+    fn select_mode(&self, src: NodeId, dst: NodeId, policy_mode: RouteMode) -> RouteMode {
+        let _ = (src, dst);
+        policy_mode
+    }
+
+    /// The deadlock VC class a packet from `src` to `dst` with the (already
+    /// refined) `mode` travels in. The default delegates to the routing
+    /// policy's class assignment; topologies with their own class discipline
+    /// (e.g. a ring's dateline classes) override it.
+    fn mode_class(
+        &self,
+        policy: noc_base::RoutingPolicy,
+        src: NodeId,
+        dst: NodeId,
+        mode: RouteMode,
+    ) -> u8 {
+        let _ = (src, dst);
+        policy.class_of(mode)
+    }
+
+    /// The minimum number of VC classes this topology needs for deadlock
+    /// freedom, regardless of routing policy (1 for the dimension-ordered
+    /// topologies; a ring needs 2 dateline classes). The network partitions
+    /// each port's VCs into `max(policy.num_classes(), topo.min_classes())`
+    /// classes.
+    fn min_classes(&self) -> u8 {
+        1
+    }
 
     /// Minimal number of inter-router link traversals from `src` to `dst`
     /// (0 when both nodes share a router).

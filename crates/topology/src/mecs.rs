@@ -195,9 +195,11 @@ impl Topology for Mecs {
                 RouteInfo::multidrop(PortIndex::new(c + dir as usize), hops as u8)
             })
         };
-        let step = match mode {
-            RouteMode::Xy => x_step().or_else(y_step),
-            RouteMode::Yx => y_step().or_else(x_step),
+        // Unknown variants route X-first, matching the default mode.
+        let step = if mode == RouteMode::YX {
+            y_step().or_else(x_step)
+        } else {
+            x_step().or_else(y_step)
         };
         step.unwrap_or_else(|| RouteInfo::new(self.local_port(dst)))
     }
@@ -273,7 +275,7 @@ mod tests {
         let t = Mecs::new(4, 4, 4);
         for s in (0..t.num_nodes()).step_by(3) {
             for d in (0..t.num_nodes()).step_by(5) {
-                for mode in [RouteMode::Xy, RouteMode::Yx] {
+                for mode in [RouteMode::XY, RouteMode::YX] {
                     let path = walk_route(&t, NodeId::new(s), NodeId::new(d), mode);
                     assert!(path.len() <= 3, "{s}->{d}: {path:?}");
                     assert_eq!(
@@ -289,7 +291,7 @@ mod tests {
     fn route_encodes_drop_distance() {
         let t = Mecs::new(4, 4, 1);
         // (0,0) to (3,0): single eastbound express hop of distance 3.
-        let route = t.route(RouterId::new(0), NodeId::new(3), RouteMode::Xy);
+        let route = t.route(RouterId::new(0), NodeId::new(3), RouteMode::XY);
         assert_eq!(route.hops, 3);
         assert_eq!(route.port, PortIndex::new(2));
     }

@@ -125,9 +125,11 @@ impl Mesh {
                 None
             }
         };
-        match mode {
-            RouteMode::Xy => x_dir().or_else(y_dir),
-            RouteMode::Yx => y_dir().or_else(x_dir),
+        // Unknown variants route X-first, matching the default mode.
+        if mode == RouteMode::YX {
+            y_dir().or_else(x_dir)
+        } else {
+            x_dir().or_else(y_dir)
         }
     }
 }
@@ -248,7 +250,7 @@ mod tests {
         let m = Mesh::new(4, 4, 1);
         // From (0,0) to node at router (2,3).
         let dst = NodeId::new(Coord::new(2, 3).to_index(4));
-        let path = walk_route(&m, NodeId::new(0), dst, RouteMode::Xy);
+        let path = walk_route(&m, NodeId::new(0), dst, RouteMode::XY);
         let coords: Vec<Coord> = path.iter().map(|&r| m.coord(r)).collect();
         // X changes first, then Y.
         assert_eq!(coords[0], Coord::new(0, 0));
@@ -262,7 +264,7 @@ mod tests {
     fn yx_routes_y_first() {
         let m = Mesh::new(4, 4, 1);
         let dst = NodeId::new(Coord::new(2, 3).to_index(4));
-        let path = walk_route(&m, NodeId::new(0), dst, RouteMode::Yx);
+        let path = walk_route(&m, NodeId::new(0), dst, RouteMode::YX);
         let coords: Vec<Coord> = path.iter().map(|&r| m.coord(r)).collect();
         assert_eq!(coords[1], Coord::new(0, 1));
         assert_eq!(*coords.last().unwrap(), Coord::new(2, 3));
@@ -273,7 +275,7 @@ mod tests {
         let m = Mesh::new(3, 3, 2);
         for s in 0..m.num_nodes() {
             for d in 0..m.num_nodes() {
-                for mode in [RouteMode::Xy, RouteMode::Yx] {
+                for mode in [RouteMode::XY, RouteMode::YX] {
                     let src = NodeId::new(s);
                     let dst = NodeId::new(d);
                     let path = walk_route(&m, src, dst, mode);
@@ -292,7 +294,7 @@ mod tests {
         let m = Mesh::new(4, 4, 4);
         // Nodes 0..4 share router 0.
         assert_eq!(m.min_hops(NodeId::new(0), NodeId::new(3)), 0);
-        let route = m.route(RouterId::new(0), NodeId::new(3), RouteMode::Xy);
+        let route = m.route(RouterId::new(0), NodeId::new(3), RouteMode::XY);
         assert_eq!(route.port, PortIndex::new(3));
     }
 
@@ -320,6 +322,6 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn route_to_bad_destination_panics() {
         let m = Mesh::new(2, 2, 1);
-        let _ = m.route(RouterId::new(0), NodeId::new(99), RouteMode::Xy);
+        let _ = m.route(RouterId::new(0), NodeId::new(99), RouteMode::XY);
     }
 }

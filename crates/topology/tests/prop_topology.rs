@@ -3,7 +3,9 @@
 //! destination in exactly the minimal hop count, never using a dead channel.
 
 use noc_base::{NodeId, RouteMode};
-use noc_topology::{validate, walk_route, FlattenedButterfly, Mecs, Mesh, Topology};
+use noc_topology::{
+    validate, walk_route, FlattenedButterfly, HierRing, Mecs, Mesh, Ring, Topology,
+};
 use proptest::prelude::*;
 
 fn check_topology(topo: &dyn Topology, pairs: &[(usize, usize)]) -> Result<(), TestCaseError> {
@@ -11,7 +13,7 @@ fn check_topology(topo: &dyn Topology, pairs: &[(usize, usize)]) -> Result<(), T
     for &(s, d) in pairs {
         let src = NodeId::new(s % topo.num_nodes());
         let dst = NodeId::new(d % topo.num_nodes());
-        for mode in [RouteMode::Xy, RouteMode::Yx] {
+        for mode in [RouteMode::XY, RouteMode::YX] {
             let path = walk_route(topo, src, dst, mode);
             prop_assert_eq!(
                 path.len() as u32 - 1,
@@ -61,6 +63,48 @@ proptest! {
     ) {
         let topo = Mecs::new(w, h, c);
         check_topology(&topo, &pairs)?;
+    }
+
+    /// Ring routes (under the topology's own mode selection rather than the
+    /// XY/YX vocabulary) always walk exactly `min_hops`, and the dateline
+    /// class is within the topology's declared class count.
+    #[test]
+    fn ring_routes_are_minimal(
+        n in 2usize..17,
+        c in 1usize..5,
+        pairs in prop::collection::vec((0usize..4096, 0usize..4096), 8),
+    ) {
+        let topo = Ring::new(n, c);
+        prop_assert!(validate(&topo).is_ok(), "{} failed validation", topo.name());
+        for (s, d) in pairs {
+            let src = NodeId::new(s % topo.num_nodes());
+            let dst = NodeId::new(d % topo.num_nodes());
+            let mode = topo.select_mode(src, dst, RouteMode::default());
+            let path = walk_route(&topo, src, dst, mode);
+            prop_assert_eq!(path.len() as u32 - 1, topo.min_hops(src, dst));
+            let class = topo.mode_class(noc_base::RoutingPolicy::Xy, src, dst, mode);
+            prop_assert!(class < topo.min_classes());
+        }
+    }
+
+    /// Hierarchical-ring routes converge and walk exactly the routed
+    /// distance the topology reports.
+    #[test]
+    fn hier_ring_routes_walk_their_stated_distance(
+        g in 2usize..5,
+        l in 2usize..7,
+        c in 1usize..4,
+        pairs in prop::collection::vec((0usize..4096, 0usize..4096), 8),
+    ) {
+        let topo = HierRing::new(g, l, c);
+        prop_assert!(validate(&topo).is_ok(), "{} failed validation", topo.name());
+        for (s, d) in pairs {
+            let src = NodeId::new(s % topo.num_nodes());
+            let dst = NodeId::new(d % topo.num_nodes());
+            let mode = topo.select_mode(src, dst, RouteMode::default());
+            let path = walk_route(&topo, src, dst, mode);
+            prop_assert_eq!(path.len() as u32 - 1, topo.min_hops(src, dst));
+        }
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod trace;
 pub use cmp::{CmpConfig, CmpLayout, CmpStats, CmpTraffic, NodeRole};
 pub use profiles::BenchmarkProfile;
 pub use synthetic::{SyntheticPattern, SyntheticTraffic};
-pub use trace::{TraceError, TraceRecord, TraceRecorder, TraceReplay};
+pub use trace::{read_trace, write_trace, TraceError, TraceRecord, TraceRecorder, TraceReplay};
 
 use noc_base::{NodeId, PacketClass, PacketId};
 

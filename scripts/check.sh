@@ -46,11 +46,11 @@ cargo clippy --all-targets --offline -- -D warnings
 echo "==> cargo clippy -p noc-base --all-targets -- -D warnings"
 cargo clippy -p noc-base --all-targets --offline -- -D warnings
 
-# Both router crates are thin hook layers over the shared pipeline kernel;
-# lint them explicitly so a partial workspace build never skips either side
+# The router crates are thin hook layers over the shared pipeline kernel;
+# lint them explicitly so a partial workspace build never skips any side
 # of the kernel contract.
-echo "==> cargo clippy -p pseudo-circuit -p noc-evc --all-targets -- -D warnings"
-cargo clippy -p pseudo-circuit -p noc-evc --all-targets --offline -- -D warnings
+echo "==> cargo clippy -p pseudo-circuit -p noc-evc -p noc-hybrid --all-targets -- -D warnings"
+cargo clippy -p pseudo-circuit -p noc-evc -p noc-hybrid --all-targets --offline -- -D warnings
 
 # The SoA kernel state and the quiescence fast-forward path (injection
 # lookahead in noc-traffic, advance()/is_quiescent in noc-sim) carry the
@@ -75,6 +75,17 @@ cargo run --release --offline --example quickstart >/dev/null
 echo "==> noc run --scheme evc (smoke)"
 ./target/release/noc run --topology mesh4x4 --scheme evc --routing xy \
     --warmup 200 --measure 1000 --drain 10000 --metrics full >/dev/null
+
+# Ring + hybrid smoke: the topology-generalized routing layer (CW/CCW
+# modes, dateline VC classes) and the profiled hybrid scheme, end to end
+# through the CLI vocabulary — hybrid on the ring in one run, and the
+# hierarchical ring under the pseudo-circuit scheme in another.
+echo "==> noc run --topology ring8 --scheme hybrid (smoke)"
+./target/release/noc run --topology ring8 --scheme hybrid --load 0.05 \
+    --warmup 200 --measure 1000 --drain 10000 --metrics full >/dev/null
+echo "==> noc run --topology hring2x8 --scheme pseudo+ps+bb (smoke)"
+./target/release/noc run --topology hring2x8 --scheme pseudo+ps+bb \
+    --load 0.05 --warmup 200 --measure 1000 --drain 10000 >/dev/null
 
 # Engine-bench smoke: one short release-mode single-threaded sample per
 # case, no snapshot write — proves the benched hot path (bitset VA/SA,

@@ -4,10 +4,11 @@
 //! library so it is unit-testable. Grammar:
 //!
 //! ```text
-//! noc run [--topology mesh8x8|cmesh4x4|mecs4x4|fbfly4x4|mesh<W>x<H>[c<C>]]
+//! noc run [--topology mesh8x8|cmesh4x4|mecs4x4|fbfly4x4|mesh<W>x<H>[c<C>]
+//!                     |ring<N>[c<C>]|hring<G>x<L>[c<C>]]
 //!         [--traffic ur|bc|bp|tornado|neighbor|<benchmark>]
 //!         [--load 0.10] [--packet 5]
-//!         [--scheme baseline|pseudo|pseudo+ps|pseudo+bb|pseudo+ps+bb|evc]
+//!         [--scheme baseline|pseudo|pseudo+ps|pseudo+bb|pseudo+ps+bb|evc|hybrid]
 //!         [--routing xy|yx|o1turn] [--va static|dynamic]
 //!         [--vcs 4] [--buffer 4]
 //!         [--warmup 1000] [--measure 10000] [--drain 100000]
@@ -39,6 +40,7 @@
 use noc_base::{RoutingPolicy, VaPolicy};
 use noc_campaign::{CampaignOptions, CampaignSpec, Checkpoint};
 use noc_evc::EvcRouterFactory;
+use noc_hybrid::HybridRouterFactory;
 use noc_sim::{auto_threads, MetricsLevel, RunManifest, SimReport, TraceSpec};
 use noc_topology::SharedTopology;
 use noc_traffic::{BenchmarkProfile, TrafficModel};
@@ -273,12 +275,13 @@ pub fn run(args: &RunArgs) -> Result<SimReport, CliError> {
     }
     let spec = builder.spec();
     let config = builder.config();
-    let (mut sim, scheme_label) = match args.scheme {
-        RouterChoice::Pc(scheme) => (builder.scheme(scheme).build(traffic), scheme.to_string()),
-        RouterChoice::Evc => (
-            builder.build_with_factory(traffic, &EvcRouterFactory::default()),
-            "EVC".to_string(),
-        ),
+    let scheme_label = args.scheme.label();
+    let mut sim = match args.scheme {
+        RouterChoice::Pc(scheme) => builder.scheme(scheme).build(traffic),
+        RouterChoice::Evc => builder.build_with_factory(traffic, &EvcRouterFactory::default()),
+        RouterChoice::Hybrid => {
+            builder.build_with_factory(traffic, &HybridRouterFactory::default())
+        }
     };
     let report = sim.run(spec);
     if let Some(path) = &args.manifest {
@@ -536,16 +539,19 @@ fn render_observability(obs: &noc_sim::ObservabilityReport) -> String {
     out
 }
 
-/// The `noc list` output: available traffic names and topology presets.
+/// The `noc list` output: available traffic names, topology forms, and
+/// schemes — rendered from the same vocabulary tables
+/// ([`noc_campaign::TOPOLOGY_FORMS`], [`noc_campaign::SCHEME_NAMES`]) the
+/// parsers accept, so the listing cannot drift from the grammar.
 pub fn render_list() -> String {
     let mut out =
         String::from("synthetic traffic: ur, bc, bp, tornado, neighbor\nbenchmarks:        ");
     let names: Vec<&str> = BenchmarkProfile::suite().iter().map(|p| p.name).collect();
     out.push_str(&names.join(", "));
-    out.push_str(
-        "\ntopologies:        mesh8x8, cmesh4x4, mecs4x4, fbfly4x4, mesh<W>x<H>[c<C>]\n\
-         schemes:           baseline, pseudo, pseudo+ps, pseudo+bb, pseudo+ps+bb, evc",
-    );
+    out.push_str("\ntopologies:        ");
+    out.push_str(&noc_campaign::TOPOLOGY_FORMS.join(", "));
+    out.push_str("\nschemes:           ");
+    out.push_str(&noc_campaign::SCHEME_NAMES.join(", "));
     out
 }
 
@@ -676,7 +682,9 @@ mod tests {
         let custom = build_topology("mesh3x5c2").unwrap();
         assert_eq!(custom.num_routers(), 15);
         assert_eq!(custom.num_nodes(), 30);
-        assert!(build_topology("ring9").is_err());
+        assert_eq!(build_topology("ring8").unwrap().num_routers(), 8);
+        assert_eq!(build_topology("hring2x8").unwrap().num_routers(), 16);
+        assert!(build_topology("torus9").is_err());
         assert!(build_topology("mesh3by5").is_err());
     }
 
@@ -876,9 +884,41 @@ mod tests {
     }
 
     #[test]
+    fn hybrid_scheme_runs_on_a_ring() {
+        // One flag each for the two new vocabulary entries: the profiled
+        // hybrid scheme on the ring topology, end to end through `run`.
+        let run_args = RunArgs {
+            topology: "ring8".into(),
+            scheme: RouterChoice::Hybrid,
+            load: 0.05,
+            warmup: 100,
+            measure: 2_000,
+            drain: 20_000,
+            ..RunArgs::default()
+        };
+        let report = run(&run_args).unwrap();
+        assert!(report.drained);
+        assert!(report.measured_delivered > 0);
+        assert!(
+            report.router_stats.pc_reuses > 0,
+            "hybrid never held a circuit: {:?}",
+            report.router_stats
+        );
+    }
+
+    #[test]
     fn list_and_usage_mention_key_names() {
         let list = render_list();
         assert!(list.contains("fma3d") && list.contains("mecs4x4"));
+        // The listing is rendered from the shared vocabulary tables, so the
+        // new scheme and topology grammar must appear.
+        assert!(list.contains("hybrid"), "{list}");
+        assert!(list.contains("ring<N>[c<C>]"), "{list}");
+        assert!(list.contains("hring<G>x<L>[c<C>]"), "{list}");
+        // Everything `noc list` advertises as a scheme actually parses.
+        for name in noc_campaign::SCHEME_NAMES {
+            assert!(parse_scheme(name).is_ok(), "{name}");
+        }
         assert!(usage().contains("noc run"));
         assert!(usage().contains("noc campaign run"));
     }

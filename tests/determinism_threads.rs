@@ -10,8 +10,9 @@
 
 use noc_base::{RoutingPolicy, VaPolicy};
 use noc_evc::EvcRouterFactory;
+use noc_hybrid::HybridRouterFactory;
 use noc_sim::{MetricsLevel, RunManifest};
-use noc_topology::{Mecs, Mesh, SharedTopology};
+use noc_topology::{Mecs, Mesh, Ring, SharedTopology};
 use noc_traffic::BenchmarkProfile;
 use pseudo_circuit::experiment::cmp_traffic_for;
 use pseudo_circuit::{ExperimentBuilder, Scheme};
@@ -139,6 +140,67 @@ fn mecs_report_is_byte_identical_at_prime_thread_counts() {
             serial,
             mecs_run(threads),
             "MECS SimReport diverged between 1 and {threads} threads"
+        );
+    }
+}
+
+/// The ring golden configuration (tests/golden_report.rs) parameterized by
+/// thread budget. The ring's dateline VC classes and CW/CCW modes must not
+/// disturb the sharded engine's replay of the serial event order.
+fn ring_run(threads: usize) -> String {
+    let topo: SharedTopology = Arc::new(Ring::new(8, 1));
+    let b = ExperimentBuilder::new(topo.clone())
+        .routing(RoutingPolicy::Xy)
+        .va_policy(VaPolicy::Static)
+        .scheme(Scheme::pseudo_ps_bb())
+        .seed(0x5eed)
+        .phases(500, 2_000, 40_000)
+        .threads(threads);
+    let profile = *BenchmarkProfile::by_name("fft").unwrap();
+    let traffic = cmp_traffic_for(topo.as_ref(), profile, 0x5eed ^ 0x77);
+    let report = b.run(Box::new(traffic));
+    format!("{report:#?}\n")
+}
+
+#[test]
+fn ring_report_is_byte_identical_across_thread_counts() {
+    // 7 threads over 8 routers leaves single-router shards plus a tail.
+    let serial = ring_run(1);
+    for threads in [2usize, 4, 7] {
+        assert_eq!(
+            serial,
+            ring_run(threads),
+            "ring SimReport diverged between 1 and {threads} threads"
+        );
+    }
+}
+
+/// The hybrid golden configuration (tests/golden_report.rs) parameterized
+/// by thread budget. The profile freeze is keyed on the cycle number alone,
+/// so the hot-flow tables — and everything downstream of them — must be
+/// identical however the routers are sharded.
+fn hybrid_run(threads: usize) -> String {
+    let topo: SharedTopology = Arc::new(Mesh::new(4, 4, 1));
+    let b = ExperimentBuilder::new(topo.clone())
+        .routing(RoutingPolicy::Xy)
+        .va_policy(VaPolicy::Dynamic)
+        .seed(0x5eed)
+        .phases(500, 2_000, 40_000)
+        .threads(threads);
+    let profile = *BenchmarkProfile::by_name("fft").unwrap();
+    let traffic = cmp_traffic_for(topo.as_ref(), profile, 0x5eed ^ 0x77);
+    let report = b.run_with_factory(Box::new(traffic), &HybridRouterFactory::default());
+    format!("{report:#?}\n")
+}
+
+#[test]
+fn hybrid_report_is_byte_identical_across_thread_counts() {
+    let serial = hybrid_run(1);
+    for threads in [2usize, 4, 7] {
+        assert_eq!(
+            serial,
+            hybrid_run(threads),
+            "hybrid SimReport diverged between 1 and {threads} threads"
         );
     }
 }

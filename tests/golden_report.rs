@@ -12,8 +12,9 @@
 
 use noc_base::{RoutingPolicy, VaPolicy};
 use noc_evc::EvcRouterFactory;
+use noc_hybrid::HybridRouterFactory;
 use noc_sim::MetricsLevel;
-use noc_topology::{FlattenedButterfly, Mecs, Mesh, SharedTopology};
+use noc_topology::{FlattenedButterfly, Mecs, Mesh, Ring, SharedTopology};
 use noc_traffic::BenchmarkProfile;
 use pseudo_circuit::experiment::cmp_traffic_for;
 use pseudo_circuit::{ExperimentBuilder, Scheme};
@@ -23,6 +24,8 @@ const GOLDEN_PATH: &str = "tests/golden/cmp4x4_pseudo_fft.txt";
 const EVC_GOLDEN_PATH: &str = "tests/golden/mesh4x4_evc_fft.txt";
 const FBFLY_GOLDEN_PATH: &str = "tests/golden/fbfly4x4_pseudo_fft.txt";
 const MECS_GOLDEN_PATH: &str = "tests/golden/mecs4x4_pseudo_fft.txt";
+const RING_GOLDEN_PATH: &str = "tests/golden/ring8_pseudo_fft.txt";
+const HYBRID_GOLDEN_PATH: &str = "tests/golden/mesh4x4_hybrid_fft.txt";
 
 /// Reads a golden file, or blesses `actual` into it under `NOC_BLESS=1`.
 /// Returns `None` when the file was just (re)written.
@@ -115,6 +118,38 @@ fn mecs_golden_run() -> String {
     topo_golden_run(Arc::new(Mecs::new(4, 4, 4)))
 }
 
+/// A fixed-seed pseudo-circuit run on the bidirectional ring (8 routers,
+/// alternating-core/bank CMP layout). Pinned when the topology-neutral
+/// `RouteMode` layer landed: the ring's CW/CCW direction modes and dateline
+/// VC classes run through exactly the code paths the mesh-family goldens
+/// pin, so this report guards the generalized routing layer itself.
+fn ring_golden_run() -> String {
+    topo_golden_run(Arc::new(Ring::new(8, 1)))
+}
+
+/// A fixed-seed profiled-hybrid run on a 4×4 mesh (same floorplan as the
+/// EVC golden). The default factory freezes its online profile at cycle
+/// 1000 — inside the measurement window — so this report pins the profile
+/// phase, the freeze, and the hot-flow circuit phase in one run.
+fn hybrid_golden_run_at(metrics: MetricsLevel) -> String {
+    let topo: SharedTopology = Arc::new(Mesh::new(4, 4, 1));
+    let profile = *BenchmarkProfile::by_name("fft").expect("fft profile exists");
+    let traffic = cmp_traffic_for(topo.as_ref(), profile, 0x5eed ^ 0x77);
+    let mut report = ExperimentBuilder::new(topo)
+        .routing(RoutingPolicy::Xy)
+        .va_policy(VaPolicy::Dynamic)
+        .seed(0x5eed)
+        .phases(500, 2_000, 40_000)
+        .metrics(metrics)
+        .run_with_factory(Box::new(traffic), &HybridRouterFactory::default());
+    report.observability = None;
+    format!("{report:#?}\n")
+}
+
+fn hybrid_golden_run() -> String {
+    hybrid_golden_run_at(MetricsLevel::Off)
+}
+
 #[test]
 fn fixed_seed_cmp_run_matches_golden_report() {
     let actual = golden_run();
@@ -164,11 +199,45 @@ fn fixed_seed_mecs_run_matches_golden_report() {
 }
 
 #[test]
+fn fixed_seed_ring_run_matches_golden_report() {
+    let actual = ring_golden_run();
+    let Some(expected) = golden_expectation(RING_GOLDEN_PATH, &actual) else {
+        return;
+    };
+    assert_eq!(
+        actual, expected,
+        "ring behaviour diverged from its golden report"
+    );
+}
+
+#[test]
+fn fixed_seed_hybrid_run_matches_golden_report() {
+    let actual = hybrid_golden_run();
+    let Some(expected) = golden_expectation(HYBRID_GOLDEN_PATH, &actual) else {
+        return;
+    };
+    assert_eq!(
+        actual, expected,
+        "profiled-hybrid behaviour diverged from its golden report"
+    );
+}
+
+#[test]
 fn golden_run_is_internally_deterministic() {
     // Two in-process runs must agree exactly (guards against accidental
     // global state or iteration-order nondeterminism in the engine).
     assert_eq!(golden_run(), golden_run());
     assert_eq!(evc_golden_run(), evc_golden_run());
+    assert_eq!(ring_golden_run(), ring_golden_run());
+    assert_eq!(hybrid_golden_run(), hybrid_golden_run());
+}
+
+#[test]
+fn full_metrics_do_not_perturb_the_hybrid_simulation() {
+    let actual = hybrid_golden_run();
+    if let Some(expected) = golden_expectation(HYBRID_GOLDEN_PATH, &actual) {
+        assert_eq!(hybrid_golden_run_at(MetricsLevel::Full), expected);
+    }
 }
 
 #[test]

@@ -12,8 +12,9 @@
 
 use noc_base::{RouterId, RoutingPolicy, VaPolicy};
 use noc_evc::EvcRouterFactory;
+use noc_hybrid::HybridRouterFactory;
 use noc_sim::{NetworkConfig, Simulation};
-use noc_topology::Mesh;
+use noc_topology::{Mesh, Ring};
 use noc_traffic::{SyntheticPattern, SyntheticTraffic};
 use pseudo_circuit::{PcRouterFactory, Scheme};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -227,5 +228,87 @@ fn steady_state_step_does_not_allocate_with_evc_router() {
     assert!(
         bypasses > 0,
         "no express bypasses — EVC path never exercised"
+    );
+}
+
+#[test]
+fn steady_state_step_does_not_allocate_on_a_ring() {
+    // The ring's two-port routers, dateline VC classes and CW/CCW route
+    // modes must flow through the same preallocated kernel paths as the
+    // mesh; nothing about the topology generalization may allocate per
+    // cycle.
+    let topo = Arc::new(Ring::new(8, 1));
+    let traffic = SyntheticTraffic::new(SyntheticPattern::UniformRandom, 8, 1, 5, 0.10, 5);
+    let config = NetworkConfig {
+        routing: RoutingPolicy::Xy,
+        va_policy: VaPolicy::Static,
+        ..NetworkConfig::paper()
+    };
+    let mut sim = Simulation::new(
+        topo,
+        config,
+        Box::new(traffic),
+        &PcRouterFactory::new(Scheme::pseudo_ps_bb()),
+        9,
+    );
+    for _ in 0..20_000 {
+        sim.step();
+    }
+    let allocs = count_allocs(|| {
+        for _ in 0..2_000 {
+            sim.step();
+        }
+    });
+    assert_eq!(allocs, 0, "ring engine allocated {allocs} times");
+    let traversals: u64 = (0..sim.topology().num_routers())
+        .map(|r| sim.router(RouterId::new(r)).stats().flit_traversals)
+        .sum();
+    assert!(traversals > 10_000, "workload too light to be meaningful");
+}
+
+#[test]
+fn steady_state_step_does_not_allocate_with_hybrid_router() {
+    // The hybrid router's profile table and hot bitset are sized at
+    // construction; counting, the cycle-1000 freeze, and the held-circuit
+    // path afterwards must all be allocation-free. The 20k warmup runs
+    // well past the default freeze point, so the counted window is the
+    // hybrid (post-freeze) phase. The load sits below hybrid saturation:
+    // held circuits cost some cold-flow throughput, and an oversaturated
+    // node's source queue would keep doubling forever.
+    let topo = Arc::new(Mesh::new(8, 8, 1));
+    let traffic = SyntheticTraffic::new(SyntheticPattern::UniformRandom, 8, 8, 5, 0.10, 5);
+    let config = NetworkConfig {
+        routing: RoutingPolicy::Xy,
+        va_policy: VaPolicy::Static,
+        ..NetworkConfig::paper()
+    };
+    let mut sim = Simulation::new(
+        topo,
+        config,
+        Box::new(traffic),
+        &HybridRouterFactory::default(),
+        9,
+    );
+    for _ in 0..20_000 {
+        sim.step();
+    }
+    let reuses_before: u64 = (0..sim.topology().num_routers())
+        .map(|r| sim.router(RouterId::new(r)).stats().pc_reuses)
+        .sum();
+    let allocs = count_allocs(|| {
+        for _ in 0..2_000 {
+            sim.step();
+        }
+    });
+    assert_eq!(allocs, 0, "hybrid engine allocated {allocs} times");
+    // Hot flows were actually riding held circuits during the counted
+    // window, so the hybrid-specific path — not just the shared wormhole
+    // pipeline — is what stayed allocation-free.
+    let reuses_after: u64 = (0..sim.topology().num_routers())
+        .map(|r| sim.router(RouterId::new(r)).stats().pc_reuses)
+        .sum();
+    assert!(
+        reuses_after > reuses_before,
+        "no circuit reuse during the counted window — hybrid path never exercised"
     );
 }

@@ -81,6 +81,21 @@ pub trait Strategy {
         Map { inner: self, f }
     }
 
+    /// Discards generated values failing `pred`, regenerating in their
+    /// place. Upstream tracks a rejection quota; here a fixed retry cap
+    /// keeps an over-strict predicate from looping forever.
+    fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            pred,
+        }
+    }
+
     /// Type-erases the strategy (used by `prop_oneof!`).
     fn boxed(self) -> BoxedStrategy<Self::Value>
     where
@@ -110,6 +125,29 @@ impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
     type Value = U;
     fn generate(&self, rng: &mut TestRng) -> U {
         (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1_000 {
+            let value = self.inner.generate(rng);
+            if (self.pred)(&value) {
+                return value;
+            }
+        }
+        panic!(
+            "prop_filter rejected 1000 consecutive cases: {}",
+            self.whence
+        );
     }
 }
 
@@ -159,6 +197,25 @@ macro_rules! int_range_strategy {
 }
 
 int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! int_range_inclusive_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty strategy range");
+                let span = (*self.end() as u64)
+                    .wrapping_sub(*self.start() as u64)
+                    .wrapping_add(1);
+                // span == 0 means the whole u64 domain: take any value.
+                let offset = if span == 0 { rng.next_u64() } else { rng.below(span) };
+                self.start().wrapping_add(offset as $t)
+            }
+        }
+    )*};
+}
+
+int_range_inclusive_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 impl Strategy for Range<f64> {
     type Value = f64;
