@@ -1,0 +1,489 @@
+//! Slab-backed flit storage: every flit in flight lives exactly once in a
+//! [`FlitPool`], and everything else — input-VC ring buffers, NI staging,
+//! shard outboxes, the cross-shard lane matrix — moves a 4-byte [`FlitRef`]
+//! instead of the 40-byte [`Flit`].
+//!
+//! # Why a pool
+//!
+//! The router's hot path is dominated by buffered-flit state. Before the
+//! pool, every hop cloned a ~40-byte `Flit` through a FIFO, an outbox, a
+//! lane, and another FIFO; with the pool a hop copies one `u32` and the flit
+//! body is written once (at injection) and read in place. The slab is one
+//! contiguous allocation sized from structural maxima at construction, so
+//! the zero-steady-state-allocation invariant extends to flit storage.
+//!
+//! # Ownership discipline and thread safety
+//!
+//! `FlitPool` is shared (`Arc`) between the simulation driver, every router,
+//! and every network interface, and is accessed from worker threads during
+//! the parallel shard phase. It has **no internal locking**; soundness rests
+//! on the same ownership discipline as the engine's `ShardCtx`
+//! (DESIGN.md §12, §19):
+//!
+//! - A `FlitRef` is *owned* by exactly one component at a time (a FIFO slot,
+//!   an outbox entry, a lane entry, an NI). Only the owner may read or write
+//!   the referenced slot. Ownership transfers ride the engine's existing
+//!   happens-before edges: the epoch barrier between cycles and the
+//!   ascending-source lane merge within one.
+//! - Allocation is per-shard: [`FlitPool::alloc`] pops from the calling
+//!   shard's private free stack, which no other shard touches. The driver
+//!   tops these stacks up from the global free list *between* parallel
+//!   phases ([`FlitPool::replenish`]).
+//! - [`FlitPool::free`] is serial-phase only (flits die at NI ejection,
+//!   which the driver performs serially), pushing onto the global list.
+//!
+//! So no atomic operation appears on the cycle path: shards pop their own
+//! stacks, the serial driver moves indices between stacks while workers are
+//! parked at the barrier.
+//!
+//! # Generation tags
+//!
+//! In debug builds each slot carries an 8-bit generation, stamped into the
+//! high byte of the `FlitRef` at allocation and bumped at free. Every
+//! dereference and free checks the tag, so use-after-free and double-free
+//! fail fast with a clear message. Release builds carry no tag (the high
+//! byte is zero) and pay nothing.
+
+use crate::flit::Flit;
+use std::cell::UnsafeCell;
+use std::fmt;
+
+/// Low 24 bits of a [`FlitRef`] are the slot index; high 8 the generation.
+const INDEX_BITS: u32 = 24;
+const INDEX_MASK: u32 = (1 << INDEX_BITS) - 1;
+
+/// A 4-byte handle to a flit stored in a [`FlitPool`].
+///
+/// This is what queues, outboxes and lanes move; the flit body stays put in
+/// the slab. Packing: low 24 bits slot index (so pools hold up to 2^24
+/// flits), high 8 bits the debug-only generation tag (zero in release).
+#[derive(Copy, Clone, PartialEq, Eq, Hash)]
+pub struct FlitRef(u32);
+
+// The whole point of the ref is that a hop copies 4 bytes; pin it.
+const _: () = assert!(std::mem::size_of::<FlitRef>() == 4);
+
+impl FlitRef {
+    /// A placeholder that dereferences to nothing; used to fill ring-buffer
+    /// slots that length counters mark as vacant. Dereferencing it through a
+    /// pool is a bug caught by the bounds/generation checks.
+    pub const INVALID: FlitRef = FlitRef(u32::MAX);
+
+    /// The slot index within the owning pool.
+    #[inline]
+    pub fn index(self) -> usize {
+        (self.0 & INDEX_MASK) as usize
+    }
+
+    /// The generation tag (always 0 in release builds).
+    #[inline]
+    pub fn generation(self) -> u8 {
+        (self.0 >> INDEX_BITS) as u8
+    }
+}
+
+impl fmt::Debug for FlitRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == FlitRef::INVALID {
+            write!(f, "FlitRef(INVALID)")
+        } else {
+            write!(f, "FlitRef({}g{})", self.index(), self.generation())
+        }
+    }
+}
+
+/// One free stack; a thin wrapper so the per-shard stacks each sit behind
+/// their own `UnsafeCell` (the outer `Vec` is never resized while workers
+/// run, so shards only ever form references to *their own* inner stack).
+struct FreeStack(UnsafeCell<Vec<u32>>);
+
+/// A fixed-capacity slab of [`Flit`]s with per-shard free lists.
+///
+/// See the [module docs](self) for the ownership discipline that makes the
+/// lock-free sharing sound, and for the generation-tag scheme.
+pub struct FlitPool {
+    slots: Vec<UnsafeCell<Flit>>,
+    #[cfg(debug_assertions)]
+    gens: Vec<UnsafeCell<u8>>,
+    /// Per-shard free stacks, popped lock-free by the owning shard during
+    /// the parallel phase. Sized to the maximum possible shard count at
+    /// construction so the outer `Vec` never moves.
+    locals: Vec<FreeStack>,
+    /// The global free list: all frees land here (serial phase), and
+    /// [`replenish`](Self::replenish) moves indices out to shard stacks.
+    global: UnsafeCell<Vec<u32>>,
+}
+
+// SAFETY: all interior mutability follows the single-owner discipline in the
+// module docs — a slot is touched only by the component owning its ref, a
+// local free stack only by its shard (parallel phase) or the driver (serial
+// phase), and the global list only by the serial driver. Cross-thread
+// visibility is provided by the worker pool's epoch barrier, exactly as for
+// the engine's `ShardCtx`.
+unsafe impl Sync for FlitPool {}
+
+impl FlitPool {
+    /// Creates a pool of `capacity` slots whose free list can be partitioned
+    /// across up to `max_shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or ≥ 2^24 (the `FlitRef` index width),
+    /// or if `max_shards` is zero.
+    pub fn new(capacity: usize, max_shards: usize) -> Self {
+        assert!(capacity > 0, "flit pool capacity must be nonzero");
+        assert!(
+            capacity < (1 << INDEX_BITS) as usize,
+            "flit pool capacity {capacity} exceeds the 24-bit FlitRef index"
+        );
+        assert!(max_shards > 0, "flit pool needs at least one shard");
+        let placeholder = placeholder_flit();
+        // All slots start free, on the global list, in descending index
+        // order so the first allocations walk the slab from index 0 up.
+        Self {
+            slots: (0..capacity)
+                .map(|_| UnsafeCell::new(placeholder))
+                .collect(),
+            #[cfg(debug_assertions)]
+            gens: (0..capacity).map(|_| UnsafeCell::new(0)).collect(),
+            locals: (0..max_shards)
+                .map(|_| FreeStack(UnsafeCell::new(Vec::new())))
+                .collect(),
+            global: UnsafeCell::new((0..capacity as u32).rev().collect()),
+        }
+    }
+
+    /// Total slot count.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Free slots currently on the global list (diagnostics; excludes
+    /// shard-local stacks). Serial phase only.
+    pub fn global_free(&self) -> usize {
+        // SAFETY: serial phase — the driver is the only thread running.
+        unsafe { (*self.global.get()).len() }
+    }
+
+    /// Free slots across the global list and every shard stack.
+    /// Serial phase only.
+    pub fn total_free(&self) -> usize {
+        // SAFETY: serial phase — the driver is the only thread running.
+        unsafe {
+            (*self.global.get()).len()
+                + self
+                    .locals
+                    .iter()
+                    .map(|l| (*l.0.get()).len())
+                    .sum::<usize>()
+        }
+    }
+
+    /// Stamps the current generation of `idx` into a ref.
+    #[inline]
+    fn make_ref(&self, idx: u32) -> FlitRef {
+        #[cfg(debug_assertions)]
+        {
+            // SAFETY: caller owns `idx` (it came off a free list it owns).
+            let g = unsafe { *self.gens[idx as usize].get() };
+            FlitRef(((g as u32) << INDEX_BITS) | idx)
+        }
+        #[cfg(not(debug_assertions))]
+        FlitRef(idx)
+    }
+
+    /// Bounds- and generation-checks `r`, returning the slot index.
+    #[inline]
+    fn check(&self, r: FlitRef) -> usize {
+        let idx = r.index();
+        debug_assert!(
+            idx < self.slots.len(),
+            "dangling {r:?} (pool capacity {})",
+            self.slots.len()
+        );
+        #[cfg(debug_assertions)]
+        {
+            // SAFETY: the owner of `r` is the only accessor of this slot.
+            let g = unsafe { *self.gens[idx].get() };
+            assert!(
+                g == r.generation(),
+                "stale {r:?}: slot generation is {g} (use-after-free)"
+            );
+        }
+        idx
+    }
+
+    /// Allocates a slot from `shard`'s free stack and writes `flit` into it.
+    ///
+    /// Parallel phase: may be called concurrently for *distinct* shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard stack is empty — the driver sizes the pool from
+    /// structural maxima and tops stacks up every cycle, so exhaustion means
+    /// a credit-accounting bug (a flit outlived its buffer reservation).
+    #[inline]
+    pub fn alloc(&self, shard: usize, flit: Flit) -> FlitRef {
+        self.try_alloc(shard, flit).unwrap_or_else(|| {
+            panic!(
+                "flit pool exhausted on shard {shard} (capacity {}): \
+                 structural bound violated — credit accounting bug",
+                self.slots.len()
+            )
+        })
+    }
+
+    /// Allocates straight from the global free list. Serial phase only —
+    /// test harnesses and single-threaded drivers that have no per-shard
+    /// stock; the engine's cycle path uses [`alloc`](Self::alloc).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the global list is empty.
+    pub fn alloc_serial(&self, flit: Flit) -> FlitRef {
+        // SAFETY: serial phase — the driver is the only thread running.
+        let idx = unsafe { (*self.global.get()).pop() }.unwrap_or_else(|| {
+            panic!(
+                "flit pool exhausted (capacity {}): \
+                 structural bound violated — credit accounting bug",
+                self.slots.len()
+            )
+        });
+        // SAFETY: a freshly popped free slot has no other owner.
+        unsafe { *self.slots[idx as usize].get() = flit };
+        self.make_ref(idx)
+    }
+
+    /// Like [`alloc`](Self::alloc) but returns `None` on an empty stack.
+    #[inline]
+    pub fn try_alloc(&self, shard: usize, flit: Flit) -> Option<FlitRef> {
+        // SAFETY: `shard`'s stack is owned by the calling shard during the
+        // parallel phase; the outer `locals` Vec is never resized.
+        let stack = unsafe { &mut *self.locals[shard].0.get() };
+        let idx = stack.pop()?;
+        // SAFETY: a freshly popped free slot has no other owner.
+        unsafe { *self.slots[idx as usize].get() = flit };
+        Some(self.make_ref(idx))
+    }
+
+    /// Reads the flit behind `r`.
+    ///
+    /// The returned borrow must not be held across a mutation of the same
+    /// slot (the owner is the only accessor, so this is a per-call-site
+    /// discipline, not a runtime property).
+    #[inline]
+    pub fn get(&self, r: FlitRef) -> &Flit {
+        let idx = self.check(r);
+        // SAFETY: the owner of `r` is the only accessor of this slot.
+        unsafe { &*self.slots[idx].get() }
+    }
+
+    /// Mutates the flit behind `r` in place.
+    #[inline]
+    pub fn update(&self, r: FlitRef, f: impl FnOnce(&mut Flit)) {
+        let idx = self.check(r);
+        // SAFETY: the owner of `r` is the only accessor of this slot, and
+        // the &mut is confined to the closure call.
+        f(unsafe { &mut *self.slots[idx].get() });
+    }
+
+    /// Returns `r`'s slot to the global free list. Serial phase only.
+    ///
+    /// In debug builds this bumps the slot generation, so any surviving
+    /// copy of `r` (use-after-free) or a second `free` (double-free) trips
+    /// the generation check.
+    #[inline]
+    pub fn free(&self, r: FlitRef) {
+        let idx = self.check(r);
+        #[cfg(debug_assertions)]
+        {
+            // SAFETY: serial phase; bumping invalidates all existing refs.
+            unsafe {
+                let g = self.gens[idx].get();
+                *g = (*g).wrapping_add(1);
+            }
+        }
+        // SAFETY: serial phase — the driver is the only thread running.
+        unsafe { (*self.global.get()).push(idx as u32) };
+    }
+
+    /// Tops `shard`'s free stack up to at least `target` entries from the
+    /// global list (stopping early if the global list runs dry — remaining
+    /// demand then fails in [`alloc`] with the exhaustion panic).
+    /// Serial phase only.
+    ///
+    /// [`alloc`]: Self::alloc
+    pub fn replenish(&self, shard: usize, target: usize) {
+        // SAFETY: serial phase — the driver is the only thread running.
+        unsafe {
+            let stack = &mut *self.locals[shard].0.get();
+            if stack.capacity() < target {
+                stack.reserve(target - stack.len());
+            }
+            let global = &mut *self.global.get();
+            while stack.len() < target {
+                match global.pop() {
+                    Some(idx) => stack.push(idx),
+                    None => break,
+                }
+            }
+        }
+    }
+
+    /// Drains every shard stack back into the global list, for
+    /// redistribution after a re-shard ([`replenish`] then refills the new
+    /// partition). Serial phase only, with no flits in flight.
+    ///
+    /// [`replenish`]: Self::replenish
+    pub fn reclaim_locals(&self) {
+        // SAFETY: serial phase — the driver is the only thread running.
+        unsafe {
+            let global = &mut *self.global.get();
+            for l in &self.locals {
+                global.append(&mut *l.0.get());
+            }
+        }
+    }
+}
+
+impl fmt::Debug for FlitPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FlitPool")
+            .field("capacity", &self.slots.len())
+            .field("max_shards", &self.locals.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// The value free slots hold; never observable through a valid ref. Public
+/// because test harnesses use it as a neutral baseline flit to splat fields
+/// over.
+pub fn placeholder_flit() -> Flit {
+    use crate::flit::{FlitKind, PacketClass, RouteInfo};
+    use crate::ids::{NodeId, PacketId, PortIndex, VcIndex};
+    use crate::policy::RouteMode;
+    Flit {
+        packet: PacketId::new(0),
+        kind: FlitKind::Single,
+        seq: 0,
+        src: NodeId::new(0),
+        dst: NodeId::new(0),
+        vc: VcIndex::new(0),
+        route: RouteInfo::new(PortIndex::new(0)),
+        mode: RouteMode::default(),
+        class: 0,
+        injected_at: 0,
+        packet_class: PacketClass::Data,
+        express_hops: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+
+    fn flit(tag: usize) -> Flit {
+        Flit {
+            src: NodeId::new(tag),
+            ..placeholder_flit()
+        }
+    }
+
+    #[test]
+    fn alloc_reads_back_and_refs_stay_stable() {
+        let pool = FlitPool::new(8, 1);
+        pool.replenish(0, 8);
+        let a = pool.alloc(0, flit(1));
+        let b = pool.alloc(0, flit(2));
+        assert_ne!(a, b);
+        assert_eq!(pool.get(a).src, NodeId::new(1));
+        assert_eq!(pool.get(b).src, NodeId::new(2));
+        // A later allocation does not move earlier flits.
+        let c = pool.alloc(0, flit(3));
+        assert_eq!(pool.get(a).src, NodeId::new(1));
+        pool.update(b, |f| f.src = NodeId::new(9));
+        assert_eq!(pool.get(b).src, NodeId::new(9));
+        assert_eq!(pool.get(c).src, NodeId::new(3));
+    }
+
+    #[test]
+    fn free_recycles_through_global_list() {
+        let pool = FlitPool::new(2, 1);
+        pool.replenish(0, 2);
+        let a = pool.alloc(0, flit(1));
+        let _b = pool.alloc(0, flit(2));
+        assert!(pool.try_alloc(0, flit(3)).is_none(), "pool exhausted");
+        pool.free(a);
+        assert!(pool.try_alloc(0, flit(3)).is_none(), "free went global");
+        pool.replenish(0, 1);
+        let c = pool.alloc(0, flit(3));
+        assert_eq!(pool.get(c).src, NodeId::new(3));
+    }
+
+    #[test]
+    fn replenish_partitions_across_shards() {
+        let pool = FlitPool::new(6, 3);
+        pool.replenish(0, 2);
+        pool.replenish(1, 2);
+        pool.replenish(2, 2);
+        let refs: Vec<FlitRef> = (0..3)
+            .flat_map(|s| [pool.alloc(s, flit(s)), pool.alloc(s, flit(9))])
+            .collect();
+        // All six slots distinct.
+        for (i, a) in refs.iter().enumerate() {
+            for b in &refs[i + 1..] {
+                assert_ne!(a.index(), b.index());
+            }
+        }
+        assert!(pool.try_alloc(0, flit(0)).is_none());
+        for r in refs {
+            pool.free(r);
+        }
+        assert_eq!(pool.total_free(), 6);
+    }
+
+    #[test]
+    fn reclaim_locals_returns_unused_stock() {
+        let pool = FlitPool::new(4, 2);
+        pool.replenish(0, 3);
+        pool.replenish(1, 1);
+        assert_eq!(pool.global_free(), 0);
+        pool.reclaim_locals();
+        assert_eq!(pool.global_free(), 4);
+        pool.replenish(1, 4);
+        let r = pool.alloc(1, flit(7));
+        assert_eq!(pool.get(r).src, NodeId::new(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "flit pool exhausted")]
+    fn exhaustion_panics_with_diagnosis() {
+        let pool = FlitPool::new(1, 1);
+        pool.replenish(0, 1);
+        let _a = pool.alloc(0, flit(1));
+        let _b = pool.alloc(0, flit(2));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "use-after-free")]
+    fn stale_ref_is_caught_in_debug() {
+        let pool = FlitPool::new(1, 1);
+        pool.replenish(0, 1);
+        let a = pool.alloc(0, flit(1));
+        pool.free(a);
+        let _ = pool.get(a);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "use-after-free")]
+    fn double_free_is_caught_in_debug() {
+        let pool = FlitPool::new(1, 1);
+        pool.replenish(0, 1);
+        let a = pool.alloc(0, flit(1));
+        pool.free(a);
+        pool.free(a);
+    }
+}

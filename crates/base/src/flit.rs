@@ -103,7 +103,13 @@ impl RouteInfo {
 }
 
 /// A flow-control unit travelling over one link of the network.
-#[derive(Clone, PartialEq, Eq, Debug)]
+///
+/// `Flit` is plain-old-data (`Copy`): the simulator stores each flit exactly
+/// once, in the [`crate::arena::FlitPool`] slab, and moves a 4-byte
+/// [`crate::arena::FlitRef`] between queues instead of this struct. The one
+/// remaining by-value copy per flit lifetime is the pool write at injection,
+/// so the size pin below keeps that copy (and the slab stride) compact.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub struct Flit {
     /// The packet this flit belongs to.
     pub packet: PacketId,
@@ -131,6 +137,13 @@ pub struct Flit {
     /// Express-virtual-channel state: remaining express hops (0 = normal).
     pub express_hops: u8,
 }
+
+// Pin the flit's memory footprint: 35 bytes of payload padded to 40 by the
+// 8-byte alignment of `packet`/`injected_at`. Growing a field past this pin
+// widens every pool slot and the injection-time copy — do it deliberately
+// (and update DESIGN.md §19), not by accident.
+const _: () = assert!(std::mem::size_of::<Flit>() == 40);
+const _: () = assert!(std::mem::align_of::<Flit>() == 8);
 
 /// Everything a network interface needs to emit one packet.
 #[derive(Clone, PartialEq, Eq, Debug)]

@@ -8,6 +8,9 @@
 //!   packets ([`NodeId`], [`RouterId`], [`PortIndex`], [`VcIndex`], [`PacketId`]);
 //! - the wire-level data units of the simulated network ([`Flit`], [`Credit`],
 //!   [`PacketDescriptor`]);
+//! - the slab-backed flit arena ([`arena::FlitPool`]) storing each in-flight
+//!   flit exactly once, addressed everywhere by a 4-byte [`arena::FlitRef`]
+//!   with per-shard free lists and debug-only generation tags;
 //! - routing and virtual-channel allocation policy enums shared between the
 //!   network interfaces and the routers ([`RouteMode`], [`RoutingPolicy`],
 //!   [`VaPolicy`], [`VcPartition`]);
@@ -33,6 +36,7 @@
 //! assert_eq!(src.index(), 3);
 //! ```
 
+pub mod arena;
 pub mod bitset;
 pub mod flit;
 pub mod geom;
@@ -42,6 +46,7 @@ pub mod pool;
 pub mod rng;
 pub mod sync;
 
+pub use arena::{FlitPool, FlitRef};
 pub use bitset::{BitArbiter, WordMask};
 pub use flit::{Credit, Flit, FlitKind, PacketClass, PacketDescriptor, RouteInfo};
 pub use geom::Coord;

@@ -20,6 +20,11 @@
 //! `NOC_BENCH_SMOKE=1` runs a single short single-threaded sample per case
 //! and skips the snapshot write — the CI gate's "does the release-mode hot
 //! path execute" check, not a measurement.
+//!
+//! `NOC_BENCH_ONLY=case1,case2` restricts a run to the named cases — for
+//! quick A/B measurement of one case without paying for the full matrix.
+//! Filtered runs never write the snapshot: `BENCH_engine.json` is only
+//! ever a complete matrix.
 
 use noc_base::{RoutingPolicy, VaPolicy};
 use noc_evc::EvcRouterFactory;
@@ -143,6 +148,27 @@ fn evc_sim() -> Simulation {
 
 fn paper_cmesh_sim() -> Simulation {
     cmesh4x4(&PcRouterFactory::new(Scheme::pseudo_ps_bb()))
+}
+
+/// Saturated-churn regime: 4-flit packets at a load past XY-mesh saturation
+/// keep every input buffer full, every arbiter contended, and the flit pool
+/// recycling slots at its peak rate — the stress case for the ref-based hop
+/// path (alloc at injection, 4-byte copies between, free at ejection).
+fn highload_churn_sim() -> Simulation {
+    let topo = Arc::new(Mesh::new(8, 8, 1));
+    let traffic = SyntheticTraffic::new(SyntheticPattern::UniformRandom, 8, 8, 4, 0.40, 5);
+    let config = NetworkConfig {
+        routing: RoutingPolicy::Xy,
+        va_policy: VaPolicy::Static,
+        ..NetworkConfig::paper()
+    };
+    Simulation::new(
+        topo,
+        config,
+        Box::new(traffic),
+        &PcRouterFactory::new(Scheme::pseudo_ps_bb()),
+        9,
+    )
 }
 
 /// Low-load regime: the same 8×8 mesh at 0.02 flits/node/cycle. Individual
@@ -311,6 +337,9 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(1);
     let smoke = std::env::var_os("NOC_BENCH_SMOKE").is_some();
+    let only: Option<Vec<String>> = std::env::var("NOC_BENCH_ONLY")
+        .ok()
+        .map(|v| v.split(',').map(|s| s.trim().to_string()).collect());
     let warmup = if smoke { 200 } else { 2_000 };
     let cycles = if smoke { 2_000 } else { 50_000 * scale };
     let samples = if smoke { 1 } else { 3 };
@@ -355,6 +384,19 @@ fn main() {
             warmup: None,
             serial_only: false,
             thread_list: None,
+            cycle_count: None,
+        },
+        CaseSpec {
+            name: "highload_churn",
+            config: "mesh8x8 xy static uniform@0.40 pkt4",
+            build: highload_churn_sim,
+            advance: false,
+            warmup: None,
+            serial_only: false,
+            // Saturation churn is a serial-speed contract: its number tracks
+            // the per-hop cost of the pooled flit path, so only threads=1 is
+            // measured (multi-thread points would fold in shard handoff).
+            thread_list: Some(&[1]),
             cycle_count: None,
         },
         CaseSpec {
@@ -411,6 +453,14 @@ fn main() {
         },
     ];
 
+    let cases: Vec<&CaseSpec> = cases
+        .iter()
+        .filter(|c| {
+            only.as_ref()
+                .is_none_or(|names| names.iter().any(|n| n == c.name))
+        })
+        .collect();
+
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let rev = git_rev();
     println!(
@@ -443,7 +493,7 @@ fn main() {
     };
     let total: usize = cases.iter().map(|c| case_threads(c).len()).sum();
     let mut point = 0;
-    for spec in &cases {
+    for &spec in &cases {
         for &threads in case_threads(spec) {
             let m = measure(spec, threads, warmup, case_cycles(spec), samples);
             println!(
@@ -480,6 +530,10 @@ fn main() {
 
     if smoke {
         println!("smoke mode: snapshot not written");
+        return;
+    }
+    if only.is_some() {
+        println!("filtered run (NOC_BENCH_ONLY): snapshot not written");
         return;
     }
     // crates/bench/benches → workspace root is two levels up from the

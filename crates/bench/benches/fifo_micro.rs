@@ -1,0 +1,167 @@
+//! Flit-buffer micro-benchmark: the pool-backed [`FifoBank`] ring buffers
+//! against the pre-pool `VecDeque<(Flit, u64)>`-per-VC representation.
+//!
+//! The engine's hot path pushes and pops one buffered flit per router input
+//! per cycle. Before the flit pool, each of those operations moved a ~40-byte
+//! `Flit` by value through a per-VC `VecDeque`; with the pool it moves a
+//! 4-byte [`FlitRef`] through a fixed-stride ring over one contiguous backing
+//! array. This harness isolates exactly that data movement: an identical
+//! push/pop schedule over the same slot geometry (one router's 5 ports × 4
+//! VCs at depth 4), with the flit bodies pre-allocated so neither side
+//! measures allocator time.
+//!
+//! Results print as a table and are written to `BENCH_fifo.json` at the
+//! workspace root, alongside `BENCH_engine.json` (which measures the same
+//! change end-to-end through full simulations; this file attributes it).
+//!
+//! `NOC_BENCH_SMOKE=1` runs one short sample and skips the snapshot write.
+
+use noc_base::{Flit, FlitPool, FlitRef};
+use noc_sim::blocks::FifoBank;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One router's input-buffer geometry (mesh: 5 ports × 4 VCs, depth 4).
+const SLOTS: usize = 5 * 4;
+const DEPTH: usize = 4;
+
+/// The old representation: one growable deque of (flit, ready_at) per VC.
+type VecDeqBank = Vec<VecDeque<(Flit, u64)>>;
+
+fn tagged_flit(tag: usize) -> Flit {
+    Flit {
+        seq: (tag % u16::MAX as usize) as u16,
+        ..noc_base::arena::placeholder_flit()
+    }
+}
+
+/// Drives `ops` push+pop pairs across the bank's slots in a fixed rotation
+/// that keeps every ring partially full (each slot sits at DEPTH/2, so both
+/// wraparound and non-empty pops are constantly exercised).
+fn run_ring(bank: &mut FifoBank, refs: &[FlitRef], ops: usize) -> u64 {
+    let mut acc = 0u64;
+    for i in 0..ops {
+        let slot = i % SLOTS;
+        let r = refs[i % refs.len()];
+        bank.push(slot, r, i as u64).expect("pre-sized ring");
+        if let Some((popped, ready)) = bank.pop(slot) {
+            acc = acc.wrapping_add(popped.index() as u64).wrapping_add(ready);
+        }
+    }
+    acc
+}
+
+/// The same schedule through the old per-VC `VecDeque` path, moving whole
+/// `Flit` values exactly as the pre-pool engine did.
+fn run_vecdeque(bank: &mut VecDeqBank, flits: &[Flit], ops: usize) -> u64 {
+    let mut acc = 0u64;
+    for i in 0..ops {
+        let slot = i % SLOTS;
+        bank[slot].push_back((flits[i % flits.len()], i as u64));
+        if let Some((popped, ready)) = bank[slot].pop_front() {
+            acc = acc.wrapping_add(popped.seq as u64).wrapping_add(ready);
+        }
+    }
+    acc
+}
+
+/// Median of `samples` timed runs of `f`, in nanoseconds per op.
+fn measure(ops: usize, samples: usize, mut f: impl FnMut() -> u64) -> (f64, Vec<f64>) {
+    let mut ns: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed().as_nanos() as f64 / ops as f64
+        })
+        .collect();
+    ns.sort_by(f64::total_cmp);
+    (ns[(ns.len() - 1) / 2], ns)
+}
+
+fn main() {
+    let smoke = std::env::var_os("NOC_BENCH_SMOKE").is_some();
+    let ops: usize = if smoke { 100_000 } else { 20_000_000 };
+    let samples = if smoke { 1 } else { 5 };
+
+    // Pre-allocate the flit bodies once: the pooled side passes refs to
+    // them, the deque side copies the same bodies by value. Half-fill every
+    // slot so the steady state starts immediately.
+    let pool = FlitPool::new(SLOTS * DEPTH + 1, 1);
+    let refs: Vec<FlitRef> = (0..SLOTS)
+        .map(|i| pool.alloc_serial(tagged_flit(i)))
+        .collect();
+    let flits: Vec<Flit> = (0..SLOTS).map(tagged_flit).collect();
+
+    let mut ring = FifoBank::new(SLOTS, DEPTH);
+    let mut deque: VecDeqBank = vec![VecDeque::with_capacity(DEPTH); SLOTS];
+    for slot in 0..SLOTS {
+        for k in 0..DEPTH / 2 {
+            ring.push(slot, refs[(slot + k) % refs.len()], 0)
+                .expect("pre-fill");
+            deque[slot].push_back((flits[(slot + k) % flits.len()], 0));
+        }
+    }
+
+    let (ring_ns, ring_samples) = measure(ops, samples, || run_ring(&mut ring, &refs, ops));
+    let (deq_ns, deq_samples) = measure(ops, samples, || run_vecdeque(&mut deque, &flits, ops));
+    let speedup = deq_ns / ring_ns;
+
+    println!(
+        "flit-buffer micro-benchmark ({ops} push/pop pairs per sample, \
+         median of {samples}; {SLOTS} slots x depth {DEPTH})"
+    );
+    println!("{:<26} {:>12} {:>12}", "path", "ns/op", "vs deque");
+    println!(
+        "{:<26} {:>12.2} {:>11.2}x",
+        "fifobank_ring_refs", ring_ns, speedup
+    );
+    println!(
+        "{:<26} {:>12.2} {:>11.2}x",
+        "vecdeque_flit_values", deq_ns, 1.0
+    );
+
+    if smoke {
+        println!("smoke mode: snapshot not written");
+        return;
+    }
+    let fmt_samples = |v: &[f64]| {
+        v.iter()
+            .map(|s| format!("{s:.3}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let mut json = String::from("{\n  \"bench\": \"fifo_micro\",\n");
+    let _ = writeln!(json, "  \"ops_per_sample\": {ops},");
+    let _ = writeln!(json, "  \"samples\": {samples},");
+    let _ = writeln!(json, "  \"slots\": {SLOTS},");
+    let _ = writeln!(json, "  \"depth\": {DEPTH},");
+    let _ = writeln!(json, "  \"cases\": [");
+    let _ = writeln!(
+        json,
+        "    {{\"name\": \"fifobank_ring_refs\", \"ns_per_op\": {ring_ns:.3}, \
+         \"ns_samples\": [{}]}},",
+        fmt_samples(&ring_samples)
+    );
+    let _ = writeln!(
+        json,
+        "    {{\"name\": \"vecdeque_flit_values\", \"ns_per_op\": {deq_ns:.3}, \
+         \"ns_samples\": [{}]}}",
+        fmt_samples(&deq_samples)
+    );
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"ring_speedup\": {speedup:.3}");
+    json.push_str("}\n");
+
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root exists")
+        .to_path_buf();
+    let out = root.join("BENCH_fifo.json");
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(e) => eprintln!("could not write {}: {e}", out.display()),
+    }
+}

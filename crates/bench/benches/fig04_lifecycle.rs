@@ -35,6 +35,12 @@ fn flit(packet: u64, vc: usize) -> Flit {
     }
 }
 
+/// Allocates `f` in the router's pool and delivers it on `port`.
+fn deliver(r: &mut PcRouter, port: PortIndex, f: Flit) {
+    let fr = r.pool().alloc_serial(f);
+    r.receive_flit(port, fr);
+}
+
 fn describe(router: &PcRouter, what: &str) {
     print!("  {what:<52}");
     match router.pseudo_unit().live(PortIndex::new(0)) {
@@ -66,7 +72,8 @@ fn main() {
         routing: RoutingPolicy::Xy,
         va_policy: VaPolicy::Static,
     };
-    let mut r = PcRouter::new(RouterId::new(0), topo, config, Scheme::pseudo());
+    let pool = Arc::new(noc_base::FlitPool::new(64, 1));
+    let mut r = PcRouter::new(RouterId::new(0), topo, config, Scheme::pseudo(), pool);
     let mut out = RouterOutputs::default();
     let mut step = |r: &mut PcRouter, cycle| {
         out.clear();
@@ -76,7 +83,7 @@ fn main() {
 
     println!("\n(a) creation — packet 1 from input p0 takes the full pipeline:");
     describe(&r, "before any traffic:");
-    r.receive_flit(PortIndex::new(0), flit(1, 2));
+    deliver(&mut r, PortIndex::new(0), flit(1, 2));
     for c in 0..3 {
         let sent = step(&mut r, c);
         describe(
@@ -87,7 +94,7 @@ fn main() {
     assert_eq!(r.stats().sa_grants, 1);
 
     println!("\n(b) reuse — packet 2, same VC and route, bypasses SA (2-cycle hop):");
-    r.receive_flit(PortIndex::new(0), flit(2, 2));
+    deliver(&mut r, PortIndex::new(0), flit(2, 2));
     for c in 3..5 {
         let sent = step(&mut r, c);
         describe(
@@ -99,7 +106,7 @@ fn main() {
     assert_eq!(r.stats().sa_grants, 1, "and never touched the arbiter");
 
     println!("\n(c) termination — packet 3 from input p1 claims the same output:");
-    r.receive_flit(PortIndex::new(1), flit(3, 2));
+    deliver(&mut r, PortIndex::new(1), flit(3, 2));
     for c in 5..8 {
         let sent = step(&mut r, c);
         describe(

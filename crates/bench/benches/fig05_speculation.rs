@@ -57,7 +57,8 @@ fn main() {
         routing: RoutingPolicy::Xy,
         va_policy: VaPolicy::Static,
     };
-    let mut r = PcRouter::new(RouterId::new(0), topo, config, Scheme::pseudo_ps());
+    let pool = Arc::new(noc_base::FlitPool::new(64, 1));
+    let mut r = PcRouter::new(RouterId::new(0), topo, config, Scheme::pseudo_ps(), pool);
     let east = p(3);
     let mk = |packet| Flit {
         packet: PacketId::new(packet),
@@ -74,8 +75,14 @@ fn main() {
         express_hops: 0,
     };
     let mut out = RouterOutputs::default();
-    r.receive_flit(p(0), mk(1));
-    r.receive_flit(p(0), mk(2));
+    {
+        let fr = r.pool().alloc_serial(mk(1));
+        r.receive_flit(p(0), fr);
+    }
+    {
+        let fr = r.pool().alloc_serial(mk(2));
+        r.receive_flit(p(0), fr);
+    }
     for c in 0..9 {
         out.clear();
         r.step(c, &mut out);

@@ -44,18 +44,21 @@ fn probe_delay(scheme: Scheme, n: usize) -> u64 {
         routing: RoutingPolicy::Xy,
         va_policy: VaPolicy::Static,
     };
-    let mut router = PcRouter::new(RouterId::new(0), topo, config, scheme);
+    let pool = Arc::new(noc_base::FlitPool::new(64, 1));
+    let mut router = PcRouter::new(RouterId::new(0), topo, config, scheme, pool);
     let mut cycle = 0u64;
     let mut delay = 0;
     for i in 0..n {
         let arrival = cycle;
-        router.receive_flit(PortIndex::new(0), probe_flit(i as u64));
+        let fr = router.pool().alloc_serial(probe_flit(i as u64));
+        router.receive_flit(PortIndex::new(0), fr);
         loop {
             let mut out = RouterOutputs::default();
             router.step(cycle, &mut out);
             // Keep downstream credits topped up so isolation holds.
             for sent in &out.flits {
-                router.receive_credit(sent.out_port, noc_base::Credit::new(sent.flit.vc));
+                let vc = router.pool().get(sent.flit).vc;
+                router.receive_credit(sent.out_port, noc_base::Credit::new(vc));
             }
             let emitted = !out.flits.is_empty();
             cycle += 1;

@@ -31,7 +31,8 @@ use crate::config::Scheme;
 use crate::probe::Probe;
 use crate::pseudo::{PseudoCircuitUnit, Termination};
 use noc_base::{
-    Credit, Flit, NodeId, PortIndex, RouteInfo, RouterId, VaPolicy, VcIndex, VcPartition,
+    Credit, Flit, FlitPool, FlitRef, NodeId, PortIndex, RouteInfo, RouterId, VaPolicy, VcIndex,
+    VcPartition,
 };
 use noc_energy::{EnergyCounters, EnergyEvent};
 use noc_sim::{
@@ -40,6 +41,7 @@ use noc_sim::{
     TraceRing,
 };
 use noc_topology::SharedTopology;
+use std::sync::Arc;
 
 /// The pseudo-circuit scheme state and hook implementations: the circuit
 /// registers plus the policy knobs the hooks consult.
@@ -167,13 +169,16 @@ impl PcHooks {
     }
 
     /// Attempts to forward an arriving flit through the bypass latch
-    /// (§IV.B). Returns whether the flit was consumed.
+    /// (§IV.B). Returns whether the flit was consumed. `r` is the arriving
+    /// flit's pool slot; its fields are read in place (after the cheap
+    /// port-state early-outs) and a consumed flit is forwarded by reference,
+    /// never re-stored.
     fn try_bypass(
         &mut self,
         k: &mut PipelineKernel,
         cycle: u64,
         in_port: PortIndex,
-        flit: &Flit,
+        r: FlitRef,
         out: &mut RouterOutputs,
     ) -> bool {
         if !self.scheme.buffer_bypass || k.in_busy[in_port.index()] {
@@ -182,10 +187,16 @@ impl PcHooks {
         let Some(pc) = self.pcu.live(in_port) else {
             return false;
         };
-        if pc.in_vc != flit.vc || k.out_busy[pc.out_port.index()] {
+        if k.out_busy[pc.out_port.index()] {
             return false;
         }
-        let vc = flit.vc;
+        let (vc, kind, flit_route, class, dst) = {
+            let f = k.pool().get(r);
+            (f.vc, f.kind, f.route, f.class, f.dst)
+        };
+        if pc.in_vc != vc {
+            return false;
+        }
         if !k.input_empty(in_port, vc) {
             return false;
         }
@@ -195,13 +206,12 @@ impl PcHooks {
         };
         let sub = pc.hops as usize - 1;
         let out_vc;
-        let is_tail = flit.kind.is_tail();
-        if flit.kind.is_head() && k.input_route(in_port, vc).is_none() {
-            if flit.route != pc_route {
+        let is_tail = kind.is_tail();
+        if kind.is_head() && k.input_route(in_port, vc).is_none() {
+            if flit_route != pc_route {
                 return false;
             }
-            let Some(allocated) =
-                self.allocate_vc(k, pc_route, flit.class, flit.dst, (in_port, vc), true)
+            let Some(allocated) = self.allocate_vc(k, pc_route, class, dst, (in_port, vc), true)
             else {
                 return false;
             };
@@ -234,7 +244,7 @@ impl PcHooks {
         k.consume_credit(pc_route.port, sub, out_vc);
         k.stats.pc_reuses += 1;
         k.stats.buffer_bypasses += 1;
-        if flit.kind.is_head() {
+        if kind.is_head() {
             k.stats.pc_header_reuses += 1;
             k.stats.pc_header_bypasses += 1;
         }
@@ -244,7 +254,7 @@ impl PcHooks {
             // the 1-cycle hop of paper Fig. 6. Bypassed flits never reside
             // in the buffer and skip SA, so BW/SA record no sample.
             p.on_stage(PipelineStage::St, 1);
-            if flit.kind.is_head() {
+            if kind.is_head() {
                 p.on_stage(PipelineStage::Va, 0);
             }
         }
@@ -252,7 +262,7 @@ impl PcHooks {
         // The write-through latch never occupies a buffer slot: the upstream
         // credit returns immediately.
         out.credits.push((in_port, vc));
-        k.send_flit(flit.clone(), in_port, pc_route, out_vc, 0, out);
+        k.send_flit(r, in_port, pc_route, out_vc, 0, out);
         true
     }
 
@@ -305,10 +315,10 @@ impl SchemeHooks for PcHooks {
         k: &mut PipelineKernel,
         cycle: u64,
         in_port: PortIndex,
-        flit: &Flit,
+        r: FlitRef,
         out: &mut RouterOutputs,
     ) -> bool {
-        self.try_bypass(k, cycle, in_port, flit, out)
+        self.try_bypass(k, cycle, in_port, r, out)
     }
 
     fn allocate_out_vc(
@@ -387,13 +397,19 @@ impl PcRouter {
     /// # Panics
     ///
     /// Panics if the scheme is inconsistent (see [`Scheme::validate`]).
-    pub fn new(id: RouterId, topo: SharedTopology, config: NetworkConfig, scheme: Scheme) -> Self {
+    pub fn new(
+        id: RouterId,
+        topo: SharedTopology,
+        config: NetworkConfig,
+        scheme: Scheme,
+        pool: Arc<FlitPool>,
+    ) -> Self {
         scheme.validate().unwrap_or_else(|e| panic!("{e}"));
         let in_ports = topo.in_ports(id);
         let out_ports = topo.out_ports(id);
         let partition = config.partition_for(topo.as_ref());
         Self {
-            kernel: PipelineKernel::new(id, topo, config, true),
+            kernel: PipelineKernel::new(id, topo, config, true, pool),
             hooks: PcHooks {
                 scheme,
                 va_policy: config.va_policy,
@@ -419,10 +435,16 @@ impl PcRouter {
     pub fn pseudo_unit(&self) -> &PseudoCircuitUnit {
         &self.hooks.pcu
     }
+
+    /// The flit slab this router reads and writes flit bodies through
+    /// (exposed so tests can allocate arrival flits and inspect emissions).
+    pub fn pool(&self) -> &Arc<FlitPool> {
+        self.kernel.pool()
+    }
 }
 
 impl RouterModel for PcRouter {
-    fn receive_flit(&mut self, in_port: PortIndex, flit: Flit) {
+    fn receive_flit(&mut self, in_port: PortIndex, flit: FlitRef) {
         self.kernel.receive_flit(in_port, flit);
     }
 
@@ -504,7 +526,13 @@ impl PcRouterFactory {
 
 impl RouterFactory for PcRouterFactory {
     fn build(&self, ctx: RouterBuildContext<'_>) -> Box<dyn RouterModel> {
-        let mut router = PcRouter::new(ctx.id, ctx.topology.clone(), *ctx.config, self.scheme);
+        let mut router = PcRouter::new(
+            ctx.id,
+            ctx.topology.clone(),
+            *ctx.config,
+            self.scheme,
+            ctx.pool.clone(),
+        );
         router.enable_metrics(ctx.metrics);
         Box::new(router)
     }

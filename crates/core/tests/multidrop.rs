@@ -21,10 +21,17 @@ fn router(scheme: Scheme) -> (PcRouter, SharedTopology) {
         routing: RoutingPolicy::Xy,
         va_policy: VaPolicy::Static,
     };
+    let pool = Arc::new(noc_base::FlitPool::new(64, 1));
     (
-        PcRouter::new(RouterId::new(0), topo.clone(), config, scheme),
+        PcRouter::new(RouterId::new(0), topo.clone(), config, scheme, pool),
         topo,
     )
+}
+
+/// Allocates `f` in the router's pool and delivers it on `port`.
+fn deliver(r: &mut PcRouter, port: PortIndex, f: Flit) {
+    let fr = r.pool().alloc_serial(f);
+    r.receive_flit(port, fr);
 }
 
 const EAST: PortIndex = PortIndex::new(2);
@@ -57,7 +64,7 @@ fn step(r: &mut PcRouter, cycle: u64) -> Vec<noc_sim::SentFlit> {
 fn multidrop_circuit_stores_drop_distance() {
     let (mut r, topo) = router(Scheme::pseudo());
     assert_eq!(topo.channel_len(RouterId::new(0), EAST), 3);
-    r.receive_flit(PortIndex::new(0), flit_to(1, 2));
+    deliver(&mut r, PortIndex::new(0), flit_to(1, 2));
     for c in 0..3 {
         step(&mut r, c);
     }
@@ -70,13 +77,13 @@ fn multidrop_circuit_stores_drop_distance() {
 fn same_channel_different_drop_does_not_reuse() {
     let (mut r, _) = router(Scheme::pseudo());
     // Establish a circuit to router 2 on vc 2.
-    r.receive_flit(PortIndex::new(0), flit_to(1, 2));
+    deliver(&mut r, PortIndex::new(0), flit_to(1, 2));
     for c in 0..3 {
         step(&mut r, c);
     }
     // A packet to router 3 uses the same channel (EAST) but a different
     // drop position (and static VC 3): full pipeline, no reuse.
-    r.receive_flit(PortIndex::new(0), flit_to(2, 3));
+    deliver(&mut r, PortIndex::new(0), flit_to(2, 3));
     assert!(step(&mut r, 3).is_empty(), "BW");
     assert!(step(&mut r, 4).is_empty(), "VA/SA");
     let sent = step(&mut r, 5);
@@ -91,11 +98,11 @@ fn same_channel_different_drop_does_not_reuse() {
 #[test]
 fn same_drop_position_reuses_in_two_cycles() {
     let (mut r, _) = router(Scheme::pseudo());
-    r.receive_flit(PortIndex::new(0), flit_to(1, 2));
+    deliver(&mut r, PortIndex::new(0), flit_to(1, 2));
     for c in 0..3 {
         step(&mut r, c);
     }
-    r.receive_flit(PortIndex::new(0), flit_to(2, 2));
+    deliver(&mut r, PortIndex::new(0), flit_to(2, 2));
     assert!(step(&mut r, 3).is_empty(), "BW");
     let sent = step(&mut r, 4);
     assert_eq!(sent.len(), 1, "reuse at cycle 4");
@@ -108,7 +115,7 @@ fn per_drop_credits_are_independent() {
     let (mut r, _) = router(Scheme::pseudo());
     // Exhaust the 4 credits of (drop 2, vc 2).
     for i in 0..4 {
-        r.receive_flit(PortIndex::new(0), flit_to(i, 2));
+        deliver(&mut r, PortIndex::new(0), flit_to(i, 2));
     }
     let mut sent = 0;
     for c in 0..14 {
@@ -116,7 +123,7 @@ fn per_drop_credits_are_independent() {
     }
     assert_eq!(sent, 4);
     // Traffic to drop 1 (vc 1) still flows: its credit pool is separate.
-    r.receive_flit(PortIndex::new(0), flit_to(10, 1));
+    deliver(&mut r, PortIndex::new(0), flit_to(10, 1));
     let mut sent = 0;
     for c in 14..20 {
         sent += step(&mut r, c).len();
@@ -127,11 +134,11 @@ fn per_drop_credits_are_independent() {
 #[test]
 fn bypass_works_on_multidrop_channels() {
     let (mut r, _) = router(Scheme::pseudo_bb());
-    r.receive_flit(PortIndex::new(0), flit_to(1, 3));
+    deliver(&mut r, PortIndex::new(0), flit_to(1, 3));
     for c in 0..3 {
         step(&mut r, c);
     }
-    r.receive_flit(PortIndex::new(0), flit_to(2, 3));
+    deliver(&mut r, PortIndex::new(0), flit_to(2, 3));
     let sent = step(&mut r, 3);
     assert_eq!(sent.len(), 1, "arrival-cycle bypass");
     assert_eq!(sent[0].hops, 3);

@@ -31,9 +31,16 @@ fn full_metrics() -> MetricsConfig {
 /// 0-1, east port 3 toward nodes 2-3).
 fn instrumented(scheme: Scheme, cfg: NetworkConfig) -> PcRouter {
     let topo: SharedTopology = Arc::new(Mesh::new(2, 1, 2));
-    let mut r = PcRouter::new(RouterId::new(0), topo, cfg, scheme);
+    let pool = Arc::new(noc_base::FlitPool::new(64, 1));
+    let mut r = PcRouter::new(RouterId::new(0), topo, cfg, scheme, pool);
     r.enable_metrics(&full_metrics());
     r
+}
+
+/// Allocates `f` in the router's pool and delivers it on `port`.
+fn deliver(r: &mut PcRouter, port: PortIndex, f: Flit) {
+    let fr = r.pool().alloc_serial(f);
+    r.receive_flit(port, fr);
 }
 
 fn config() -> NetworkConfig {
@@ -72,12 +79,12 @@ fn step(r: &mut PcRouter, cycle: u64) -> Vec<noc_sim::SentFlit> {
 fn conflict_termination_is_attributed_to_the_victim_port() {
     let mut r = instrumented(Scheme::pseudo(), config());
     // Input 0 establishes a circuit to EAST over a full 3-cycle pipeline.
-    r.receive_flit(PortIndex::new(0), single_flit(1, 0, STATIC_VC));
+    deliver(&mut r, PortIndex::new(0), single_flit(1, 0, STATIC_VC));
     for c in 0..3 {
         step(&mut r, c);
     }
     // Input 1 claims the same output; the grant evicts input 0's circuit.
-    r.receive_flit(PortIndex::new(1), single_flit(2, 1, STATIC_VC));
+    deliver(&mut r, PortIndex::new(1), single_flit(2, 1, STATIC_VC));
     for c in 3..6 {
         step(&mut r, c);
     }
@@ -146,8 +153,8 @@ fn credit_exhaustion_termination_is_counted_per_port() {
         f.vc = VcIndex::new(0);
         f
     };
-    r.receive_flit(PortIndex::new(0), mk(1));
-    r.receive_flit(PortIndex::new(0), mk(2));
+    deliver(&mut r, PortIndex::new(0), mk(1));
+    deliver(&mut r, PortIndex::new(0), mk(2));
     let mut sent = 0;
     for c in 0..8 {
         sent += step(&mut r, c).len();
@@ -179,11 +186,11 @@ fn credit_exhaustion_termination_is_counted_per_port() {
 #[test]
 fn bypass_hits_count_in_both_hit_and_bypass_ledgers() {
     let mut r = instrumented(Scheme::pseudo_bb(), config());
-    r.receive_flit(PortIndex::new(0), single_flit(1, 0, STATIC_VC));
+    deliver(&mut r, PortIndex::new(0), single_flit(1, 0, STATIC_VC));
     for c in 0..3 {
         step(&mut r, c);
     }
-    r.receive_flit(PortIndex::new(0), single_flit(2, 0, STATIC_VC));
+    deliver(&mut r, PortIndex::new(0), single_flit(2, 0, STATIC_VC));
     assert_eq!(step(&mut r, 3).len(), 1, "1-cycle bypass hop");
     let o = r.observation().unwrap();
     assert_eq!(o.pc_hits, vec![1, 0, 0, 0, 0, 0]);
@@ -200,9 +207,10 @@ fn bypass_hits_count_in_both_hit_and_bypass_ledgers() {
 #[test]
 fn disabled_metrics_observe_nothing() {
     let topo: SharedTopology = Arc::new(Mesh::new(2, 1, 2));
-    let mut r = PcRouter::new(RouterId::new(0), topo, config(), Scheme::pseudo());
+    let pool = Arc::new(noc_base::FlitPool::new(64, 1));
+    let mut r = PcRouter::new(RouterId::new(0), topo, config(), Scheme::pseudo(), pool);
     r.enable_metrics(&MetricsConfig::off());
-    r.receive_flit(PortIndex::new(0), single_flit(1, 0, STATIC_VC));
+    deliver(&mut r, PortIndex::new(0), single_flit(1, 0, STATIC_VC));
     for c in 0..3 {
         step(&mut r, c);
     }

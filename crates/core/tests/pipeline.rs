@@ -24,13 +24,27 @@ fn config() -> NetworkConfig {
 /// east port (index 3) toward router 1 where nodes 2 and 3 live.
 fn router() -> (PcRouter, SharedTopology) {
     let topo: SharedTopology = Arc::new(Mesh::new(2, 1, 2));
-    let r = PcRouter::new(RouterId::new(0), topo.clone(), config(), Scheme::baseline());
+    let pool = Arc::new(noc_base::FlitPool::new(64, 1));
+    let r = PcRouter::new(
+        RouterId::new(0),
+        topo.clone(),
+        config(),
+        Scheme::baseline(),
+        pool,
+    );
     (r, topo)
 }
 
 fn router_with(scheme: Scheme) -> PcRouter {
     let topo: SharedTopology = Arc::new(Mesh::new(2, 1, 2));
-    PcRouter::new(RouterId::new(0), topo, config(), scheme)
+    let pool = Arc::new(noc_base::FlitPool::new(64, 1));
+    PcRouter::new(RouterId::new(0), topo, config(), scheme, pool)
+}
+
+/// Allocates `f` in the router's pool and delivers it on `port`.
+fn deliver(r: &mut PcRouter, port: PortIndex, f: Flit) {
+    let fr = r.pool().alloc_serial(f);
+    r.receive_flit(port, fr);
 }
 
 const EAST: PortIndex = PortIndex::new(3);
@@ -66,7 +80,7 @@ const STATIC_VC: usize = 2;
 #[test]
 fn baseline_hop_takes_three_cycles() {
     let (mut r, _) = router();
-    r.receive_flit(PortIndex::new(0), single_flit(1, 0, STATIC_VC));
+    deliver(&mut r, PortIndex::new(0), single_flit(1, 0, STATIC_VC));
     assert!(step(&mut r, 0).is_empty(), "cycle 0 is BW");
     assert!(step(&mut r, 1).is_empty(), "cycle 1 is VA/SA");
     let sent = step(&mut r, 2);
@@ -82,7 +96,7 @@ fn baseline_hop_takes_three_cycles() {
 #[test]
 fn baseline_charges_full_energy() {
     let (mut r, _) = router();
-    r.receive_flit(PortIndex::new(0), single_flit(1, 0, STATIC_VC));
+    deliver(&mut r, PortIndex::new(0), single_flit(1, 0, STATIC_VC));
     for c in 0..3 {
         step(&mut r, c);
     }
@@ -97,13 +111,13 @@ fn baseline_charges_full_energy() {
 fn pseudo_circuit_hop_takes_two_cycles() {
     let mut r = router_with(Scheme::pseudo());
     // First packet establishes the circuit (full pipeline).
-    r.receive_flit(PortIndex::new(0), single_flit(1, 0, STATIC_VC));
+    deliver(&mut r, PortIndex::new(0), single_flit(1, 0, STATIC_VC));
     for c in 0..3 {
         step(&mut r, c);
     }
     assert!(r.pseudo_unit().live(PortIndex::new(0)).is_some());
     // Second packet on the same VC and route: BW at 3, reuse-ST at 4.
-    r.receive_flit(PortIndex::new(0), single_flit(2, 0, STATIC_VC));
+    deliver(&mut r, PortIndex::new(0), single_flit(2, 0, STATIC_VC));
     assert!(step(&mut r, 3).is_empty(), "cycle 3 is BW");
     let sent = step(&mut r, 4);
     assert_eq!(sent.len(), 1, "cycle 4 is compare+ST");
@@ -115,12 +129,12 @@ fn pseudo_circuit_hop_takes_two_cycles() {
 #[test]
 fn buffer_bypass_hop_takes_one_cycle() {
     let mut r = router_with(Scheme::pseudo_bb());
-    r.receive_flit(PortIndex::new(0), single_flit(1, 0, STATIC_VC));
+    deliver(&mut r, PortIndex::new(0), single_flit(1, 0, STATIC_VC));
     for c in 0..3 {
         step(&mut r, c);
     }
     let writes_before = r.energy().buffer_writes;
-    r.receive_flit(PortIndex::new(0), single_flit(2, 0, STATIC_VC));
+    deliver(&mut r, PortIndex::new(0), single_flit(2, 0, STATIC_VC));
     let sent = step(&mut r, 3);
     assert_eq!(sent.len(), 1, "arrival cycle is compare+ST");
     let stats = r.stats();
@@ -136,7 +150,7 @@ fn buffer_bypass_hop_takes_one_cycle() {
 #[test]
 fn mismatched_route_falls_back_to_full_pipeline() {
     let mut r = router_with(Scheme::pseudo_ps_bb());
-    r.receive_flit(PortIndex::new(0), single_flit(1, 0, STATIC_VC));
+    deliver(&mut r, PortIndex::new(0), single_flit(1, 0, STATIC_VC));
     for c in 0..3 {
         step(&mut r, c);
     }
@@ -145,7 +159,7 @@ fn mismatched_route_falls_back_to_full_pipeline() {
     other.dst = NodeId::new(1);
     other.route = RouteInfo::new(PortIndex::new(1));
     other.vc = VcIndex::new(1); // static VC for dst 1
-    r.receive_flit(PortIndex::new(0), other);
+    deliver(&mut r, PortIndex::new(0), other);
     assert!(step(&mut r, 3).is_empty(), "BW cycle");
     assert!(step(&mut r, 4).is_empty(), "VA/SA cycle — no bypass");
     let sent = step(&mut r, 5);
@@ -158,13 +172,13 @@ fn mismatched_route_falls_back_to_full_pipeline() {
 fn conflicting_grant_terminates_the_circuit() {
     let mut r = router_with(Scheme::pseudo());
     // Input 0 establishes a circuit to EAST.
-    r.receive_flit(PortIndex::new(0), single_flit(1, 0, STATIC_VC));
+    deliver(&mut r, PortIndex::new(0), single_flit(1, 0, STATIC_VC));
     for c in 0..3 {
         step(&mut r, c);
     }
     assert_eq!(r.pseudo_unit().holder(EAST), Some(PortIndex::new(0)));
     // Input 1 claims the same output: grant terminates the old circuit.
-    r.receive_flit(PortIndex::new(1), single_flit(2, 1, STATIC_VC));
+    deliver(&mut r, PortIndex::new(1), single_flit(2, 1, STATIC_VC));
     for c in 3..6 {
         step(&mut r, c);
     }
@@ -187,7 +201,7 @@ fn credit_exhaustion_terminates_the_circuit() {
     // granted, but the circuit itself survives (other VCs still have
     // credit).
     for i in 0..4 {
-        r.receive_flit(PortIndex::new(0), single_flit(i, 0, STATIC_VC));
+        deliver(&mut r, PortIndex::new(0), single_flit(i, 0, STATIC_VC));
     }
     let mut sent = 0;
     for c in 0..12 {
@@ -196,7 +210,7 @@ fn credit_exhaustion_terminates_the_circuit() {
     assert_eq!(sent, 4);
     assert!(r.pseudo_unit().live(PortIndex::new(0)).is_some());
     // 5th packet: no credit on vc 2 downstream -> waits buffered.
-    r.receive_flit(PortIndex::new(0), single_flit(9, 0, STATIC_VC));
+    deliver(&mut r, PortIndex::new(0), single_flit(9, 0, STATIC_VC));
     for c in 12..16 {
         assert!(step(&mut r, c).is_empty(), "no credit, no traversal");
     }
@@ -222,14 +236,15 @@ fn whole_port_credit_exhaustion_kills_the_circuit() {
         routing: RoutingPolicy::Xy,
         va_policy: VaPolicy::Static,
     };
-    let mut r = PcRouter::new(RouterId::new(0), topo, cfg, Scheme::pseudo());
+    let pool = Arc::new(noc_base::FlitPool::new(64, 1));
+    let mut r = PcRouter::new(RouterId::new(0), topo, cfg, Scheme::pseudo(), pool);
     let mk = |packet: u64| {
         let mut f = single_flit(packet, 0, 0);
         f.vc = VcIndex::new(0);
         f
     };
-    r.receive_flit(PortIndex::new(0), mk(1));
-    r.receive_flit(PortIndex::new(0), mk(2));
+    deliver(&mut r, PortIndex::new(0), mk(1));
+    deliver(&mut r, PortIndex::new(0), mk(2));
     let mut sent = 0;
     for c in 0..8 {
         sent += step(&mut r, c).len();
@@ -253,14 +268,15 @@ fn speculation_restores_circuits_on_congestion_relief() {
         routing: RoutingPolicy::Xy,
         va_policy: VaPolicy::Static,
     };
-    let mut r = PcRouter::new(RouterId::new(0), topo, cfg, Scheme::pseudo_ps());
+    let pool = Arc::new(noc_base::FlitPool::new(64, 1));
+    let mut r = PcRouter::new(RouterId::new(0), topo, cfg, Scheme::pseudo_ps(), pool);
     let mk = |packet: u64| {
         let mut f = single_flit(packet, 0, 0);
         f.vc = VcIndex::new(0);
         f
     };
-    r.receive_flit(PortIndex::new(0), mk(1));
-    r.receive_flit(PortIndex::new(0), mk(2));
+    deliver(&mut r, PortIndex::new(0), mk(1));
+    deliver(&mut r, PortIndex::new(0), mk(2));
     for c in 0..9 {
         step(&mut r, c);
     }
@@ -277,7 +293,7 @@ fn speculation_restores_circuits_on_congestion_relief() {
     );
     assert_eq!(r.stats().pc_speculative_restores, 1);
     // A matching packet now reuses the restored circuit: BW + ST.
-    r.receive_flit(PortIndex::new(0), mk(3));
+    deliver(&mut r, PortIndex::new(0), mk(3));
     assert!(step(&mut r, 10).is_empty(), "BW cycle");
     assert_eq!(step(&mut r, 11).len(), 1, "reuse-ST cycle");
     assert!(r.stats().pc_reuses >= 1);
@@ -298,13 +314,13 @@ fn multi_flit_packet_keeps_vc_until_tail() {
         let mut f = desc.flit(seq);
         f.vc = VcIndex::new(STATIC_VC);
         f.route = RouteInfo::new(EAST);
-        r.receive_flit(PortIndex::new(0), f);
+        deliver(&mut r, PortIndex::new(0), f);
         step(&mut r, cycle);
     }
     let mut emissions = Vec::new();
     for c in 3..10 {
         for s in step(&mut r, c) {
-            emissions.push((c, s.flit.seq));
+            emissions.push((c, r.pool().get(s.flit).seq));
         }
     }
     // Head STs at cycle 2+... collected from cycle 3: body and tail stream
@@ -317,7 +333,7 @@ fn multi_flit_packet_keeps_vc_until_tail() {
 #[test]
 fn credits_are_returned_per_buffered_flit() {
     let (mut r, _) = router();
-    r.receive_flit(PortIndex::new(0), single_flit(1, 0, STATIC_VC));
+    deliver(&mut r, PortIndex::new(0), single_flit(1, 0, STATIC_VC));
     let mut credits = Vec::new();
     for c in 0..4 {
         let mut out = RouterOutputs::default();
@@ -331,7 +347,7 @@ fn credits_are_returned_per_buffered_flit() {
 fn baseline_never_creates_circuits() {
     let (mut r, _) = router();
     for i in 0..4 {
-        r.receive_flit(PortIndex::new(0), single_flit(i, 0, STATIC_VC));
+        deliver(&mut r, PortIndex::new(0), single_flit(i, 0, STATIC_VC));
     }
     for c in 0..16 {
         step(&mut r, c);
@@ -350,17 +366,18 @@ fn dynamic_va_spreads_packets_across_vcs() {
         vcs_per_port: 4,
         buffer_depth: 4,
     };
-    let mut r = PcRouter::new(RouterId::new(0), topo, cfg, Scheme::baseline());
+    let pool = Arc::new(noc_base::FlitPool::new(64, 1));
+    let mut r = PcRouter::new(RouterId::new(0), topo, cfg, Scheme::baseline(), pool);
     // Two packets from the two local ports to node 2, arriving together:
     // dynamic VA must give them distinct output VCs.
-    r.receive_flit(PortIndex::new(0), single_flit(1, 0, 0));
-    r.receive_flit(PortIndex::new(1), single_flit(2, 1, 0));
+    deliver(&mut r, PortIndex::new(0), single_flit(1, 0, 0));
+    deliver(&mut r, PortIndex::new(1), single_flit(2, 1, 0));
     let mut sent = Vec::new();
     for c in 0..6 {
         sent.extend(step(&mut r, c));
     }
     assert_eq!(sent.len(), 2);
-    assert_ne!(sent[0].flit.vc, sent[1].flit.vc);
+    assert_ne!(r.pool().get(sent[0].flit).vc, r.pool().get(sent[1].flit).vc);
 }
 
 #[test]
@@ -376,7 +393,8 @@ fn o1turn_va_respects_vc_class_partition() {
         routing: RoutingPolicy::O1Turn,
         va_policy: VaPolicy::Dynamic,
     };
-    let mut r = PcRouter::new(RouterId::new(0), topo, cfg, Scheme::pseudo_ps_bb());
+    let pool = Arc::new(noc_base::FlitPool::new(64, 1));
+    let mut r = PcRouter::new(RouterId::new(0), topo, cfg, Scheme::pseudo_ps_bb(), pool);
     for i in 0..6u64 {
         let class = (i % 2) as u8;
         let mut f = single_flit(i, 0, (class as usize) * 2); // in-vc within class
@@ -386,7 +404,7 @@ fn o1turn_va_respects_vc_class_partition() {
         } else {
             RouteMode::YX
         };
-        r.receive_flit(PortIndex::new(0), f);
+        deliver(&mut r, PortIndex::new(0), f);
     }
     let mut sent = Vec::new();
     for c in 0..40 {
@@ -394,8 +412,9 @@ fn o1turn_va_respects_vc_class_partition() {
     }
     assert_eq!(sent.len(), 6, "all packets delivered");
     for s in &sent {
-        let class = s.flit.class;
-        let vc = s.flit.vc.index();
+        let f = *r.pool().get(s.flit);
+        let class = f.class;
+        let vc = f.vc.index();
         let range = if class == 0 { 0..2 } else { 2..4 };
         assert!(
             range.contains(&vc),

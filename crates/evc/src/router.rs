@@ -7,7 +7,9 @@
 //! counters at `--metrics=full`, lifecycle tracing (express latches record
 //! [`TraceEventKind::ExpressLatch`]), and manifest router dumps.
 
-use noc_base::{Credit, Flit, NodeId, PortIndex, RouteInfo, RouterId, VaPolicy, VcIndex};
+use noc_base::{
+    Credit, Flit, FlitPool, FlitRef, NodeId, PortIndex, RouteInfo, RouterId, VaPolicy, VcIndex,
+};
 use noc_energy::EnergyCounters;
 use noc_sim::probe::Probe;
 use noc_sim::{
@@ -16,6 +18,7 @@ use noc_sim::{
     TraceRing,
 };
 use noc_topology::SharedTopology;
+use std::sync::Arc;
 
 /// The EVC scheme state and hook implementations: the NVC/EVC split plus the
 /// express-segment length bound.
@@ -61,30 +64,37 @@ impl EvcHooks {
     }
 
     /// Attempts the express latch for an arriving flit with remaining
-    /// express hops. Returns whether the flit was consumed.
+    /// express hops. Returns whether the flit was consumed. `r` is the pool
+    /// slot behind `flit` (a pre-read copy); a latched flit is forwarded by
+    /// reference, never re-stored.
     fn try_latch(
         &mut self,
         k: &mut PipelineKernel,
         cycle: u64,
         in_port: PortIndex,
-        flit: &Flit,
+        r: FlitRef,
         out: &mut RouterOutputs,
     ) -> bool {
-        if flit.express_hops == 0 || k.in_busy[in_port.index()] {
+        if k.in_busy[in_port.index()] {
             return false;
         }
-        let route = flit.route;
+        let (express_hops, route, vc, kind) = {
+            let f = k.pool().get(r);
+            (f.express_hops, f.route, f.vc, f.kind)
+        };
+        if express_hops == 0 {
+            return false;
+        }
         if route.port.index() < k.concentration || k.out_busy[route.port.index()] {
             return false;
         }
-        let vc = flit.vc;
         debug_assert!(self.is_evc(vc), "express flit on a normal VC");
         if !k.input_empty(in_port, vc) {
             return false;
         }
         let sub = route.hops as usize - 1;
-        let is_head = flit.kind.is_head();
-        let is_tail = flit.kind.is_tail();
+        let is_head = kind.is_head();
+        let is_tail = kind.is_tail();
         if is_head {
             if k.input_route(in_port, vc).is_some() {
                 return false;
@@ -123,7 +133,7 @@ impl EvcHooks {
         }
         k.trace(cycle, TraceEventKind::ExpressLatch, in_port, route.port);
         out.credits.push((in_port, vc));
-        k.send_flit(flit.clone(), in_port, route, vc, flit.express_hops - 1, out);
+        k.send_flit(r, in_port, route, vc, express_hops - 1, out);
         true
     }
 }
@@ -134,10 +144,10 @@ impl SchemeHooks for EvcHooks {
         k: &mut PipelineKernel,
         cycle: u64,
         in_port: PortIndex,
-        flit: &Flit,
+        r: FlitRef,
         out: &mut RouterOutputs,
     ) -> bool {
-        self.try_latch(k, cycle, in_port, flit, out)
+        self.try_latch(k, cycle, in_port, r, out)
     }
 
     /// VC allocation for one header: express packets take EVCs, others NVCs.
@@ -198,7 +208,13 @@ impl EvcRouter {
     /// Panics if the routing policy uses more than one deadlock class (EVC's
     /// VC partition replaces O1TURN's), if the VC count is odd, or if
     /// `l_max < 2`.
-    pub fn new(id: RouterId, topo: SharedTopology, config: NetworkConfig, l_max: u8) -> Self {
+    pub fn new(
+        id: RouterId,
+        topo: SharedTopology,
+        config: NetworkConfig,
+        l_max: u8,
+        pool: Arc<FlitPool>,
+    ) -> Self {
         assert_eq!(
             config.routing.num_classes().max(topo.min_classes()),
             1,
@@ -212,7 +228,7 @@ impl EvcRouter {
         assert!(l_max >= 2, "express segments span at least two hops");
         let vcs = config.vcs_per_port as usize;
         Self {
-            kernel: PipelineKernel::new(id, topo, config, false),
+            kernel: PipelineKernel::new(id, topo, config, false, pool),
             hooks: EvcHooks {
                 va_policy: config.va_policy,
                 vcs,
@@ -228,10 +244,16 @@ impl EvcRouter {
     pub fn enable_metrics(&mut self, metrics: &MetricsConfig) {
         self.kernel.enable_metrics(metrics);
     }
+
+    /// The flit slab this router reads and writes flit bodies through
+    /// (exposed so tests can allocate arrival flits and inspect emissions).
+    pub fn pool(&self) -> &Arc<FlitPool> {
+        self.kernel.pool()
+    }
 }
 
 impl RouterModel for EvcRouter {
-    fn receive_flit(&mut self, in_port: PortIndex, flit: Flit) {
+    fn receive_flit(&mut self, in_port: PortIndex, flit: FlitRef) {
         self.kernel.receive_flit(in_port, flit);
     }
 
@@ -283,7 +305,13 @@ impl Default for EvcRouterFactory {
 
 impl RouterFactory for EvcRouterFactory {
     fn build(&self, ctx: RouterBuildContext<'_>) -> Box<dyn RouterModel> {
-        let mut router = EvcRouter::new(ctx.id, ctx.topology.clone(), *ctx.config, self.l_max);
+        let mut router = EvcRouter::new(
+            ctx.id,
+            ctx.topology.clone(),
+            *ctx.config,
+            self.l_max,
+            ctx.pool.clone(),
+        );
         router.enable_metrics(ctx.metrics);
         Box::new(router)
     }

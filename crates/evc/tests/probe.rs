@@ -22,10 +22,17 @@ fn config() -> NetworkConfig {
 /// Middle router (id 2) of a 5x1 row: east port is 2, west port is 4.
 fn middle_router() -> (EvcRouter, SharedTopology) {
     let topo: SharedTopology = Arc::new(Mesh::new(5, 1, 1));
+    let pool = Arc::new(noc_base::FlitPool::new(64, 1));
     (
-        EvcRouter::new(RouterId::new(2), topo.clone(), config(), 2),
+        EvcRouter::new(RouterId::new(2), topo.clone(), config(), 2, pool),
         topo,
     )
+}
+
+/// Allocates `f` in the router's pool and delivers it on `port`.
+fn deliver(r: &mut EvcRouter, port: PortIndex, f: Flit) {
+    let fr = r.pool().alloc_serial(f);
+    r.receive_flit(port, fr);
 }
 
 const EAST: PortIndex = PortIndex::new(2);
@@ -58,11 +65,15 @@ fn step(r: &mut EvcRouter, cycle: u64) -> Vec<noc_sim::SentFlit> {
 #[test]
 fn express_flit_latches_in_its_arrival_cycle() {
     let (mut r, _) = middle_router();
-    r.receive_flit(WEST_IN, express_flit(1, FlitKind::Single, 0));
+    deliver(&mut r, WEST_IN, express_flit(1, FlitKind::Single, 0));
     let sent = step(&mut r, 0);
     assert_eq!(sent.len(), 1, "latched through in the arrival cycle");
     assert_eq!(sent[0].out_port, EAST);
-    assert_eq!(sent[0].flit.express_hops, 0, "hop count decremented");
+    assert_eq!(
+        r.pool().get(sent[0].flit).express_hops,
+        0,
+        "hop count decremented"
+    );
     assert_eq!(r.stats().express_bypasses, 1);
     assert_eq!(
         r.energy().buffer_writes,
@@ -77,7 +88,7 @@ fn non_express_flit_takes_the_full_pipeline() {
     let mut f = express_flit(1, FlitKind::Single, 0);
     f.express_hops = 0;
     f.vc = VcIndex::new(0);
-    r.receive_flit(WEST_IN, f);
+    deliver(&mut r, WEST_IN, f);
     assert!(step(&mut r, 0).is_empty(), "BW");
     assert!(step(&mut r, 1).is_empty(), "VA/SA");
     assert_eq!(step(&mut r, 2).len(), 1, "ST");
@@ -90,7 +101,7 @@ fn express_stream_latches_flit_per_cycle() {
     let kinds = [FlitKind::Head, FlitKind::Body, FlitKind::Tail];
     let mut total = 0;
     for (c, kind) in kinds.into_iter().enumerate() {
-        r.receive_flit(WEST_IN, express_flit(7, kind, c as u16));
+        deliver(&mut r, WEST_IN, express_flit(7, kind, c as u16));
         total += step(&mut r, c as u64).len();
     }
     assert_eq!(total, 3, "whole packet latched, one flit per cycle");
@@ -98,7 +109,7 @@ fn express_stream_latches_flit_per_cycle() {
     // The pass-through claim is released at the tail.
     let mut f = express_flit(8, FlitKind::Single, 0);
     f.vc = VcIndex::new(3);
-    r.receive_flit(WEST_IN, f);
+    deliver(&mut r, WEST_IN, f);
     assert_eq!(step(&mut r, 3).len(), 1, "next packet can latch again");
 }
 
@@ -107,11 +118,11 @@ fn latch_fails_without_credit_and_falls_back() {
     let (mut r, _) = middle_router();
     // Drain all 4 credits of (EAST, vc 3) with express singles.
     for i in 0..4 {
-        r.receive_flit(WEST_IN, express_flit(i, FlitKind::Single, 0));
+        deliver(&mut r, WEST_IN, express_flit(i, FlitKind::Single, 0));
         assert_eq!(step(&mut r, i).len(), 1);
     }
     // The 5th express flit cannot latch: it must be buffered (fallback).
-    r.receive_flit(WEST_IN, express_flit(9, FlitKind::Single, 0));
+    deliver(&mut r, WEST_IN, express_flit(9, FlitKind::Single, 0));
     assert!(step(&mut r, 4).is_empty(), "no credit, no latch");
     assert_eq!(r.energy().buffer_writes, 1, "fallback wrote the buffer");
     // A returned credit lets the buffered flit proceed via normal VA/SA.
@@ -136,5 +147,6 @@ fn rejects_multi_class_routing() {
         routing: RoutingPolicy::O1Turn,
         ..config()
     };
-    let _ = EvcRouter::new(RouterId::new(0), topo, bad, 2);
+    let pool = Arc::new(noc_base::FlitPool::new(16, 1));
+    let _ = EvcRouter::new(RouterId::new(0), topo, bad, 2, pool);
 }

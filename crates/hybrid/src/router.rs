@@ -8,7 +8,8 @@
 //! marked hot — and that neither speculation nor buffer bypassing runs.
 
 use noc_base::{
-    Credit, Flit, NodeId, PortIndex, RouteInfo, RouterId, VaPolicy, VcIndex, VcPartition,
+    Credit, Flit, FlitPool, FlitRef, NodeId, PortIndex, RouteInfo, RouterId, VaPolicy, VcIndex,
+    VcPartition,
 };
 use noc_energy::{EnergyCounters, EnergyEvent};
 use noc_sim::{
@@ -18,6 +19,7 @@ use noc_sim::{
 };
 use noc_topology::SharedTopology;
 use pseudo_circuit::PseudoCircuitUnit;
+use std::sync::Arc;
 
 /// Upper bound on the flow table size; `(src, dst)` pairs beyond it share
 /// slots (see the crate docs on collision semantics).
@@ -326,6 +328,7 @@ impl HybridRouter {
         config: NetworkConfig,
         profile_cycles: u64,
         hot_threshold: u32,
+        pool: Arc<FlitPool>,
     ) -> Self {
         assert!(
             profile_cycles > 0,
@@ -338,7 +341,7 @@ impl HybridRouter {
         let partition = config.partition_for(topo.as_ref());
         let table = (num_nodes * num_nodes).clamp(1, FLOW_TABLE_CAP);
         Self {
-            kernel: PipelineKernel::new(id, topo, config, true),
+            kernel: PipelineKernel::new(id, topo, config, true, pool),
             hooks: HybridHooks {
                 va_policy: config.va_policy,
                 partition,
@@ -376,10 +379,16 @@ impl HybridRouter {
     pub fn pseudo_unit(&self) -> &PseudoCircuitUnit {
         &self.hooks.pcu
     }
+
+    /// The flit slab this router reads and writes flit bodies through
+    /// (exposed so tests can allocate arrival flits and inspect emissions).
+    pub fn pool(&self) -> &Arc<FlitPool> {
+        self.kernel.pool()
+    }
 }
 
 impl RouterModel for HybridRouter {
-    fn receive_flit(&mut self, in_port: PortIndex, flit: Flit) {
+    fn receive_flit(&mut self, in_port: PortIndex, flit: FlitRef) {
         self.kernel.receive_flit(in_port, flit);
     }
 
@@ -457,6 +466,7 @@ impl RouterFactory for HybridRouterFactory {
             *ctx.config,
             self.profile_cycles,
             self.hot_threshold,
+            ctx.pool.clone(),
         );
         router.enable_metrics(ctx.metrics);
         Box::new(router)

@@ -1,27 +1,17 @@
 //! Reusable router microarchitecture building blocks.
 //!
 //! The pseudo-circuit router (`pseudo-circuit` crate) and the EVC comparison
-//! router (`noc-evc` crate) are assembled from the same primitives: bounded
-//! flit FIFOs with pipeline-stage readiness, round-robin arbiters, per-channel
-//! credit books, and output-VC allocation state.
+//! router (`noc-evc` crate) are assembled from the same primitives: a bank of
+//! bounded ring-buffer FIFOs with pipeline-stage readiness ([`FifoBank`]),
+//! round-robin arbiters, per-channel credit books, and output-VC allocation
+//! state.
 
-use noc_base::{Flit, PortIndex, VcIndex};
-use std::collections::VecDeque;
+use noc_base::{FlitRef, PortIndex, VcIndex};
 use std::error::Error;
 use std::fmt;
 
-/// A flit stored in an input-VC buffer, with the first cycle at which it may
-/// leave (the cycle after its buffer-write stage).
-#[derive(Clone, PartialEq, Debug)]
-pub struct BufferedFlit {
-    /// The buffered flit.
-    pub flit: Flit,
-    /// First cycle the flit is eligible for arbitration / traversal.
-    pub ready_at: u64,
-}
-
-/// Error returned when pushing into a full [`FlitFifo`] — doing so indicates
-/// a credit-accounting bug, so callers generally `expect` it.
+/// Error returned when pushing into a full [`FifoBank`] slot — doing so
+/// indicates a credit-accounting bug, so callers generally `expect` it.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub struct FifoFullError;
 
@@ -33,76 +23,163 @@ impl fmt::Display for FifoFullError {
 
 impl Error for FifoFullError {}
 
-/// A bounded FIFO modelling one input-VC buffer.
+/// Every input-VC buffer of one router, as fixed-stride ring buffers over two
+/// contiguous backing arrays.
+///
+/// Slot `s` (the kernel's `slot = in_port * vcs + vc` scheme) owns the range
+/// `[s * depth, (s + 1) * depth)` of the parallel `refs` / `ready` arrays:
+/// the buffered [`FlitRef`] and the first cycle it may leave (the cycle after
+/// its buffer-write stage). Per-slot `head` / `len` cursors make each range a
+/// ring buffer, so a push or pop is two or three array writes into memory
+/// shared with every other buffer of the router — no per-VC `VecDeque`, no
+/// pointer chasing, no per-flit allocation.
 #[derive(Clone, Debug)]
-pub struct FlitFifo {
-    queue: VecDeque<BufferedFlit>,
-    capacity: usize,
+pub struct FifoBank {
+    refs: Vec<FlitRef>,
+    ready: Vec<u64>,
+    head: Vec<u32>,
+    len: Vec<u32>,
+    depth: usize,
 }
 
-impl FlitFifo {
-    /// Creates a buffer holding up to `capacity` flits.
+impl FifoBank {
+    /// Creates `slots` ring buffers of `depth` flits each.
     ///
     /// # Panics
     ///
-    /// Panics if `capacity` is zero.
-    pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "buffer capacity must be nonzero");
+    /// Panics if `depth` is zero.
+    pub fn new(slots: usize, depth: usize) -> Self {
+        assert!(depth > 0, "buffer depth must be nonzero");
         Self {
-            queue: VecDeque::with_capacity(capacity),
-            capacity,
+            refs: vec![FlitRef::INVALID; slots * depth],
+            ready: vec![0; slots * depth],
+            head: vec![0; slots],
+            len: vec![0; slots],
+            depth,
         }
     }
 
-    /// Appends a flit that becomes ready at `ready_at`.
+    /// Position of the `offset`-th occupied entry of `slot` in the backing
+    /// arrays. `offset` is always < `depth` (it indexes an occupied entry),
+    /// so the ring wrap is one conditional subtract, not a division — this
+    /// sits on the per-flit hot path.
+    ///
+    /// SAFETY contract (callers are in this impl only): `slot` has already
+    /// been bounds-checked against `len`/`head` (all four vectors are sized
+    /// together at construction and never resized), and the returned
+    /// position is `< refs.len()`: `head[slot] < depth` is a ring invariant
+    /// (`new` zeroes it, `pop` wraps it), so `o < depth` and
+    /// `slot * depth + o < (slot + 1) * depth <= refs.len()`.
+    #[inline]
+    fn pos(&self, slot: usize, offset: usize) -> usize {
+        // SAFETY: see above — every public caller indexes `self.len[slot]`
+        // first, whose panic proves `slot` in range here.
+        let h = unsafe { *self.head.get_unchecked(slot) } as usize;
+        debug_assert!(h < self.depth && offset < self.depth);
+        let mut o = h + offset;
+        if o >= self.depth {
+            o -= self.depth;
+        }
+        slot * self.depth + o
+    }
+
+    /// Reads `(refs[pos], ready[pos])` without re-checking bounds.
+    #[inline]
+    fn entry(&self, pos: usize) -> (FlitRef, u64) {
+        debug_assert!(pos < self.refs.len());
+        // SAFETY: `pos` came from `pos()`, which proves the range above.
+        unsafe {
+            (
+                *self.refs.get_unchecked(pos),
+                *self.ready.get_unchecked(pos),
+            )
+        }
+    }
+
+    /// Appends a flit ref to `slot`, becoming ready at `ready_at`.
     ///
     /// # Errors
     ///
-    /// Returns [`FifoFullError`] when the buffer is full.
-    pub fn push(&mut self, flit: Flit, ready_at: u64) -> Result<(), FifoFullError> {
-        if self.queue.len() >= self.capacity {
+    /// Returns [`FifoFullError`] when the ring is full.
+    #[inline]
+    pub fn push(&mut self, slot: usize, r: FlitRef, ready_at: u64) -> Result<(), FifoFullError> {
+        let len = self.len[slot] as usize;
+        if len >= self.depth {
             return Err(FifoFullError);
         }
-        self.queue.push_back(BufferedFlit { flit, ready_at });
+        let pos = self.pos(slot, len);
+        debug_assert!(pos < self.refs.len());
+        // SAFETY: `pos()` proves the range (see its contract); `slot` was
+        // bounds-checked by the `self.len[slot]` read above.
+        unsafe {
+            *self.refs.get_unchecked_mut(pos) = r;
+            *self.ready.get_unchecked_mut(pos) = ready_at;
+            *self.len.get_unchecked_mut(slot) += 1;
+        }
         Ok(())
     }
 
-    /// The head flit, if any (ready or not).
-    pub fn head(&self) -> Option<&BufferedFlit> {
-        self.queue.front()
+    /// The head flit ref of `slot`, if any (ready or not).
+    #[inline]
+    pub fn head_ref(&self, slot: usize) -> Option<FlitRef> {
+        (self.len[slot] > 0).then(|| self.entry(self.pos(slot, 0)).0)
     }
 
-    /// The head flit if it is ready at `cycle`.
-    pub fn head_ready(&self, cycle: u64) -> Option<&Flit> {
-        self.queue
-            .front()
-            .filter(|b| b.ready_at <= cycle)
-            .map(|b| &b.flit)
+    /// The head flit ref of `slot` if it is ready at `cycle`.
+    #[inline]
+    pub fn head_ready(&self, slot: usize, cycle: u64) -> Option<FlitRef> {
+        if self.len[slot] == 0 {
+            return None;
+        }
+        let (r, ready_at) = self.entry(self.pos(slot, 0));
+        (ready_at <= cycle).then_some(r)
     }
 
-    /// Removes and returns the head flit.
-    pub fn pop(&mut self) -> Option<BufferedFlit> {
-        self.queue.pop_front()
+    /// Removes and returns the head `(ref, ready_at)` of `slot`.
+    #[inline]
+    pub fn pop(&mut self, slot: usize) -> Option<(FlitRef, u64)> {
+        if self.len[slot] == 0 {
+            return None;
+        }
+        let pos = self.pos(slot, 0);
+        let out = self.entry(pos);
+        let next = self.head[slot] as usize + 1;
+        // SAFETY: `pos()` proves `pos < refs.len()`; `slot` was
+        // bounds-checked by the `self.len[slot]` read above.
+        unsafe {
+            *self.refs.get_unchecked_mut(pos) = FlitRef::INVALID;
+            *self.head.get_unchecked_mut(slot) = if next >= self.depth { 0 } else { next } as u32;
+            *self.len.get_unchecked_mut(slot) -= 1;
+        }
+        Some(out)
     }
 
-    /// Number of buffered flits.
-    pub fn len(&self) -> usize {
-        self.queue.len()
+    /// Number of flits buffered in `slot`.
+    #[inline]
+    pub fn len(&self, slot: usize) -> usize {
+        self.len[slot] as usize
     }
 
-    /// Whether the buffer is empty.
-    pub fn is_empty(&self) -> bool {
-        self.queue.is_empty()
+    /// Whether `slot` is empty.
+    #[inline]
+    pub fn is_empty(&self, slot: usize) -> bool {
+        self.len[slot] == 0
     }
 
-    /// Whether the buffer is full.
-    pub fn is_full(&self) -> bool {
-        self.queue.len() >= self.capacity
+    /// Whether `slot` is full.
+    #[inline]
+    pub fn is_full(&self, slot: usize) -> bool {
+        self.len[slot] as usize >= self.depth
     }
 
-    /// Configured capacity in flits.
-    pub fn capacity(&self) -> usize {
-        self.capacity
+    /// Per-slot capacity in flits.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Number of ring buffers in the bank.
+    pub fn slots(&self) -> usize {
+        self.head.len()
     }
 }
 
@@ -307,44 +384,61 @@ impl OutputVcAlloc {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use noc_base::{FlitKind, NodeId, PacketClass, PacketId, RouteInfo, RouteMode};
+    use noc_base::{Flit, FlitPool};
 
-    fn flit(seq: u16) -> Flit {
-        Flit {
-            packet: PacketId::new(1),
-            kind: FlitKind::Body,
-            seq,
-            src: NodeId::new(0),
-            dst: NodeId::new(1),
-            vc: VcIndex::new(0),
-            route: RouteInfo::new(PortIndex::new(0)),
-            mode: RouteMode::XY,
-            class: 0,
-            injected_at: 0,
-            packet_class: PacketClass::Data,
-            express_hops: 0,
+    /// A pool of distinguishable refs for exercising the bank.
+    fn refs(n: usize) -> (FlitPool, Vec<FlitRef>) {
+        let pool = FlitPool::new(n, 1);
+        let rs = (0..n)
+            .map(|i| {
+                pool.alloc_serial(Flit {
+                    seq: i as u16,
+                    ..noc_base::arena::placeholder_flit()
+                })
+            })
+            .collect();
+        (pool, rs)
+    }
+
+    #[test]
+    fn bank_slot_respects_capacity_and_order() {
+        let (_pool, r) = refs(3);
+        let mut f = FifoBank::new(2, 2);
+        f.push(1, r[0], 1).unwrap();
+        f.push(1, r[1], 2).unwrap();
+        assert!(f.is_full(1));
+        assert!(f.is_empty(0), "slots are independent");
+        assert_eq!(f.push(1, r[2], 3), Err(FifoFullError));
+        assert_eq!(f.pop(1).unwrap().0, r[0]);
+        assert_eq!(f.pop(1).unwrap().0, r[1]);
+        assert!(f.is_empty(1));
+        assert_eq!(f.pop(1), None);
+    }
+
+    #[test]
+    fn bank_head_ready_respects_pipeline_timing() {
+        let (_pool, r) = refs(1);
+        let mut f = FifoBank::new(1, 4);
+        f.push(0, r[0], 5).unwrap();
+        assert!(f.head_ready(0, 4).is_none(), "not ready before cycle 5");
+        assert_eq!(f.head_ready(0, 5), Some(r[0]));
+        assert_eq!(f.head_ref(0), Some(r[0]));
+    }
+
+    #[test]
+    fn bank_ring_wraps_around() {
+        let (_pool, r) = refs(8);
+        let mut f = FifoBank::new(2, 3);
+        // Drive the head cursor all the way around the ring.
+        for chunk in r.chunks(2) {
+            for &x in chunk {
+                f.push(0, x, 0).unwrap();
+            }
+            for &x in chunk {
+                assert_eq!(f.pop(0).unwrap().0, x);
+            }
         }
-    }
-
-    #[test]
-    fn fifo_respects_capacity_and_order() {
-        let mut f = FlitFifo::new(2);
-        f.push(flit(0), 1).unwrap();
-        f.push(flit(1), 2).unwrap();
-        assert!(f.is_full());
-        assert_eq!(f.push(flit(2), 3), Err(FifoFullError));
-        assert_eq!(f.pop().unwrap().flit.seq, 0);
-        assert_eq!(f.pop().unwrap().flit.seq, 1);
-        assert!(f.is_empty());
-    }
-
-    #[test]
-    fn fifo_head_ready_respects_pipeline_timing() {
-        let mut f = FlitFifo::new(4);
-        f.push(flit(0), 5).unwrap();
-        assert!(f.head_ready(4).is_none(), "not ready before cycle 5");
-        assert_eq!(f.head_ready(5).unwrap().seq, 0);
-        assert_eq!(f.head().unwrap().ready_at, 5);
+        assert!(f.is_empty(0));
     }
 
     #[test]

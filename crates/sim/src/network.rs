@@ -52,11 +52,12 @@ use crate::stats::{energy_breakdown_of, SimReport, SimStats};
 use crate::{NetworkConfig, RunSpec};
 use noc_base::bitset::WordMask;
 use noc_base::rng::{Pcg32, SeedStream};
-use noc_base::{Credit, Flit, NodeId, PacketId, PortIndex, RouterId};
+use noc_base::{Credit, FlitPool, FlitRef, NodeId, PacketId, PortIndex, RouterId};
 use noc_energy::EnergyCounters;
 use noc_topology::{DistanceMatrix, FlatWiring, PortFeeder, SharedTopology};
 use noc_traffic::TrafficModel;
 use std::ops::Range;
+use std::sync::Arc;
 
 /// One cell of the cross-shard lane matrix: the router-bound flits and
 /// upstream credits emitted by one source shard for one destination shard,
@@ -67,8 +68,8 @@ use std::ops::Range;
 /// emitted.
 #[derive(Default, Debug)]
 struct LanePair {
-    /// Link flits `(destination router, input port, flit)`.
-    flits: Vec<(RouterId, PortIndex, Flit)>,
+    /// Link flits `(destination router, input port, pool reference)`.
+    flits: Vec<(RouterId, PortIndex, FlitRef)>,
     /// Upstream credit returns `(upstream router, output port, credit)`.
     credits: Vec<(RouterId, PortIndex, Credit)>,
 }
@@ -89,11 +90,11 @@ impl LanePair {
 #[derive(Default, Debug)]
 struct ShardOutbox {
     /// Interface-emitted flits entering this shard's own routers.
-    ni_flits: Vec<(RouterId, PortIndex, Flit)>,
+    ni_flits: Vec<(RouterId, PortIndex, FlitRef)>,
     /// Interface-returned credits for this shard's own routers.
     ni_credits: Vec<(RouterId, PortIndex, Credit)>,
     /// Ejections to this shard's own interfaces.
-    node_flits: Vec<(NodeId, Flit)>,
+    node_flits: Vec<(NodeId, FlitRef)>,
     /// Credit returns to this shard's own interfaces.
     node_credits: Vec<(NodeId, Credit)>,
     /// Which shards must run next cycle to consume this shard's emissions:
@@ -206,6 +207,10 @@ struct ShardCtx<'a> {
     /// Whether to count drained lanes into `ShardScratch::lanes_merged`
     /// (`--metrics=full` coordination histograms).
     count_lanes: bool,
+    /// The shared flit slab (read-only here: ejection sanity checks peek at
+    /// flit bodies; shard-local allocation goes through each interface's own
+    /// pool handle).
+    pool: *const FlitPool,
     routers: *mut Box<dyn RouterModel>,
     nis: *mut NetworkInterface,
     active: *mut bool,
@@ -294,7 +299,7 @@ unsafe fn step_shard(ctx: &ShardCtx<'_>, s: usize) {
     for &n in &layout.ni_lists[s] {
         let ni = &mut *ctx.nis.add(n);
         scratch.ni_out.clear();
-        ni.step(cycle, &mut scratch.ni_out);
+        ni.step(cycle, s, &mut scratch.ni_out);
         let (router, local) = wiring.attach_of(ni.node());
         if let Some(flit) = scratch.ni_out.flit.take() {
             next.ni_flits.push((router, local, flit));
@@ -324,7 +329,11 @@ unsafe fn step_shard(ctx: &ShardCtx<'_>, s: usize) {
                 let node = wiring
                     .eject_node(router, sent.out_port)
                     .unwrap_or_else(|| panic!("{router} ejects on unattached port"));
-                debug_assert_eq!(sent.flit.dst, node, "misrouted ejection at {router}");
+                debug_assert_eq!(
+                    (*ctx.pool).get(sent.flit).dst,
+                    node,
+                    "misrouted ejection at {router}"
+                );
                 next.node_flits.push((node, sent.flit));
             } else {
                 let end = wiring.link(router, sent.out_port, sent.hops);
@@ -379,6 +388,11 @@ pub struct Simulation {
     topo: SharedTopology,
     config: NetworkConfig,
     metrics: MetricsConfig,
+    /// The shared flit slab. Every flit body lives here from injection to
+    /// ejection; routers, interfaces and event lanes move 4-byte
+    /// [`FlitRef`]s. Sized at construction to the structural maximum of
+    /// live flits (see DESIGN.md §19), so steady state never allocates.
+    pool: Arc<FlitPool>,
     routers: Vec<Box<dyn RouterModel>>,
     nis: Vec<NetworkInterface>,
     traffic: Box<dyn TrafficModel>,
@@ -426,6 +440,16 @@ pub struct Simulation {
     fast_forwarded: u64,
     /// Coordination-cost accumulation, allocated only at `--metrics=full`.
     coordination: Option<CoordinationStats>,
+    /// Whether the network is provably quiescent, maintained incrementally:
+    /// a full component scan runs only on (re)construction (cold path);
+    /// after every step the flag is recomputed in O(1) from the pending
+    /// mask. `debug_assert`ed against the full scan on every read.
+    quiescent: bool,
+    /// Whether any emitted event awaits delivery (any lane or outbox
+    /// non-empty), maintained incrementally alongside `quiescent`. Weaker
+    /// than quiescence — routers/interfaces may still hold internal work —
+    /// and exactly the condition [`set_threads`](Self::set_threads) needs.
+    events_in_flight: bool,
 }
 
 impl Simulation {
@@ -464,6 +488,23 @@ impl Simulation {
         noc_topology::validate(topo.as_ref())
             .unwrap_or_else(|e| panic!("invalid topology {}: {e}", topo.name()));
         let seeds = SeedStream::new(seed);
+
+        // Size the flit slab to the structural maximum of simultaneously
+        // live flits. Credit-based flow control caps buffered-plus-in-flight
+        // flits at the total router buffer capacity (a flit on a link holds
+        // a reserved downstream slot); each interface serializes at most one
+        // flit per cycle and reassembly copies bodies out on receipt, so the
+        // interface-side term plus one slot of slack per node covers
+        // injection lanes, ejection lanes and per-shard free-list hoarding
+        // (DESIGN.md §19 walks the bound).
+        let vcs = config.vcs_per_port as usize;
+        let depth = config.buffer_depth as usize;
+        let router_slots: usize = (0..topo.num_routers())
+            .map(|r| topo.in_ports(RouterId::new(r)) * vcs * depth)
+            .sum();
+        let capacity = router_slots + topo.num_nodes() * vcs * depth + topo.num_nodes();
+        let pool = Arc::new(FlitPool::new(capacity, topo.num_routers().max(1)));
+
         let routers: Vec<Box<dyn RouterModel>> = (0..topo.num_routers())
             .map(|r| {
                 factory.build(RouterBuildContext {
@@ -472,12 +513,19 @@ impl Simulation {
                     config: &config,
                     seed: seeds.router(r),
                     metrics: &metrics,
+                    pool: &pool,
                 })
             })
             .collect();
         let nis: Vec<NetworkInterface> = (0..topo.num_nodes())
             .map(|n| {
-                NetworkInterface::new(NodeId::new(n), topo.clone(), config, seeds.interface(n))
+                NetworkInterface::new(
+                    NodeId::new(n),
+                    topo.clone(),
+                    config,
+                    seeds.interface(n),
+                    pool.clone(),
+                )
             })
             .collect();
 
@@ -491,6 +539,7 @@ impl Simulation {
             topo,
             config,
             metrics,
+            pool,
             routers,
             nis,
             traffic,
@@ -514,6 +563,8 @@ impl Simulation {
             fast_forward: std::env::var_os("NOC_NO_FASTFWD").is_none(),
             fast_forwarded: 0,
             coordination,
+            quiescent: false,
+            events_in_flight: false,
         };
         sim.rebuild_shards();
         sim
@@ -523,6 +574,11 @@ impl Simulation {
     /// the current thread budget. Cold path: runs at construction and on
     /// [`set_threads`](Self::set_threads), never per cycle.
     fn rebuild_shards(&mut self) {
+        // The shard partition is changing, so per-shard free-list ownership
+        // no longer matches: return every shard-local free ref to the global
+        // list and let the per-cycle replenish redistribute under the new
+        // layout.
+        self.pool.reclaim_locals();
         // 2x over-partitioning gives the pool's dynamic index claiming room
         // to balance uneven shards (work stealing at shard granularity).
         let shards = if self.threads <= 1 {
@@ -606,6 +662,12 @@ impl Simulation {
                 }
             }
         }
+
+        // The lanes were just recreated empty, and quiescence must be
+        // re-established by a full component scan — the cold-path
+        // counterpart of the O(1) per-step update in `step`.
+        self.events_in_flight = false;
+        self.quiescent = self.scan_quiescent();
     }
 
     /// Sets the thread budget for the parallel stepping phase and re-shards
@@ -618,11 +680,16 @@ impl Simulation {
     ///
     /// Panics when events are in flight — call between runs, not mid-cycle.
     pub fn set_threads(&mut self, threads: usize) {
-        assert!(
-            self.now.iter().all(ShardOutbox::is_empty)
+        debug_assert_eq!(
+            self.events_in_flight,
+            !(self.now.iter().all(ShardOutbox::is_empty)
                 && self.next.iter().all(ShardOutbox::is_empty)
                 && self.lanes_now.iter().all(LanePair::is_empty)
-                && self.lanes_next.iter().all(LanePair::is_empty),
+                && self.lanes_next.iter().all(LanePair::is_empty)),
+            "events_in_flight flag out of sync with lane state"
+        );
+        assert!(
+            !self.events_in_flight,
             "set_threads requires no in-flight events (call it between runs)"
         );
         let cap = noc_base::pool::env_thread_cap().unwrap_or(usize::MAX);
@@ -761,6 +828,15 @@ impl Simulation {
         // their routers/interfaces certified idleness last time they ran.
         self.worklist.clear();
         self.worklist.extend(self.pending.iter());
+        // Top up each stepping shard's local free stack to its injection
+        // capacity (one flit per attached interface per cycle) before the
+        // parallel phase, so shard-local allocation never touches the global
+        // free list. Serial, and bounded by the pool's sizing argument:
+        // skipped shards hoard at most one ref per attached node, which the
+        // capacity's per-node slack term covers.
+        for &s in &self.worklist {
+            self.pool.replenish(s, self.layout.ni_lists[s].len());
+        }
         let mut submitter_wait = 0u64;
         if !self.worklist.is_empty() {
             let ctx = ShardCtx {
@@ -769,6 +845,7 @@ impl Simulation {
                 cycle,
                 shards: self.layout.shards(),
                 count_lanes: self.coordination.is_some(),
+                pool: Arc::as_ptr(&self.pool),
                 routers: self.routers.as_mut_ptr(),
                 nis: self.nis.as_mut_ptr(),
                 active: self.active.as_mut_ptr(),
@@ -794,14 +871,25 @@ impl Simulation {
         // Recompute the pending mask from the shards that ran: their fresh
         // destination masks plus their own retained work. Skipped shards
         // contribute nothing — they emitted nothing and their stale masks
-        // must not be re-read.
+        // must not be re-read. The same pass maintains the O(1) quiescence
+        // flags: a non-empty destination mask means some lane holds an
+        // undelivered event, and an empty pending mask means no events are
+        // in flight AND every stepped component certified idleness — any
+        // interface mid-reassembly implies upstream flits that keep a
+        // router busy or a lane non-empty, and delivered packets drain
+        // every phase 4, so the pending mask sees through to full
+        // quiescence.
         self.pending.clear_all();
+        let mut events = false;
         for &s in &self.worklist {
+            events |= self.next[s].dest_mask.any();
             self.pending.union_with(&self.next[s].dest_mask);
             if self.scratch[s].busy {
                 self.pending.set(s);
             }
         }
+        self.events_in_flight = events;
+        self.quiescent = !self.pending.any();
 
         if let Some(coord) = &mut self.coordination {
             if self.worklist.is_empty() {
@@ -857,8 +945,26 @@ impl Simulation {
     }
 
     /// Whether the network is provably quiescent: stepping it (without new
-    /// injections) would change nothing but the clock. Checked between
-    /// cycles, cheapest condition first:
+    /// injections) would change nothing but the clock.
+    ///
+    /// O(1): reads the flag `step` maintains from the pending mask — an
+    /// empty pending mask means no lane holds an undelivered event and
+    /// every component certified idleness when it last stepped. The flag is
+    /// `debug_assert`ed against the full component scan
+    /// ([`scan_quiescent`](Self::scan_quiescent)) on every read, so any
+    /// divergence fails loudly under `cargo test`.
+    fn is_quiescent(&self) -> bool {
+        debug_assert_eq!(
+            self.quiescent,
+            self.scan_quiescent(),
+            "incremental quiescence flag out of sync with full scan"
+        );
+        self.quiescent
+    }
+
+    /// Full-scan quiescence check, cheapest condition first — the cold-path
+    /// reference the incremental flag is derived from (at
+    /// [`rebuild_shards`](Self::rebuild_shards)) and asserted against:
     ///
     /// - no event is in flight (every intra-shard lane and every cell of
     ///   both cross-shard lane matrices is empty — no flit or credit awaits
@@ -867,7 +973,7 @@ impl Simulation {
     ///   or awaiting drain);
     /// - every router certifies `is_idle` (the same exact step-is-no-op
     ///   predicates the active-router worklist relies on).
-    fn is_quiescent(&self) -> bool {
+    fn scan_quiescent(&self) -> bool {
         self.next.iter().all(ShardOutbox::is_empty)
             && self.now.iter().all(ShardOutbox::is_empty)
             && self.lanes_now.iter().all(LanePair::is_empty)

@@ -7,12 +7,20 @@ use crate::blocks::CreditBook;
 use crate::NetworkConfig;
 use noc_base::rng::Pcg32;
 use noc_base::{
-    Credit, Flit, NodeId, PacketClass, PacketDescriptor, PacketId, RouteMode, RouterId, VcIndex,
-    VcPartition,
+    Credit, FlitPool, FlitRef, NodeId, PacketClass, PacketDescriptor, PacketId, RouteMode,
+    RouterId, VcIndex, VcPartition,
 };
 use noc_topology::SharedTopology;
 use noc_traffic::{DeliveredPacket, PacketRequest};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Initial source-queue capacity. An open-loop injection queue has no hard
+/// structural bound (offered load above saturation grows it without limit),
+/// so this is the steady-state budget below saturation: deeper backlogs are
+/// rare enough that the occasional regrow is off the measured path, and the
+/// zero-alloc suite gates the common case.
+const QUEUE_RESERVE: usize = 64;
 
 /// Per-interface statistics.
 #[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
@@ -37,8 +45,9 @@ pub struct NiStats {
 /// One cycle's interface emissions.
 #[derive(Default, Debug)]
 pub struct NiOutputs {
-    /// At most one flit injected toward the router's local input port.
-    pub flit: Option<Flit>,
+    /// At most one flit injected toward the router's local input port,
+    /// freshly written into the pool by the interface.
+    pub flit: Option<FlitRef>,
     /// Ejection credits returned to the router's local output port.
     pub credits: Vec<VcIndex>,
 }
@@ -83,22 +92,35 @@ pub struct NetworkInterface {
     partition: VcPartition,
     config: NetworkConfig,
     rng: Pcg32,
+    pool: Arc<FlitPool>,
     queue: VecDeque<QueuedPacket>,
     current: Option<CurrentPacket>,
     credits: CreditBook,
     pending_ejection_credits: Vec<VcIndex>,
-    reassembly: HashMap<PacketId, Reassembly>,
+    // In-progress reassemblies, searched linearly: VC flow control bounds
+    // concurrent packets at one ejection port to the VC count, so the flat
+    // pairs beat a hash map on the steady-state path (no hashing, no heap
+    // churn, at most a handful of entries to scan).
+    reassembly: Vec<(PacketId, Reassembly)>,
     delivered: Vec<DeliveredPacket>,
     last_dst: Option<NodeId>,
     stats: NiStats,
 }
 
 impl NetworkInterface {
-    /// Creates the interface for `node`, attached per the topology.
-    pub fn new(node: NodeId, topo: SharedTopology, config: NetworkConfig, seed: u64) -> Self {
+    /// Creates the interface for `node`, attached per the topology. `pool`
+    /// is the network-wide flit slab injections are written into.
+    pub fn new(
+        node: NodeId,
+        topo: SharedTopology,
+        config: NetworkConfig,
+        seed: u64,
+        pool: Arc<FlitPool>,
+    ) -> Self {
         let router = topo.router_of(node);
         let partition = config.partition_for(topo.as_ref());
-        let credits = CreditBook::new(1, config.vcs_per_port as usize, config.buffer_depth);
+        let vcs = config.vcs_per_port as usize;
+        let credits = CreditBook::new(1, vcs, config.buffer_depth);
         Self {
             node,
             router,
@@ -106,12 +128,15 @@ impl NetworkInterface {
             partition,
             config,
             rng: Pcg32::seed_with_stream(seed, 0x41 ^ node.index() as u64),
-            queue: VecDeque::new(),
+            pool,
+            queue: VecDeque::with_capacity(QUEUE_RESERVE),
             current: None,
             credits,
-            pending_ejection_credits: Vec::new(),
-            reassembly: HashMap::new(),
-            delivered: Vec::new(),
+            // One ejected flit per cycle at most, and pending credits are
+            // drained every step; `vcs` is comfortable slack.
+            pending_ejection_credits: Vec::with_capacity(vcs),
+            reassembly: Vec::with_capacity(vcs),
+            delivered: Vec::with_capacity(vcs),
             last_dst: None,
             stats: NiStats::default(),
         }
@@ -199,20 +224,36 @@ impl NetworkInterface {
         self.stats.peak_queue = self.stats.peak_queue.max(self.backlog());
     }
 
-    /// Accepts a flit ejected by the router's local output port.
-    pub fn receive_flit(&mut self, cycle: u64, flit: Flit) {
+    /// Accepts a flit ejected by the router's local output port. The flit
+    /// dies here: its fields are copied out and its pool slot recycled (this
+    /// runs in the driver's serial delivery phase, the pool's one free
+    /// point).
+    pub fn receive_flit(&mut self, cycle: u64, r: FlitRef) {
+        let flit = *self.pool.get(r);
+        self.pool.free(r);
         debug_assert_eq!(flit.dst, self.node, "flit ejected at wrong node");
         self.stats.ejected_flits += 1;
         self.pending_ejection_credits.push(flit.vc);
-        let entry = self
+        let idx = match self
             .reassembly
-            .entry(flit.packet)
-            .or_insert_with(|| Reassembly {
-                src: flit.src,
-                class: flit.packet_class,
-                injected_at: flit.injected_at,
-                flits: 0,
-            });
+            .iter()
+            .position(|(id, _)| *id == flit.packet)
+        {
+            Some(idx) => idx,
+            None => {
+                self.reassembly.push((
+                    flit.packet,
+                    Reassembly {
+                        src: flit.src,
+                        class: flit.packet_class,
+                        injected_at: flit.injected_at,
+                        flits: 0,
+                    },
+                ));
+                self.reassembly.len() - 1
+            }
+        };
+        let entry = &mut self.reassembly[idx].1;
         // Wormhole switching guarantees in-order per-packet delivery: the
         // n-th flit to arrive must carry sequence number n.
         assert_eq!(
@@ -222,10 +263,7 @@ impl NetworkInterface {
         );
         entry.flits += 1;
         if flit.kind.is_tail() {
-            let done = self
-                .reassembly
-                .remove(&flit.packet)
-                .expect("reassembly entry present");
+            let (_, done) = self.reassembly.swap_remove(idx);
             self.stats.ejected_packets += 1;
             self.delivered.push(DeliveredPacket {
                 id: flit.packet,
@@ -244,8 +282,10 @@ impl NetworkInterface {
         self.credits.refill(0, credit.vc);
     }
 
-    /// Runs one cycle of injection/ejection housekeeping.
-    pub fn step(&mut self, _cycle: u64, out: &mut NiOutputs) {
+    /// Runs one cycle of injection/ejection housekeeping. `shard` is the
+    /// shard this interface is stepped under, selecting the pool free stack
+    /// an injected flit's slot is drawn from.
+    pub fn step(&mut self, _cycle: u64, shard: usize, out: &mut NiOutputs) {
         out.credits.append(&mut self.pending_ejection_credits);
 
         if self.current.is_none() {
@@ -280,7 +320,7 @@ impl NetworkInterface {
             self.current = None;
         }
         self.stats.injected_flits += 1;
-        out.flit = Some(flit);
+        out.flit = Some(self.pool.alloc(shard, flit));
     }
 
     /// Removes and returns packets fully delivered this cycle. Draining in
@@ -314,14 +354,19 @@ mod tests {
     use noc_topology::Mesh;
     use std::sync::Arc;
 
-    fn ni(va: VaPolicy) -> NetworkInterface {
+    fn ni(va: VaPolicy) -> (NetworkInterface, Arc<FlitPool>) {
         let topo: SharedTopology = Arc::new(Mesh::new(4, 4, 1));
         let config = NetworkConfig {
             va_policy: va,
             routing: RoutingPolicy::Xy,
             ..NetworkConfig::paper()
         };
-        NetworkInterface::new(NodeId::new(0), topo, config, 1)
+        let pool = Arc::new(FlitPool::new(64, 1));
+        // Stock shard 0 for injection, keeping half the slab on the global
+        // list for the tests that mint arrival flits with `alloc_serial`.
+        pool.replenish(0, 32);
+        let ni = NetworkInterface::new(NodeId::new(0), topo, config, 1, pool.clone());
+        (ni, pool)
     }
 
     fn request(dst: usize, len: u16) -> PacketRequest {
@@ -335,15 +380,15 @@ mod tests {
 
     #[test]
     fn serial_injection_one_flit_per_cycle() {
-        let mut ni = ni(VaPolicy::Dynamic);
+        let (mut ni, pool) = ni(VaPolicy::Dynamic);
         ni.enqueue(0, &request(5, 3), PacketId::new(1));
         let mut out = NiOutputs::default();
         let mut flits = Vec::new();
         for cycle in 0..5 {
             out.clear();
-            ni.step(cycle, &mut out);
-            if let Some(f) = out.flit.take() {
-                flits.push(f);
+            ni.step(cycle, 0, &mut out);
+            if let Some(r) = out.flit.take() {
+                flits.push(*pool.get(r));
             }
         }
         assert_eq!(flits.len(), 3);
@@ -357,21 +402,21 @@ mod tests {
 
     #[test]
     fn injection_stalls_without_credits() {
-        let mut ni = ni(VaPolicy::Static);
+        let (mut ni, _pool) = ni(VaPolicy::Static);
         // Static VA pins the VC; buffer_depth = 4 credits available.
         ni.enqueue(0, &request(5, 6), PacketId::new(1));
         let mut out = NiOutputs::default();
         let mut sent = 0;
         for cycle in 0..10 {
             out.clear();
-            ni.step(cycle, &mut out);
+            ni.step(cycle, 0, &mut out);
             sent += usize::from(out.flit.is_some());
         }
         assert_eq!(sent, 4, "exactly buffer_depth flits without credit return");
         // Returning credits resumes injection.
         ni.receive_credit(Credit::new(out_vc(&ni)));
         out.clear();
-        ni.step(11, &mut out);
+        ni.step(11, 0, &mut out);
         assert!(out.flit.is_some());
     }
 
@@ -381,7 +426,7 @@ mod tests {
 
     #[test]
     fn static_va_keys_vc_by_destination() {
-        let mut ni = ni(VaPolicy::Static);
+        let (mut ni, pool) = ni(VaPolicy::Static);
         ni.enqueue(0, &request(5, 1), PacketId::new(1));
         ni.enqueue(0, &request(5, 1), PacketId::new(2));
         ni.enqueue(0, &request(6, 1), PacketId::new(3));
@@ -389,8 +434,9 @@ mod tests {
         let mut vcs = Vec::new();
         for cycle in 0..6 {
             out.clear();
-            ni.step(cycle, &mut out);
-            if let Some(f) = out.flit.take() {
+            ni.step(cycle, 0, &mut out);
+            if let Some(r) = out.flit.take() {
+                let f = pool.get(r);
                 vcs.push((f.dst, f.vc));
             }
         }
@@ -402,7 +448,7 @@ mod tests {
 
     #[test]
     fn reassembly_handles_interleaved_packets() {
-        let mut ni = ni(VaPolicy::Dynamic);
+        let (mut ni, pool) = ni(VaPolicy::Dynamic);
         let mk = |packet: u64, seq: u16, len: usize, vc: usize| {
             let desc = PacketDescriptor {
                 id: PacketId::new(packet),
@@ -414,7 +460,7 @@ mod tests {
             };
             let mut f = desc.flit(seq);
             f.vc = VcIndex::new(vc);
-            f
+            pool.alloc_serial(f)
         };
         // Two 2-flit packets interleaved on different VCs.
         ni.receive_flit(20, mk(1, 0, 2, 0));
@@ -433,7 +479,7 @@ mod tests {
 
     #[test]
     fn ejection_credits_are_returned_per_flit() {
-        let mut ni = ni(VaPolicy::Dynamic);
+        let (mut ni, pool) = ni(VaPolicy::Dynamic);
         let desc = PacketDescriptor {
             id: PacketId::new(9),
             src: NodeId::new(1),
@@ -444,19 +490,19 @@ mod tests {
         };
         let mut f = desc.flit(0);
         f.vc = VcIndex::new(2);
-        ni.receive_flit(5, f);
+        ni.receive_flit(5, pool.alloc_serial(f));
         let mut out = NiOutputs::default();
-        ni.step(6, &mut out);
+        ni.step(6, 0, &mut out);
         assert_eq!(out.credits, vec![VcIndex::new(2)]);
         // Credits are drained, not duplicated.
         out.clear();
-        ni.step(7, &mut out);
+        ni.step(7, 0, &mut out);
         assert!(out.credits.is_empty());
     }
 
     #[test]
     fn locality_counts_consecutive_same_destination() {
-        let mut ni = ni(VaPolicy::Dynamic);
+        let (mut ni, _pool) = ni(VaPolicy::Dynamic);
         for (i, dst) in [5, 5, 6, 6, 6, 7].iter().enumerate() {
             ni.enqueue(i as u64, &request(*dst, 1), PacketId::new(i as u64));
         }
@@ -467,15 +513,15 @@ mod tests {
 
     #[test]
     fn backlog_tracks_queue_and_current() {
-        let mut ni = ni(VaPolicy::Dynamic);
+        let (mut ni, _pool) = ni(VaPolicy::Dynamic);
         assert_eq!(ni.backlog(), 0);
         ni.enqueue(0, &request(5, 2), PacketId::new(1));
         ni.enqueue(0, &request(6, 2), PacketId::new(2));
         assert_eq!(ni.backlog(), 2);
         let mut out = NiOutputs::default();
-        ni.step(0, &mut out); // starts packet 1, sends flit 0
+        ni.step(0, 0, &mut out); // starts packet 1, sends flit 0
         assert_eq!(ni.backlog(), 2, "current packet still counts");
-        ni.step(1, &mut out); // tail of packet 1
+        ni.step(1, 0, &mut out); // tail of packet 1
         assert_eq!(ni.backlog(), 1);
         assert_eq!(ni.stats().peak_queue, 2);
     }
@@ -483,7 +529,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "wrong interface")]
     fn enqueue_checks_source() {
-        let mut ni = ni(VaPolicy::Dynamic);
+        let (mut ni, _pool) = ni(VaPolicy::Dynamic);
         let bad = PacketRequest {
             src: NodeId::new(3),
             dst: NodeId::new(0),

@@ -33,16 +33,17 @@
 //! candidate masks coherent. Behavioral equivalence with the pre-SoA kernel
 //! is pinned by the byte-identical golden reports under `tests/golden/`.
 
-use crate::blocks::FlitFifo;
+use crate::blocks::FifoBank;
 use crate::metrics::RouterObservation;
 use crate::metrics::{MetricsConfig, MetricsLevel, PipelineStage, TraceEventKind, TraceRing};
 use crate::probe::{Probe, RouterCounters};
 use crate::router::{RouterOutputs, RouterStats, SentFlit};
 use crate::{lookahead_route, NetworkConfig};
 use noc_base::{BitArbiter, WordMask};
-use noc_base::{Credit, Flit, PortIndex, RouteInfo, RouterId, VcIndex};
+use noc_base::{Credit, Flit, FlitPool, FlitRef, PortIndex, RouteInfo, RouterId, VcIndex};
 use noc_energy::{EnergyCounters, EnergyEvent};
 use noc_topology::SharedTopology;
+use std::sync::Arc;
 
 /// A switch-arbitration grant waiting for its switch-traversal cycle.
 #[derive(Copy, Clone, Debug)]
@@ -88,13 +89,17 @@ pub trait SchemeHooks {
 
     /// Offered each arriving flit before it is buffered. Returning `true`
     /// consumes the flit (it was forwarded through a latch and must not be
-    /// written to the buffer).
+    /// written to the buffer). `r` is the flit's pool handle (what a latch
+    /// forwards via [`PipelineKernel::send_flit`]); schemes that need the
+    /// flit's fields read them through `k.pool().get(r)` — after their cheap
+    /// port-state early-outs, so the common non-intercepted arrival never
+    /// touches the flit body here.
     fn try_arrival_intercept(
         &mut self,
         _k: &mut PipelineKernel,
         _cycle: u64,
         _in_port: PortIndex,
-        _flit: &Flit,
+        _r: FlitRef,
         _out: &mut RouterOutputs,
     ) -> bool {
         false
@@ -170,12 +175,16 @@ pub struct PipelineKernel {
     vcs: usize,
     in_ports: usize,
     out_ports: usize,
+    // The shared flit slab; buffers and emissions move `FlitRef`s, flit
+    // bodies are read/written in place through the pool.
+    pool: Arc<FlitPool>,
     // Input-VC state, structure-of-arrays over slot `in_port * vcs + vc`
     // (DESIGN.md §15). Each array holds one field for every input VC, so
     // the mask-loop re-checks touch only the arrays they need.
     //
-    // The VC's flit buffer.
-    fifos: Vec<FlitFifo>,
+    // Every VC's flit buffer, as one bank of fixed-stride ring buffers over
+    // two contiguous arrays (DESIGN.md §19) indexed by the same slot scheme.
+    bank: FifoBank,
     // Route of the packet currently holding the VC (set when its header
     // traverses or is granted VA; cleared at the tail).
     routes: Vec<Option<RouteInfo>>,
@@ -200,9 +209,18 @@ pub struct PipelineKernel {
     credits: Vec<u32>,
     credit_base: Vec<usize>,
     credit_capacity: u32,
-    arrivals: Vec<(PortIndex, Flit)>,
+    arrivals: Vec<(PortIndex, FlitRef)>,
     st_pending: Vec<StGrant>,
     last_connection: Vec<Option<PortIndex>>,
+    // Per `(out_port, out_vc)` slot: the lookahead route the last *header*
+    // sent through that connection computed. Body/tail flits reuse it —
+    // wormhole ordering means a packet's header traverses first on its
+    // claimed output VC, and `dst`/`mode`/the connection's route are
+    // per-packet constants, so the cached value is exact for the packet's
+    // remaining flits (they'd recompute the identical `RouteInfo`). Saves
+    // two virtual topology calls + coordinate arithmetic per non-header
+    // traversal.
+    lookahead_cache: Vec<Option<RouteInfo>>,
     in_arb: Vec<BitArbiter>,
     va_arb: Vec<BitArbiter>,
     out_arb: Vec<BitArbiter>,
@@ -219,10 +237,20 @@ pub struct PipelineKernel {
     // Per input port, bit `vc`: the VC holds flits, has route + output VC,
     // and is not an express pass-through claim — it may request SA.
     sa_cand: Vec<WordMask>,
+    // Per input port, bit `vc`: the claimed VC's gating credit counter
+    // `(route.port, route.hops-1, out_vc)` is nonzero. Maintained exactly:
+    // `refresh_vc_masks` recomputes it on every VC state transition and
+    // `note_credit_gate` propagates every 0↔1 transition of a counter to
+    // its owner's bit, so the SA scan can AND it with `sa_cand` and skip
+    // credit-starved VCs without visiting them — at saturation most
+    // candidates are credit-blocked every cycle, which is exactly when the
+    // scan is longest. Bits of unclaimed VCs are clear (never read: the
+    // AND with `sa_cand` masks them out).
+    sa_credit: Vec<WordMask>,
     // Reusable per-cycle working storage, so `step` never allocates once the
     // queues reach steady-state capacity.
     st_scratch: Vec<StGrant>,
-    arrivals_scratch: Vec<(PortIndex, Flit)>,
+    arrivals_scratch: Vec<(PortIndex, FlitRef)>,
     // Per output port, this cycle's VA request mask over `in_ports * vcs`
     // flattened slots, plus the mask of output ports with any request.
     va_req: Vec<WordMask>,
@@ -241,12 +269,14 @@ pub struct PipelineKernel {
 impl PipelineKernel {
     /// Builds the kernel for one router. `count_header_traversals` selects
     /// whether header crossbar traversals feed
-    /// [`RouterStats::header_traversals`].
+    /// [`RouterStats::header_traversals`]. `pool` is the network-wide flit
+    /// slab the router's buffers reference into.
     pub fn new(
         id: RouterId,
         topo: SharedTopology,
         config: NetworkConfig,
         count_header_traversals: bool,
+        pool: Arc<FlitPool>,
     ) -> Self {
         let in_ports = topo.in_ports(id);
         let out_ports = topo.out_ports(id);
@@ -278,9 +308,8 @@ impl PipelineKernel {
             vcs,
             in_ports,
             out_ports,
-            fifos: (0..slots)
-                .map(|_| FlitFifo::new(config.buffer_depth as usize))
-                .collect(),
+            pool,
+            bank: FifoBank::new(slots, config.buffer_depth as usize),
             routes: vec![None; slots],
             out_vcs: vec![None; slots],
             va_cycles: vec![u64::MAX; slots],
@@ -293,6 +322,7 @@ impl PipelineKernel {
             arrivals: Vec::with_capacity(in_ports),
             st_pending: Vec::with_capacity(in_ports),
             last_connection: vec![None; in_ports],
+            lookahead_cache: vec![None; out_ports * vcs],
             in_arb: (0..in_ports).map(|_| BitArbiter::new(vcs)).collect(),
             va_arb: (0..out_ports)
                 .map(|_| BitArbiter::new(in_ports * vcs))
@@ -300,6 +330,7 @@ impl PipelineKernel {
             out_arb: (0..out_ports).map(|_| BitArbiter::new(in_ports)).collect(),
             va_cand: WordMask::new(in_ports * vcs),
             sa_cand: (0..in_ports).map(|_| WordMask::new(vcs)).collect(),
+            sa_credit: (0..in_ports).map(|_| WordMask::new(vcs)).collect(),
             st_scratch: Vec::with_capacity(in_ports),
             arrivals_scratch: Vec::with_capacity(in_ports),
             va_req: (0..out_ports)
@@ -351,7 +382,7 @@ impl PipelineKernel {
     #[inline]
     pub fn refresh_vc_masks(&mut self, in_port: PortIndex, vc: VcIndex) {
         let slot = self.slot(in_port, vc);
-        let has_flits = !self.fifos[slot].is_empty();
+        let has_flits = !self.bank.is_empty(slot);
         let claimed = self.routes[slot].is_some() && self.out_vcs[slot].is_some();
         let unclaimed = self.routes[slot].is_none() && self.out_vcs[slot].is_none();
         self.va_cand.assign(slot, has_flits && unclaimed);
@@ -359,9 +390,32 @@ impl PipelineKernel {
             .assign(vc.index(), has_flits && claimed && !self.pass_through[slot]);
     }
 
+    /// Recomputes the [`sa_credit`](Self::sa_credit) bit of `(in_port, vc)`
+    /// from its claim's gating counter. Called at every claim/release of
+    /// the VC's route + output VC — NOT at buffer push/pop, which cannot
+    /// change the gating counter; 0↔1 counter transitions between claims
+    /// are propagated by [`note_credit_gate`](Self::note_credit_gate).
+    #[inline]
+    fn refresh_credit_gate(&mut self, in_port: PortIndex, vc: VcIndex) {
+        let slot = self.slot(in_port, vc);
+        let credit_ok = match (self.routes[slot], self.out_vcs[slot]) {
+            (Some(route), Some(out_vc)) => {
+                self.credits_available(route.port, route.hops as usize - 1, out_vc) > 0
+            }
+            _ => false,
+        };
+        self.sa_credit[in_port.index()].assign(vc.index(), credit_ok);
+    }
+
     /// Virtual channels per port.
     pub fn vcs(&self) -> usize {
         self.vcs
+    }
+
+    /// The shared flit slab this router references into.
+    #[inline]
+    pub fn pool(&self) -> &Arc<FlitPool> {
+        &self.pool
     }
 
     /// Input ports of this router.
@@ -395,13 +449,16 @@ impl PipelineKernel {
     /// Whether the buffer of `(in_port, vc)` is empty.
     #[inline]
     pub fn input_empty(&self, in_port: PortIndex, vc: VcIndex) -> bool {
-        self.fifos[self.slot(in_port, vc)].is_empty()
+        self.bank.is_empty(self.slot(in_port, vc))
     }
 
-    /// The head flit of `(in_port, vc)` if it is ready at `cycle`.
+    /// The head flit of `(in_port, vc)` if it is ready at `cycle`, read in
+    /// place from the pool.
     #[inline]
     pub fn input_head_ready(&self, in_port: PortIndex, vc: VcIndex, cycle: u64) -> Option<&Flit> {
-        self.fifos[self.slot(in_port, vc)].head_ready(cycle)
+        self.bank
+            .head_ready(self.slot(in_port, vc), cycle)
+            .map(|r| self.pool.get(r))
     }
 
     /// Claims input VC `(in_port, vc)` for a packet: stores its route and
@@ -420,6 +477,7 @@ impl PipelineKernel {
         self.routes[slot] = Some(route);
         self.out_vcs[slot] = Some(out_vc);
         self.refresh_vc_masks(in_port, vc);
+        self.refresh_credit_gate(in_port, vc);
     }
 
     /// Claims input VC `(in_port, vc)` for an express stream latching
@@ -438,6 +496,7 @@ impl PipelineKernel {
         self.out_vcs[slot] = Some(out_vc);
         self.pass_through[slot] = true;
         self.refresh_vc_masks(in_port, vc);
+        self.refresh_credit_gate(in_port, vc);
     }
 
     /// Releases every per-packet claim of input VC `(in_port, vc)` (route,
@@ -453,6 +512,7 @@ impl PipelineKernel {
         self.express[slot] = 0;
         self.pass_through[slot] = false;
         self.refresh_vc_masks(in_port, vc);
+        self.sa_credit[in_port.index()].clear(vc.index());
     }
 
     /// Whether output VC `(out_port, vc)` is unallocated.
@@ -506,6 +566,28 @@ impl PipelineKernel {
             "credit underflow at {out_port} sub {sub} {vc}"
         );
         self.credits[slot] -= 1;
+        if self.credits[slot] == 0 {
+            self.note_credit_gate(out_port, sub, vc, false);
+        }
+    }
+
+    /// Propagates a 0↔1 transition of the `(out_port, sub, vc)` credit
+    /// counter into the owning input VC's [`sa_credit`](Self::sa_credit)
+    /// bit — but only when that counter is the owner's gating counter (the
+    /// owner's route decides which sub-channel its flits traverse, so a
+    /// transition on another sub leaves the owner's bit untouched).
+    #[inline]
+    fn note_credit_gate(&mut self, out_port: PortIndex, sub: usize, vc: VcIndex, avail: bool) {
+        let Some((ip, ivc)) = self.out_owners[self.out_slot(out_port, vc)] else {
+            return;
+        };
+        let slot = self.slot(ip, ivc);
+        let (Some(route), Some(out_vc)) = (self.routes[slot], self.out_vcs[slot]) else {
+            return; // output VC claimed, input-side claim not stored yet
+        };
+        if route.port == out_port && out_vc == vc && route.hops as usize - 1 == sub {
+            self.sa_credit[ip.index()].assign(ivc.index(), avail);
+        }
     }
 
     /// Enables observability per `metrics`: per-port counters at
@@ -549,8 +631,9 @@ impl PipelineKernel {
         self.tracer.as_deref()
     }
 
-    /// Queues an arriving flit for this cycle's arrival phase.
-    pub fn receive_flit(&mut self, in_port: PortIndex, flit: Flit) {
+    /// Queues an arriving flit for this cycle's arrival phase. The router
+    /// takes ownership of the pool slot behind `flit`.
+    pub fn receive_flit(&mut self, in_port: PortIndex, flit: FlitRef) {
         debug_assert!(in_port.index() < self.in_ports, "bad input port");
         self.arrivals.push((in_port, flit));
     }
@@ -565,6 +648,9 @@ impl PipelineKernel {
             credit.vc
         );
         self.credits[slot] += 1;
+        if self.credits[slot] == 1 {
+            self.note_credit_gate(out_port, credit.sub as usize, credit.vc, true);
+        }
     }
 
     /// The kernel part of the step-is-no-op predicate: nothing staged or
@@ -579,18 +665,22 @@ impl PipelineKernel {
     }
 
     /// Sends a flit out of the crossbar: records locality, fills in the
-    /// downstream VC, the express-hop budget and the lookahead route, and
-    /// queues the emission.
+    /// downstream VC, the express-hop budget and the lookahead route (all
+    /// written in place through the pool), and queues the emission.
     pub fn send_flit(
         &mut self,
-        mut flit: Flit,
+        r: FlitRef,
         in_port: PortIndex,
         route: RouteInfo,
         out_vc: VcIndex,
         express_hops: u8,
         out: &mut RouterOutputs,
     ) {
-        if flit.kind.is_head() {
+        let (is_head, dst, mode) = {
+            let f = self.pool.get(r);
+            (f.kind.is_head(), f.dst, f.mode)
+        };
+        if is_head {
             // Packet-granularity crossbar-connection locality (Fig. 1):
             // body/tail flits trivially follow their header, so only
             // consecutive packets are compared.
@@ -613,22 +703,36 @@ impl PipelineKernel {
         self.in_busy[in_port.index()] = true;
         self.out_busy[route.port.index()] = true;
 
-        flit.vc = out_vc;
-        flit.express_hops = express_hops;
-        if route.port.index() >= self.concentration {
-            flit.route = lookahead_route(
-                self.topo.as_ref(),
-                self.id,
-                route.port,
-                route.hops,
-                flit.dst,
-                flit.mode,
-            );
-        }
+        let lookahead = (route.port.index() >= self.concentration).then(|| {
+            let slot = self.out_slot(route.port, out_vc);
+            if is_head {
+                let la = lookahead_route(
+                    self.topo.as_ref(),
+                    self.id,
+                    route.port,
+                    route.hops,
+                    dst,
+                    mode,
+                );
+                self.lookahead_cache[slot] = Some(la);
+                la
+            } else {
+                // Wormhole ordering: this body/tail flit's header traversed
+                // this connection first and cached the packet's lookahead.
+                self.lookahead_cache[slot].expect("body flit before its header")
+            }
+        });
+        self.pool.update(r, |f| {
+            f.vc = out_vc;
+            f.express_hops = express_hops;
+            if let Some(la) = lookahead {
+                f.route = la;
+            }
+        });
         out.flits.push(SentFlit {
             out_port: route.port,
             hops: route.hops,
-            flit,
+            flit: r,
         });
     }
 
@@ -645,10 +749,10 @@ impl PipelineKernel {
         out: &mut RouterOutputs,
     ) {
         let slot = self.slot(in_port, vc);
-        let buffered = self.fifos[slot].pop().expect("granted VC has a flit");
-        debug_assert!(buffered.ready_at <= cycle, "flit traversed before ready");
-        let flit = buffered.flit;
-        if flit.kind.is_head() {
+        let (r, ready_at) = self.bank.pop(slot).expect("granted VC has a flit");
+        debug_assert!(ready_at <= cycle, "flit traversed before ready");
+        let kind = self.pool.get(r).kind;
+        if kind.is_head() {
             debug_assert!(
                 self.routes[slot].is_some(),
                 "header traversing without a route"
@@ -658,18 +762,19 @@ impl PipelineKernel {
         let out_vc = self.out_vcs[slot].expect("active VC has an output VC");
         let va_cycle = self.va_cycles[slot];
         let express_hops = self.express[slot];
-        if flit.kind.is_tail() {
+        if kind.is_tail() {
             self.routes[slot] = None;
             self.out_vcs[slot] = None;
             self.va_cycles[slot] = u64::MAX;
             self.express[slot] = 0;
             self.release_out_vc(route.port, out_vc);
+            self.sa_credit[in_port.index()].clear(vc.index());
         }
         self.refresh_vc_masks(in_port, vc);
         if reuse {
             self.consume_credit(route.port, route.hops as usize - 1, out_vc);
             self.stats.pc_reuses += 1;
-            if flit.kind.is_head() {
+            if kind.is_head() {
                 self.stats.pc_header_reuses += 1;
             }
         }
@@ -677,13 +782,13 @@ impl PipelineKernel {
         self.energy.record(EnergyEvent::BufferRead);
         if let Some(p) = self.counters.as_deref_mut() {
             // The flit was written into the buffer the cycle before it
-            // became ready (`FlitFifo::push(flit, cycle + 1)`).
-            let arrival = buffered.ready_at - 1;
+            // became ready (`FifoBank::push(slot, r, cycle + 1)`).
+            let arrival = ready_at - 1;
             // Inclusive per-hop router delay: 3 baseline / 2 reuse under no
             // contention (paper Fig. 6), more under contention.
             p.on_stage(PipelineStage::St, cycle - arrival + 1);
             p.on_stage(PipelineStage::Bw, cycle - arrival);
-            if flit.kind.is_head() {
+            if kind.is_head() {
                 // Reuse-path headers get VA the traversal cycle itself;
                 // baseline-path headers were granted at `va_cycle`.
                 let va_at = if va_cycle == u64::MAX {
@@ -700,7 +805,7 @@ impl PipelineKernel {
                 // their VA grant (0 = same-cycle speculative SA), body flits
                 // from buffer write.
                 let grant = cycle - 1;
-                let sa_from = if flit.kind.is_head() && va_cycle != u64::MAX {
+                let sa_from = if kind.is_head() && va_cycle != u64::MAX {
                     va_cycle
                 } else {
                     arrival
@@ -712,7 +817,7 @@ impl PipelineKernel {
             self.trace(cycle, TraceEventKind::Hit, in_port, route.port);
         }
         out.credits.push((in_port, vc));
-        self.send_flit(flit, in_port, route, out_vc, express_hops, out);
+        self.send_flit(r, in_port, route, out_vc, express_hops, out);
     }
 
     /// Runs one cycle of the shared pipeline, dispatching to `hooks` at each
@@ -754,20 +859,20 @@ impl PipelineKernel {
         // index so `self` stays free for the intercept/buffer calls.
         std::mem::swap(&mut self.arrivals, &mut self.arrivals_scratch);
         for i in 0..self.arrivals_scratch.len() {
-            let (in_port, flit) = self.arrivals_scratch[i].clone();
-            if hooks.try_arrival_intercept(self, cycle, in_port, &flit, out) {
+            let (in_port, r) = self.arrivals_scratch[i];
+            if hooks.try_arrival_intercept(self, cycle, in_port, r, out) {
                 continue;
             }
             self.energy.record(EnergyEvent::BufferWrite);
             self.in_occupancy[in_port.index()] += 1;
-            let vc = flit.vc;
+            let vc = self.pool.get(r).vc;
             let slot = self.slot(in_port, vc);
             // An express stream that stalls into the buffer continues
             // hop-by-hop; its pass-through claim becomes an ordinary
             // buffered packet claim.
             self.pass_through[slot] = false;
-            self.fifos[slot]
-                .push(flit, cycle + 1)
+            self.bank
+                .push(slot, r, cycle + 1)
                 .expect("upstream credits bound buffer occupancy");
             self.refresh_vc_masks(in_port, vc);
         }
@@ -795,18 +900,19 @@ impl PipelineKernel {
                 let slot = wi * 64 + word.trailing_zeros() as usize;
                 word &= word - 1;
                 debug_assert!(
-                    !self.fifos[slot].is_empty()
+                    !self.bank.is_empty(slot)
                         && self.routes[slot].is_none()
                         && self.out_vcs[slot].is_none(),
                     "stale VA candidate bit (missed refresh_vc_masks)"
                 );
-                let Some(flit) = self.fifos[slot].head_ready(cycle) else {
+                let Some(r) = self.bank.head_ready(slot, cycle) else {
                     continue;
                 };
-                if !flit.kind.is_head() {
+                let head = self.pool.get(r);
+                if !head.kind.is_head() {
                     continue;
                 }
-                let out_port = flit.route.port.index();
+                let out_port = head.route.port.index();
                 self.va_req[out_port].set(slot);
                 self.va_out_pending.set(out_port);
             }
@@ -825,10 +931,11 @@ impl PipelineKernel {
                     requests[out_port].clear(slot);
                     let in_port = PortIndex::new(slot / vcs);
                     let vc = VcIndex::new(slot % vcs);
-                    let flit = self.fifos[slot]
-                        .head_ready(cycle)
-                        .expect("request implies ready head")
-                        .clone();
+                    let flit = *self.pool.get(
+                        self.bank
+                            .head_ready(slot, cycle)
+                            .expect("request implies ready head"),
+                    );
                     if let Some((out_vc, express_hops)) =
                         hooks.allocate_out_vc(self, &flit, (in_port, vc))
                     {
@@ -837,6 +944,7 @@ impl PipelineKernel {
                         self.va_cycles[slot] = cycle;
                         self.express[slot] = express_hops;
                         self.refresh_vc_masks(in_port, vc);
+                        self.refresh_credit_gate(in_port, vc);
                         self.stats.va_grants += 1;
                         self.energy.record(EnergyEvent::Arbitration);
                         if let Some(p) = self.counters.as_deref_mut() {
@@ -870,20 +978,23 @@ impl PipelineKernel {
             self.sa_vc_nonspec.clear_all();
             self.sa_vc_spec.clear_all();
             for wi in 0..self.sa_cand[in_port].num_words() {
-                let mut word = self.sa_cand[in_port].word(wi);
+                // Credit-starved VCs are masked out of the scan entirely
+                // (their bit tracks the gating counter exactly); the per-bit
+                // credit re-check below is the cross-checked safety net.
+                let mut word = self.sa_cand[in_port].word(wi) & self.sa_credit[in_port].word(wi);
                 while word != 0 {
                     let vc = wi * 64 + word.trailing_zeros() as usize;
                     word &= word - 1;
                     let slot = in_port * self.vcs + vc;
                     debug_assert!(
-                        !self.fifos[slot].is_empty() && !self.pass_through[slot],
+                        !self.bank.is_empty(slot) && !self.pass_through[slot],
                         "stale SA candidate bit (missed refresh_vc_masks)"
                     );
                     let (Some(route), Some(out_vc)) = (self.routes[slot], self.out_vcs[slot])
                     else {
                         unreachable!("SA candidate bit requires route and output VC")
                     };
-                    if self.fifos[slot].head_ready(cycle).is_none() {
+                    if self.bank.head_ready(slot, cycle).is_none() {
                         continue;
                     }
                     if hooks.sa_skip(in_port_i, VcIndex::new(vc), route) {
@@ -891,6 +1002,7 @@ impl PipelineKernel {
                     }
                     let sub = route.hops as usize - 1;
                     if self.credits_available(route.port, sub, out_vc) == 0 {
+                        debug_assert!(false, "stale SA credit bit (missed note_credit_gate)");
                         continue;
                     }
                     if self.va_cycles[slot] == cycle {

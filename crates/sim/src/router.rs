@@ -6,22 +6,23 @@
 //! emits during `step(cycle)` is delivered at `cycle + 1`.
 
 use crate::metrics::{MetricsConfig, RouterObservation, TraceRing};
-use noc_base::{Credit, Flit, PortIndex, RouterId, VcIndex};
+use noc_base::{Credit, FlitPool, FlitRef, PortIndex, RouterId, VcIndex};
 use noc_energy::EnergyCounters;
 use noc_topology::SharedTopology;
 use std::ops::{Add, AddAssign};
+use std::sync::Arc;
 
 /// A flit leaving a router.
-#[derive(Clone, PartialEq, Debug)]
+#[derive(Copy, Clone, PartialEq, Debug)]
 pub struct SentFlit {
     /// Output port the flit leaves through.
     pub out_port: PortIndex,
     /// Drop-off distance on the output channel (1 for point-to-point links
     /// and for local/ejection ports).
     pub hops: u8,
-    /// The flit, with `vc` set to the downstream VC and `route` set to the
-    /// lookahead route at the downstream router.
-    pub flit: Flit,
+    /// The flit (pool-resident), with `vc` set to the downstream VC and
+    /// `route` set to the lookahead route at the downstream router.
+    pub flit: FlitRef,
 }
 
 /// Collects a router's emissions for one cycle.
@@ -153,7 +154,8 @@ impl AddAssign for RouterStats {
 /// A cycle-accurate router microarchitecture.
 pub trait RouterModel: Send {
     /// Accepts a flit arriving on `in_port` this cycle (before `step` runs).
-    fn receive_flit(&mut self, in_port: PortIndex, flit: Flit);
+    /// Ownership of the pool slot behind `flit` transfers to the router.
+    fn receive_flit(&mut self, in_port: PortIndex, flit: FlitRef);
 
     /// Accepts a credit arriving for `out_port` this cycle.
     fn receive_credit(&mut self, out_port: PortIndex, credit: Credit);
@@ -204,6 +206,9 @@ pub struct RouterBuildContext<'a> {
     /// Observability configuration for the run (level + optional tracing);
     /// factories for uninstrumented models may ignore it.
     pub metrics: &'a MetricsConfig,
+    /// The shared flit slab every router reads and writes flit bodies
+    /// through; the engine owns allocation sizing and recycling.
+    pub pool: &'a Arc<FlitPool>,
 }
 
 /// Builds router instances for a network.

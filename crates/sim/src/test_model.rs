@@ -11,18 +11,25 @@
 
 use crate::router::{RouterBuildContext, RouterFactory, RouterModel, RouterOutputs, SentFlit};
 use crate::{lookahead_route, RouterStats};
-use noc_base::{Credit, Flit, PortIndex, RouterId};
+use noc_base::{Credit, FlitPool, FlitRef, PortIndex, RouterId};
 use noc_energy::{EnergyCounters, EnergyEvent};
 use noc_topology::SharedTopology;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// An ideal fixed-delay forwarding element.
+///
+/// Flit bodies live in the shared [`FlitPool`]; this model queues only
+/// references. Its unbounded `VecDeque` pipeline is fine here — this is a
+/// test oracle, not the production router cycle path (which runs on the
+/// ring-buffer [`crate::blocks::FifoBank`]).
 pub struct WireRouter {
     id: RouterId,
     topo: SharedTopology,
+    pool: Arc<FlitPool>,
     delay: u64,
-    staged: Vec<(PortIndex, Flit)>,
-    pipeline: VecDeque<(u64, PortIndex, Flit)>,
+    staged: Vec<(PortIndex, FlitRef)>,
+    pipeline: VecDeque<(u64, PortIndex, FlitRef)>,
     last_connection: Vec<Option<PortIndex>>,
     stats: RouterStats,
     energy: EnergyCounters,
@@ -30,11 +37,12 @@ pub struct WireRouter {
 
 impl WireRouter {
     /// Creates a wire router with the given per-hop delay in cycles.
-    pub fn new(id: RouterId, topo: SharedTopology, delay: u64) -> Self {
+    pub fn new(id: RouterId, topo: SharedTopology, pool: Arc<FlitPool>, delay: u64) -> Self {
         let in_ports = topo.in_ports(id);
         Self {
             id,
             topo,
+            pool,
             delay,
             staged: Vec::new(),
             pipeline: VecDeque::new(),
@@ -46,7 +54,7 @@ impl WireRouter {
 }
 
 impl RouterModel for WireRouter {
-    fn receive_flit(&mut self, in_port: PortIndex, flit: Flit) {
+    fn receive_flit(&mut self, in_port: PortIndex, flit: FlitRef) {
         self.staged.push((in_port, flit));
     }
 
@@ -63,9 +71,10 @@ impl RouterModel for WireRouter {
             if *due > cycle {
                 break;
             }
-            let (_, in_port, mut flit) = self.pipeline.pop_front().expect("front exists");
+            let (_, in_port, r) = self.pipeline.pop_front().expect("front exists");
             self.energy.record(EnergyEvent::BufferRead);
             self.energy.record(EnergyEvent::CrossbarTraversal);
+            let flit = *self.pool.get(r);
             out.credits.push((in_port, flit.vc));
 
             let route = flit.route;
@@ -83,7 +92,7 @@ impl RouterModel for WireRouter {
             self.stats.flit_traversals += 1;
 
             if route.port.index() >= self.topo.concentration() {
-                flit.route = lookahead_route(
+                let lookahead = lookahead_route(
                     self.topo.as_ref(),
                     self.id,
                     route.port,
@@ -91,11 +100,12 @@ impl RouterModel for WireRouter {
                     flit.dst,
                     flit.mode,
                 );
+                self.pool.update(r, |f| f.route = lookahead);
             }
             out.flits.push(SentFlit {
                 out_port: route.port,
                 hops: route.hops,
-                flit,
+                flit: r,
             });
         }
     }
@@ -130,7 +140,12 @@ impl Default for WireRouterFactory {
 
 impl RouterFactory for WireRouterFactory {
     fn build(&self, ctx: RouterBuildContext<'_>) -> Box<dyn RouterModel> {
-        Box::new(WireRouter::new(ctx.id, ctx.topology.clone(), self.delay))
+        Box::new(WireRouter::new(
+            ctx.id,
+            ctx.topology.clone(),
+            ctx.pool.clone(),
+            self.delay,
+        ))
     }
 }
 

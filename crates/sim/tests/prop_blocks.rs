@@ -1,65 +1,126 @@
 //! Property-based tests of the microarchitecture building blocks against
 //! reference models.
 
-use noc_base::{
-    Flit, FlitKind, NodeId, PacketClass, PacketId, PortIndex, RouteInfo, RouteMode, VcIndex,
-};
-use noc_sim::blocks::{CreditBook, FlitFifo, RrArbiter};
+use noc_base::{Flit, FlitPool, FlitRef, VcIndex};
+use noc_sim::blocks::{CreditBook, FifoBank, RrArbiter};
 use proptest::prelude::*;
 use std::collections::VecDeque;
 
 fn flit(tag: u16) -> Flit {
     Flit {
-        packet: PacketId::new(tag as u64),
-        kind: FlitKind::Body,
         seq: tag,
-        src: NodeId::new(0),
-        dst: NodeId::new(1),
-        vc: VcIndex::new(0),
-        route: RouteInfo::new(PortIndex::new(0)),
-        mode: RouteMode::XY,
-        class: 0,
-        injected_at: 0,
-        packet_class: PacketClass::Data,
-        express_hops: 0,
+        ..noc_base::arena::placeholder_flit()
     }
 }
 
 proptest! {
-    /// FlitFifo behaves exactly like a bounded VecDeque.
+    /// Every [`FifoBank`] slot behaves exactly like an independent bounded
+    /// VecDeque: push acceptance, pop order, head identity, readiness
+    /// timing, and the full/empty edge predicates all agree op-for-op while
+    /// random interleavings drive each ring cursor around its range many
+    /// times (the 1..4 depths against up to 200 ops guarantee wraparound).
     #[test]
-    fn fifo_matches_reference_model(
-        capacity in 1usize..8,
-        ops in prop::collection::vec(prop_oneof![
-            (0u16..1000).prop_map(Some), // push with tag
-            Just(None),                  // pop
-        ], 1..200),
+    fn fifo_bank_matches_reference_model(
+        slots in 1usize..4,
+        depth in 1usize..4,
+        ops in prop::collection::vec(
+            (0usize..4, prop_oneof![
+                (0u16..1000, 0u64..50).prop_map(Some), // push (tag, ready_at)
+                Just(None),                            // pop
+            ]),
+            1..200,
+        ),
     ) {
-        let mut fifo = FlitFifo::new(capacity);
-        let mut reference: VecDeque<u16> = VecDeque::new();
-        for (i, op) in ops.into_iter().enumerate() {
+        // Refs to pass through the bank; the pool is sized so pushes never
+        // run out of distinct tags to mint.
+        let pool = FlitPool::new(ops.len() + 1, 1);
+        let mut bank = FifoBank::new(slots, depth);
+        let mut reference: Vec<VecDeque<(FlitRef, u64)>> = vec![VecDeque::new(); slots];
+        for (i, (raw_slot, op)) in ops.into_iter().enumerate() {
+            let slot = raw_slot % slots;
             match op {
-                Some(tag) => {
-                    let ok = fifo.push(flit(tag), i as u64).is_ok();
-                    let model_ok = reference.len() < capacity;
+                Some((tag, ready_at)) => {
+                    let r = pool.alloc_serial(flit(tag));
+                    let ok = bank.push(slot, r, ready_at).is_ok();
+                    let model_ok = reference[slot].len() < depth;
                     prop_assert_eq!(ok, model_ok, "push acceptance diverged");
                     if model_ok {
-                        reference.push_back(tag);
+                        reference[slot].push_back((r, ready_at));
+                    } else {
+                        pool.free(r); // rejected pushes return the slot
                     }
                 }
                 None => {
-                    let popped = fifo.pop().map(|b| b.flit.seq);
-                    prop_assert_eq!(popped, reference.pop_front());
+                    let popped = bank.pop(slot);
+                    prop_assert_eq!(popped, reference[slot].pop_front());
+                    if let Some((r, _)) = popped {
+                        pool.free(r);
+                    }
                 }
             }
-            prop_assert_eq!(fifo.len(), reference.len());
-            prop_assert_eq!(fifo.is_empty(), reference.is_empty());
-            prop_assert_eq!(fifo.is_full(), reference.len() == capacity);
-            prop_assert_eq!(
-                fifo.head().map(|b| b.flit.seq),
-                reference.front().copied()
-            );
+            // Every slot (touched or not this op) must agree with its model.
+            let cycle = i as u64 % 50;
+            for (s, model) in reference.iter().enumerate() {
+                prop_assert_eq!(bank.len(s), model.len());
+                prop_assert_eq!(bank.is_empty(s), model.is_empty());
+                prop_assert_eq!(bank.is_full(s), model.len() == depth);
+                prop_assert_eq!(bank.head_ref(s), model.front().map(|&(r, _)| r));
+                prop_assert_eq!(
+                    bank.head_ready(s, cycle),
+                    model
+                        .front()
+                        .filter(|&&(_, ready)| ready <= cycle)
+                        .map(|&(r, _)| r)
+                );
+            }
         }
+    }
+
+    /// The [`FlitPool`] under arbitrary alloc/free interleavings: live refs
+    /// read back exactly the flit written (stable across every other
+    /// operation), allocation hands out distinct slots, `try_alloc` reports
+    /// exhaustion cleanly as `None`, and frees make capacity reusable.
+    #[test]
+    fn pool_survives_alloc_free_interleavings(
+        capacity in 1usize..12,
+        ops in prop::collection::vec(prop_oneof![
+            Just(true),  // alloc
+            Just(false), // free the oldest live ref
+        ], 1..200),
+    ) {
+        let pool = FlitPool::new(capacity, 1);
+        pool.replenish(0, capacity);
+        // Live refs in allocation order, with the tag each slot must hold.
+        let mut live: VecDeque<(FlitRef, u16)> = VecDeque::new();
+        let mut next_tag = 0u16;
+        for alloc in ops {
+            if alloc {
+                let r = pool.try_alloc(0, flit(next_tag));
+                if live.len() == capacity {
+                    prop_assert_eq!(r, None, "alloc must fail when all slots are live");
+                } else {
+                    let r = r.expect("free capacity but try_alloc refused");
+                    prop_assert!(
+                        live.iter().all(|&(l, _)| l.index() != r.index()),
+                        "allocated a slot that is still live"
+                    );
+                    live.push_back((r, next_tag));
+                    next_tag = next_tag.wrapping_add(1);
+                }
+            } else if let Some((r, _)) = live.pop_front() {
+                pool.free(r);
+                // Frees land on the global list; restock the shard stack so
+                // the slot is allocatable again (as the driver does between
+                // parallel phases).
+                pool.replenish(0, capacity - live.len());
+            }
+            // Every live ref still reads back its own flit, untouched by
+            // the surrounding churn.
+            for &(r, tag) in &live {
+                prop_assert_eq!(pool.get(r).seq, tag, "live flit body corrupted");
+            }
+        }
+        prop_assert_eq!(pool.total_free() + live.len(), capacity);
     }
 
     /// The round-robin arbiter is work-conserving and starvation-free: under

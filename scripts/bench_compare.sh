@@ -27,6 +27,11 @@
 # they measure the quiescence fast-forward path (Simulation::advance), whose
 # cycles/sec is dominated by how many cycles get skipped rather than by
 # per-cycle engine speed, so they are excluded from the regression gate.
+#
+# The "highload_churn" case (saturated mesh, 4-flit packets, threads=1 only)
+# is gated like every other threads=1 case: it exists specifically to keep
+# the pooled flit path (FlitPool alloc/recycle + FifoBank ring buffers)
+# honest under maximum buffer churn.
 set -euo pipefail
 
 if [ $# -ne 2 ]; then

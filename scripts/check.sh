@@ -7,6 +7,11 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release --offline
 
+# Debug-assertions pass: unoptimized profile, so every debug_assert! in the
+# hot path is live — the flit pool's 8-bit generation tags (use-after-free /
+# double-free checks on every FlitRef deref, DESIGN.md §19), the FifoBank
+# ring-bounds checks, and the O(1) quiescence flag's cross-check against a
+# full shard scan all fire here and nowhere else.
 echo "==> cargo test -q"
 cargo test -q --offline
 
@@ -64,6 +69,12 @@ cargo clippy -p noc-traffic -p noc-sim --all-targets --offline -- -D warnings
 echo "==> cargo clippy -p noc-campaign --all-targets -- -D warnings"
 cargo clippy -p noc-campaign --all-targets --offline -- -D warnings
 
+# noc-bench is a non-default workspace member: a root-level
+# `cargo clippy --all-targets` builds its lib but NOT its benches, so the
+# figure harnesses and the engine/fifo micro-benchmarks need their own pass.
+echo "==> cargo clippy -p noc-bench --all-targets -- -D warnings"
+cargo clippy -p noc-bench --all-targets --offline -- -D warnings
+
 echo "==> cargo doc -D warnings"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --document-private-items --offline --quiet
 
@@ -92,6 +103,11 @@ echo "==> noc run --topology hring2x8 --scheme pseudo+ps+bb (smoke)"
 # incremental masks) executes in release mode; it is not a measurement.
 echo "==> NOC_BENCH_SMOKE=1 cargo bench --bench engine (smoke)"
 NOC_BENCH_SMOKE=1 cargo bench -q -p noc-bench --bench engine --offline >/dev/null
+
+# FIFO micro-bench smoke: the FifoBank-vs-VecDeque attribution harness
+# (DESIGN.md §19) must keep running; one short sample, no snapshot write.
+echo "==> NOC_BENCH_SMOKE=1 cargo bench --bench fifo_micro (smoke)"
+NOC_BENCH_SMOKE=1 cargo bench -q -p noc-bench --bench fifo_micro --offline >/dev/null
 
 # Campaign smoke: a tiny 2-scheme × 2-load sweep, interrupted after one
 # point (--max-points, the deterministic stand-in for a kill), resumed to

@@ -158,7 +158,8 @@ fn kernel_op_strategy(
 /// channels (`channel_len > 1`), so the per-port credit strides differ.
 fn check_accessors_track_scalar_model(topo: SharedTopology, id: RouterId, ops: &[KernelOp]) {
     let config = NetworkConfig::paper();
-    let mut kernel = PipelineKernel::new(id, topo.clone(), config, false);
+    let pool = Arc::new(noc_base::FlitPool::new(16, 1));
+    let mut kernel = PipelineKernel::new(id, topo.clone(), config, false, pool);
     let mut model = ScalarModel::new(topo.as_ref(), id, config);
 
     for &op in ops {

@@ -165,6 +165,44 @@ fn multi_threaded_steady_state_does_not_allocate_on_any_thread() {
 }
 
 #[test]
+fn ni_reassembly_and_pool_recycling_do_not_allocate_under_churn() {
+    // A heavy multi-flit workload keeps every layer the flit pool feeds in
+    // constant churn: NI packet queues at their reserved bound, the flat
+    // reassembly table cycling entries, and pool slots recycling through
+    // free -> global list -> replenish -> shard stack every cycle. None of
+    // it may allocate once warm. The load sits just under XY-mesh
+    // saturation: an oversaturated node's source queue would genuinely grow
+    // forever, which is unbounded backlog, not an engine allocation bug.
+    let topo = Arc::new(Mesh::new(8, 8, 1));
+    let traffic = SyntheticTraffic::new(SyntheticPattern::UniformRandom, 8, 8, 4, 0.25, 11);
+    let config = NetworkConfig {
+        routing: RoutingPolicy::Xy,
+        va_policy: VaPolicy::Static,
+        ..NetworkConfig::paper()
+    };
+    let mut sim = Simulation::new(
+        topo,
+        config,
+        Box::new(traffic),
+        &PcRouterFactory::new(Scheme::pseudo_ps_bb()),
+        9,
+    );
+    for _ in 0..20_000 {
+        sim.step();
+    }
+    let allocs = count_allocs(|| {
+        for _ in 0..2_000 {
+            sim.step();
+        }
+    });
+    assert_eq!(allocs, 0, "churn workload allocated {allocs} times");
+    let traversals: u64 = (0..sim.topology().num_routers())
+        .map(|r| sim.router(RouterId::new(r)).stats().flit_traversals)
+        .sum();
+    assert!(traversals > 100_000, "workload too light to be meaningful");
+}
+
+#[test]
 fn steady_state_step_does_not_allocate_with_baseline_router() {
     // The baseline (non-pseudo-circuit) scheme exercises the full VA/SA
     // pipeline every cycle; it must be allocation-free too.
